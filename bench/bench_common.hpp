@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared helpers for the reproduction benches: ASCII table rendering and
+/// a tiny wrapper that prints the paper-style tables first, then runs any
+/// registered google-benchmark timings.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace spotbid::bench {
+
+/// Fixed-width ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_)
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i)
+        widths[i] = std::max(widths[i], row[i].size());
+
+    const auto rule = [&] {
+      os << '+';
+      for (const auto w : widths) os << std::string(w + 2, '-') << '+';
+      os << '\n';
+    };
+    const auto line = [&](const std::vector<std::string>& cells) {
+      os << '|';
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+        os << ' ' << std::left << std::setw(static_cast<int>(widths[i])) << cell << " |";
+      }
+      os << '\n';
+    };
+    rule();
+    line(headers_);
+    rule();
+    for (const auto& row : rows_) line(row);
+    rule();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style number formatting into std::string.
+inline std::string fmt(const char* format, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, format, value);
+  return buffer;
+}
+
+inline std::string usd(double value) { return fmt("$%.4f", value); }
+inline std::string hours(double value) { return fmt("%.3f h", value); }
+inline std::string percent(double fraction) { return fmt("%+.1f%%", 100.0 * fraction); }
+
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+/// Run the reproduction (already printed by the caller) and then the
+/// registered google-benchmark timings.
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace spotbid::bench

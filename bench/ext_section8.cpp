@@ -1,0 +1,192 @@
+// Extension bench: the paper's Section-8 future-work directions, built out
+// and measured —
+//   (1) risk-averse bidding: the cost/variance frontier of
+//       variance-constrained bids;
+//   (2) deadline-constrained bidding: bid and cost vs deadline tightness;
+//   (3) correlation-aware bidding: i.i.d. vs sticky-corrected predictions
+//       against a sticky market;
+//   (4) collective behavior: best-response iteration of many optimizing
+//       users against the generalized provider;
+//   (5) dependent-task workflows: a pipeline bids only on ready tasks.
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "spotbid/spotbid.hpp"
+
+namespace {
+
+using namespace spotbid;
+
+void risk_frontier() {
+  bench::banner("Extension 1: variance-constrained bids (r3.xlarge, t_s = 8 h)");
+  const auto model = bidding::SpotPriceModel::from_type(ec2::require_type("r3.xlarge"));
+  const bidding::JobSpec job{Hours{8.0}, Hours::from_seconds(30.0)};
+  const auto base = bidding::persistent_bid(model, job);
+  const double base_var = bidding::persistent_cost_variance(model, base.bid, job);
+
+  bench::Table table{{"variance bound (USD^2)", "bid", "E[cost]", "sd[cost]", "E[completion]"}};
+  for (double factor : {16.0, 4.0, 1.0, 0.25, 0.0625, 0.0}) {
+    const double bound = base_var * factor;
+    const auto d = bidding::variance_constrained_bid(model, job, bound);
+    const double var = d.use_on_demand
+                           ? 0.0
+                           : bidding::persistent_cost_variance(model, d.bid, job);
+    table.row({bench::fmt("%.3g", bound),
+               d.use_on_demand ? "on-demand" : bench::usd(d.bid.usd()),
+               bench::usd(d.expected_cost.usd()), bench::fmt("%.5f", std::sqrt(var)),
+               bench::hours(d.expected_completion.hours())});
+  }
+  table.print();
+  std::cout << "Takeaway: tighter variance bounds push the bid toward the price floor,\n"
+               "where the payment is deterministic (the floor atom) — risk-averse users\n"
+               "pay with completion time, not dollars.\n";
+}
+
+void deadline_frontier() {
+  bench::banner("Extension 2: deadline-constrained bids (r3.xlarge, t_s = 1 h, eps = 5%)");
+  const auto model = bidding::SpotPriceModel::from_type(ec2::require_type("r3.xlarge"));
+  const bidding::JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+
+  bench::Table table{{"deadline", "bid", "P(miss)", "E[cost]", "vs unconstrained"}};
+  const auto base = bidding::persistent_bid(model, job);
+  for (double deadline_h : {1.25, 1.5, 2.0, 3.0, 6.0}) {
+    const auto d = bidding::deadline_constrained_bid(model, job, Hours{deadline_h}, 0.05);
+    if (!d) {
+      table.row({bench::fmt("%.2f h", deadline_h), "infeasible", "-", "-", "-"});
+      continue;
+    }
+    const double miss =
+        bidding::deadline_miss_probability(model, d->bid, job, Hours{deadline_h});
+    table.row({bench::fmt("%.2f h", deadline_h), bench::usd(d->bid.usd()),
+               bench::fmt("%.3f", miss), bench::usd(d->expected_cost.usd()),
+               bench::percent(d->expected_cost.usd() / base.expected_cost.usd() - 1.0)});
+  }
+  table.print();
+  std::cout << "Takeaway: tight deadlines force high-percentile bids (cost premium);\n"
+               "past ~3x the execution time the Prop.-5 optimum already meets eps.\n";
+}
+
+void sticky_comparison() {
+  bench::banner("Extension 3: correlation-aware predictions on a sticky market (40 runs)");
+  const auto& type = ec2::require_type("r3.xlarge");
+  const auto model = bidding::SpotPriceModel::from_type(type);
+  const bidding::JobSpec job{Hours{8.0}, Hours::from_seconds(30.0)};
+  const double rho = type.market.persistence;
+
+  // Measure a sticky market under the sticky-optimal bid.
+  const auto decision = bidding::sticky_persistent_bid(model, job, rho);
+  numeric::RunningStats interruptions;
+  numeric::RunningStats completions;
+  for (int rep = 0; rep < 40; ++rep) {
+    market::SpotMarket market{std::make_unique<market::ModelPriceSource>(
+        model.distribution_ptr(), model.slot_length(), numeric::derive_seed(4242, rep), rho)};
+    const auto run = client::run_persistent(market, decision.bid, job);
+    interruptions.add(run.interruptions);
+    completions.add(run.completion_time.hours());
+  }
+
+  const auto iid = bidding::sticky_persistent_metrics(model, decision.bid, job, 0.0);
+  const auto corrected = bidding::sticky_persistent_metrics(model, decision.bid, job, rho);
+
+  bench::Table table{{"quantity", "i.i.d. prediction", "sticky prediction", "measured"}};
+  table.row({"interruptions", bench::fmt("%.2f", iid.expected_interruptions),
+             bench::fmt("%.2f", corrected.expected_interruptions),
+             bench::fmt("%.2f", interruptions.mean())});
+  table.row({"completion", bench::hours(iid.expected_completion.hours()),
+             bench::hours(corrected.expected_completion.hours()),
+             bench::hours(completions.mean())});
+  table.print();
+  std::cout << "Takeaway: the i.i.d. eq.-12 count overestimates interruptions by\n"
+               "~1/(1-rho); the corrected formulas track the sticky market.\n";
+}
+
+void collective_iteration() {
+  bench::banner("Extension 4: collective best-response iteration (m3.xlarge, 60 users)");
+  collective::PopulationConfig config;
+  config.users = 60;
+  config.slots_per_round = 2000;
+  config.rounds = 8;
+  const auto rounds = collective::iterate_best_response(ec2::require_type("m3.xlarge"), config);
+  const double single = provider::calibrated_price_distribution(
+                            ec2::require_type("m3.xlarge"))->mean();
+
+  bench::Table table{{"round", "mean bid", "mean price", "p90 price", "max bid movement"}};
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    table.row({std::to_string(i), bench::usd(rounds[i].mean_bid_usd),
+               bench::usd(rounds[i].mean_price_usd), bench::usd(rounds[i].p90_price_usd),
+               bench::usd(rounds[i].max_bid_movement_usd)});
+  }
+  table.print();
+  std::cout << "single-user calibrated mean price: " << bench::usd(single)
+            << "\nTakeaway: when the whole population optimizes, the provider re-prices\n"
+               "off the bid pile — the single-user 'my bid does not move the market'\n"
+               "assumption (Section 5) measurably fails, as Section 8 conjectures.\n";
+}
+
+void workflow_pipeline() {
+  bench::banner("Extension 5: dependent-task pipeline (extract -> transform -> load)");
+  const auto& type = ec2::require_type("c3.4xlarge");
+  const auto model = bidding::SpotPriceModel::from_type(type);
+
+  workflow::Workflow w;
+  w.tasks.push_back({"extract", Hours{0.5}, Hours::from_seconds(30.0), {}, Money{}});
+  w.tasks.push_back({"transform-a", Hours{1.0}, Hours::from_seconds(30.0), {0}, Money{}});
+  w.tasks.push_back({"transform-b", Hours{1.0}, Hours::from_seconds(30.0), {0}, Money{}});
+  w.tasks.push_back({"load", Hours{0.25}, Hours::from_seconds(60.0), {1, 2}, Money{}});
+  workflow::plan_bids(model, w);
+
+  market::SpotMarket market{std::make_unique<market::ModelPriceSource>(
+      model.distribution_ptr(), model.slot_length(), 31337, type.market.persistence)};
+  const auto outcome = workflow::run_workflow(market, w);
+
+  bench::Table table{{"task", "bid", "ready slot", "finish slot", "cost", "interruptions"}};
+  for (std::size_t i = 0; i < w.tasks.size(); ++i) {
+    const auto& t = outcome.tasks[i];
+    table.row({w.tasks[i].name, bench::usd(w.tasks[i].bid.usd()),
+               std::to_string(t.ready_slot), std::to_string(t.finish_slot),
+               bench::usd(t.cost.usd()), std::to_string(t.interruptions)});
+  }
+  table.print();
+  const double on_demand = type.on_demand.usd() * 2.75;
+  std::cout << "makespan " << bench::hours(outcome.makespan.hours()) << ", total cost "
+            << bench::usd(outcome.total_cost.usd()) << " (on-demand for the same work: "
+            << bench::usd(on_demand) << ")\n"
+            << "Takeaway: no bid exists while a task waits on dependencies, exactly the\n"
+               "Section-8 policy; savings match the single-instance regime.\n";
+}
+
+void benchmark_deadline_bid(benchmark::State& state) {
+  const auto model = bidding::SpotPriceModel::from_type(ec2::require_type("r3.xlarge"));
+  const bidding::JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+  for (auto _ : state) {
+    auto d = bidding::deadline_constrained_bid(model, job, Hours{2.0}, 0.05);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(benchmark_deadline_bid)->Unit(benchmark::kMillisecond);
+
+void benchmark_collective_round(benchmark::State& state) {
+  collective::PopulationConfig config;
+  config.users = 20;
+  config.slots_per_round = 300;
+  config.rounds = 1;
+  for (auto _ : state) {
+    auto rounds = collective::iterate_best_response(ec2::require_type("m3.xlarge"), config);
+    benchmark::DoNotOptimize(rounds);
+  }
+}
+BENCHMARK(benchmark_collective_round)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  risk_frontier();
+  deadline_frontier();
+  sticky_comparison();
+  collective_iteration();
+  workflow_pipeline();
+  return spotbid::bench::run_benchmarks(argc, argv);
+}

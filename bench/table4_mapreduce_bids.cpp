@@ -1,0 +1,67 @@
+// Reproduction of Table 4: MapReduce bidding plans for the five client
+// settings — the one-time master bid p_m, the persistent slave bid p_v,
+// the chosen node count M (the paper observes the eq.-20 minimum "can be
+// as low as 3 or 4"), and the master/slave cost breakdown (the paper finds
+// the master costs 10-25% of the slaves).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "spotbid/client/experiment.hpp"
+
+namespace {
+
+using namespace spotbid;
+
+void reproduce_table4() {
+  bench::banner("Table 4: MapReduce plans (word count, t_s = 4 h, t_r = 30 s, t_o = 60 s)");
+
+  bidding::ParallelJobSpec job;
+  job.execution_time = Hours{4.0};
+  job.recovery_time = Hours::from_seconds(30.0);
+  job.overhead_time = Hours::from_seconds(60.0);
+
+  client::ExperimentConfig config;
+  config.repetitions = 10;
+  config.seed = 44;
+
+  bench::Table table{{"setting", "master type", "slave type", "p_m", "p_v", "M",
+                      "master cost", "slave cost", "master/slave"}};
+  for (const auto& setting : ec2::mapreduce_settings()) {
+    const auto outcome = client::run_mapreduce_experiment(setting, job, config);
+    const auto& plan = outcome.plan;
+    table.row({setting.label, setting.master.name, setting.slave.name,
+               bench::fmt("%.4f", plan.master.bid.usd()),
+               bench::fmt("%.4f", plan.slaves.bid.usd()), std::to_string(plan.nodes),
+               bench::usd(outcome.avg_master_cost_usd), bench::usd(outcome.avg_slave_cost_usd),
+               bench::fmt("%.0f%%",
+                          100.0 * outcome.avg_master_cost_usd /
+                              std::max(outcome.avg_slave_cost_usd, 1e-12))});
+  }
+  table.print();
+  std::cout << "\nPaper: master cost is 10-25% of the slave cost; the minimum node count\n"
+               "satisfying eq. 20 is as low as 3 or 4; master bids exceed slave bids\n"
+               "(no interruptions allowed on the master).\n";
+}
+
+void benchmark_mapreduce_plan(benchmark::State& state) {
+  const auto settings = ec2::mapreduce_settings();
+  bidding::ParallelJobSpec job;
+  job.execution_time = Hours{1.0};
+  job.recovery_time = Hours::from_seconds(30.0);
+  job.overhead_time = Hours::from_seconds(60.0);
+  const auto master = bidding::SpotPriceModel::from_type(settings[0].master);
+  const auto slave = bidding::SpotPriceModel::from_type(settings[0].slave);
+  for (auto _ : state) {
+    auto plan = bidding::mapreduce_bid(master, slave, job);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(benchmark_mapreduce_plan)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_table4();
+  return spotbid::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,55 @@
+// Quickstart: compute optimal spot bids for a one-hour job on r3.xlarge and
+// run it on the simulated market.
+//
+// Mirrors the paper's Section-7.1 flow:
+//   1. obtain two months of price history (synthetic here — see DESIGN.md),
+//   2. build the empirical spot-price model the client bids from,
+//   3. compute the Proposition-4 (one-time) and Proposition-5 (persistent)
+//      optimal bids,
+//   4. execute the job against fresh market prices and compare the bill
+//      with on-demand.
+
+#include <cstdio>
+
+#include "spotbid/spotbid.hpp"
+
+int main() {
+  using namespace spotbid;
+
+  const auto& type = ec2::require_type("r3.xlarge");
+  std::printf("spotbid %s quickstart — %s (on-demand $%.3f/h)\n\n", version_string(),
+              type.name.c_str(), type.on_demand.usd());
+
+  // 1. Price history: the synthetic stand-in for Amazon's two-month feed.
+  const auto history = trace::generate_for_type(type);
+  const auto summary = trace::summarize(history);
+  std::printf("history: %zu slots, spot price min $%.4f  median $%.4f  p90 $%.4f  max $%.4f\n",
+              history.size(), summary.min, summary.p50, summary.p90, summary.max);
+
+  // 2. The client's price model (empirical CDF over the history).
+  const auto model = bidding::SpotPriceModel::from_trace(history, type.on_demand);
+
+  // 3. Optimal bids for a 1-hour job with a 30-second recovery time.
+  const bidding::JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+  const auto one_time = bidding::one_time_bid(model, job);
+  const auto persistent = bidding::persistent_bid(model, job);
+  std::printf("\none-time bid   (Prop. 4): $%.4f  (acceptance %.1f%%, expected cost $%.4f)\n",
+              one_time.bid.usd(), 100.0 * one_time.acceptance, one_time.expected_cost.usd());
+  std::printf("persistent bid (Prop. 5): $%.4f  (acceptance %.1f%%, expected cost $%.4f, "
+              "expected completion %.2f h)\n",
+              persistent.bid.usd(), 100.0 * persistent.acceptance,
+              persistent.expected_cost.usd(), persistent.expected_completion.hours());
+
+  // 4. Run the persistent job on fresh simulated prices.
+  auto prices = provider::calibrated_price_distribution(type);
+  market::SpotMarket market{std::make_unique<market::ModelPriceSource>(
+      prices, trace::kDefaultSlotLength, /*seed=*/2026)};
+  const auto run = client::run_persistent(market, persistent.bid, job);
+
+  const Money on_demand_cost = type.on_demand * job.execution_time;
+  std::printf("\nmeasured run: cost $%.4f, completion %.2f h, %d interruption(s)\n",
+              run.cost.usd(), run.completion_time.hours(), run.interruptions);
+  std::printf("on-demand baseline: $%.4f  ->  savings %.1f%%\n", on_demand_cost.usd(),
+              100.0 * (1.0 - run.cost.usd() / on_demand_cost.usd()));
+  return 0;
+}

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file cost.hpp
+/// Analytic cost and running-time formulas of Sections 5-6.
+///
+/// All functions take the user's view of the price process (SpotPriceModel)
+/// and evaluate the paper's closed forms at a candidate bid price p:
+///
+///   eq. 8   expected uninterrupted run length   t_k / (1 - F(p))
+///   eq. 9   expected per-hour payment           E[pi | pi <= p] = A(p)/F(p)
+///   eq. 10  one-time expected cost              t_s * A(p)/F(p)
+///   eq. 13  persistent busy time   T F(p) = (t_s - t_r) / (1 - r (1-F(p)))
+///   eq. 14  feasibility                          t_r < t_k / (1 - F(p))
+///   eq. 15  persistent expected cost             (eq. 13) * (eq. 9)
+///   eq. 17  parallel total busy time (M nodes)
+///   eq. 18  parallel per-node completion
+///   eq. 19  parallel expected cost
+///
+/// with r = t_r / t_k. Infeasible bids yield +infinity costs rather than
+/// exceptions so that optimizers can scan freely.
+
+#include <limits>
+
+#include "spotbid/bidding/job.hpp"
+#include "spotbid/bidding/price_model.hpp"
+
+namespace spotbid::bidding {
+
+/// eq. 8: expected time a request keeps running before its first
+/// interruption. Returns +infinity when F(p) = 1.
+[[nodiscard]] Hours expected_uninterrupted_run(const SpotPriceModel& model, Money p);
+
+/// eq. 10 objective: expected cost of a one-time request that must survive
+/// t_s. +infinity when F(p) = 0.
+[[nodiscard]] Money one_time_expected_cost(const SpotPriceModel& model, Money p,
+                                           Hours execution_time);
+
+/// Probability a one-time request at bid p survives all ceil(t_s / t_k)
+/// slots without interruption: F(p)^{t_s/t_k} (diagnostic).
+[[nodiscard]] double one_time_survival_probability(const SpotPriceModel& model, Money p,
+                                                   Hours execution_time);
+
+/// eq. 14: whether a persistent job with recovery time t_r can finish at
+/// bid p (the expected run between interruptions must exceed t_r).
+[[nodiscard]] bool persistent_feasible(const SpotPriceModel& model, Money p, Hours recovery_time);
+
+/// eq. 13: expected busy time T F(p) of a persistent job (execution +
+/// recovery, excluding idle). +infinity when infeasible per eq. 14.
+[[nodiscard]] Hours persistent_busy_time(const SpotPriceModel& model, Money p,
+                                         const JobSpec& job);
+
+/// Expected completion time T = busy / F(p): busy plus idle slots while
+/// outbid. +infinity when infeasible or F(p) = 0.
+[[nodiscard]] Hours persistent_completion_time(const SpotPriceModel& model, Money p,
+                                               const JobSpec& job);
+
+/// Expected number of interruptions over the job's life (from eq. 12's
+/// transition count): T F(p)(1 - F(p)) / t_k - 1, clamped at 0.
+[[nodiscard]] double persistent_expected_interruptions(const SpotPriceModel& model, Money p,
+                                                       const JobSpec& job);
+
+/// eq. 15 objective: expected cost of a persistent job at bid p.
+[[nodiscard]] Money persistent_expected_cost(const SpotPriceModel& model, Money p,
+                                             const JobSpec& job);
+
+/// eq. 17: total busy time summed over the M nodes of a parallel job.
+[[nodiscard]] Hours parallel_total_busy_time(const SpotPriceModel& model, Money p,
+                                             const ParallelJobSpec& job);
+
+/// eq. 18 divided by F(p): expected per-node completion time including idle
+/// slots (all M sub-jobs are symmetric, so this is the job's completion
+/// time).
+[[nodiscard]] Hours parallel_completion_time(const SpotPriceModel& model, Money p,
+                                             const ParallelJobSpec& job);
+
+/// eq. 19 objective: expected cost of the M-node parallel job at bid p.
+[[nodiscard]] Money parallel_expected_cost(const SpotPriceModel& model, Money p,
+                                           const ParallelJobSpec& job);
+
+/// Proposition 5's psi:
+///   psi(p) = F(p) * ( A(p) / (p F(p) - A(p)) - 1 ),
+/// whose root psi(p) = t_k/t_r - 1 is the optimal persistent bid. Defined
+/// for F(p) > 0 and p F(p) > A(p) (true for non-degenerate laws).
+[[nodiscard]] double psi(const SpotPriceModel& model, Money p);
+
+/// Infinity helper used by the cost formulas.
+inline constexpr double kInfiniteCost = std::numeric_limits<double>::infinity();
+
+}  // namespace spotbid::bidding

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file job.hpp
+/// Job descriptions used by the bidding strategies (Table 1's symbols).
+
+#include "spotbid/core/types.hpp"
+
+namespace spotbid::bidding {
+
+/// A single-instance job.
+struct JobSpec {
+  /// t_s: execution time without interruptions.
+  Hours execution_time{1.0};
+  /// t_r: recovery time paid after each interruption (persistent requests
+  /// re-load their checkpoint; Section 5's "writing and transferring this
+  /// data introduces a delay of t_r seconds per interruption").
+  Hours recovery_time = Hours::from_seconds(30.0);
+};
+
+/// A parallelizable job split into M equal sub-jobs (Section 6.1).
+struct ParallelJobSpec {
+  Hours execution_time{1.0};                    ///< t_s of the whole job
+  Hours recovery_time = Hours::from_seconds(30.0);
+  Hours overhead_time = Hours::from_seconds(60.0);  ///< t_o split overhead
+  int nodes = 1;                                ///< M sub-jobs / instances
+};
+
+}  // namespace spotbid::bidding

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file price_model.hpp
+/// The user's view of the spot-price distribution.
+///
+/// Everything Sections 5-6 need from the price process is packaged here:
+/// the CDF F_pi (acceptance probability of a bid), its quantile (the
+/// F^{-1} of Proposition 4), the conditional expected payment
+/// E[pi | pi <= p] (eq. 9), and the partial expectation
+/// A(p) = integral x f(x) dx feeding psi (Proposition 5). The model can be
+/// built from any Distribution — the Proposition-3 analytic law or an
+/// Empirical distribution over trace history (what the Figure-1 price
+/// monitor maintains).
+
+#include <memory>
+
+#include "spotbid/dist/distribution.hpp"
+#include "spotbid/ec2/instance_types.hpp"
+#include "spotbid/trace/price_trace.hpp"
+
+namespace spotbid::bidding {
+
+class SpotPriceModel {
+ public:
+  /// \param prices      distribution of per-slot spot prices
+  /// \param on_demand   pi_bar of the same instance type (cost ceiling)
+  /// \param slot_length t_k
+  SpotPriceModel(dist::DistributionPtr prices, Money on_demand, Hours slot_length);
+
+  /// Build from recorded history: empirical distribution over the trace's
+  /// prices, the trace's slot length.
+  [[nodiscard]] static SpotPriceModel from_trace(const trace::PriceTrace& trace, Money on_demand);
+
+  /// Build from an instance type's calibrated provider model (analytic law).
+  [[nodiscard]] static SpotPriceModel from_type(const ec2::InstanceType& type,
+                                                Hours slot_length = trace::kDefaultSlotLength);
+
+  /// F_pi(p): probability a bid at p is accepted in a slot.
+  [[nodiscard]] double acceptance(Money p) const;
+
+  /// Density f_pi(p).
+  [[nodiscard]] double density(Money p) const;
+
+  /// F^{-1}(q).
+  [[nodiscard]] Money quantile(double q) const;
+
+  /// E[pi | pi <= p] (eq. 9): the expected per-hour payment while running
+  /// with bid p. Throws ModelError when F(p) = 0 (the bid can never win).
+  [[nodiscard]] Money expected_payment(Money p) const;
+
+  /// A(p) = integral_{lo}^{p} x f(x) dx.
+  [[nodiscard]] double partial_expectation(Money p) const;
+
+  [[nodiscard]] Money support_lo() const;
+  [[nodiscard]] Money support_hi() const;
+  [[nodiscard]] Money on_demand() const { return on_demand_; }
+  [[nodiscard]] Hours slot_length() const { return slot_length_; }
+  [[nodiscard]] const dist::Distribution& distribution() const { return *prices_; }
+  [[nodiscard]] dist::DistributionPtr distribution_ptr() const { return prices_; }
+
+ private:
+  dist::DistributionPtr prices_;
+  Money on_demand_;
+  Hours slot_length_;
+};
+
+}  // namespace spotbid::bidding

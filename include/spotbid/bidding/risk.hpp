@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file risk.hpp
+/// Risk-averse bidding (the paper's Section-8 "Risk-averseness" extension).
+///
+/// The base strategies minimize EXPECTED cost. Two risk-aware variants the
+/// paper sketches are implemented here:
+///
+///  - variance-constrained bids: "choose the bid price so as to minimize
+///    the expected cost subject to an upper bound on the cost variance".
+///    The cost of a persistent job is approximately the sum of
+///    (busy-slot count) i.i.d. conditional prices, so
+///    Var[cost] ~ n_busy * Var[pi | pi <= p] * t_k^2, which shrinks as the
+///    bid grows (the conditional distribution concentrates? no — it
+///    widens; but the busy-slot count shrinks and the running time
+///    dominates). We evaluate it exactly from the conditional second
+///    moment, computed through the quantile representation so price-law
+///    atoms are handled for every distribution.
+///
+///  - deadline-constrained bids: "constrain the user's bid price so that
+///    the probability of exceeding this deadline is lower than a given
+///    small threshold". Under the i.i.d. slot model, a persistent job
+///    meets a deadline of D slots iff a Binomial(D, F(p)) reaches the
+///    needed busy-slot count; the minimal bid makes that tail probability
+///    at most epsilon.
+
+#include <optional>
+
+#include "spotbid/bidding/strategies.hpp"
+
+namespace spotbid::bidding {
+
+/// Conditional per-slot payment variance Var[pi | pi <= p] (USD^2 per
+/// hour^2). Throws ModelError when F(p) = 0.
+[[nodiscard]] double conditional_payment_variance(const SpotPriceModel& model, Money p);
+
+/// Variance of the total cost of a persistent job at bid p under the
+/// i.i.d.-slot model (USD^2): busy-slot count times per-slot variance.
+/// +infinity when the bid is infeasible (eq. 14).
+[[nodiscard]] double persistent_cost_variance(const SpotPriceModel& model, Money p,
+                                              const JobSpec& job);
+
+/// Minimize expected cost subject to Var[cost] <= max_variance. Returns
+/// the unconstrained Proposition-5 bid when it already satisfies the
+/// bound; otherwise the cheapest bid on the feasible set. use_on_demand is
+/// set when no admissible bid meets the bound more cheaply than on-demand.
+[[nodiscard]] BidDecision variance_constrained_bid(const SpotPriceModel& model,
+                                                   const JobSpec& job, double max_variance_usd2);
+
+/// P(job misses the deadline): probability that fewer than the needed
+/// busy slots occur among the deadline's slots, i.e. the lower tail of
+/// Binomial(deadline_slots, F(p)). Exact log-space summation.
+[[nodiscard]] double deadline_miss_probability(const SpotPriceModel& model, Money p,
+                                               const JobSpec& job, Hours deadline);
+
+/// Cost-minimal bid whose deadline-miss probability is at most epsilon:
+/// the unconstrained Proposition-5 optimum when it already meets the
+/// deadline, otherwise the smallest admissible bid (the cost is U-shaped,
+/// so the admissible interval's left edge is optimal when the optimum is
+/// excluded). Returns nullopt when even the highest bid misses too often
+/// (deadline too tight for t_s).
+[[nodiscard]] std::optional<BidDecision> deadline_constrained_bid(const SpotPriceModel& model,
+                                                                  const JobSpec& job,
+                                                                  Hours deadline,
+                                                                  double epsilon);
+
+}  // namespace spotbid::bidding

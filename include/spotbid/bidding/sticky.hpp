@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file sticky.hpp
+/// Correlation-aware bidding (the paper's Section-8 "Temporal correlations"
+/// extension).
+///
+/// Real spot prices carry over between slots (the short-lag autocorrelation
+/// of [1]); the library's market models this as a redraw chain: each slot
+/// keeps the previous price with probability rho and redraws from the
+/// marginal otherwise. The stationary law is unchanged, but the indicator
+/// I_t = 1(pi_t <= p) becomes a two-state Markov chain with
+///
+///     P(I_{t+1} = 1 | I_t = 1) = rho + (1 - rho) F(p),
+///     P(I_{t+1} = 1 | I_t = 0) = (1 - rho) F(p),
+///
+/// so every interruption-counting formula of Section 5 generalizes by the
+/// substitution (1 - F) -> (1 - rho)(1 - F):
+///
+///     expected uninterrupted run  t_k / ((1 - rho)(1 - F(p)))       (eq. 8')
+///     busy time  (t_s - t_r) / (1 - r (1 - rho)(1 - F(p)))          (eq. 13')
+///     optimal bid  psi^{-1}( t_k / ((1 - rho) t_r) - 1 )            (eq. 16')
+///
+/// The corrected optimum bids LOWER than the i.i.d. Proposition-5 bid:
+/// sticky prices interrupt less often, so less insurance is needed. The
+/// paper predicts exactly this: "this correlation would likely reduce the
+/// degree to which the spot price changes in consecutive time slots...
+/// leading to lower job running times and costs."
+
+#include "spotbid/bidding/strategies.hpp"
+#include "spotbid/trace/price_trace.hpp"
+
+namespace spotbid::bidding {
+
+/// Corrected analytic predictions at a bid under carry-over rho.
+struct StickyMetrics {
+  bool feasible = false;        ///< eq. 14': t_r < t_k / ((1-rho)(1-F))
+  Hours busy_time{};            ///< eq. 13'
+  Hours expected_completion{};  ///< busy / F (stationary occupancy)
+  double expected_interruptions = 0.0;
+  Money expected_cost{};        ///< busy * E[pi | pi <= p]
+};
+
+/// Estimate rho from a recorded trace: the fraction of carried-over slots,
+/// corrected for accidental redraw collisions (repeated floor prices).
+/// Returns a value in [0, 1). Requires at least two slots.
+[[nodiscard]] double estimate_persistence(const trace::PriceTrace& trace);
+
+/// Evaluate the corrected formulas at bid p.
+[[nodiscard]] StickyMetrics sticky_persistent_metrics(const SpotPriceModel& model, Money p,
+                                                      const JobSpec& job, double rho);
+
+/// Correlation-aware optimal persistent bid (eq. 16' + numeric fallback).
+/// rho = 0 reduces exactly to Proposition 5.
+[[nodiscard]] BidDecision sticky_persistent_bid(const SpotPriceModel& model, const JobSpec& job,
+                                                double rho);
+
+}  // namespace spotbid::bidding

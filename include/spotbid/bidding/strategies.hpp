@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file strategies.hpp
+/// Optimal bidding strategies (Sections 5-6) and the paper's comparison
+/// heuristics.
+///
+/// - one_time_bid: Proposition 4, p* = max(pi_min, F^{-1}(1 - t_k/t_s)).
+/// - persistent_bid: Proposition 5, p* = psi^{-1}(t_k/t_r - 1), with a
+///   numeric fallback (direct minimization of eq. 15) for price laws whose
+///   psi is not smoothly invertible (e.g. coarse empirical CDFs). The two
+///   agree on smooth laws; the library keeps whichever evaluates cheaper.
+/// - parallel_bid: Section 6.1 — the eq.-19 stationarity point coincides
+///   with Proposition 5's, so the slave bid reuses psi^{-1}; M enters the
+///   completion time and feasibility only.
+/// - mapreduce_bid: Section 6.2 — a one-time master bid sized to outlive
+///   the slaves plus persistent slave bids, choosing the smallest node
+///   count M that satisfies eq. 20's first constraint ("as low as 3 or 4").
+/// - percentile_bid / retrospective_best_bid: Section 7's baselines.
+///
+/// Degenerate-input policy: a recovery time of zero drives eq. 15's optimum
+/// to the support infimum where the acceptance probability vanishes; bids
+/// are therefore floored at the kMinAcceptance quantile.
+
+#include <optional>
+#include <string>
+
+#include "spotbid/bidding/cost.hpp"
+#include "spotbid/bidding/job.hpp"
+#include "spotbid/bidding/price_model.hpp"
+#include "spotbid/trace/price_trace.hpp"
+
+namespace spotbid::bidding {
+
+/// Smallest per-slot acceptance probability a recommended bid may have.
+inline constexpr double kMinAcceptance = 0.01;
+
+/// A bid recommendation with its analytic predictions.
+struct BidDecision {
+  Money bid{};                          ///< recommended bid price
+  Money expected_cost{};                ///< analytic expected job cost
+  Hours expected_completion{};          ///< analytic expected completion time
+  double acceptance = 0.0;              ///< F(bid)
+  double expected_interruptions = 0.0;  ///< persistent requests only
+  bool use_on_demand = false;  ///< true when spot cannot beat on-demand
+  std::string rationale;       ///< one-line explanation for reports
+};
+
+/// Proposition 4: optimal one-time bid for a job needing
+/// `job.execution_time` uninterrupted.
+[[nodiscard]] BidDecision one_time_bid(const SpotPriceModel& model, const JobSpec& job);
+
+/// Proposition 5's psi^{-1}: the bid solving psi(p) = target. Returns
+/// nullopt when no root lies inside the support (degenerate laws).
+[[nodiscard]] std::optional<Money> psi_inverse(const SpotPriceModel& model, double target);
+
+/// Proposition 5: optimal persistent bid (closed form + numeric fallback).
+[[nodiscard]] BidDecision persistent_bid(const SpotPriceModel& model, const JobSpec& job);
+
+/// Pure numeric variant: minimizes eq. 15 directly (used to cross-check the
+/// closed form in tests and for rough empirical CDFs).
+[[nodiscard]] BidDecision persistent_bid_numeric(const SpotPriceModel& model, const JobSpec& job);
+
+/// Section 6.1: optimal common bid for job.nodes persistent slave requests.
+[[nodiscard]] BidDecision parallel_bid(const SpotPriceModel& model, const ParallelJobSpec& job);
+
+/// Section 7's "simply bidding the 90th percentile spot price" baseline
+/// (any percentile). Evaluated under persistent semantics.
+[[nodiscard]] BidDecision percentile_bid(const SpotPriceModel& model, const JobSpec& job,
+                                         double percentile);
+
+/// Section 7's "best offline price in retrospect": the minimal price that
+/// would have consistently exceeded the spot prices for `job_length` within
+/// the trailing `lookback` window of the trace. Returns nullopt when the
+/// window holds no full job-length run.
+[[nodiscard]] std::optional<Money> retrospective_best_bid(const trace::PriceTrace& trace,
+                                                          Hours lookback, Hours job_length);
+
+/// Section 6.2: full MapReduce plan.
+struct MapReducePlan {
+  BidDecision master;          ///< one-time request
+  BidDecision slaves;          ///< persistent requests (per-node bid)
+  int nodes = 1;               ///< chosen M
+  Hours expected_completion{}; ///< slaves' completion (master outlives it)
+  Money expected_total_cost{}; ///< master + all slaves
+  Money on_demand_cost{};      ///< same job fully on-demand (baseline)
+  Hours on_demand_completion{};
+};
+
+/// Options for mapreduce_bid.
+struct MapReduceOptions {
+  int max_nodes = 32;  ///< upper bound on M during the eq.-20 search
+};
+
+[[nodiscard]] MapReducePlan mapreduce_bid(const SpotPriceModel& master_model,
+                                          const SpotPriceModel& slave_model,
+                                          const ParallelJobSpec& job,
+                                          const MapReduceOptions& options = {});
+
+}  // namespace spotbid::bidding

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file experiment.hpp
+/// The Section-7 experiment harness.
+///
+/// Reproduces the paper's measurement protocol in simulation: compute the
+/// bid from two months of (synthetic) price history exactly as the real
+/// client would (empirical distribution), then run the job against fresh,
+/// unseen market prices drawn from the same calibrated provider model, ten
+/// repetitions with independent seeds, reporting averages ("we repeat each
+/// experiment ten times for each instance type; all performance graphs are
+/// shown as averages").
+
+#include <cstdint>
+
+#include "spotbid/bidding/strategies.hpp"
+#include "spotbid/client/job_runner.hpp"
+#include "spotbid/ec2/instance_types.hpp"
+#include "spotbid/mapreduce/cluster.hpp"
+#include "spotbid/trace/generator.hpp"
+
+namespace spotbid::client {
+
+/// Bidding strategies compared in Section 7.1.
+enum class StrategyKind : std::uint8_t {
+  kOneTime,       ///< Proposition 4
+  kPersistent,    ///< Proposition 5
+  kPercentile90,  ///< "simply bidding the 90th percentile spot price"
+  kOnDemand,      ///< baseline
+};
+
+/// Experiment parameters.
+struct ExperimentConfig {
+  int repetitions = 10;
+  std::uint64_t seed = 42;       ///< master seed; reps derive sub-seeds
+  int history_slots = trace::kTwoMonthsSlots;  ///< price history fed to the client
+};
+
+/// Averages over the repetitions of one (type, job, strategy) cell.
+struct AveragedOutcome {
+  Money bid{};                       ///< bid used (0 for on-demand)
+  double acceptance = 0.0;           ///< F(bid) under the client's model
+  double avg_cost_usd = 0.0;
+  double avg_completion_h = 0.0;
+  double avg_hourly_price_usd = 0.0;  ///< realized spot cost / billed hours
+  double avg_interruptions = 0.0;
+  double expected_cost_usd = 0.0;     ///< analytic prediction (model)
+  double expected_completion_h = 0.0;
+  /// Analytic per-hour payment E[pi | pi <= bid] (eq. 9) — Figure 6a's
+  /// "price charged per hour" in expectation.
+  double expected_hourly_price_usd = 0.0;
+  int spot_failures = 0;  ///< runs that needed the on-demand fallback
+  int repetitions = 0;
+};
+
+/// Run the Section-7.1 protocol for one instance type and strategy.
+[[nodiscard]] AveragedOutcome run_single_instance_experiment(const ec2::InstanceType& type,
+                                                             const bidding::JobSpec& job,
+                                                             StrategyKind strategy,
+                                                             const ExperimentConfig& config = {});
+
+/// Averages for one Table-4 / Figure-7 client setting.
+struct MapReduceOutcome {
+  bidding::MapReducePlan plan;  ///< bids, node count, analytic predictions
+  double avg_cost_usd = 0.0;
+  double avg_completion_h = 0.0;
+  double avg_master_cost_usd = 0.0;
+  double avg_slave_cost_usd = 0.0;
+  double avg_interruptions = 0.0;
+  double avg_master_restarts = 0.0;
+  int repetitions = 0;
+};
+
+/// Run the Section-7.2 protocol for one MapReduce client setting.
+[[nodiscard]] MapReduceOutcome run_mapreduce_experiment(const ec2::MapReduceSetting& setting,
+                                                        const bidding::ParallelJobSpec& job,
+                                                        const ExperimentConfig& config = {});
+
+/// Build the client-side price model for a type the way the experiments do:
+/// empirical distribution over a generated two-month history.
+[[nodiscard]] bidding::SpotPriceModel history_model(const ec2::InstanceType& type,
+                                                    const ExperimentConfig& config = {});
+
+}  // namespace spotbid::client

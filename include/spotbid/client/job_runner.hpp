@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file job_runner.hpp
+/// End-to-end single-instance job execution on a spot market (Section 7.1's
+/// measurement loop).
+///
+/// Submits the bid, advances the market slot by slot, tracks progress and
+/// recovery with a WorkTracker, and settles the bill. One-time requests
+/// that are rejected or terminated before completion optionally fall back
+/// to an on-demand instance for the REMAINING work ("users may default to
+/// on-demand instances if the jobs are not completed", Section 3.2).
+
+#include "spotbid/bidding/job.hpp"
+#include "spotbid/market/spot_market.hpp"
+#include "spotbid/market/work_tracker.hpp"
+
+namespace spotbid::client {
+
+/// Options for a job run.
+struct RunOptions {
+  long max_slots = 500'000;      ///< safety cap
+  bool on_demand_fallback = true;  ///< one-time requests only
+};
+
+/// Measured outcome of one job run.
+struct RunResult {
+  bool completed = false;        ///< reached t_s of execution
+  bool finished_on_spot = false; ///< completed without the on-demand fallback
+  Hours completion_time{};       ///< submission to completion
+  Money cost{};                  ///< total bill (spot + any fallback)
+  Money spot_cost{};             ///< the spot-billed part of cost
+  Hours running_time{};          ///< hours billed on the spot instance
+  Hours recovery_time_spent{};   ///< of running_time, spent recovering
+  int interruptions = 0;
+  int launches = 0;
+
+  /// Realized average SPOT price per spot-billed hour (Figure 6a's
+  /// quantity; fallback dollars are excluded — they were billed at the
+  /// on-demand rate for on-demand hours).
+  [[nodiscard]] Money hourly_price() const {
+    return running_time.hours() > 0.0 ? Money{spot_cost.usd() / running_time.hours()}
+                                      : Money{0.0};
+  }
+};
+
+/// Run a one-time request at the given bid until the job completes, the
+/// request dies, or max_slots elapse. `on_demand` prices the fallback.
+[[nodiscard]] RunResult run_one_time(market::SpotMarket& market, Money bid,
+                                     const bidding::JobSpec& job, Money on_demand,
+                                     const RunOptions& options = {});
+
+/// Run a persistent request at the given bid until the job completes.
+[[nodiscard]] RunResult run_persistent(market::SpotMarket& market, Money bid,
+                                       const bidding::JobSpec& job,
+                                       const RunOptions& options = {});
+
+/// Baseline: the same job on an on-demand instance (no interruptions).
+[[nodiscard]] RunResult run_on_demand(const bidding::JobSpec& job, Money on_demand);
+
+}  // namespace spotbid::client

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file price_monitor.hpp
+/// The Figure-1 "price monitor": keeps the client's spot-price distribution
+/// up to date from observed prices.
+///
+/// Amazon exposes only the trailing two months of history, so the monitor
+/// holds a bounded window (default: two months of five-minute slots) and
+/// rebuilds the empirical model on demand.
+
+#include <deque>
+
+#include "spotbid/bidding/price_model.hpp"
+#include "spotbid/trace/generator.hpp"
+
+namespace spotbid::client {
+
+class PriceMonitor {
+ public:
+  /// \param on_demand pi_bar of the monitored instance type
+  /// \param slot_length t_k of the observed market
+  /// \param capacity maximum retained observations (oldest evicted first)
+  PriceMonitor(Money on_demand, Hours slot_length,
+               std::size_t capacity = trace::kTwoMonthsSlots);
+
+  /// Record one observed slot price.
+  void observe(Money price);
+
+  /// Seed the window from a recorded trace (e.g. downloaded history).
+  void observe_trace(const trace::PriceTrace& trace);
+
+  [[nodiscard]] std::size_t observation_count() const { return window_.size(); }
+
+  /// Build the current empirical price model. Requires at least two
+  /// distinct observed prices.
+  [[nodiscard]] bidding::SpotPriceModel model() const;
+
+ private:
+  Money on_demand_;
+  Hours slot_length_;
+  std::size_t capacity_;
+  std::deque<double> window_;
+};
+
+}  // namespace spotbid::client

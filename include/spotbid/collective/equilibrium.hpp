@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file equilibrium.hpp
+/// Collective user behavior (the paper's Section-8 extension): what happens
+/// when MANY users run the optimal bidding strategies at once?
+///
+/// The Section-5 derivations assume a single optimizing user whose bid does
+/// not move the spot price. The paper sketches how to drop that
+/// assumption: "assume that users with a distribution of jobs optimize
+/// their bids and use Section 4's model to derive the effect on the
+/// provider's offered spot price." This module implements that loop:
+///
+///   1. users with a mix of job interruptibilities (recovery times)
+///      best-respond to the current price law with Proposition-5 bids;
+///   2. the provider, who in eq. 1 assumed uniformly-distributed bids, now
+///      faces the EMPIRICAL bid distribution F_b and sets
+///        pi*(t) = argmax  beta log(1 + N) + pi N,
+///        N = L(t) (1 - F_b(pi)),
+///      re-solved numerically each slot over the eq.-4 demand recursion;
+///   3. the realized prices form the next round's price law; repeat.
+///
+/// The fixed point (if the damped iteration settles) is a market
+/// equilibrium of the bidding game restricted to Proposition-5 strategies.
+
+#include <cstdint>
+#include <vector>
+
+#include "spotbid/bidding/strategies.hpp"
+#include "spotbid/ec2/instance_types.hpp"
+#include "spotbid/provider/model.hpp"
+
+namespace spotbid::collective {
+
+/// Provider pricing against an arbitrary bid distribution (generalizes the
+/// uniform-bid closed form of eq. 3; solved numerically).
+class GeneralizedPricer {
+ public:
+  /// Same parameter meanings as ProviderModel.
+  GeneralizedPricer(Money pi_bar, Money pi_min, double beta, double theta);
+
+  [[nodiscard]] Money pi_bar() const { return pi_bar_; }
+  [[nodiscard]] Money pi_min() const { return pi_min_; }
+  [[nodiscard]] double theta() const { return theta_; }
+
+  /// Accepted bids N(pi) = demand * (1 - F_bids(pi)).
+  [[nodiscard]] double accepted_bids(const dist::Distribution& bids, Money pi,
+                                     double demand) const;
+
+  /// eq.-1 objective against the given bid distribution.
+  [[nodiscard]] double objective(const dist::Distribution& bids, Money pi, double demand) const;
+
+  /// Numeric argmax of the objective on [pi_min, pi_bar].
+  [[nodiscard]] Money optimal_price(const dist::Distribution& bids, double demand) const;
+
+ private:
+  Money pi_bar_;
+  Money pi_min_;
+  double beta_;
+  double theta_;
+};
+
+/// Configuration of the best-response iteration.
+struct PopulationConfig {
+  int users = 100;  ///< bidders per round (bids form F_b)
+  /// Job mix: each user draws a recovery time uniformly from this list.
+  std::vector<double> recovery_seconds{10.0, 30.0, 60.0, 120.0};
+  Hours execution_time{1.0};
+  int slots_per_round = 4000;  ///< price-process simulation length
+  int rounds = 10;
+  std::uint64_t seed = 2015;
+};
+
+/// Summary of one best-response round.
+struct RoundSummary {
+  double mean_bid_usd = 0.0;    ///< average of the users' Prop.-5 bids
+  double mean_price_usd = 0.0;  ///< average realized spot price
+  double p90_price_usd = 0.0;
+  double max_bid_movement_usd = 0.0;  ///< max |bid change| vs previous round
+};
+
+/// Run the iteration for an instance type, starting from its calibrated
+/// single-user price law. Returns one summary per round; convergence shows
+/// up as max_bid_movement_usd -> 0.
+[[nodiscard]] std::vector<RoundSummary> iterate_best_response(const ec2::InstanceType& type,
+                                                              const PopulationConfig& config = {});
+
+}  // namespace spotbid::collective

@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file types.hpp
+/// Strong types shared across the spotbid library.
+///
+/// The paper ("How to Bid the Cloud", SIGCOMM 2015) measures every price in
+/// USD per instance-hour and every duration in hours. Using raw doubles for
+/// both invites unit bugs (e.g. passing a recovery time in seconds where the
+/// model expects hours), so prices and durations cross module boundaries as
+/// the strong types below. Both are trivially-copyable value types with the
+/// arithmetic a price/duration actually supports.
+
+#include <compare>
+#include <stdexcept>
+#include <string>
+
+namespace spotbid {
+
+/// A monetary amount or rate in USD. Depending on context this is either an
+/// absolute cost (USD) or an hourly price (USD per instance-hour); function
+/// signatures document which.
+class Money {
+ public:
+  constexpr Money() = default;
+  constexpr explicit Money(double usd) : usd_(usd) {}
+
+  [[nodiscard]] constexpr double usd() const { return usd_; }
+
+  constexpr Money& operator+=(Money other) {
+    usd_ += other.usd_;
+    return *this;
+  }
+  constexpr Money& operator-=(Money other) {
+    usd_ -= other.usd_;
+    return *this;
+  }
+  constexpr Money& operator*=(double k) {
+    usd_ *= k;
+    return *this;
+  }
+
+  friend constexpr Money operator+(Money a, Money b) { return Money{a.usd_ + b.usd_}; }
+  friend constexpr Money operator-(Money a, Money b) { return Money{a.usd_ - b.usd_}; }
+  friend constexpr Money operator*(Money a, double k) { return Money{a.usd_ * k}; }
+  friend constexpr Money operator*(double k, Money a) { return Money{a.usd_ * k}; }
+  friend constexpr Money operator/(Money a, double k) { return Money{a.usd_ / k}; }
+  /// Ratio of two amounts (dimensionless), e.g. spot/on-demand savings.
+  friend constexpr double operator/(Money a, Money b) { return a.usd_ / b.usd_; }
+
+  friend constexpr auto operator<=>(Money, Money) = default;
+
+ private:
+  double usd_ = 0.0;
+};
+
+/// A span of simulated time, stored in hours (the paper's unit).
+class Hours {
+ public:
+  constexpr Hours() = default;
+  constexpr explicit Hours(double hours) : hours_(hours) {}
+
+  /// Convenience constructor for parameters the paper quotes in seconds
+  /// (recovery time t_r = 10 s / 30 s, overhead t_o = 60 s).
+  [[nodiscard]] static constexpr Hours from_seconds(double seconds) {
+    return Hours{seconds / 3600.0};
+  }
+  [[nodiscard]] static constexpr Hours from_minutes(double minutes) {
+    return Hours{minutes / 60.0};
+  }
+
+  [[nodiscard]] constexpr double hours() const { return hours_; }
+  [[nodiscard]] constexpr double seconds() const { return hours_ * 3600.0; }
+  [[nodiscard]] constexpr double minutes() const { return hours_ * 60.0; }
+
+  constexpr Hours& operator+=(Hours other) {
+    hours_ += other.hours_;
+    return *this;
+  }
+  constexpr Hours& operator-=(Hours other) {
+    hours_ -= other.hours_;
+    return *this;
+  }
+
+  friend constexpr Hours operator+(Hours a, Hours b) { return Hours{a.hours_ + b.hours_}; }
+  friend constexpr Hours operator-(Hours a, Hours b) { return Hours{a.hours_ - b.hours_}; }
+  friend constexpr Hours operator*(Hours a, double k) { return Hours{a.hours_ * k}; }
+  friend constexpr Hours operator*(double k, Hours a) { return Hours{a.hours_ * k}; }
+  friend constexpr Hours operator/(Hours a, double k) { return Hours{a.hours_ / k}; }
+  /// Ratio of two durations (dimensionless), e.g. t_r / t_k.
+  friend constexpr double operator/(Hours a, Hours b) { return a.hours_ / b.hours_; }
+
+  friend constexpr auto operator<=>(Hours, Hours) = default;
+
+ private:
+  double hours_ = 0.0;
+};
+
+/// Hourly price x duration = cost.
+constexpr Money operator*(Money rate_per_hour, Hours t) {
+  return Money{rate_per_hour.usd() * t.hours()};
+}
+constexpr Money operator*(Hours t, Money rate_per_hour) { return rate_per_hour * t; }
+
+/// Index of a discrete market time slot (the paper's t = 0, 1, 2, ...).
+/// Amazon updates the spot price roughly every five minutes, so one slot is
+/// t_k = 5 min unless a model is configured otherwise.
+using SlotIndex = long;
+
+/// Error thrown when a caller violates a documented precondition
+/// (e.g. a bid below the price floor, or an infeasible recovery time).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Error thrown when a model is queried in a state where the paper's
+/// assumptions fail (e.g. eq. 14 infeasibility: the job can never finish at
+/// any admissible bid).
+class ModelError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace spotbid

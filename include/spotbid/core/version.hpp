@@ -1,0 +1,15 @@
+#pragma once
+
+/// \file version.hpp
+/// Library version constants.
+
+namespace spotbid {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+
+/// "major.minor.patch" string for banners and reports.
+[[nodiscard]] const char* version_string();
+
+}  // namespace spotbid

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file distribution.hpp
+/// Abstract interface for univariate continuous distributions.
+///
+/// The paper manipulates distributions in three roles:
+///  - the bid-arrival process Lambda(t) (Section 4.2: Pareto / exponential);
+///  - the spot-price distribution F_pi (eq. 7, derived from Lambda through
+///    the equilibrium map h);
+///  - the empirical price distribution estimated from a trace (the real
+///    client of Figure 1 works from price history).
+/// All three expose the same operations to the bidding layer: density, CDF,
+/// quantile (the F^{-1} of Proposition 4), sampling, and the partial
+/// expectation A(p) = integral_{lo}^{p} x f(x) dx used by eq. 9 and psi
+/// (Proposition 5).
+
+#include <memory>
+#include <string>
+
+#include "spotbid/numeric/rng.hpp"
+
+namespace spotbid::dist {
+
+/// Interface for a univariate continuous distribution with (possibly
+/// unbounded) support [support_lo, support_hi].
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Probability density f(x); 0 outside the support.
+  [[nodiscard]] virtual double pdf(double x) const = 0;
+
+  /// Cumulative distribution F(x) = P(X <= x).
+  [[nodiscard]] virtual double cdf(double x) const = 0;
+
+  /// Quantile F^{-1}(q) for q in [0, 1]. Implementations throw
+  /// spotbid::InvalidArgument for q outside [0, 1].
+  [[nodiscard]] virtual double quantile(double q) const = 0;
+
+  /// Draw one variate using the caller's generator.
+  [[nodiscard]] virtual double sample(numeric::Rng& rng) const = 0;
+
+  [[nodiscard]] virtual double mean() const = 0;
+  [[nodiscard]] virtual double variance() const = 0;
+
+  [[nodiscard]] virtual double support_lo() const = 0;
+  /// May be +infinity for heavy-tailed families.
+  [[nodiscard]] virtual double support_hi() const = 0;
+
+  /// Partial expectation A(p) = integral_{support_lo}^{p} x f(x) dx.
+  /// The default implementation integrates numerically; parametric families
+  /// override with closed forms.
+  [[nodiscard]] virtual double partial_expectation(double p) const;
+
+  /// Human-readable family name with parameters, e.g. "Pareto(alpha=5, xm=0.01)".
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+}  // namespace spotbid::dist

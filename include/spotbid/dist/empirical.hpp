@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file empirical.hpp
+/// Empirical distribution built from observed samples.
+///
+/// This is the distribution the Figure-1 client actually works with: the
+/// price monitor feeds two months of spot-price history into an
+/// EmpiricalDistribution, and Propositions 4/5 are evaluated against its
+/// CDF/quantile/partial-expectation. The CDF is the linearly-interpolated
+/// ECDF (so it is continuous and strictly increasing between distinct
+/// sample values, making F^{-1} well defined); the density is the
+/// corresponding piecewise-constant derivative.
+
+#include <span>
+#include <vector>
+
+#include "spotbid/dist/distribution.hpp"
+
+namespace spotbid::dist {
+
+class Empirical final : public Distribution {
+ public:
+  /// Builds from samples (need not be sorted; at least two distinct values).
+  explicit Empirical(std::span<const double> samples);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double q) const override;
+  /// Resamples uniformly between adjacent order statistics (i.e. draws from
+  /// the interpolated ECDF, not just the discrete sample set).
+  [[nodiscard]] double sample(numeric::Rng& rng) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double support_lo() const override;
+  [[nodiscard]] double support_hi() const override;
+  [[nodiscard]] double partial_expectation(double p) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::size_t sample_count() const { return n_; }
+  /// Distinct sorted sample values (ECDF knots).
+  [[nodiscard]] const std::vector<double>& knots() const { return x_; }
+
+ private:
+  std::vector<double> x_;    ///< distinct sorted values
+  std::vector<double> cum_;  ///< cumulative probability at each knot
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double var_ = 0.0;
+};
+
+}  // namespace spotbid::dist

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file exponential.hpp
+/// Exponential and shifted-exponential distributions.
+///
+/// One of the two arrival-process families Section 4.3 fits to the spot
+/// price history: f_Lambda(x) = (1/eta) exp(-x/eta) for x >= 0 (the paper's
+/// eta parameterization — eta is the MEAN, not the rate). A shift is
+/// supported because the equilibrium map h (eq. 6) is only defined for
+/// Lambda > 0 and some fits want mass bounded away from zero.
+
+#include "spotbid/dist/distribution.hpp"
+
+namespace spotbid::dist {
+
+class Exponential final : public Distribution {
+ public:
+  /// \param eta   mean of the distribution (must be > 0)
+  /// \param shift left edge of the support (default 0)
+  explicit Exponential(double eta, double shift = 0.0);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double q) const override;
+  [[nodiscard]] double sample(numeric::Rng& rng) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double support_lo() const override { return shift_; }
+  [[nodiscard]] double support_hi() const override;
+  [[nodiscard]] double partial_expectation(double p) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double eta() const { return eta_; }
+
+ private:
+  double eta_;
+  double shift_;
+};
+
+}  // namespace spotbid::dist

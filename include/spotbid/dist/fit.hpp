@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file fit.hpp
+/// Least-squares distribution fitting against a histogram.
+///
+/// Section 4.3 fits candidate arrival distributions by choosing parameters
+/// "to minimize the least-squares divergence between the estimated and
+/// empirical PDFs" and reports MSE < 1e-6. This module implements exactly
+/// that: a pdf family is a callable (params, x) -> density, and the fitter
+/// minimizes the mean squared error between the family's density and the
+/// histogram's bin densities with Nelder-Mead, respecting box bounds via a
+/// quadratic penalty.
+
+#include <functional>
+#include <vector>
+
+#include "spotbid/numeric/stats.hpp"
+
+namespace spotbid::dist {
+
+/// A parametric density family: evaluates f(x; params).
+using PdfFamily = std::function<double(const std::vector<double>& params, double x)>;
+
+/// Box bounds per parameter; use -inf/+inf entries for unconstrained.
+struct FitBounds {
+  std::vector<double> lo;
+  std::vector<double> hi;
+};
+
+/// Result of a least-squares fit.
+struct FitResult {
+  std::vector<double> params;  ///< best parameters found
+  double mse = 0.0;            ///< mean squared error of densities
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Fit `family` to the (bin-center, density) pairs of `hist`, starting from
+/// x0 and restarting from a few perturbed points to escape poor local
+/// minima. Bounds, when given, must match x0's size.
+[[nodiscard]] FitResult fit_histogram(const PdfFamily& family, const numeric::Histogram& hist,
+                                      std::vector<double> x0, const FitBounds& bounds = {});
+
+/// MSE of a family at fixed parameters against a histogram (the fit
+/// objective, exposed for reporting).
+[[nodiscard]] double histogram_mse(const PdfFamily& family, const std::vector<double>& params,
+                                   const numeric::Histogram& hist);
+
+}  // namespace spotbid::dist

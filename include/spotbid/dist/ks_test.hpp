@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file ks_test.hpp
+/// Kolmogorov-Smirnov tests.
+///
+/// Section 4.3 uses a two-sample K-S test to check that daytime and
+/// nighttime spot prices come from the same distribution ("p-value > 0.01"),
+/// justifying the i.i.d. assumption on Lambda(t). A one-sample variant
+/// against a fitted Distribution is provided for the ablation bench.
+
+#include <span>
+
+#include "spotbid/dist/distribution.hpp"
+
+namespace spotbid::dist {
+
+/// Result of a K-S test.
+struct KsResult {
+  double statistic = 0.0;  ///< sup |F1 - F2|
+  double p_value = 1.0;    ///< asymptotic Kolmogorov p-value
+};
+
+/// Two-sample K-S test. Both samples must be non-empty.
+[[nodiscard]] KsResult ks_two_sample(std::span<const double> a, std::span<const double> b);
+
+/// One-sample K-S test of samples against a reference distribution.
+[[nodiscard]] KsResult ks_one_sample(std::span<const double> samples, const Distribution& ref);
+
+/// Asymptotic Kolmogorov survival function Q(lambda) = 2 sum (-1)^{k-1}
+/// exp(-2 k^2 lambda^2); the p-value for an effective-size-scaled statistic.
+[[nodiscard]] double kolmogorov_q(double lambda);
+
+}  // namespace spotbid::dist

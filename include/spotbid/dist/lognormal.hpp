@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file lognormal.hpp
+/// Log-normal distribution.
+///
+/// Not used by the paper's fits, but included as a third candidate family
+/// for the Figure-3 ablation (`bench/ablation_sensitivity`): cloud workload
+/// studies often find log-normal inter-arrival behaviour, and comparing its
+/// fit against Pareto/exponential shows the fit procedure is family-agnostic.
+
+#include "spotbid/dist/distribution.hpp"
+
+namespace spotbid::dist {
+
+class LogNormal final : public Distribution {
+ public:
+  /// Parameters of the underlying normal: log X ~ N(mu, sigma^2), sigma > 0.
+  LogNormal(double mu, double sigma);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double q) const override;
+  [[nodiscard]] double sample(numeric::Rng& rng) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double support_lo() const override { return 0.0; }
+  [[nodiscard]] double support_hi() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+}  // namespace spotbid::dist

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file pareto.hpp
+/// Pareto (type I) and bounded Pareto distributions.
+///
+/// The other arrival-process family of Section 4.3:
+/// f_Lambda(x) = alpha * x_m^alpha / x^{alpha+1} for x >= x_m, where the
+/// paper derives x_m = Lambda_min = h^{-1}(pi_min-feasible price) from the
+/// monotone equilibrium map. alpha > 1 gives a finite mean and alpha > 2 a
+/// finite variance (the fitted alphas of Figure 3 are 5-9.5, so Proposition
+/// 1's stability conditions hold).
+
+#include "spotbid/dist/distribution.hpp"
+
+namespace spotbid::dist {
+
+class Pareto final : public Distribution {
+ public:
+  /// \param alpha tail index (must be > 0; > 1 for finite mean)
+  /// \param xm    scale = left edge of the support (must be > 0)
+  Pareto(double alpha, double xm);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double q) const override;
+  [[nodiscard]] double sample(numeric::Rng& rng) const override;
+  /// +infinity when alpha <= 1.
+  [[nodiscard]] double mean() const override;
+  /// +infinity when alpha <= 2.
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double support_lo() const override { return xm_; }
+  [[nodiscard]] double support_hi() const override;
+  [[nodiscard]] double partial_expectation(double p) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] double xm() const { return xm_; }
+
+ private:
+  double alpha_;
+  double xm_;
+};
+
+/// Pareto truncated to [xm, hi] and renormalized. Used when the provider
+/// model needs an arrival process with bounded support (e.g. to keep the
+/// equilibrium price strictly below pi_bar / 2 by a margin).
+class BoundedPareto final : public Distribution {
+ public:
+  BoundedPareto(double alpha, double xm, double hi);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double q) const override;
+  [[nodiscard]] double sample(numeric::Rng& rng) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double support_lo() const override { return xm_; }
+  [[nodiscard]] double support_hi() const override { return hi_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double alpha_;
+  double xm_;
+  double hi_;
+  double norm_;  // 1 - (xm/hi)^alpha
+};
+
+}  // namespace spotbid::dist

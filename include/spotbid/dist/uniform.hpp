@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file uniform.hpp
+/// Uniform distribution on [lo, hi].
+///
+/// Section 4.1 assumes users' bid prices are uniform on
+/// [pi_min, pi_bar] — "as is often used to model distributions of user
+/// valuations for computing services" — which makes the accepted-bid count
+/// N(t) = L(t) (pi_bar - pi(t)) / (pi_bar - pi_min) in eq. 1.
+
+#include "spotbid/dist/distribution.hpp"
+
+namespace spotbid::dist {
+
+class Uniform final : public Distribution {
+ public:
+  /// Requires lo < hi.
+  Uniform(double lo, double hi);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double q) const override;
+  [[nodiscard]] double sample(numeric::Rng& rng) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double support_lo() const override { return lo_; }
+  [[nodiscard]] double support_hi() const override { return hi_; }
+  [[nodiscard]] double partial_expectation(double p) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+}  // namespace spotbid::dist

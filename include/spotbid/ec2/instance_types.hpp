@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file instance_types.hpp
+/// EC2 instance catalog (the paper's Table 2) plus per-type market
+/// calibration.
+///
+/// On-demand prices are the 2014 us-east-1 Linux rates that were in force
+/// during the paper's measurement window (Aug-Oct 2014). The market
+/// calibration carries the Section-4 parameters (beta, theta, Pareto alpha)
+/// used by the synthetic trace generator; for the four types shown in
+/// Figure 3 we use the paper's fitted values, and for the remaining types a
+/// documented scaling rule (beta = 1.7 * on-demand price, theta = 0.02,
+/// alpha = 5) that lands the synthetic spot prices in the 9-25% of
+/// on-demand band the paper observed.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "spotbid/core/types.hpp"
+
+namespace spotbid::ec2 {
+
+/// Parameters of the Section-4 provider model attached to an instance type.
+struct MarketCalibration {
+  double beta = 0.0;          ///< capacity-utilization weight in eq. 1
+  double theta = 0.02;        ///< per-slot job completion fraction (eq. 4)
+  double pareto_alpha = 5.0;  ///< tail index of the arrival process Lambda(t)
+  /// Price floor pi_min as a fraction of the on-demand price. The paper's
+  /// example bid of $0.0323 on a $0.35/h r3.xlarge puts the observed floor
+  /// near 9% of on-demand.
+  double min_price_fraction = 0.09;
+  /// Fraction of slots whose price sits exactly at the floor. 2014-era spot
+  /// prices spent MOST of their time at their minimum with occasional
+  /// spikes (the tall leading bar in Figure 3 / the CDF "knee" noted in
+  /// [1]); the synthetic arrival Pareto is extended below Lambda_min so the
+  /// floor clamp reproduces that atom. This is what makes the paper's
+  /// persistent bids — a few percent above the floor — run ~85-90% of
+  /// slots and finish with only a modest completion-time increase.
+  double floor_mass = 0.8;
+  /// Per-slot probability that the spot price CARRIES OVER unchanged to the
+  /// next slot (otherwise it is redrawn from the marginal law). 2014 spot
+  /// prices changed only a handful of times per day — the short-lag
+  /// autocorrelation the paper cites from [1] — and this stickiness is why
+  /// Proposition-4 one-time bids were "never interrupted" in Section 7.1.
+  /// Redraw-from-marginal keeps the stationary distribution equal to the
+  /// Proposition-3 law, so all the bidding math is unaffected.
+  double persistence = 0.90;
+};
+
+/// One row of Table 2, augmented with pricing and calibration.
+struct InstanceType {
+  std::string name;          ///< e.g. "r3.xlarge"
+  std::string family;        ///< "m1", "m3", "r3", or "c3"
+  int vcpus = 0;
+  double memory_gib = 0.0;
+  std::string storage;       ///< SSD config as printed in Table 2, e.g. "2x80"
+  Money on_demand{};         ///< USD per instance-hour (pi_bar)
+  MarketCalibration market;
+
+  /// Price floor pi_min in dollars.
+  [[nodiscard]] Money min_price() const {
+    return Money{on_demand.usd() * market.min_price_fraction};
+  }
+};
+
+/// All catalogued instance types.
+[[nodiscard]] std::span<const InstanceType> all_types();
+
+/// Look up a type by exact name; nullopt if unknown.
+[[nodiscard]] std::optional<InstanceType> find_type(std::string_view name);
+
+/// Like find_type but throws spotbid::InvalidArgument for unknown names.
+[[nodiscard]] const InstanceType& require_type(std::string_view name);
+
+/// The four types whose price PDFs Figure 3 fits
+/// (m3.xlarge, m3.2xlarge, c3.xlarge, m1.xlarge — panel (d) is named in the
+/// paper; panels (a)-(c) are our documented assignment).
+[[nodiscard]] std::vector<InstanceType> figure3_types();
+
+/// The five types of the single-instance experiments (Table 3, Figures 5-6):
+/// r3.xlarge, r3.2xlarge, r3.4xlarge, c3.4xlarge, c3.8xlarge.
+[[nodiscard]] std::vector<InstanceType> experiment_types();
+
+/// One of Table 4's five MapReduce client settings: a master instance type
+/// and a slave instance type ("we bid on instances with better CPU
+/// performance for the slave nodes").
+struct MapReduceSetting {
+  std::string label;   ///< "C1".."C5"
+  InstanceType master;
+  InstanceType slave;
+};
+
+/// The five client settings used by Table 4 / Figure 7.
+[[nodiscard]] std::vector<MapReduceSetting> mapreduce_settings();
+
+}  // namespace spotbid::ec2

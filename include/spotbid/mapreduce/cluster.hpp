@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file cluster.hpp
+/// Simulated MapReduce cluster on spot instances (Sections 3.1 and 6).
+///
+/// Substitute for the paper's Hadoop-on-EMR word-count experiment (see
+/// DESIGN.md): a master node on a one-time request plus M slave nodes on
+/// persistent requests, possibly on different instance types (hence two
+/// markets advanced in lockstep). The engine implements the paper's job
+/// structure:
+///  - the job (t_s + t_o of work) is divided into map tasks that the master
+///    assigns to live slaves and RESCHEDULES when a slave fails;
+///  - slaves pay t_r of recovery after every interruption before useful
+///    work resumes (checkpointed progress itself survives on the data
+///    volume);
+///  - slaves only make progress while the master is up; if the master's
+///    one-time request is outbid, it is immediately resubmitted (counted as
+///    a master restart) — with Proposition-4 bids this is rare;
+///  - optional per-slot hardware-failure injection exercises the
+///    rescheduling path independently of price-driven interruptions.
+
+#include <cstdint>
+
+#include "spotbid/bidding/job.hpp"
+#include "spotbid/market/spot_market.hpp"
+
+namespace spotbid::mapreduce {
+
+/// Cluster configuration.
+struct ClusterConfig {
+  int nodes = 4;                 ///< M slave nodes
+  Money master_bid{};            ///< one-time bid for the master
+  Money slave_bid{};             ///< persistent bid shared by all slaves
+  bidding::ParallelJobSpec job;  ///< t_s, t_r, t_o (job.nodes is ignored)
+  int tasks_per_node = 4;        ///< task granularity: M * tasks_per_node tasks
+  double node_failure_probability = 0.0;  ///< per running slave-slot
+  std::uint64_t seed = 7;        ///< failure-injection stream
+  long max_slots = 500'000;      ///< safety cap on simulated slots
+};
+
+/// Outcome of a cluster run.
+struct ClusterResult {
+  bool completed = false;       ///< false only if max_slots was hit
+  Hours completion_time{};      ///< wall-clock from submission to last task
+  Money master_cost{};          ///< billed to the master request(s)
+  Money slave_cost{};           ///< billed to all slave requests
+  int slave_interruptions = 0;  ///< price-driven interruptions across slaves
+  int master_restarts = 0;      ///< one-time master resubmissions
+  int tasks_rescheduled = 0;    ///< reassignments after failures
+  int injected_failures = 0;    ///< hardware-failure injections triggered
+  long slots = 0;               ///< slots simulated
+
+  [[nodiscard]] Money total_cost() const { return master_cost + slave_cost; }
+};
+
+/// Run a MapReduce job to completion. `master_market` and `slave_market`
+/// must have equal slot lengths and are advanced in lockstep; pass the same
+/// market twice to co-locate master and slaves on one instance type.
+[[nodiscard]] ClusterResult run_mapreduce(market::SpotMarket& master_market,
+                                          market::SpotMarket& slave_market,
+                                          const ClusterConfig& config);
+
+}  // namespace spotbid::mapreduce

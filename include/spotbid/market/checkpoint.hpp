@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file checkpoint.hpp
+/// Checkpoint journal — the DynamoDB substitute (see DESIGN.md).
+///
+/// The paper's experiment ships an AMI whose boot script "writes instance
+/// launched time as a sequence of items into Amazon DynamoDB, from which we
+/// can obtain the instance status (first run or restarted from
+/// interruption)". Persistent jobs additionally "save their data to a
+/// separate volume once interrupted and recover it upon resuming", paying
+/// t_r per interruption. CheckpointStore plays both roles in simulation: an
+/// append-only journal of launches and progress checkpoints keyed by job
+/// node.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spotbid/core/types.hpp"
+
+namespace spotbid::market {
+
+/// One journal record.
+struct CheckpointRecord {
+  SlotIndex slot = 0;
+  enum class Kind : std::uint8_t { kLaunch, kProgress } kind = Kind::kLaunch;
+  Hours completed_work{};  ///< cumulative verified work at this record
+};
+
+class CheckpointStore {
+ public:
+  /// Record an instance (re)launch at the given slot.
+  void record_launch(const std::string& key, SlotIndex slot);
+
+  /// Record a progress checkpoint: `completed_work` of the job is durably
+  /// saved as of `slot`.
+  void record_progress(const std::string& key, SlotIndex slot, Hours completed_work);
+
+  /// Number of launches seen for the key (0 if never launched).
+  [[nodiscard]] int launch_count(const std::string& key) const;
+
+  /// True when the key has launched more than once — the paper's
+  /// "restarted from interruption" test.
+  [[nodiscard]] bool is_restart(const std::string& key) const;
+
+  /// Work durably saved by the latest progress checkpoint (what survives an
+  /// interruption); nullopt when no checkpoint exists.
+  [[nodiscard]] std::optional<Hours> last_saved_work(const std::string& key) const;
+
+  /// Full journal for a key (empty if unknown), in append order.
+  [[nodiscard]] std::vector<CheckpointRecord> journal(const std::string& key) const;
+
+  [[nodiscard]] std::size_t key_count() const { return journals_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::vector<CheckpointRecord>> journals_;
+};
+
+}  // namespace spotbid::market

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file price_source.hpp
+/// Sources of per-slot spot prices for the market simulator.
+///
+/// The bidding strategies depend only on the realized price process
+/// (Section 1.1: "these bidding strategies ... depend not on the specific
+/// model of how providers choose the spot prices, but rather on the chosen
+/// spot prices themselves"), so the market is parameterized by a
+/// PriceSource. Three implementations:
+///  - TracePriceSource replays recorded/synthetic history (Figure 4's
+///    replay, the experiments' ground truth);
+///  - ModelPriceSource draws i.i.d. equilibrium prices (Proposition 2);
+///  - QueuePriceSource runs the eq.-4 demand recursion live.
+
+#include <memory>
+
+#include "spotbid/dist/distribution.hpp"
+#include "spotbid/provider/model.hpp"
+#include "spotbid/provider/queue.hpp"
+#include "spotbid/trace/price_trace.hpp"
+
+namespace spotbid::market {
+
+/// Interface: the spot price of each slot, queried in nondecreasing slot
+/// order. Implementations may be stateful but must be deterministic given
+/// their construction parameters (same slot -> same price on re-query).
+class PriceSource {
+ public:
+  virtual ~PriceSource() = default;
+
+  [[nodiscard]] virtual Money price_at(SlotIndex slot) = 0;
+  [[nodiscard]] virtual Hours slot_length() const = 0;
+};
+
+/// Replays a PriceTrace; wraps around at the end when `wrap` is true,
+/// otherwise throws InvalidArgument past the last slot.
+class TracePriceSource final : public PriceSource {
+ public:
+  explicit TracePriceSource(trace::PriceTrace trace, bool wrap = true);
+
+  [[nodiscard]] Money price_at(SlotIndex slot) override;
+  [[nodiscard]] Hours slot_length() const override;
+  [[nodiscard]] const trace::PriceTrace& trace() const { return trace_; }
+
+ private:
+  trace::PriceTrace trace_;
+  bool wrap_;
+};
+
+/// Draws prices from a price distribution (e.g. the Proposition-3
+/// push-forward). With persistence 0 the slots are i.i.d.; otherwise each
+/// slot carries the previous price over with that probability and redraws
+/// from the marginal otherwise (sticky prices: same stationary law, real
+/// spot markets' short-lag autocorrelation). Prices are generated lazily
+/// and cached so re-queries are stable.
+class ModelPriceSource final : public PriceSource {
+ public:
+  ModelPriceSource(dist::DistributionPtr price_distribution, Hours slot_length,
+                   std::uint64_t seed, double persistence = 0.0);
+
+  [[nodiscard]] Money price_at(SlotIndex slot) override;
+  [[nodiscard]] Hours slot_length() const override;
+
+ private:
+  dist::DistributionPtr distribution_;
+  Hours slot_length_;
+  numeric::Rng rng_;
+  double persistence_;
+  std::vector<double> cache_;
+};
+
+/// Runs the Section-4.2 queue dynamics live: each new slot draws arrivals,
+/// advances the demand recursion, and prices with eq. 3.
+class QueuePriceSource final : public PriceSource {
+ public:
+  QueuePriceSource(provider::ProviderModel model, dist::DistributionPtr arrivals,
+                   Hours slot_length, std::uint64_t seed);
+
+  [[nodiscard]] Money price_at(SlotIndex slot) override;
+  [[nodiscard]] Hours slot_length() const override;
+
+ private:
+  provider::QueueSimulator queue_;
+  dist::DistributionPtr arrivals_;
+  Hours slot_length_;
+  numeric::Rng rng_;
+  std::vector<double> cache_;
+};
+
+}  // namespace spotbid::market

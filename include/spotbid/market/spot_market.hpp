@@ -1,0 +1,136 @@
+#pragma once
+
+/// \file spot_market.hpp
+/// Discrete-time spot-market simulator (Section 3.2 semantics).
+///
+/// The market advances in slots of length t_k. In each slot:
+///  - requests whose bid price >= the slot's spot price run; a previously
+///    pending (or newly submitted) request launches;
+///  - an unfulfilled request (one-time or persistent) whose bid is below
+///    the spot price stays PENDING until the price falls to its bid — EC2
+///    keeps open spot requests waiting for fulfillment;
+///  - running requests whose bid falls below the new spot price are
+///    interrupted: persistent requests revert to pending and are
+///    automatically re-considered every slot; one-time requests are
+///    terminated and "exit the system once they fall below the current
+///    spot price" (Section 3.2);
+///  - running requests are charged THE SPOT PRICE (not their bid) for the
+///    slot: "each successful bidder is charged only the spot price pi(t),
+///    regardless of the bid (s)he placed" (Section 4.1).
+///
+/// Job-level semantics (execution progress, recovery time after an
+/// interruption) live in spotbid::client and spotbid::mapreduce; the market
+/// only manages request lifecycles and billing.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "spotbid/market/price_source.hpp"
+
+namespace spotbid::market {
+
+/// One-time vs persistent bids (Section 3.2).
+enum class BidKind : std::uint8_t { kOneTime, kPersistent };
+
+/// Lifecycle state of a request.
+enum class RequestState : std::uint8_t {
+  kSubmitted,   ///< submitted this slot; considered at the next advance()
+  kPending,     ///< waiting for the price to fall to the bid
+  kRunning,     ///< instance up
+  kTerminated,  ///< one-time request outbid after running (job did not finish)
+  kClosed,      ///< closed by the user (job finished or cancelled)
+};
+
+/// What happened to a request during a slot.
+enum class EventKind : std::uint8_t {
+  kLaunched,
+  kInterrupted,  ///< persistent request outbid; instance reverts to pending
+  kTerminated,   ///< one-time request outbid
+  kClosed,
+};
+
+using RequestId = std::uint64_t;
+
+/// A bid for one instance.
+struct BidRequest {
+  Money bid_price{};
+  BidKind kind = BidKind::kPersistent;
+};
+
+/// Event record for the market log.
+struct Event {
+  SlotIndex slot = 0;
+  RequestId request = 0;
+  EventKind kind = EventKind::kLaunched;
+};
+
+/// Per-request bookkeeping exposed to callers.
+struct RequestStatus {
+  RequestState state = RequestState::kSubmitted;
+  Money bid_price{};
+  BidKind kind = BidKind::kPersistent;
+  Money accrued_cost{};     ///< sum over running slots of spot price * t_k
+  long running_slots = 0;   ///< slots spent running
+  long pending_slots = 0;   ///< slots spent pending (idle)
+  int launches = 0;         ///< number of (re)launches
+  int interruptions = 0;    ///< number of interruptions (persistent only)
+  SlotIndex submitted_slot = 0;
+  SlotIndex closed_slot = -1;  ///< slot of close/terminate, -1 if open
+};
+
+/// Report of one advance() call.
+struct SlotReport {
+  SlotIndex slot = 0;
+  Money price{};
+  std::vector<Event> events;
+};
+
+class SpotMarket {
+ public:
+  explicit SpotMarket(std::unique_ptr<PriceSource> source);
+
+  /// Slot length t_k of the underlying price source.
+  [[nodiscard]] Hours slot_length() const { return source_->slot_length(); }
+
+  /// Index of the next slot advance() will simulate. Slot 0 has not run
+  /// until advance() is called once.
+  [[nodiscard]] SlotIndex current_slot() const { return next_slot_; }
+
+  /// Spot price of the most recently simulated slot. Throws ModelError
+  /// before the first advance().
+  [[nodiscard]] Money current_price() const;
+
+  /// Submit a bid; it participates in the auction from the next advance().
+  /// The bid must be positive.
+  RequestId submit(const BidRequest& request);
+
+  /// Close a request (job finished or user cancellation). Releases the
+  /// instance if running. Throws InvalidArgument for unknown ids; closing
+  /// an already-final request is a no-op.
+  void close(RequestId id);
+
+  /// Simulate one slot and return what happened.
+  SlotReport advance();
+
+  /// Simulate `n` slots, discarding per-slot reports.
+  void advance_many(int n);
+
+  [[nodiscard]] const RequestStatus& status(RequestId id) const;
+  [[nodiscard]] const std::vector<Event>& event_log() const { return events_; }
+
+  /// True if the request is in a final state (terminated/closed).
+  [[nodiscard]] bool is_final(RequestId id) const;
+
+ private:
+  RequestStatus& status_mutable(RequestId id);
+
+  std::unique_ptr<PriceSource> source_;
+  std::vector<RequestStatus> requests_;
+  std::vector<Event> events_;
+  SlotIndex next_slot_ = 0;
+  Money current_price_{};
+  bool has_price_ = false;
+};
+
+}  // namespace spotbid::market

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file work_tracker.hpp
+/// Job progress accounting on top of a market request.
+///
+/// Section 5's job semantics: a job needs `work_required` hours of
+/// execution; after every interruption the instance spends `recovery_time`
+/// re-loading its checkpoint before useful work resumes ("persistent jobs
+/// are configured to save their data to a separate volume once interrupted
+/// and recover it upon resuming"). A WorkTracker consumes the per-slot
+/// status of a market request and splits running time into recovery and
+/// progress.
+
+#include "spotbid/market/spot_market.hpp"
+
+namespace spotbid::market {
+
+class WorkTracker {
+ public:
+  WorkTracker(Hours work_required, Hours recovery_time, Hours slot_length);
+
+  /// Feed the request's status after each market advance(). Idempotence is
+  /// NOT provided: call exactly once per slot.
+  void on_slot(const RequestStatus& status);
+
+  [[nodiscard]] bool done() const { return progress_hours_ >= work_hours_ - 1e-12; }
+  [[nodiscard]] Hours progress() const { return Hours{progress_hours_}; }
+  [[nodiscard]] Hours work_required() const { return Hours{work_hours_}; }
+  /// Total running time spent on checkpoint recovery so far.
+  [[nodiscard]] Hours recovery_spent() const { return Hours{recovery_spent_hours_}; }
+  /// Interruptions observed (relaunches after the first launch).
+  [[nodiscard]] int interruptions_observed() const { return relaunches_; }
+  /// Slots consumed since tracking began.
+  [[nodiscard]] long slots_elapsed() const { return slots_; }
+
+ private:
+  double work_hours_;
+  double recovery_hours_;
+  double slot_hours_;
+  double progress_hours_ = 0.0;
+  double recovery_spent_hours_ = 0.0;
+  double recovery_debt_hours_ = 0.0;
+  int last_launches_ = 0;
+  long last_running_slots_ = 0;
+  int relaunches_ = 0;
+  long slots_ = 0;
+};
+
+}  // namespace spotbid::market

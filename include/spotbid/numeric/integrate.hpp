@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file integrate.hpp
+/// One-dimensional quadrature.
+///
+/// The bidding math integrates the spot-price density repeatedly:
+/// the conditional expected payment E[pi | pi <= p] (eq. 9) and the partial
+/// expectation A(p) = integral x f(x) dx that appears in psi (Prop. 5).
+/// Analytic distributions provide closed forms where available; these
+/// routines back the general case and all cross-checks.
+
+#include <functional>
+
+namespace spotbid::numeric {
+
+/// Composite trapezoid rule with n subintervals (n >= 1).
+[[nodiscard]] double trapezoid(const std::function<double(double)>& f, double lo, double hi,
+                               int n = 1024);
+
+/// Composite Simpson rule with n subintervals (rounded up to even, n >= 2).
+[[nodiscard]] double simpson(const std::function<double(double)>& f, double lo, double hi,
+                             int n = 1024);
+
+/// Adaptive Simpson quadrature with absolute tolerance tol and a recursion
+/// depth cap. Suitable for smooth integrands with localized features (e.g.
+/// the near-singular density of eq. 7 close to pi_bar/2).
+[[nodiscard]] double adaptive_simpson(const std::function<double(double)>& f, double lo, double hi,
+                                      double tol = 1e-10, int max_depth = 24);
+
+}  // namespace spotbid::numeric

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file interpolate.hpp
+/// Interpolation over sorted grids.
+///
+/// The empirical spot-price model (Section 5 applied to real traces) exposes
+/// a CDF built from samples. A raw ECDF is a step function whose inverse is
+/// ill-conditioned for the optimizer, so we interpolate: piecewise-linear for
+/// the CDF (giving a piecewise-constant density) and monotone cubic
+/// (Fritsch-Carlson) when a smooth, shape-preserving curve is needed.
+
+#include <cstddef>
+#include <vector>
+
+namespace spotbid::numeric {
+
+/// Piecewise-linear interpolant through (x[i], y[i]); x must be strictly
+/// increasing. Queries outside [x.front(), x.back()] clamp to the endpoint
+/// values.
+class LinearInterpolant {
+ public:
+  LinearInterpolant() = default;
+  LinearInterpolant(std::vector<double> x, std::vector<double> y);
+
+  [[nodiscard]] double operator()(double x) const;
+  /// Derivative (slope of the active segment; one-sided at knots).
+  [[nodiscard]] double derivative(double x) const;
+
+  [[nodiscard]] bool empty() const { return x_.empty(); }
+  [[nodiscard]] std::size_t size() const { return x_.size(); }
+  [[nodiscard]] const std::vector<double>& xs() const { return x_; }
+  [[nodiscard]] const std::vector<double>& ys() const { return y_; }
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+};
+
+/// Monotone cubic Hermite interpolant (Fritsch-Carlson 1980). If y is
+/// monotone in x, the interpolant is monotone too — exactly what a CDF
+/// smoother needs. Same clamping behaviour as LinearInterpolant.
+class MonotoneCubicInterpolant {
+ public:
+  MonotoneCubicInterpolant() = default;
+  MonotoneCubicInterpolant(std::vector<double> x, std::vector<double> y);
+
+  [[nodiscard]] double operator()(double x) const;
+  [[nodiscard]] double derivative(double x) const;
+
+  [[nodiscard]] bool empty() const { return x_.empty(); }
+  [[nodiscard]] std::size_t size() const { return x_.size(); }
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+  std::vector<double> slope_;  // Hermite endpoint slopes per knot
+};
+
+}  // namespace spotbid::numeric

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file optimize.hpp
+/// Derivative-free optimization.
+///
+/// Three solvers cover everything the paper needs:
+///  - golden-section / Brent minimization for the unimodal 1-D cost curves
+///    (eq. 10, 15, 19) and for cross-checking the provider's closed-form
+///    price (eq. 3) against a direct maximization of eq. 1;
+///  - grid-refined minimization for possibly non-unimodal objectives
+///    (empirical cost curves built from noisy ECDFs);
+///  - Nelder-Mead simplex for the multi-parameter least-squares fits of
+///    Figure 3 (fitting (alpha | eta, beta, theta) to a price histogram).
+
+#include <functional>
+#include <vector>
+
+namespace spotbid::numeric {
+
+/// Options for the 1-D minimizers.
+struct MinimizeOptions {
+  double x_tolerance = 1e-10;
+  int max_iterations = 200;
+};
+
+/// Result of a scalar minimization.
+struct MinimizeResult {
+  double x = 0.0;
+  double f = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Golden-section search on [lo, hi]. Converges to a local minimum; exact
+/// for unimodal f. Throws spotbid::InvalidArgument if lo > hi.
+[[nodiscard]] MinimizeResult golden_section(const std::function<double(double)>& f, double lo,
+                                            double hi, const MinimizeOptions& options = {});
+
+/// Brent's parabolic-interpolation minimizer on [lo, hi]; same contract as
+/// golden_section but usually far fewer evaluations on smooth objectives.
+[[nodiscard]] MinimizeResult brent_minimize(const std::function<double(double)>& f, double lo,
+                                            double hi, const MinimizeOptions& options = {});
+
+/// Robust global 1-D minimization: evaluate f on an n_grid-point grid, then
+/// refine around the best grid cell with golden-section. Handles objectives
+/// with plateaus or several local minima (e.g. costs built on step-function
+/// ECDFs) at the cost of n_grid extra evaluations.
+[[nodiscard]] MinimizeResult grid_then_golden(const std::function<double(double)>& f, double lo,
+                                              double hi, int n_grid = 256,
+                                              const MinimizeOptions& options = {});
+
+/// Options for Nelder-Mead.
+struct SimplexOptions {
+  double f_tolerance = 1e-12;   ///< stop when simplex f-spread is below this
+  double x_tolerance = 1e-10;   ///< ... or simplex diameter is below this
+  int max_iterations = 2000;
+  double initial_step = 0.1;    ///< relative step used to build the simplex
+};
+
+/// Result of a Nelder-Mead run.
+struct SimplexResult {
+  std::vector<double> x;
+  double f = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Nelder-Mead downhill simplex minimization of f over R^n starting from x0.
+/// Standard reflection/expansion/contraction/shrink coefficients
+/// (1, 2, 0.5, 0.5).
+[[nodiscard]] SimplexResult nelder_mead(const std::function<double(const std::vector<double>&)>& f,
+                                        std::vector<double> x0,
+                                        const SimplexOptions& options = {});
+
+}  // namespace spotbid::numeric

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation.
+///
+/// Every stochastic component of the library (trace generation, the market
+/// simulator, workload arrivals) takes an explicit 64-bit seed so that the
+/// paper's tables and figures regenerate bit-identically. The generator is
+/// xoshiro256** seeded through splitmix64, a standard, fast, well-distributed
+/// combination; we implement it here rather than using std::mt19937_64 so the
+/// stream is stable across standard-library implementations.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace spotbid::numeric {
+
+/// FNV-1a hash of a string; used to derive per-entity seeds from names
+/// (e.g. one independent price stream per instance type).
+[[nodiscard]] std::uint64_t fnv1a(std::string_view text);
+
+/// splitmix64 step: used to expand one seed into a full xoshiro state and as
+/// a cheap standalone mixing function (e.g. deriving per-entity sub-seeds).
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Derive a decorrelated child seed from a parent seed and a stream index.
+/// Used to give each simulated entity (instance, node, repetition) its own
+/// independent stream.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t stream);
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Satisfies
+/// std::uniform_random_bit_generator, so it plugs into <random> if needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from \p seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  [[nodiscard]] static constexpr result_type min() { return 0; }
+  [[nodiscard]] static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  [[nodiscard]] double uniform();
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard exponential variate (mean 1) via inversion.
+  [[nodiscard]] double exponential();
+
+  /// Standard normal variate via Box-Muller (no cached spare: keeps the
+  /// stream position a pure function of the number of draws).
+  [[nodiscard]] double normal();
+
+  /// Bernoulli draw with success probability p (clamped to [0, 1]).
+  [[nodiscard]] bool bernoulli(double p);
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace spotbid::numeric

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file roots.hpp
+/// One-dimensional root finding.
+///
+/// The bidding strategies repeatedly invert monotone functions — the spot
+/// price CDF (Proposition 4), the paper's psi function (Proposition 5), and
+/// the provider's first-order condition (eq. 2). All of those are continuous
+/// on a bracket, so bracketing methods (bisection, Brent) are the right tool:
+/// guaranteed convergence, no derivatives required.
+
+#include <functional>
+#include <optional>
+
+namespace spotbid::numeric {
+
+/// Options shared by the root finders.
+struct RootOptions {
+  double x_tolerance = 1e-12;   ///< stop when the bracket is this narrow
+  double f_tolerance = 0.0;     ///< stop when |f| falls below this
+  int max_iterations = 200;     ///< hard cap; generously above need
+};
+
+/// Result of a root search.
+struct RootResult {
+  double x = 0.0;          ///< best abscissa found
+  double f = 0.0;          ///< f(x) at that abscissa
+  int iterations = 0;      ///< iterations consumed
+  bool converged = false;  ///< bracket/function tolerance met
+};
+
+/// Bisection on [lo, hi]. Requires f(lo) and f(hi) to have opposite signs
+/// (or one of them to be zero). Throws spotbid::InvalidArgument otherwise.
+[[nodiscard]] RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
+                                const RootOptions& options = {});
+
+/// Brent's method on [lo, hi]: inverse quadratic interpolation + secant +
+/// bisection fallback. Same bracketing precondition as bisect(), typically
+/// an order of magnitude fewer function evaluations.
+[[nodiscard]] RootResult brent(const std::function<double(double)>& f, double lo, double hi,
+                               const RootOptions& options = {});
+
+/// Search for a sign-change bracket of f on [lo, hi] by scanning n_grid
+/// equal subintervals; returns the first bracketing subinterval, or nullopt
+/// if none of the grid cells brackets a root.
+[[nodiscard]] std::optional<std::pair<double, double>> find_bracket(
+    const std::function<double(double)>& f, double lo, double hi, int n_grid = 64);
+
+}  // namespace spotbid::numeric

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file stats.hpp
+/// Descriptive statistics over samples.
+///
+/// Used throughout: trace summaries (percentiles, autocorrelation — Section
+/// 4.3 and the Section 8 discussion of temporal correlation), experiment
+/// averaging (Section 7 repeats each run ten times), and the Lyapunov
+/// diagnostics of Proposition 1 (time-averaged queue sizes).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace spotbid::numeric {
+
+/// Numerically-stable running accumulator (Welford) for mean/variance.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Kahan-compensated sum.
+[[nodiscard]] double kahan_sum(std::span<const double> xs);
+
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double variance(std::span<const double> xs);  ///< unbiased; 0 for n < 2
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// q-th quantile (q in [0, 1]) with linear interpolation between order
+/// statistics (type-7, the numpy/R default). Throws on empty input.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Sample autocorrelation at the given lag (0 <= lag < n). Returns 1 at lag
+/// 0; 0 when the series is constant.
+[[nodiscard]] double autocorrelation(std::span<const double> xs, std::size_t lag);
+
+/// Histogram with equal-width bins over [lo, hi]; values outside the range
+/// are clamped into the edge bins. density() integrates to 1.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] double bin_width() const;
+  [[nodiscard]] double bin_center(std::size_t i) const;
+  [[nodiscard]] std::size_t count(std::size_t i) const { return counts_.at(i); }
+  /// Empirical density at bin i: count / (total * bin_width).
+  [[nodiscard]] double density(std::size_t i) const;
+  /// All densities in bin order.
+  [[nodiscard]] std::vector<double> densities() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Mean squared error between two equal-length series (the Figure-3 fit
+/// quality metric; the paper reports MSE < 1e-6).
+[[nodiscard]] double mean_squared_error(std::span<const double> a, std::span<const double> b);
+
+}  // namespace spotbid::numeric

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file calibration.hpp
+/// Builds a provider model + arrival process for an EC2 instance type.
+///
+/// Ties Section 4.3 together: the instance type carries fitted
+/// (beta, theta, alpha) parameters; the arrival process is Pareto with
+/// xm = Lambda_min (so equilibrium prices start exactly at the floor and
+/// decay with the observed power-law shape), and the induced spot-price law
+/// is the Proposition-3 push-forward.
+
+#include <memory>
+
+#include "spotbid/dist/pareto.hpp"
+#include "spotbid/ec2/instance_types.hpp"
+#include "spotbid/provider/model.hpp"
+#include "spotbid/provider/price_distribution.hpp"
+
+namespace spotbid::provider {
+
+/// Provider model with the type's on-demand cap, floor, beta and theta.
+[[nodiscard]] ProviderModel calibrated_model(const ec2::InstanceType& type);
+
+/// Pareto arrival process with xm = Lambda_min(type) and the type's alpha.
+[[nodiscard]] dist::DistributionPtr calibrated_arrivals(const ec2::InstanceType& type);
+
+/// The induced equilibrium spot-price distribution for the type.
+[[nodiscard]] std::shared_ptr<const EquilibriumPriceDistribution> calibrated_price_distribution(
+    const ec2::InstanceType& type);
+
+}  // namespace spotbid::provider

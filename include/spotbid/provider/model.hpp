@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file model.hpp
+/// The cloud provider's spot-price model (Section 4.1-4.2).
+///
+/// Each time slot the provider observes demand L(t) (number of outstanding
+/// bids) and picks the spot price maximizing
+///
+///     J(pi) = beta * log(1 + N(pi)) + pi * N(pi),          (eq. 1)
+///     N(pi) = L * (pi_bar - pi) / (pi_bar - pi_min),
+///
+/// subject to pi_min <= pi <= pi_bar, where pi_bar is the on-demand price
+/// (cap), pi_min the provider's marginal cost (floor), and N the number of
+/// accepted bids under uniformly-distributed bid prices. The first-order
+/// condition is eq. 2 and the closed form eq. 3:
+///
+///     pi*(L) = max(pi_min,
+///                  3/4 pi_bar + W/(2L)
+///                  - 1/4 sqrt((pi_bar + 2W/L)^2 + 8 beta W / L)),
+///     W = pi_bar - pi_min.
+///
+/// At the queue equilibrium of Proposition 2 the price depends only on the
+/// arrivals:
+///
+///     pi* = h(Lambda) = (pi_bar - beta / (1 + Lambda/theta)) / 2,  (eq. 6)
+///     h^{-1}(pi) = theta * (beta / (pi_bar - 2 pi) - 1).
+///
+/// All member functions are pure; the class is an immutable value.
+
+#include "spotbid/core/types.hpp"
+
+namespace spotbid::provider {
+
+/// Immutable parameter set + closed-form solutions of the provider model.
+class ProviderModel {
+ public:
+  /// \param pi_bar  on-demand price (price cap), > 0
+  /// \param pi_min  price floor (marginal cost), in [0, pi_bar)
+  /// \param beta    capacity-utilization weight in eq. 1, > 0
+  /// \param theta   fraction of running instances finishing per slot, (0, 1]
+  ProviderModel(Money pi_bar, Money pi_min, double beta, double theta);
+
+  [[nodiscard]] Money pi_bar() const { return pi_bar_; }
+  [[nodiscard]] Money pi_min() const { return pi_min_; }
+  [[nodiscard]] double beta() const { return beta_; }
+  [[nodiscard]] double theta() const { return theta_; }
+  /// W = pi_bar - pi_min (the bid-price spread).
+  [[nodiscard]] double spread() const { return pi_bar_.usd() - pi_min_.usd(); }
+
+  /// Accepted-bid count N(pi) for demand L (eq. 1's N). Continuous per the
+  /// paper's relaxation.
+  [[nodiscard]] double accepted_bids(Money pi, double demand) const;
+
+  /// The eq.-1 objective J(pi) at demand L.
+  [[nodiscard]] double objective(Money pi, double demand) const;
+
+  /// Closed-form optimal price (eq. 3), clamped to [pi_min, pi_bar].
+  /// Precondition: demand > 0.
+  [[nodiscard]] Money optimal_price(double demand) const;
+
+  /// Numeric cross-check of optimal_price: maximizes eq. 1 by grid +
+  /// golden-section. Used in tests; the closed form is authoritative.
+  [[nodiscard]] Money optimal_price_numeric(double demand) const;
+
+  /// Residual of the first-order condition (eq. 2):
+  /// L - W/(pi_bar - pi) * (beta/(pi_bar - 2 pi) - 1). Zero at the interior
+  /// optimum.
+  [[nodiscard]] double foc_residual(Money pi, double demand) const;
+
+  /// Equilibrium price map h(Lambda) of eq. 6 (Proposition 2), clamped to
+  /// the floor. Increasing in Lambda; upper-bounded by pi_bar / 2.
+  [[nodiscard]] Money equilibrium_price(double arrivals) const;
+
+  /// Inverse map h^{-1}(pi) = theta * (beta/(pi_bar - 2 pi) - 1).
+  /// Precondition: pi in (h(0), pi_bar/2) — otherwise throws ModelError.
+  [[nodiscard]] double equilibrium_arrivals(Money pi) const;
+
+  /// Jacobian d h^{-1} / d pi = 2 theta beta / (pi_bar - 2 pi)^2, used by
+  /// the Proposition-3 change of variables.
+  [[nodiscard]] double equilibrium_arrivals_derivative(Money pi) const;
+
+  /// Smallest arrival count whose equilibrium price clears the floor:
+  /// Lambda_min = h^{-1}(pi_min) (0 when h(0) >= pi_min). A Pareto arrival
+  /// process with xm = Lambda_min produces prices starting exactly at the
+  /// floor — the Section-4.3 construction.
+  [[nodiscard]] double lambda_min() const;
+
+  /// Demand level at which the eq.-3 price equals the equilibrium price for
+  /// the given arrivals (eq. 21: L = W * Lambda / (theta * (pi_bar - pi*))).
+  [[nodiscard]] double equilibrium_demand(double arrivals) const;
+
+  /// Largest equilibrium price: sup_Lambda h(Lambda) = pi_bar / 2.
+  [[nodiscard]] Money max_equilibrium_price() const { return Money{0.5 * pi_bar_.usd()}; }
+
+ private:
+  Money pi_bar_;
+  Money pi_min_;
+  double beta_;
+  double theta_;
+};
+
+}  // namespace spotbid::provider

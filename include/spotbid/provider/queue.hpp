@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file queue.hpp
+/// Bid-queue dynamics and stability diagnostics (Section 4.2).
+///
+/// Persistent bids that lose the auction stay pending, so demand evolves as
+///
+///     L(t+1) = L(t) - theta * N(t) + Lambda(t)                    (eq. 4)
+///            = (1 - theta * (pi_bar - pi*(t)) / W) * L(t) + Lambda(t),
+///
+/// where pi*(t) is the eq.-3 price at demand L(t). QueueSimulator plays
+/// these dynamics forward; the drift helpers quantify Proposition 1 (the
+/// conditional Lyapunov drift of (1/2) L^2 is negative for large L, so the
+/// time-averaged queue stays bounded) and Proposition 2 (L(t+1) = L(t) iff
+/// pi*(t) = h(Lambda(t))).
+
+#include <vector>
+
+#include "spotbid/dist/distribution.hpp"
+#include "spotbid/provider/model.hpp"
+
+namespace spotbid::provider {
+
+/// One slot of simulated queue history.
+struct QueueSlot {
+  double demand = 0.0;     ///< L(t) at the start of the slot
+  double arrivals = 0.0;   ///< Lambda(t)
+  Money price{};           ///< pi*(t) from eq. 3
+  double accepted = 0.0;   ///< N(t)
+  double finished = 0.0;   ///< theta * N(t)
+};
+
+/// Simulates eq. 4 with the eq.-3 pricing rule.
+class QueueSimulator {
+ public:
+  /// \param initial_demand L(0) > 0
+  QueueSimulator(ProviderModel model, double initial_demand);
+
+  /// Advance one slot with the given arrival count; returns the slot record.
+  QueueSlot step(double arrivals);
+
+  /// Advance `slots` slots drawing arrivals from `arrivals`; appends to
+  /// history.
+  void run(const dist::Distribution& arrivals, int slots, numeric::Rng& rng);
+
+  [[nodiscard]] double demand() const { return demand_; }
+  [[nodiscard]] const std::vector<QueueSlot>& history() const { return history_; }
+
+  /// Time-averaged demand over the recorded history (the Proposition-1
+  /// bounded quantity). Throws if no history.
+  [[nodiscard]] double average_demand() const;
+
+  /// Realized Lyapunov drift Delta(t) = (L(t+1)^2 - L(t)^2) / 2 for each
+  /// recorded transition.
+  [[nodiscard]] std::vector<double> drift_series() const;
+
+ private:
+  ProviderModel model_;
+  double demand_;
+  std::vector<QueueSlot> history_;
+};
+
+/// Exact conditional expectation of the Lyapunov drift (eq. 5) given demand
+/// L, for arrivals with mean `lambda_mean` and variance `lambda_var`:
+///
+///   E[Delta | L] = ((a^2 - 1)/2) L^2 + a L lambda_mean
+///                  + (lambda_var + lambda_mean^2) / 2,
+///   a = 1 - theta (pi_bar - pi*(L)) / W.
+///
+/// Negative for all sufficiently large L because pi*(L) <= pi_bar/2 keeps
+/// a <= 1 - theta pi_bar / (2 W) < 1 — the substance of Proposition 1.
+[[nodiscard]] double conditional_drift(const ProviderModel& model, double demand,
+                                       double lambda_mean, double lambda_var);
+
+/// Smallest demand L0 such that conditional_drift < 0 for every L >= L0
+/// (found numerically). Demands above L0 shrink in expectation, giving the
+/// Proposition-1 boundedness. Throws ModelError if no such level exists
+/// below `search_hi`.
+[[nodiscard]] double drift_negative_threshold(const ProviderModel& model, double lambda_mean,
+                                              double lambda_var, double search_hi = 1e9);
+
+/// Residual of the Proposition-2 equilibrium condition: demand minus
+/// eq. 21's fixed-point demand for the given arrivals. Zero iff
+/// L(t+1) = L(t).
+[[nodiscard]] double equilibrium_residual(const ProviderModel& model, double demand,
+                                          double arrivals);
+
+}  // namespace spotbid::provider

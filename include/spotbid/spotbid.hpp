@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file spotbid.hpp
+/// Umbrella header: the full public API of the spotbid library.
+
+#include "spotbid/core/types.hpp"
+#include "spotbid/core/version.hpp"
+
+#include "spotbid/numeric/integrate.hpp"
+#include "spotbid/numeric/interpolate.hpp"
+#include "spotbid/numeric/optimize.hpp"
+#include "spotbid/numeric/rng.hpp"
+#include "spotbid/numeric/roots.hpp"
+#include "spotbid/numeric/stats.hpp"
+
+#include "spotbid/dist/distribution.hpp"
+#include "spotbid/dist/empirical.hpp"
+#include "spotbid/dist/exponential.hpp"
+#include "spotbid/dist/fit.hpp"
+#include "spotbid/dist/ks_test.hpp"
+#include "spotbid/dist/lognormal.hpp"
+#include "spotbid/dist/pareto.hpp"
+#include "spotbid/dist/uniform.hpp"
+
+#include "spotbid/ec2/instance_types.hpp"
+
+#include "spotbid/provider/calibration.hpp"
+#include "spotbid/provider/model.hpp"
+#include "spotbid/provider/price_distribution.hpp"
+#include "spotbid/provider/queue.hpp"
+
+#include "spotbid/trace/aws_import.hpp"
+#include "spotbid/trace/generator.hpp"
+#include "spotbid/trace/price_trace.hpp"
+#include "spotbid/trace/statistics.hpp"
+
+#include "spotbid/market/checkpoint.hpp"
+#include "spotbid/market/price_source.hpp"
+#include "spotbid/market/spot_market.hpp"
+#include "spotbid/market/work_tracker.hpp"
+
+#include "spotbid/bidding/cost.hpp"
+#include "spotbid/bidding/job.hpp"
+#include "spotbid/bidding/price_model.hpp"
+#include "spotbid/bidding/risk.hpp"
+#include "spotbid/bidding/sticky.hpp"
+#include "spotbid/bidding/strategies.hpp"
+
+#include "spotbid/mapreduce/cluster.hpp"
+
+#include "spotbid/collective/equilibrium.hpp"
+
+#include "spotbid/workflow/dag.hpp"
+
+#include "spotbid/client/experiment.hpp"
+#include "spotbid/client/job_runner.hpp"
+#include "spotbid/client/price_monitor.hpp"

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file aws_import.hpp
+/// Import real spot-price history in the AWS CLI's JSON format.
+///
+/// The paper's client consumes Amazon's two-month price feed; the modern
+/// equivalent is
+///
+///   aws ec2 describe-spot-price-history --instance-types r3.xlarge
+///       --product-descriptions "Linux/UNIX" > history.json
+///
+/// which yields {"SpotPriceHistory": [ {"InstanceType": "...",
+/// "SpotPrice": "0.031500", "Timestamp": "2014-09-09T12:34:56.000Z", ...},
+/// ... ]}. Amazon emits one record PER PRICE CHANGE (irregular times,
+/// newest first); the Section-4/5 machinery wants a regular slot grid, so
+/// the importer resamples with last-observation-carried-forward at the
+/// slot length — exactly how a price that "remains in force until the next
+/// change" behaves.
+///
+/// The parser is a minimal, dependency-free reader for this specific JSON
+/// shape (strings, objects, arrays; no unicode escapes beyond pass-through)
+/// and rejects malformed input loudly rather than guessing.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "spotbid/trace/price_trace.hpp"
+
+namespace spotbid::trace {
+
+/// One price-change record, as emitted by the AWS CLI.
+struct SpotPriceRecord {
+  std::string instance_type;
+  std::string availability_zone;
+  std::string product_description;
+  double spot_price = 0.0;
+  std::int64_t timestamp_epoch_s = 0;
+};
+
+/// Parse an ISO-8601 UTC timestamp ("2014-09-09T12:34:56Z", fractional
+/// seconds and "+00:00" suffix accepted) to epoch seconds. Throws
+/// InvalidArgument on malformed input.
+[[nodiscard]] std::int64_t parse_iso8601_utc(std::string_view text);
+
+/// Parse the AWS CLI JSON document (either the {"SpotPriceHistory": [...]}
+/// wrapper or a bare array of records). Throws InvalidArgument on
+/// malformed JSON or missing required fields.
+[[nodiscard]] std::vector<SpotPriceRecord> parse_spot_price_history(std::string_view json);
+
+/// Stream overload.
+[[nodiscard]] std::vector<SpotPriceRecord> parse_spot_price_history(std::istream& is);
+
+/// Options for resampling price-change records onto a slot grid.
+struct ResampleOptions {
+  Hours slot_length = kDefaultSlotLength;
+  /// Keep only records matching this type (empty = require homogeneous
+  /// input and use whatever type it carries).
+  std::string instance_type;
+  /// Keep only records from this availability zone (empty = all zones; if
+  /// multiple zones remain, the cheapest record per slot wins — users bid
+  /// in the cheapest zone).
+  std::string availability_zone;
+};
+
+/// Build a regular PriceTrace from irregular price-change records by
+/// last-observation-carried-forward. Records may arrive in any order.
+/// Throws InvalidArgument when no record survives the filters.
+[[nodiscard]] PriceTrace resample_to_trace(std::vector<SpotPriceRecord> records,
+                                           const ResampleOptions& options = {});
+
+/// Convenience: parse + resample in one call.
+[[nodiscard]] PriceTrace import_aws_history(std::string_view json,
+                                            const ResampleOptions& options = {});
+
+}  // namespace spotbid::trace

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file generator.hpp
+/// Synthetic spot-price trace generation.
+///
+/// Substitute for Amazon's historical price feed (see DESIGN.md): we sample
+/// the provider model of Section 4 instead of downloading history. Two
+/// modes are provided:
+///  - equilibrium mode (Proposition 2): prices are i.i.d.
+///    max(pi_min, h(Lambda(t))) — the regime the paper's bidding analysis
+///    assumes and that its Figure-3 fits validate;
+///  - queue mode (eq. 4): the demand recursion is simulated explicitly, so
+///    prices carry the transient correlation the Section-8 discussion
+///    mentions. Used for robustness tests and the ablation bench.
+
+#include <cstdint>
+#include <optional>
+
+#include "spotbid/dist/distribution.hpp"
+#include "spotbid/ec2/instance_types.hpp"
+#include "spotbid/provider/model.hpp"
+#include "spotbid/trace/price_trace.hpp"
+
+namespace spotbid::trace {
+
+/// Two months of five-minute slots (the Amazon history horizon the paper
+/// uses): 61 days * 288 slots/day.
+inline constexpr int kTwoMonthsSlots = 61 * 288;
+
+/// Generation parameters.
+struct GeneratorConfig {
+  int slots = kTwoMonthsSlots;
+  Hours slot_length = kDefaultSlotLength;
+  std::int64_t start_epoch_s = 1'407'974'400;  ///< 2014-08-14 00:00 UTC
+  std::uint64_t seed = 2015;                   ///< SIGCOMM vintage
+  /// Per-slot carry-over probability (0 = i.i.d. slots). Sticky prices keep
+  /// the marginal law but reproduce the short-lag autocorrelation of real
+  /// spot prices. nullopt lets generate_for_type use the instance type's
+  /// calibrated value (generate_equilibrium_trace treats nullopt as 0).
+  std::optional<double> persistence;
+};
+
+/// Equilibrium-mode trace: draws of max(pi_min, h(Lambda)), carried over
+/// between redraws with probability `config.persistence`.
+[[nodiscard]] PriceTrace generate_equilibrium_trace(const provider::ProviderModel& model,
+                                                    const dist::Distribution& arrivals,
+                                                    const std::string& instance_type,
+                                                    const GeneratorConfig& config = {});
+
+/// Queue-mode trace: runs the eq.-4 demand recursion with the eq.-3 pricing
+/// rule, starting from the equilibrium demand of the mean arrival rate.
+[[nodiscard]] PriceTrace generate_queue_trace(const provider::ProviderModel& model,
+                                              const dist::Distribution& arrivals,
+                                              const std::string& instance_type,
+                                              const GeneratorConfig& config = {});
+
+/// Convenience: equilibrium trace for a catalogued instance type using its
+/// calibrated model and Pareto arrivals.
+[[nodiscard]] PriceTrace generate_for_type(const ec2::InstanceType& type,
+                                           const GeneratorConfig& config = {});
+
+}  // namespace spotbid::trace

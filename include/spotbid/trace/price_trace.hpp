@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file price_trace.hpp
+/// Spot-price history.
+///
+/// Amazon exposes the previous two months of spot prices per instance type;
+/// the client of Figure 1 feeds that history into its price monitor. A
+/// PriceTrace is the in-memory form: a start timestamp, a slot length
+/// (Amazon updates roughly every five minutes), and one price per slot.
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "spotbid/core/types.hpp"
+
+namespace spotbid::trace {
+
+/// Default slot length: Amazon "generally updates the spot price every five
+/// minutes" (Section 3.2), i.e. t_k = 1/12 h.
+inline constexpr Hours kDefaultSlotLength = Hours{1.0 / 12.0};
+
+class PriceTrace {
+ public:
+  PriceTrace() = default;
+
+  /// \param instance_type  e.g. "r3.xlarge"
+  /// \param start_epoch_s  UTC timestamp of slot 0 (for day/night splits)
+  /// \param slot_length    t_k
+  /// \param prices         one spot price per slot (USD/hour)
+  PriceTrace(std::string instance_type, std::int64_t start_epoch_s, Hours slot_length,
+             std::vector<double> prices);
+
+  [[nodiscard]] const std::string& instance_type() const { return instance_type_; }
+  [[nodiscard]] std::int64_t start_epoch_s() const { return start_epoch_s_; }
+  [[nodiscard]] Hours slot_length() const { return slot_length_; }
+
+  [[nodiscard]] std::size_t size() const { return prices_.size(); }
+  [[nodiscard]] bool empty() const { return prices_.empty(); }
+  [[nodiscard]] Hours duration() const {
+    return slot_length_ * static_cast<double>(prices_.size());
+  }
+
+  /// Price during the given slot. Throws InvalidArgument when out of range.
+  [[nodiscard]] Money price_at(SlotIndex slot) const;
+
+  [[nodiscard]] std::span<const double> prices() const { return prices_; }
+
+  /// Hour-of-day (0-23, UTC) in which the given slot starts.
+  [[nodiscard]] int hour_of_day(SlotIndex slot) const;
+
+  /// Sub-trace covering slots [from, to).
+  [[nodiscard]] PriceTrace slice(SlotIndex from, SlotIndex to) const;
+
+  /// Prices of slots whose hour-of-day lies in [hour_lo, hour_hi)
+  /// (half-open, e.g. daytime = [8, 20)). Used by the Section-4.3 K-S check.
+  [[nodiscard]] std::vector<double> prices_in_hours(int hour_lo, int hour_hi) const;
+
+  void append(Money price) { prices_.push_back(price.usd()); }
+
+  /// CSV round-trip. Format: header line
+  /// "# instance_type,start_epoch_s,slot_seconds" then one price per line.
+  void write_csv(std::ostream& os) const;
+  [[nodiscard]] static PriceTrace read_csv(std::istream& is);
+
+ private:
+  std::string instance_type_;
+  std::int64_t start_epoch_s_ = 0;
+  Hours slot_length_ = kDefaultSlotLength;
+  std::vector<double> prices_;
+};
+
+}  // namespace spotbid::trace

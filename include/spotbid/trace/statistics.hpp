@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file statistics.hpp
+/// Summary statistics of a price trace (Section 4.3's empirical analysis).
+
+#include <vector>
+
+#include "spotbid/dist/ks_test.hpp"
+#include "spotbid/numeric/stats.hpp"
+#include "spotbid/trace/price_trace.hpp"
+
+namespace spotbid::trace {
+
+/// Headline summary of a trace.
+struct TraceSummary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+[[nodiscard]] TraceSummary summarize(const PriceTrace& trace);
+
+/// Autocorrelation of the price series at lags 1..max_lag (the paper notes
+/// "the spot prices' autocorrelation drops off rapidly with a longer lag
+/// time"). Index i holds lag i+1.
+[[nodiscard]] std::vector<double> autocorrelations(const PriceTrace& trace, std::size_t max_lag);
+
+/// Section-4.3 day/night check: two-sample K-S between prices in daytime
+/// hours [8, 20) and nighttime hours [20, 8). The paper reports
+/// p-value > 0.01, supporting i.i.d. arrivals.
+[[nodiscard]] dist::KsResult day_night_ks(const PriceTrace& trace);
+
+/// Histogram of trace prices with equal-width bins over [min, max].
+[[nodiscard]] numeric::Histogram price_histogram(const PriceTrace& trace, std::size_t bins = 60);
+
+}  // namespace spotbid::trace

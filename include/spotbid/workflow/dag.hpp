@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file dag.hpp
+/// Dependent-task workflows on spot instances (the paper's Section-8 "Task
+/// dependence" extension).
+///
+/// "Some tasks within a job cannot proceed before other tasks have been
+/// completed. ... we can in practice bid on these tasks only after the
+/// tasks that they depend on have been completed. Thus, we will not bid on
+/// idle tasks that are waiting for other tasks to finish."
+///
+/// A Workflow is a DAG of tasks; the engine submits each task's bid the
+/// slot after its dependencies complete, tracks progress/recovery with a
+/// WorkTracker, and reports per-task and end-to-end cost/makespan. Bids
+/// are planned per task with the Section-5 strategies (plan_bids).
+
+#include <string>
+#include <vector>
+
+#include "spotbid/bidding/price_model.hpp"
+#include "spotbid/bidding/strategies.hpp"
+#include "spotbid/market/spot_market.hpp"
+
+namespace spotbid::workflow {
+
+/// One task of the workflow.
+struct TaskSpec {
+  std::string name;
+  Hours execution_time{0.5};
+  Hours recovery_time = Hours::from_seconds(30.0);
+  /// Indices into Workflow::tasks that must complete first.
+  std::vector<std::size_t> depends_on;
+  /// Bid used when the task becomes ready (fill manually or via plan_bids).
+  Money bid{};
+};
+
+/// A directed acyclic workflow.
+struct Workflow {
+  std::vector<TaskSpec> tasks;
+};
+
+/// Validate the workflow and return a topological order of task indices.
+/// Throws InvalidArgument on cycles, self-references or bad indices.
+[[nodiscard]] std::vector<std::size_t> topological_order(const Workflow& workflow);
+
+/// Fill every task's bid with the Proposition-5 persistent optimum for its
+/// recovery time under the given price model.
+void plan_bids(const bidding::SpotPriceModel& model, Workflow& workflow);
+
+/// Outcome of one task.
+struct TaskOutcome {
+  bool completed = false;
+  SlotIndex ready_slot = -1;   ///< when dependencies finished
+  SlotIndex finish_slot = -1;  ///< when the task's work completed
+  Money cost{};
+  int interruptions = 0;
+};
+
+/// Outcome of the workflow run.
+struct WorkflowOutcome {
+  bool completed = false;  ///< all tasks finished within max_slots
+  Hours makespan{};        ///< first submission to last completion
+  Money total_cost{};
+  std::vector<TaskOutcome> tasks;
+};
+
+/// Execute the workflow on the market. All bids are persistent requests
+/// ("we will not bid on idle tasks": a task's request exists only between
+/// readiness and completion).
+[[nodiscard]] WorkflowOutcome run_workflow(market::SpotMarket& market, const Workflow& workflow,
+                                           long max_slots = 500'000);
+
+}  // namespace spotbid::workflow

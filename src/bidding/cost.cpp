@@ -1,0 +1,114 @@
+#include "spotbid/bidding/cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spotbid::bidding {
+
+Hours expected_uninterrupted_run(const SpotPriceModel& model, Money p) {
+  const double f = model.acceptance(p);
+  if (f >= 1.0) return Hours{kInfiniteCost};
+  return Hours{model.slot_length().hours() / (1.0 - f)};
+}
+
+Money one_time_expected_cost(const SpotPriceModel& model, Money p, Hours execution_time) {
+  const double f = model.acceptance(p);
+  if (!(f > 0.0)) return Money{kInfiniteCost};
+  return Money{model.partial_expectation(p) / f} * execution_time;
+}
+
+double one_time_survival_probability(const SpotPriceModel& model, Money p, Hours execution_time) {
+  const double f = model.acceptance(p);
+  const double slots = std::ceil(execution_time / model.slot_length());
+  return std::pow(f, slots);
+}
+
+bool persistent_feasible(const SpotPriceModel& model, Money p, Hours recovery_time) {
+  // eq. 14: t_r < t_k / (1 - F(p)). Equivalently 1 - r (1 - F) > 0 with
+  // r = t_r / t_k, the positive-denominator condition of eq. 13.
+  const double r = recovery_time / model.slot_length();
+  const double f = model.acceptance(p);
+  return 1.0 - r * (1.0 - f) > 0.0;
+}
+
+namespace {
+
+/// Denominator of eq. 13/17: 1 - (t_r/t_k)(1 - F(p)); <= 0 means infeasible.
+double busy_denominator(const SpotPriceModel& model, Money p, Hours recovery_time) {
+  const double r = recovery_time / model.slot_length();
+  return 1.0 - r * (1.0 - model.acceptance(p));
+}
+
+}  // namespace
+
+Hours persistent_busy_time(const SpotPriceModel& model, Money p, const JobSpec& job) {
+  const double denom = busy_denominator(model, p, job.recovery_time);
+  if (!(denom > 0.0)) return Hours{kInfiniteCost};
+  return Hours{(job.execution_time - job.recovery_time).hours() / denom};
+}
+
+Hours persistent_completion_time(const SpotPriceModel& model, Money p, const JobSpec& job) {
+  const double f = model.acceptance(p);
+  if (!(f > 0.0)) return Hours{kInfiniteCost};
+  const Hours busy = persistent_busy_time(model, p, job);
+  if (!std::isfinite(busy.hours())) return busy;
+  return Hours{busy.hours() / f};
+}
+
+double persistent_expected_interruptions(const SpotPriceModel& model, Money p,
+                                         const JobSpec& job) {
+  const double f = model.acceptance(p);
+  const Hours completion = persistent_completion_time(model, p, job);
+  if (!std::isfinite(completion.hours())) return kInfiniteCost;
+  const double transitions = completion.hours() / model.slot_length().hours() * f * (1.0 - f);
+  return std::max(transitions - 1.0, 0.0);
+}
+
+Money persistent_expected_cost(const SpotPriceModel& model, Money p, const JobSpec& job) {
+  const double f = model.acceptance(p);
+  if (!(f > 0.0)) return Money{kInfiniteCost};
+  const Hours busy = persistent_busy_time(model, p, job);
+  if (!std::isfinite(busy.hours())) return Money{kInfiniteCost};
+  return Money{model.partial_expectation(p) / f} * busy;
+}
+
+Hours parallel_total_busy_time(const SpotPriceModel& model, Money p, const ParallelJobSpec& job) {
+  if (job.nodes < 1) throw InvalidArgument{"parallel_total_busy_time: nodes must be >= 1"};
+  const double denom = busy_denominator(model, p, job.recovery_time);
+  if (!(denom > 0.0)) return Hours{kInfiniteCost};
+  const double numer = (job.execution_time + job.overhead_time).hours() -
+                       static_cast<double>(job.nodes) * job.recovery_time.hours();
+  if (!(numer > 0.0)) return Hours{kInfiniteCost};  // over-split: M t_r >= t_s + t_o
+  return Hours{numer / denom};
+}
+
+Hours parallel_completion_time(const SpotPriceModel& model, Money p, const ParallelJobSpec& job) {
+  const double f = model.acceptance(p);
+  if (!(f > 0.0)) return Hours{kInfiniteCost};
+  const Hours total = parallel_total_busy_time(model, p, job);
+  if (!std::isfinite(total.hours())) return total;
+  // eq. 18: equal sub-jobs share the total busy time; divide by F to count
+  // idle slots.
+  return Hours{total.hours() / static_cast<double>(job.nodes) / f};
+}
+
+Money parallel_expected_cost(const SpotPriceModel& model, Money p, const ParallelJobSpec& job) {
+  const double f = model.acceptance(p);
+  if (!(f > 0.0)) return Money{kInfiniteCost};
+  const Hours total = parallel_total_busy_time(model, p, job);
+  if (!std::isfinite(total.hours())) return Money{kInfiniteCost};
+  return Money{model.partial_expectation(p) / f} * total;
+}
+
+double psi(const SpotPriceModel& model, Money p) {
+  const double f = model.acceptance(p);
+  if (!(f > 0.0)) return kInfiniteCost;  // below the support: must bid higher
+  const double a = model.partial_expectation(p);
+  const double denom = p.usd() * f - a;  // integral of (p - x) f(x) dx
+  // denom -> 0+ as p approaches the support minimum (or a floor atom);
+  // psi diverges there, so return its right-limit rather than throwing.
+  if (!(denom > 0.0)) return kInfiniteCost;
+  return f * (a / denom - 1.0);
+}
+
+}  // namespace spotbid::bidding

@@ -1,0 +1,47 @@
+#include "spotbid/bidding/price_model.hpp"
+
+#include "spotbid/dist/empirical.hpp"
+#include "spotbid/provider/calibration.hpp"
+
+namespace spotbid::bidding {
+
+SpotPriceModel::SpotPriceModel(dist::DistributionPtr prices, Money on_demand, Hours slot_length)
+    : prices_(std::move(prices)), on_demand_(on_demand), slot_length_(slot_length) {
+  if (!prices_) throw InvalidArgument{"SpotPriceModel: null price distribution"};
+  if (!(on_demand.usd() > 0.0)) throw InvalidArgument{"SpotPriceModel: on-demand price must be > 0"};
+  if (!(slot_length.hours() > 0.0)) throw InvalidArgument{"SpotPriceModel: slot length must be > 0"};
+}
+
+SpotPriceModel SpotPriceModel::from_trace(const trace::PriceTrace& trace, Money on_demand) {
+  if (trace.size() < 2) throw InvalidArgument{"SpotPriceModel::from_trace: trace too short"};
+  auto empirical = std::make_shared<dist::Empirical>(trace.prices());
+  return SpotPriceModel{std::move(empirical), on_demand, trace.slot_length()};
+}
+
+SpotPriceModel SpotPriceModel::from_type(const ec2::InstanceType& type, Hours slot_length) {
+  return SpotPriceModel{provider::calibrated_price_distribution(type), type.on_demand,
+                        slot_length};
+}
+
+double SpotPriceModel::acceptance(Money p) const { return prices_->cdf(p.usd()); }
+
+double SpotPriceModel::density(Money p) const { return prices_->pdf(p.usd()); }
+
+Money SpotPriceModel::quantile(double q) const { return Money{prices_->quantile(q)}; }
+
+Money SpotPriceModel::expected_payment(Money p) const {
+  const double f = acceptance(p);
+  if (!(f > 0.0))
+    throw ModelError{"SpotPriceModel::expected_payment: bid below all spot prices (F(p) = 0)"};
+  return Money{prices_->partial_expectation(p.usd()) / f};
+}
+
+double SpotPriceModel::partial_expectation(Money p) const {
+  return prices_->partial_expectation(p.usd());
+}
+
+Money SpotPriceModel::support_lo() const { return Money{prices_->support_lo()}; }
+
+Money SpotPriceModel::support_hi() const { return Money{prices_->support_hi()}; }
+
+}  // namespace spotbid::bidding

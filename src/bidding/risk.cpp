@@ -1,0 +1,189 @@
+#include "spotbid/bidding/risk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spotbid/numeric/integrate.hpp"
+#include "spotbid/numeric/optimize.hpp"
+#include "spotbid/numeric/roots.hpp"
+
+namespace spotbid::bidding {
+
+namespace {
+
+/// E[pi^2 1(pi <= p)] through the quantile representation
+/// int_0^{F(p)} Q(u)^2 du — exact for atoms in any price law.
+double partial_second_moment(const SpotPriceModel& model, Money p) {
+  const double f = model.acceptance(p);
+  if (f <= 0.0) return 0.0;
+  return numeric::adaptive_simpson(
+      [&](double u) {
+        const double x = model.quantile(std::clamp(u, 0.0, 1.0)).usd();
+        return x * x;
+      },
+      0.0, f, 1e-12);
+}
+
+/// Busy slots a persistent job needs in expectation at bid p.
+double busy_slots(const SpotPriceModel& model, Money p, const JobSpec& job) {
+  const Hours busy = persistent_busy_time(model, p, job);
+  if (!std::isfinite(busy.hours())) return kInfiniteCost;
+  return busy.hours() / model.slot_length().hours();
+}
+
+}  // namespace
+
+double conditional_payment_variance(const SpotPriceModel& model, Money p) {
+  const double f = model.acceptance(p);
+  if (!(f > 0.0))
+    throw ModelError{"conditional_payment_variance: bid below all spot prices"};
+  const double mean = model.partial_expectation(p) / f;
+  const double second = partial_second_moment(model, p) / f;
+  return std::max(second - mean * mean, 0.0);
+}
+
+double persistent_cost_variance(const SpotPriceModel& model, Money p, const JobSpec& job) {
+  const double n = busy_slots(model, p, job);
+  if (!std::isfinite(n)) return kInfiniteCost;
+  const double tk = model.slot_length().hours();
+  return n * conditional_payment_variance(model, p) * tk * tk;
+}
+
+BidDecision variance_constrained_bid(const SpotPriceModel& model, const JobSpec& job,
+                                     double max_variance_usd2) {
+  if (!(max_variance_usd2 >= 0.0))
+    throw InvalidArgument{"variance_constrained_bid: negative variance bound"};
+
+  BidDecision unconstrained = persistent_bid(model, job);
+  if (!unconstrained.use_on_demand &&
+      persistent_cost_variance(model, unconstrained.bid, job) <= max_variance_usd2) {
+    unconstrained.rationale += " [variance bound slack]";
+    return unconstrained;
+  }
+
+  // Search the feasible set directly: minimize cost with an infinite
+  // penalty outside the variance bound.
+  const double lo = model.quantile(kMinAcceptance).usd();
+  double hi = model.support_hi().usd();
+  if (!std::isfinite(hi)) hi = model.quantile(1.0 - 1e-9).usd();
+  hi = std::min(hi, model.on_demand().usd());
+  const auto objective = [&](double p) {
+    const double variance = persistent_cost_variance(model, Money{p}, job);
+    if (!(variance <= max_variance_usd2)) return 1e30;
+    const Money cost = persistent_expected_cost(model, Money{p}, job);
+    return std::isfinite(cost.usd()) ? cost.usd() : 1e30;
+  };
+  const auto best = numeric::grid_then_golden(objective, lo, hi, 512);
+
+  BidDecision d;
+  if (best.f >= 1e29) {
+    // No spot bid satisfies the bound: fall back to on-demand (variance 0).
+    d.use_on_demand = true;
+    d.expected_cost = model.on_demand() * job.execution_time;
+    d.expected_completion = job.execution_time;
+    d.rationale = "variance bound unattainable on spot; on-demand (zero variance)";
+    return d;
+  }
+  d.bid = Money{best.x};
+  d.acceptance = model.acceptance(d.bid);
+  d.expected_cost = persistent_expected_cost(model, d.bid, job);
+  d.expected_completion = persistent_completion_time(model, d.bid, job);
+  d.expected_interruptions = persistent_expected_interruptions(model, d.bid, job);
+  d.rationale = "cost-minimal bid on the variance-feasible set";
+  const Money on_demand_cost = model.on_demand() * job.execution_time;
+  if (d.expected_cost.usd() > on_demand_cost.usd()) {
+    d.use_on_demand = true;
+    d.expected_cost = on_demand_cost;
+    d.expected_completion = job.execution_time;
+    d.rationale += " [on-demand wins]";
+  }
+  return d;
+}
+
+double deadline_miss_probability(const SpotPriceModel& model, Money p, const JobSpec& job,
+                                 Hours deadline) {
+  if (!(deadline.hours() > 0.0))
+    throw InvalidArgument{"deadline_miss_probability: deadline must be > 0"};
+  const double tk = model.slot_length().hours();
+  const auto d_slots = static_cast<long>(std::floor(deadline.hours() / tk + 1e-12));
+  // Needed busy slots: execution plus expected recovery overhead at p.
+  const Hours busy = persistent_busy_time(model, p, job);
+  if (!std::isfinite(busy.hours())) return 1.0;
+  const auto w_slots = static_cast<long>(std::ceil(busy.hours() / tk - 1e-12));
+  if (w_slots <= 0) return 0.0;
+  if (d_slots < w_slots) return 1.0;
+
+  const double f = model.acceptance(p);
+  if (f <= 0.0) return 1.0;
+  if (f >= 1.0) return 0.0;
+
+  // P(Bin(d, f) <= w - 1), summed in log space for numerical range.
+  const double log_f = std::log(f);
+  const double log_1mf = std::log1p(-f);
+  double log_coeff = 0.0;  // log C(d, 0)
+  double total = 0.0;
+  for (long k = 0; k < w_slots; ++k) {
+    if (k > 0) {
+      log_coeff += std::log(static_cast<double>(d_slots - k + 1)) -
+                   std::log(static_cast<double>(k));
+    }
+    total += std::exp(log_coeff + k * log_f + (d_slots - k) * log_1mf);
+  }
+  return std::clamp(total, 0.0, 1.0);
+}
+
+std::optional<BidDecision> deadline_constrained_bid(const SpotPriceModel& model,
+                                                    const JobSpec& job, Hours deadline,
+                                                    double epsilon) {
+  if (!(epsilon > 0.0) || epsilon >= 1.0)
+    throw InvalidArgument{"deadline_constrained_bid: epsilon must be in (0, 1)"};
+
+  const double lo = model.quantile(kMinAcceptance).usd();
+  double hi = model.support_hi().usd();
+  if (!std::isfinite(hi)) hi = model.quantile(1.0 - 1e-9).usd();
+  hi = std::min(hi, model.on_demand().usd());
+
+  const auto miss = [&](double p) {
+    return deadline_miss_probability(model, Money{p}, job, deadline);
+  };
+  if (miss(hi) > epsilon) return std::nullopt;  // even the top bid is too risky
+
+  // The eq.-15 cost is U-shaped in p while the miss probability decreases
+  // in p, so: if the unconstrained optimum already meets the deadline,
+  // it solves the constrained problem too; otherwise the admissible set is
+  // an interval [p_min_adm, hi] strictly right of the optimum, where the
+  // cost increases — the smallest admissible bid wins.
+  const auto unconstrained = persistent_bid(model, job);
+  double bid = hi;
+  if (!unconstrained.use_on_demand && miss(unconstrained.bid.usd()) <= epsilon) {
+    bid = unconstrained.bid.usd();
+  } else if (miss(lo) <= epsilon) {
+    bid = lo;
+  } else {
+    const auto residual = [&](double p) { return miss(p) - epsilon; };
+    const auto bracket = numeric::find_bracket(residual, lo, hi, 512);
+    if (bracket) {
+      // Refine the admissible boundary, then keep the admissible side.
+      auto refined = bracket->second;
+      try {
+        const auto root = numeric::bisect(residual, bracket->first, bracket->second,
+                                          {.x_tolerance = 1e-10});
+        refined = root.x;
+      } catch (const InvalidArgument&) {
+        // Plateau at the boundary: the bracket edge is fine.
+      }
+      bid = (miss(refined) <= epsilon) ? refined : bracket->second;
+    }
+  }
+
+  BidDecision d;
+  d.bid = Money{bid};
+  d.acceptance = model.acceptance(d.bid);
+  d.expected_cost = persistent_expected_cost(model, d.bid, job);
+  d.expected_completion = persistent_completion_time(model, d.bid, job);
+  d.expected_interruptions = persistent_expected_interruptions(model, d.bid, job);
+  d.rationale = "smallest bid with P(miss deadline) <= epsilon";
+  return d;
+}
+
+}  // namespace spotbid::bidding

@@ -1,0 +1,110 @@
+#include "spotbid/bidding/sticky.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "spotbid/numeric/optimize.hpp"
+
+namespace spotbid::bidding {
+
+double estimate_persistence(const trace::PriceTrace& trace) {
+  if (trace.size() < 2) throw InvalidArgument{"estimate_persistence: trace too short"};
+  const auto prices = trace.prices();
+
+  // Fraction of slots identical to their predecessor.
+  std::size_t carried = 0;
+  for (std::size_t i = 1; i < prices.size(); ++i)
+    if (prices[i] == prices[i - 1]) ++carried;
+  const double carry_fraction = static_cast<double>(carried) /
+                                static_cast<double>(prices.size() - 1);
+
+  // Redraws collide when the redraw equals the current value; under the
+  // marginal law that happens with probability sum_i q_i^2 over atoms
+  // (continuous values never collide). Estimate from value frequencies.
+  std::unordered_map<double, std::size_t> counts;
+  for (double p : prices) ++counts[p];
+  double collision = 0.0;
+  for (const auto& [value, count] : counts) {
+    (void)value;
+    const double q = static_cast<double>(count) / static_cast<double>(prices.size());
+    if (count > 1) collision += q * q;
+  }
+  collision = std::min(collision, 0.999);
+
+  // carry = rho + (1 - rho) * collision  =>  rho = (carry - c) / (1 - c).
+  const double rho = (carry_fraction - collision) / (1.0 - collision);
+  return std::clamp(rho, 0.0, 1.0 - 1e-9);
+}
+
+StickyMetrics sticky_persistent_metrics(const SpotPriceModel& model, Money p,
+                                        const JobSpec& job, double rho) {
+  if (rho < 0.0 || rho >= 1.0)
+    throw InvalidArgument{"sticky_persistent_metrics: rho must be in [0, 1)"};
+  StickyMetrics m;
+  const double f = model.acceptance(p);
+  if (!(f > 0.0)) return m;  // infeasible: bid never wins
+
+  const double r = job.recovery_time / model.slot_length();
+  const double effective_miss = (1.0 - rho) * (1.0 - f);
+  const double denom = 1.0 - r * effective_miss;
+  if (!(denom > 0.0)) return m;  // eq. 14' violated
+
+  m.feasible = true;
+  m.busy_time = Hours{(job.execution_time - job.recovery_time).hours() / denom};
+  m.expected_completion = Hours{m.busy_time.hours() / f};
+  const double transitions =
+      m.expected_completion.hours() / model.slot_length().hours() * (1.0 - rho) * f * (1.0 - f);
+  m.expected_interruptions = std::max(transitions - 1.0, 0.0);
+  m.expected_cost = model.expected_payment(p) * m.busy_time;
+  return m;
+}
+
+BidDecision sticky_persistent_bid(const SpotPriceModel& model, const JobSpec& job, double rho) {
+  if (rho < 0.0 || rho >= 1.0)
+    throw InvalidArgument{"sticky_persistent_bid: rho must be in [0, 1)"};
+  if (!(job.execution_time > job.recovery_time))
+    throw InvalidArgument{"sticky_persistent_bid: execution time must exceed recovery time"};
+
+  // eq. 16': same psi, target scaled by the carry-over survival.
+  std::optional<Money> closed_form;
+  if (job.recovery_time.hours() > 0.0) {
+    const double target =
+        model.slot_length().hours() / ((1.0 - rho) * job.recovery_time.hours()) - 1.0;
+    closed_form = psi_inverse(model, target);
+  }
+
+  const double lo = model.quantile(kMinAcceptance).usd();
+  double hi = model.support_hi().usd();
+  if (!std::isfinite(hi)) hi = model.quantile(1.0 - 1e-9).usd();
+  hi = std::min(hi, model.on_demand().usd());
+  const auto objective = [&](double p) {
+    const auto m = sticky_persistent_metrics(model, Money{p}, job, rho);
+    return m.feasible ? m.expected_cost.usd() : 1e30;
+  };
+  double bid = numeric::grid_then_golden(objective, lo, hi, 512).x;
+  if (closed_form &&
+      objective(closed_form->usd()) <= objective(bid) + 1e-12 * (1.0 + objective(bid))) {
+    bid = closed_form->usd();
+  }
+
+  const auto metrics = sticky_persistent_metrics(model, Money{bid}, job, rho);
+  BidDecision d;
+  d.bid = Money{bid};
+  d.acceptance = model.acceptance(d.bid);
+  d.expected_cost = metrics.expected_cost;
+  d.expected_completion = metrics.expected_completion;
+  d.expected_interruptions = metrics.expected_interruptions;
+  d.rationale = "correlation-aware Prop. 5: psi^{-1}(t_k / ((1-rho) t_r) - 1)";
+
+  const Money on_demand_cost = model.on_demand() * job.execution_time;
+  if (!metrics.feasible || d.expected_cost.usd() > on_demand_cost.usd()) {
+    d.use_on_demand = true;
+    d.expected_cost = on_demand_cost;
+    d.expected_completion = job.execution_time;
+    d.rationale += " [on-demand wins]";
+  }
+  return d;
+}
+
+}  // namespace spotbid::bidding

@@ -1,0 +1,274 @@
+#include "spotbid/bidding/strategies.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spotbid/numeric/optimize.hpp"
+#include "spotbid/numeric/roots.hpp"
+
+namespace spotbid::bidding {
+
+namespace {
+
+/// Bid bounds the optimizers search: [kMinAcceptance quantile, support hi],
+/// additionally capped at the on-demand price (bidding above pi_bar never
+/// helps: the charge is the spot price, and spot <= pi_bar by construction).
+std::pair<double, double> bid_bounds(const SpotPriceModel& model) {
+  const double lo = model.quantile(kMinAcceptance).usd();
+  double hi = model.support_hi().usd();
+  if (!std::isfinite(hi)) hi = model.quantile(1.0 - 1e-9).usd();
+  hi = std::min(hi, model.on_demand().usd());
+  return {lo, std::max(hi, lo)};
+}
+
+/// Fill the analytic diagnostics of a persistent-style decision.
+BidDecision make_persistent_decision(const SpotPriceModel& model, const JobSpec& job, Money bid) {
+  BidDecision d;
+  d.bid = bid;
+  d.acceptance = model.acceptance(bid);
+  d.expected_cost = persistent_expected_cost(model, bid, job);
+  d.expected_completion = persistent_completion_time(model, bid, job);
+  d.expected_interruptions = persistent_expected_interruptions(model, bid, job);
+  return d;
+}
+
+/// Switch a decision to on-demand when spot cannot beat it (the eq. 10/15
+/// first constraint).
+void apply_on_demand_guard(BidDecision& d, const SpotPriceModel& model, Hours execution_time) {
+  const Money on_demand_cost = model.on_demand() * execution_time;
+  if (!(d.expected_cost.usd() <= on_demand_cost.usd()) ||
+      !std::isfinite(d.expected_cost.usd())) {
+    d.use_on_demand = true;
+    d.expected_cost = on_demand_cost;
+    d.expected_completion = execution_time;
+    d.rationale += " [on-demand wins]";
+  }
+}
+
+}  // namespace
+
+BidDecision one_time_bid(const SpotPriceModel& model, const JobSpec& job) {
+  if (!(job.execution_time.hours() > 0.0))
+    throw InvalidArgument{"one_time_bid: execution time must be > 0"};
+
+  // Proposition 4: bid at the (1 - t_k/t_s) percentile, floored at the
+  // price-support minimum (and our acceptance floor).
+  const double ratio = model.slot_length() / job.execution_time;
+  const double q = std::clamp(1.0 - ratio, kMinAcceptance, 1.0);
+  const auto [lo, hi] = bid_bounds(model);
+  const double p = std::clamp(model.quantile(q).usd(), lo, hi);
+
+  BidDecision d;
+  d.bid = Money{p};
+  d.acceptance = model.acceptance(d.bid);
+  d.expected_cost = one_time_expected_cost(model, d.bid, job.execution_time);
+  d.expected_completion = job.execution_time;
+  d.expected_interruptions = 0.0;
+  d.rationale = "Prop. 4 one-time bid at the F^{-1}(1 - t_k/t_s) percentile";
+  apply_on_demand_guard(d, model, job.execution_time);
+  return d;
+}
+
+std::optional<Money> psi_inverse(const SpotPriceModel& model, double target) {
+  auto [lo, hi] = bid_bounds(model);
+  if (!(hi > lo)) return std::nullopt;
+  // psi diverges at the support minimum / floor atom; nudge off it so the
+  // bracketing scan works with finite values.
+  lo += 1e-9 * (hi - lo);
+  const auto residual = [&](double p) { return psi(model, Money{p}) - target; };
+  const auto bracket = numeric::find_bracket(residual, lo, hi, 512);
+  if (!bracket) return std::nullopt;
+  const auto root = numeric::brent(residual, bracket->first, bracket->second,
+                                   {.x_tolerance = 1e-12});
+  return Money{root.x};
+}
+
+BidDecision persistent_bid_numeric(const SpotPriceModel& model, const JobSpec& job) {
+  if (!(job.execution_time > job.recovery_time))
+    throw InvalidArgument{"persistent_bid: execution time must exceed recovery time"};
+  const auto [lo, hi] = bid_bounds(model);
+  const auto objective = [&](double p) {
+    const Money cost = persistent_expected_cost(model, Money{p}, job);
+    return std::isfinite(cost.usd()) ? cost.usd() : 1e30;
+  };
+  const auto best = numeric::grid_then_golden(objective, lo, hi, 512);
+  BidDecision d = make_persistent_decision(model, job, Money{best.x});
+  d.rationale = "numeric minimization of eq. 15";
+  apply_on_demand_guard(d, model, job.execution_time);
+  return d;
+}
+
+BidDecision persistent_bid(const SpotPriceModel& model, const JobSpec& job) {
+  if (!(job.execution_time > job.recovery_time))
+    throw InvalidArgument{"persistent_bid: execution time must exceed recovery time"};
+
+  std::optional<Money> closed_form;
+  if (job.recovery_time.hours() > 0.0) {
+    const double target = model.slot_length() / job.recovery_time - 1.0;
+    closed_form = psi_inverse(model, target);
+  }
+
+  BidDecision numeric_choice = persistent_bid_numeric(model, job);
+  if (!closed_form) {
+    numeric_choice.rationale = "Prop. 5 (no interior psi root); " + numeric_choice.rationale;
+    return numeric_choice;
+  }
+
+  BidDecision analytic = make_persistent_decision(model, job, *closed_form);
+  analytic.rationale = "Prop. 5 closed form: p = psi^{-1}(t_k/t_r - 1)";
+  // Keep whichever evaluates cheaper; they agree on smooth laws, and the
+  // comparison absorbs discretization error on empirical ones. The numeric
+  // decision may already have been switched to on-demand by its guard, in
+  // which case the analytic one will switch too if it cannot beat it.
+  if (!numeric_choice.use_on_demand &&
+      numeric_choice.expected_cost.usd() < analytic.expected_cost.usd()) {
+    return numeric_choice;
+  }
+  apply_on_demand_guard(analytic, model, job.execution_time);
+  return analytic;
+}
+
+BidDecision parallel_bid(const SpotPriceModel& model, const ParallelJobSpec& job) {
+  if (job.nodes < 1) throw InvalidArgument{"parallel_bid: nodes must be >= 1"};
+  const Hours workload = job.execution_time + job.overhead_time;
+  if (!(workload.hours() > static_cast<double>(job.nodes) * job.recovery_time.hours()))
+    throw InvalidArgument{
+        "parallel_bid: over-split job (M * t_r >= t_s + t_o violates eq. 17)"};
+
+  // eq. 19 shares eq. 15's stationarity point, so the per-node bid is the
+  // Proposition-5 optimum; evaluate the parallel formulas at it.
+  std::optional<Money> closed_form;
+  if (job.recovery_time.hours() > 0.0) {
+    const double target = model.slot_length() / job.recovery_time - 1.0;
+    closed_form = psi_inverse(model, target);
+  }
+  const auto [lo, hi] = bid_bounds(model);
+  const auto objective = [&](double p) {
+    const Money cost = parallel_expected_cost(model, Money{p}, job);
+    return std::isfinite(cost.usd()) ? cost.usd() : 1e30;
+  };
+  double bid = numeric::grid_then_golden(objective, lo, hi, 512).x;
+  if (closed_form &&
+      objective(closed_form->usd()) <= objective(bid) + 1e-12 * (1.0 + objective(bid))) {
+    bid = closed_form->usd();
+  }
+
+  BidDecision d;
+  d.bid = Money{bid};
+  d.acceptance = model.acceptance(d.bid);
+  d.expected_cost = parallel_expected_cost(model, d.bid, job);
+  d.expected_completion = parallel_completion_time(model, d.bid, job);
+  {
+    // Interruption diagnostic per node, from the per-node completion time.
+    const double f = d.acceptance;
+    const double transitions =
+        d.expected_completion.hours() / model.slot_length().hours() * f * (1.0 - f);
+    d.expected_interruptions = std::max(transitions - 1.0, 0.0) * job.nodes;
+  }
+  d.rationale = "Section 6.1: Prop.-5 bid shared by all sub-jobs";
+
+  const Money on_demand_cost = model.on_demand() * workload;
+  if (!(d.expected_cost.usd() <= on_demand_cost.usd()) ||
+      !std::isfinite(d.expected_cost.usd())) {
+    d.use_on_demand = true;
+    d.expected_cost = on_demand_cost;
+    d.expected_completion = Hours{workload.hours() / job.nodes};
+    d.rationale += " [on-demand wins]";
+  }
+  return d;
+}
+
+BidDecision percentile_bid(const SpotPriceModel& model, const JobSpec& job, double percentile) {
+  if (percentile <= 0.0 || percentile >= 1.0)
+    throw InvalidArgument{"percentile_bid: percentile must be in (0, 1)"};
+  BidDecision d = make_persistent_decision(model, job, model.quantile(percentile));
+  d.rationale = "heuristic percentile bid";
+  apply_on_demand_guard(d, model, job.execution_time);
+  return d;
+}
+
+std::optional<Money> retrospective_best_bid(const trace::PriceTrace& trace, Hours lookback,
+                                            Hours job_length) {
+  const double tk = trace.slot_length().hours();
+  const auto window = std::min<SlotIndex>(static_cast<SlotIndex>(std::llround(lookback.hours() / tk)),
+                                          static_cast<SlotIndex>(trace.size()));
+  const auto run = static_cast<SlotIndex>(std::ceil(job_length.hours() / tk));
+  if (run <= 0 || window < run) return std::nullopt;
+
+  const auto end = static_cast<SlotIndex>(trace.size());
+  const SlotIndex begin = end - window;
+  double best = std::numeric_limits<double>::infinity();
+  for (SlotIndex s = begin; s + run <= end; ++s) {
+    double window_max = 0.0;
+    for (SlotIndex i = s; i < s + run; ++i)
+      window_max = std::max(window_max, trace.price_at(i).usd());
+    best = std::min(best, window_max);
+  }
+  if (!std::isfinite(best)) return std::nullopt;
+  return Money{best};
+}
+
+MapReducePlan mapreduce_bid(const SpotPriceModel& master_model, const SpotPriceModel& slave_model,
+                            const ParallelJobSpec& job, const MapReduceOptions& options) {
+  if (options.max_nodes < 1) throw InvalidArgument{"mapreduce_bid: max_nodes must be >= 1"};
+
+  MapReducePlan plan;
+
+  // Master: one-time request sized for the unsplit execution time — a
+  // conservative lifetime that eq. 20's constraint then relaxes by raising M
+  // until the slaves finish within the master's expected uninterrupted run.
+  plan.master = one_time_bid(master_model, JobSpec{job.execution_time, Hours{0.0}});
+  const Hours master_life = expected_uninterrupted_run(master_model, plan.master.bid);
+
+  // Slaves: Proposition-5 bid (M-independent; see parallel_bid).
+  ParallelJobSpec slaves_job = job;
+  slaves_job.nodes = 1;
+  // Find the smallest feasible M whose completion fits the master's life.
+  int chosen = -1;
+  BidDecision slave_decision;
+  for (int m = 1; m <= options.max_nodes; ++m) {
+    slaves_job.nodes = m;
+    if (!((job.execution_time + job.overhead_time).hours() >
+          static_cast<double>(m) * job.recovery_time.hours()))
+      break;  // over-split; larger M only makes it worse
+    BidDecision candidate = parallel_bid(slave_model, slaves_job);
+    if (!std::isfinite(candidate.expected_completion.hours())) continue;
+    if (candidate.expected_completion.hours() <= master_life.hours()) {
+      chosen = m;
+      slave_decision = candidate;
+      break;
+    }
+    if (m == options.max_nodes) {
+      chosen = m;  // eq.-20 constraint unattainable within the cap; take max
+      slave_decision = candidate;
+    }
+  }
+  if (chosen < 0) {
+    // Even M = 1 was over-split (t_r >= t_s + t_o): fall back to a plain
+    // persistent single-instance plan.
+    slaves_job.nodes = 1;
+    chosen = 1;
+    slave_decision = parallel_bid(slave_model, slaves_job);
+  }
+  plan.nodes = chosen;
+  plan.slaves = slave_decision;
+  plan.expected_completion = slave_decision.expected_completion;
+
+  // Master cost: charged the conditional expected spot price while the
+  // slaves run (it is never interrupted by construction of eq. 20).
+  const Money master_rate = master_model.expected_payment(plan.master.bid);
+  plan.master.expected_cost = master_rate * plan.expected_completion;
+  plan.master.expected_completion = plan.expected_completion;
+
+  plan.expected_total_cost = plan.master.expected_cost + plan.slaves.expected_cost;
+
+  // On-demand baseline: master + M slaves, no interruptions, same split.
+  plan.on_demand_completion =
+      Hours{(job.execution_time + job.overhead_time).hours() / chosen};
+  plan.on_demand_cost =
+      master_model.on_demand() * plan.on_demand_completion +
+      slave_model.on_demand() * plan.on_demand_completion * static_cast<double>(chosen);
+  return plan;
+}
+
+}  // namespace spotbid::bidding

@@ -1,0 +1,145 @@
+#include "spotbid/client/experiment.hpp"
+
+#include <memory>
+
+#include "spotbid/provider/calibration.hpp"
+#include "spotbid/trace/generator.hpp"
+
+namespace spotbid::client {
+
+namespace {
+
+/// Seed stream decorrelated across instance types (the real markets of
+/// different types move independently).
+std::uint64_t type_seed(const ec2::InstanceType& type, std::uint64_t seed,
+                        std::uint64_t stream) {
+  return numeric::derive_seed(seed ^ numeric::fnv1a(type.name), stream);
+}
+
+/// Fresh market for a type: sticky prices with the calibrated marginal law.
+market::SpotMarket make_market(const ec2::InstanceType& type, std::uint64_t seed) {
+  auto prices = provider::calibrated_price_distribution(type);
+  auto source = std::make_unique<market::ModelPriceSource>(
+      std::move(prices), trace::kDefaultSlotLength, seed, type.market.persistence);
+  return market::SpotMarket{std::move(source)};
+}
+
+}  // namespace
+
+bidding::SpotPriceModel history_model(const ec2::InstanceType& type,
+                                      const ExperimentConfig& config) {
+  trace::GeneratorConfig generator;
+  generator.slots = config.history_slots;
+  generator.seed = type_seed(type, config.seed, 0x41c7);
+  const auto history = trace::generate_for_type(type, generator);
+  return bidding::SpotPriceModel::from_trace(history, type.on_demand);
+}
+
+AveragedOutcome run_single_instance_experiment(const ec2::InstanceType& type,
+                                               const bidding::JobSpec& job,
+                                               StrategyKind strategy,
+                                               const ExperimentConfig& config) {
+  if (config.repetitions < 1)
+    throw InvalidArgument{"run_single_instance_experiment: repetitions must be >= 1"};
+
+  const auto model = history_model(type, config);
+
+  AveragedOutcome outcome;
+  outcome.repetitions = config.repetitions;
+
+  bidding::BidDecision decision;
+  bool one_time = false;
+  switch (strategy) {
+    case StrategyKind::kOneTime:
+      decision = bidding::one_time_bid(model, job);
+      one_time = true;
+      break;
+    case StrategyKind::kPersistent:
+      decision = bidding::persistent_bid(model, job);
+      break;
+    case StrategyKind::kPercentile90:
+      decision = bidding::percentile_bid(model, job, 0.90);
+      break;
+    case StrategyKind::kOnDemand: {
+      const auto run = run_on_demand(job, type.on_demand);
+      outcome.avg_cost_usd = run.cost.usd();
+      outcome.avg_completion_h = run.completion_time.hours();
+      outcome.avg_hourly_price_usd = type.on_demand.usd();
+      outcome.expected_cost_usd = run.cost.usd();
+      outcome.expected_completion_h = run.completion_time.hours();
+      outcome.expected_hourly_price_usd = type.on_demand.usd();
+      return outcome;
+    }
+  }
+
+  outcome.bid = decision.bid;
+  outcome.acceptance = decision.acceptance;
+  outcome.expected_cost_usd = decision.expected_cost.usd();
+  outcome.expected_completion_h = decision.expected_completion.hours();
+  outcome.expected_hourly_price_usd =
+      decision.use_on_demand ? type.on_demand.usd() : model.expected_payment(decision.bid).usd();
+
+  for (int rep = 0; rep < config.repetitions; ++rep) {
+    auto market = make_market(type, type_seed(type, config.seed, 100 + rep));
+    const RunResult run = one_time
+                              ? run_one_time(market, decision.bid, job, type.on_demand)
+                              : run_persistent(market, decision.bid, job);
+    outcome.avg_cost_usd += run.cost.usd();
+    outcome.avg_completion_h += run.completion_time.hours();
+    outcome.avg_hourly_price_usd += run.hourly_price().usd();
+    outcome.avg_interruptions += run.interruptions;
+    if (!run.finished_on_spot) ++outcome.spot_failures;
+  }
+  const double n = config.repetitions;
+  outcome.avg_cost_usd /= n;
+  outcome.avg_completion_h /= n;
+  outcome.avg_hourly_price_usd /= n;
+  outcome.avg_interruptions /= n;
+  return outcome;
+}
+
+MapReduceOutcome run_mapreduce_experiment(const ec2::MapReduceSetting& setting,
+                                          const bidding::ParallelJobSpec& job,
+                                          const ExperimentConfig& config) {
+  if (config.repetitions < 1)
+    throw InvalidArgument{"run_mapreduce_experiment: repetitions must be >= 1"};
+
+  const auto master_model = history_model(setting.master, config);
+  const auto slave_model = history_model(setting.slave, config);
+
+  MapReduceOutcome outcome;
+  outcome.plan = bidding::mapreduce_bid(master_model, slave_model, job);
+  outcome.repetitions = config.repetitions;
+
+  for (int rep = 0; rep < config.repetitions; ++rep) {
+    auto master_market =
+        make_market(setting.master, type_seed(setting.master, config.seed, 500 + rep));
+    auto slave_market =
+        make_market(setting.slave, type_seed(setting.slave, config.seed, 900 + rep));
+
+    mapreduce::ClusterConfig cluster;
+    cluster.nodes = outcome.plan.nodes;
+    cluster.master_bid = outcome.plan.master.bid;
+    cluster.slave_bid = outcome.plan.slaves.bid;
+    cluster.job = job;
+    cluster.seed = numeric::derive_seed(config.seed, 1300 + rep);
+
+    const auto run = mapreduce::run_mapreduce(master_market, slave_market, cluster);
+    outcome.avg_cost_usd += run.total_cost().usd();
+    outcome.avg_completion_h += run.completion_time.hours();
+    outcome.avg_master_cost_usd += run.master_cost.usd();
+    outcome.avg_slave_cost_usd += run.slave_cost.usd();
+    outcome.avg_interruptions += run.slave_interruptions;
+    outcome.avg_master_restarts += run.master_restarts;
+  }
+  const double n = config.repetitions;
+  outcome.avg_cost_usd /= n;
+  outcome.avg_completion_h /= n;
+  outcome.avg_master_cost_usd /= n;
+  outcome.avg_slave_cost_usd /= n;
+  outcome.avg_interruptions /= n;
+  outcome.avg_master_restarts /= n;
+  return outcome;
+}
+
+}  // namespace spotbid::client

@@ -1,0 +1,94 @@
+#include "spotbid/client/job_runner.hpp"
+
+#include <cmath>
+
+namespace spotbid::client {
+
+namespace {
+
+/// Copy market bookkeeping into the result.
+void settle(RunResult& result, const market::RequestStatus& status, Hours slot_length) {
+  result.cost += status.accrued_cost;
+  result.spot_cost += status.accrued_cost;
+  result.running_time += slot_length * static_cast<double>(status.running_slots);
+  result.interruptions += status.interruptions;
+  result.launches += status.launches;
+}
+
+}  // namespace
+
+RunResult run_one_time(market::SpotMarket& market, Money bid, const bidding::JobSpec& job,
+                       Money on_demand, const RunOptions& options) {
+  const Hours tk = market.slot_length();
+  const auto id = market.submit({bid, market::BidKind::kOneTime});
+  // One-time requests are never interrupted-and-resumed, so no recovery
+  // time applies while on spot.
+  market::WorkTracker tracker{job.execution_time, Hours{0.0}, tk};
+
+  const SlotIndex start = market.current_slot();
+  RunResult result;
+  for (long i = 0; i < options.max_slots; ++i) {
+    market.advance();
+    tracker.on_slot(market.status(id));
+    if (tracker.done()) {
+      market.close(id);
+      result.completed = true;
+      result.finished_on_spot = true;
+      break;
+    }
+    if (market.is_final(id)) break;  // rejected or terminated
+  }
+
+  settle(result, market.status(id), tk);
+  result.completion_time = tk * static_cast<double>(market.current_slot() - start);
+  result.recovery_time_spent = tracker.recovery_spent();
+
+  if (!result.completed && options.on_demand_fallback) {
+    // Finish the remaining work on demand: billed at pi_bar, no
+    // interruptions, plus one recovery to reload whatever was checkpointed.
+    Hours remaining = job.execution_time - tracker.progress();
+    if (tracker.progress().hours() > 0.0) remaining += job.recovery_time;
+    result.cost += on_demand * remaining;
+    result.completion_time += remaining;
+    result.completed = true;
+  }
+  return result;
+}
+
+RunResult run_persistent(market::SpotMarket& market, Money bid, const bidding::JobSpec& job,
+                         const RunOptions& options) {
+  const Hours tk = market.slot_length();
+  const auto id = market.submit({bid, market::BidKind::kPersistent});
+  market::WorkTracker tracker{job.execution_time, job.recovery_time, tk};
+
+  const SlotIndex start = market.current_slot();
+  RunResult result;
+  for (long i = 0; i < options.max_slots; ++i) {
+    market.advance();
+    tracker.on_slot(market.status(id));
+    if (tracker.done()) {
+      market.close(id);
+      result.completed = true;
+      result.finished_on_spot = true;
+      break;
+    }
+  }
+
+  settle(result, market.status(id), tk);
+  result.completion_time = tk * static_cast<double>(market.current_slot() - start);
+  result.recovery_time_spent = tracker.recovery_spent();
+  result.interruptions = tracker.interruptions_observed();
+  return result;
+}
+
+RunResult run_on_demand(const bidding::JobSpec& job, Money on_demand) {
+  RunResult result;
+  result.completed = true;
+  result.finished_on_spot = false;
+  result.completion_time = job.execution_time;
+  result.running_time = job.execution_time;
+  result.cost = on_demand * job.execution_time;
+  return result;
+}
+
+}  // namespace spotbid::client

@@ -1,0 +1,34 @@
+#include "spotbid/client/price_monitor.hpp"
+
+#include <vector>
+
+#include "spotbid/dist/empirical.hpp"
+
+namespace spotbid::client {
+
+PriceMonitor::PriceMonitor(Money on_demand, Hours slot_length, std::size_t capacity)
+    : on_demand_(on_demand), slot_length_(slot_length), capacity_(capacity) {
+  if (!(on_demand.usd() > 0.0)) throw InvalidArgument{"PriceMonitor: on-demand must be > 0"};
+  if (!(slot_length.hours() > 0.0)) throw InvalidArgument{"PriceMonitor: slot length must be > 0"};
+  if (capacity < 2) throw InvalidArgument{"PriceMonitor: capacity must be >= 2"};
+}
+
+void PriceMonitor::observe(Money price) {
+  if (price.usd() < 0.0) throw InvalidArgument{"PriceMonitor: negative price"};
+  window_.push_back(price.usd());
+  while (window_.size() > capacity_) window_.pop_front();
+}
+
+void PriceMonitor::observe_trace(const trace::PriceTrace& trace) {
+  for (double p : trace.prices()) observe(Money{p});
+}
+
+bidding::SpotPriceModel PriceMonitor::model() const {
+  if (window_.size() < 2)
+    throw ModelError{"PriceMonitor::model: need at least two observations"};
+  const std::vector<double> samples(window_.begin(), window_.end());
+  auto empirical = std::make_shared<dist::Empirical>(samples);
+  return bidding::SpotPriceModel{std::move(empirical), on_demand_, slot_length_};
+}
+
+}  // namespace spotbid::client

@@ -1,0 +1,7 @@
+#include "spotbid/core/version.hpp"
+
+namespace spotbid {
+
+const char* version_string() { return "1.0.0"; }
+
+}  // namespace spotbid

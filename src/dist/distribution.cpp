@@ -1,0 +1,23 @@
+#include "spotbid/dist/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spotbid/numeric/integrate.hpp"
+
+namespace spotbid::dist {
+
+double Distribution::partial_expectation(double p) const {
+  const double lo = support_lo();
+  if (p <= lo) return 0.0;
+  // Cap an unbounded support at the 1 - 1e-12 quantile: beyond it the
+  // integrand's remaining mass is negligible for the finite-mean families
+  // this library uses.
+  double hi = std::min(p, support_hi());
+  if (!std::isfinite(hi)) hi = quantile(1.0 - 1e-12);
+  hi = std::min(hi, p);
+  if (hi <= lo) return 0.0;
+  return numeric::adaptive_simpson([this](double x) { return x * pdf(x); }, lo, hi, 1e-12);
+}
+
+}  // namespace spotbid::dist

@@ -1,0 +1,96 @@
+#include "spotbid/dist/empirical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "spotbid/core/types.hpp"
+#include "spotbid/numeric/stats.hpp"
+
+namespace spotbid::dist {
+
+Empirical::Empirical(std::span<const double> samples) : n_(samples.size()) {
+  if (n_ < 2) throw InvalidArgument{"Empirical: need at least two samples"};
+
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  mean_ = numeric::mean(sorted);
+  var_ = numeric::variance(sorted);
+
+  // Collapse duplicates into (value, cumulative probability) knots.
+  x_.reserve(sorted.size());
+  cum_.reserve(sorted.size());
+  std::size_t seen = 0;
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    seen += j - i;
+    x_.push_back(sorted[i]);
+    cum_.push_back(static_cast<double>(seen) / static_cast<double>(n_));
+    i = j;
+  }
+  if (x_.size() < 2) throw InvalidArgument{"Empirical: need at least two distinct values"};
+}
+
+double Empirical::cdf(double x) const {
+  if (x < x_.front()) return 0.0;
+  if (x >= x_.back()) return 1.0;
+  const auto it = std::upper_bound(x_.begin(), x_.end(), x);
+  const std::size_t i = static_cast<std::size_t>(it - x_.begin()) - 1;
+  const double t = (x - x_[i]) / (x_[i + 1] - x_[i]);
+  return cum_[i] + t * (cum_[i + 1] - cum_[i]);
+}
+
+double Empirical::pdf(double x) const {
+  if (x < x_.front() || x > x_.back()) return 0.0;
+  auto it = std::upper_bound(x_.begin(), x_.end(), x);
+  std::size_t i = (it == x_.begin()) ? 0 : static_cast<std::size_t>(it - x_.begin()) - 1;
+  i = std::min(i, x_.size() - 2);
+  return (cum_[i + 1] - cum_[i]) / (x_[i + 1] - x_[i]);
+}
+
+double Empirical::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) throw InvalidArgument{"Empirical::quantile: q outside [0, 1]"};
+  if (q <= cum_.front()) return x_.front();
+  if (q >= 1.0) return x_.back();
+  const auto it = std::lower_bound(cum_.begin(), cum_.end(), q);
+  const std::size_t j = static_cast<std::size_t>(it - cum_.begin());
+  const std::size_t i = j - 1;  // cum_[i] < q <= cum_[j]
+  const double span = cum_[j] - cum_[i];
+  if (span <= 0.0) return x_[j];
+  const double t = (q - cum_[i]) / span;
+  return x_[i] + t * (x_[j] - x_[i]);
+}
+
+double Empirical::sample(numeric::Rng& rng) const { return quantile(rng.uniform()); }
+
+double Empirical::mean() const { return mean_; }
+
+double Empirical::variance() const { return var_; }
+
+double Empirical::support_lo() const { return x_.front(); }
+
+double Empirical::support_hi() const { return x_.back(); }
+
+double Empirical::partial_expectation(double p) const {
+  if (p < x_.front()) return 0.0;
+  // Atom at the minimum (probability cum_[0]) plus the piecewise-linear
+  // segments of the interpolated ECDF.
+  double total = x_.front() * cum_.front();
+  for (std::size_t i = 0; i + 1 < x_.size(); ++i) {
+    if (p <= x_[i]) break;
+    const double hi = std::min(p, x_[i + 1]);
+    const double slope = (cum_[i + 1] - cum_[i]) / (x_[i + 1] - x_[i]);
+    total += slope * 0.5 * (hi * hi - x_[i] * x_[i]);
+  }
+  return total;
+}
+
+std::string Empirical::name() const {
+  std::ostringstream os;
+  os << "Empirical(n=" << n_ << ", [" << x_.front() << ", " << x_.back() << "])";
+  return os.str();
+}
+
+}  // namespace spotbid::dist

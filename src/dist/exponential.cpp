@@ -1,0 +1,55 @@
+#include "spotbid/dist/exponential.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "spotbid/core/types.hpp"
+
+namespace spotbid::dist {
+
+Exponential::Exponential(double eta, double shift) : eta_(eta), shift_(shift) {
+  if (!(eta > 0.0)) throw InvalidArgument{"Exponential: eta must be > 0"};
+}
+
+double Exponential::pdf(double x) const {
+  if (x < shift_) return 0.0;
+  return std::exp(-(x - shift_) / eta_) / eta_;
+}
+
+double Exponential::cdf(double x) const {
+  if (x <= shift_) return 0.0;
+  return -std::expm1(-(x - shift_) / eta_);
+}
+
+double Exponential::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) throw InvalidArgument{"Exponential::quantile: q outside [0, 1]"};
+  if (q == 1.0) return std::numeric_limits<double>::infinity();
+  return shift_ - eta_ * std::log1p(-q);
+}
+
+double Exponential::sample(numeric::Rng& rng) const { return shift_ + eta_ * rng.exponential(); }
+
+double Exponential::mean() const { return shift_ + eta_; }
+
+double Exponential::variance() const { return eta_ * eta_; }
+
+double Exponential::support_hi() const { return std::numeric_limits<double>::infinity(); }
+
+double Exponential::partial_expectation(double p) const {
+  if (p <= shift_) return 0.0;
+  // integral_shift^p x (1/eta) e^{-(x-shift)/eta} dx
+  //   = (shift + eta) - (p + eta) e^{-(p-shift)/eta}   [shift + eta = mean]
+  const double z = (p - shift_) / eta_;
+  return (shift_ + eta_) - (p + eta_) * std::exp(-z);
+}
+
+std::string Exponential::name() const {
+  std::ostringstream os;
+  os << "Exponential(eta=" << eta_;
+  if (shift_ != 0.0) os << ", shift=" << shift_;
+  os << ")";
+  return os.str();
+}
+
+}  // namespace spotbid::dist

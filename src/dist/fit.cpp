@@ -1,0 +1,85 @@
+#include "spotbid/dist/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "spotbid/core/types.hpp"
+#include "spotbid/numeric/optimize.hpp"
+#include "spotbid/numeric/rng.hpp"
+
+namespace spotbid::dist {
+
+double histogram_mse(const PdfFamily& family, const std::vector<double>& params,
+                     const numeric::Histogram& hist) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < hist.bins(); ++i) {
+    const double x = hist.bin_center(i);
+    const double diff = family(params, x) - hist.density(i);
+    sum += diff * diff;
+  }
+  return sum / static_cast<double>(hist.bins());
+}
+
+FitResult fit_histogram(const PdfFamily& family, const numeric::Histogram& hist,
+                        std::vector<double> x0, const FitBounds& bounds) {
+  if (x0.empty()) throw InvalidArgument{"fit_histogram: empty start point"};
+  const bool bounded = !bounds.lo.empty() || !bounds.hi.empty();
+  if (bounded && (bounds.lo.size() != x0.size() || bounds.hi.size() != x0.size()))
+    throw InvalidArgument{"fit_histogram: bounds size mismatch"};
+
+  auto objective = [&](const std::vector<double>& params) {
+    double penalty = 0.0;
+    std::vector<double> clamped = params;
+    if (bounded) {
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        if (params[i] < bounds.lo[i]) {
+          const double d = bounds.lo[i] - params[i];
+          penalty += 1e3 * d * d;
+          clamped[i] = bounds.lo[i];
+        } else if (params[i] > bounds.hi[i]) {
+          const double d = params[i] - bounds.hi[i];
+          penalty += 1e3 * d * d;
+          clamped[i] = bounds.hi[i];
+        }
+      }
+    }
+    const double mse = histogram_mse(family, clamped, hist);
+    return (std::isfinite(mse) ? mse : 1e30) + penalty;
+  };
+
+  numeric::SimplexOptions options;
+  options.max_iterations = 4000;
+  options.f_tolerance = 1e-18;
+
+  // Multi-start: x0 itself plus deterministic perturbations.
+  numeric::Rng rng{0xf17f17ULL};
+  FitResult best;
+  best.mse = std::numeric_limits<double>::infinity();
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    std::vector<double> start = x0;
+    if (attempt > 0) {
+      for (double& v : start) v *= rng.uniform(0.5, 1.8);
+      if (bounded) {
+        for (std::size_t i = 0; i < start.size(); ++i)
+          start[i] = std::clamp(start[i], bounds.lo[i], bounds.hi[i]);
+      }
+    }
+    const auto result = numeric::nelder_mead(objective, start, options);
+    std::vector<double> params = result.x;
+    if (bounded) {
+      for (std::size_t i = 0; i < params.size(); ++i)
+        params[i] = std::clamp(params[i], bounds.lo[i], bounds.hi[i]);
+    }
+    const double mse = histogram_mse(family, params, hist);
+    if (mse < best.mse) {
+      best.params = std::move(params);
+      best.mse = mse;
+      best.iterations = result.iterations;
+      best.converged = result.converged;
+    }
+  }
+  return best;
+}
+
+}  // namespace spotbid::dist

@@ -1,0 +1,66 @@
+#include "spotbid/dist/ks_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "spotbid/core/types.hpp"
+
+namespace spotbid::dist {
+
+double kolmogorov_q(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  // Alternating series; converges very fast for lambda > 0.2. For small
+  // lambda use the theta-function form for accuracy.
+  if (lambda < 0.2) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    sum += sign * term;
+    sign = -sign;
+    if (term < 1e-16) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsResult ks_two_sample(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) throw InvalidArgument{"ks_two_sample: empty sample"};
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double d = 0.0;
+  while (i < sa.size() && j < sb.size()) {
+    const double x = std::min(sa[i], sb[j]);
+    while (i < sa.size() && sa[i] <= x) ++i;
+    while (j < sb.size() && sb[j] <= x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na - static_cast<double>(j) / nb));
+  }
+  const double ne = na * nb / (na + nb);
+  const double lambda = (std::sqrt(ne) + 0.12 + 0.11 / std::sqrt(ne)) * d;
+  return {d, kolmogorov_q(lambda)};
+}
+
+KsResult ks_one_sample(std::span<const double> samples, const Distribution& ref) {
+  if (samples.empty()) throw InvalidArgument{"ks_one_sample: empty sample"};
+  std::vector<double> s(samples.begin(), samples.end());
+  std::sort(s.begin(), s.end());
+  const double n = static_cast<double>(s.size());
+  double d = 0.0;
+  for (std::size_t k = 0; k < s.size(); ++k) {
+    const double f = ref.cdf(s[k]);
+    const double lo = static_cast<double>(k) / n;
+    const double hi = static_cast<double>(k + 1) / n;
+    d = std::max({d, std::abs(f - lo), std::abs(hi - f)});
+  }
+  const double lambda = (std::sqrt(n) + 0.12 + 0.11 / std::sqrt(n)) * d;
+  return {d, kolmogorov_q(lambda)};
+}
+
+}  // namespace spotbid::dist

@@ -1,0 +1,98 @@
+#include "spotbid/dist/lognormal.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "spotbid/core/types.hpp"
+#include "spotbid/numeric/roots.hpp"
+
+namespace spotbid::dist {
+
+namespace {
+
+constexpr double kSqrt2 = 1.4142135623730950488;
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / kSqrt2); }
+
+/// Inverse standard-normal CDF (Acklam's rational approximation, refined by
+/// one Newton step; |error| < 1e-12 over (0, 1)).
+double normal_quantile(double p) {
+  // Coefficients for the central and tail rational approximations.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log1p(-p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * 3.14159265358979323846) * std::exp(0.5 * x * x);
+  return x - u / (1.0 + 0.5 * x * u);
+}
+
+}  // namespace
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  if (!(sigma > 0.0)) throw InvalidArgument{"LogNormal: sigma must be > 0"};
+}
+
+double LogNormal::pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) / (x * sigma_ * std::sqrt(2.0 * 3.14159265358979323846));
+}
+
+double LogNormal::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double LogNormal::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) throw InvalidArgument{"LogNormal::quantile: q outside [0, 1]"};
+  if (q == 0.0) return 0.0;
+  if (q == 1.0) return std::numeric_limits<double>::infinity();
+  return std::exp(mu_ + sigma_ * normal_quantile(q));
+}
+
+double LogNormal::sample(numeric::Rng& rng) const {
+  return std::exp(mu_ + sigma_ * rng.normal());
+}
+
+double LogNormal::mean() const { return std::exp(mu_ + 0.5 * sigma_ * sigma_); }
+
+double LogNormal::variance() const {
+  const double s2 = sigma_ * sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+
+double LogNormal::support_hi() const { return std::numeric_limits<double>::infinity(); }
+
+std::string LogNormal::name() const {
+  std::ostringstream os;
+  os << "LogNormal(mu=" << mu_ << ", sigma=" << sigma_ << ")";
+  return os.str();
+}
+
+}  // namespace spotbid::dist

@@ -1,0 +1,121 @@
+#include "spotbid/dist/pareto.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "spotbid/core/types.hpp"
+
+namespace spotbid::dist {
+
+Pareto::Pareto(double alpha, double xm) : alpha_(alpha), xm_(xm) {
+  if (!(alpha > 0.0)) throw InvalidArgument{"Pareto: alpha must be > 0"};
+  if (!(xm > 0.0)) throw InvalidArgument{"Pareto: xm must be > 0"};
+}
+
+double Pareto::pdf(double x) const {
+  if (x < xm_) return 0.0;
+  return alpha_ * std::pow(xm_, alpha_) / std::pow(x, alpha_ + 1.0);
+}
+
+double Pareto::cdf(double x) const {
+  if (x <= xm_) return 0.0;
+  return 1.0 - std::pow(xm_ / x, alpha_);
+}
+
+double Pareto::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) throw InvalidArgument{"Pareto::quantile: q outside [0, 1]"};
+  if (q == 1.0) return std::numeric_limits<double>::infinity();
+  return xm_ / std::pow(1.0 - q, 1.0 / alpha_);
+}
+
+double Pareto::sample(numeric::Rng& rng) const {
+  // Inversion with U in (0, 1].
+  return xm_ / std::pow(1.0 - rng.uniform(), 1.0 / alpha_);
+}
+
+double Pareto::mean() const {
+  if (alpha_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return alpha_ * xm_ / (alpha_ - 1.0);
+}
+
+double Pareto::variance() const {
+  if (alpha_ <= 2.0) return std::numeric_limits<double>::infinity();
+  const double m = xm_;
+  return m * m * alpha_ / ((alpha_ - 1.0) * (alpha_ - 1.0) * (alpha_ - 2.0));
+}
+
+double Pareto::support_hi() const { return std::numeric_limits<double>::infinity(); }
+
+double Pareto::partial_expectation(double p) const {
+  if (p <= xm_) return 0.0;
+  if (alpha_ == 1.0) {
+    // integral xm^1 / x dx = xm * log(p / xm)
+    return xm_ * std::log(p / xm_);
+  }
+  // integral_{xm}^{p} alpha xm^a x^{-a} dx
+  //   = alpha xm^a / (1 - a) * (p^{1-a} - xm^{1-a})
+  const double a = alpha_;
+  return a * std::pow(xm_, a) / (1.0 - a) * (std::pow(p, 1.0 - a) - std::pow(xm_, 1.0 - a));
+}
+
+std::string Pareto::name() const {
+  std::ostringstream os;
+  os << "Pareto(alpha=" << alpha_ << ", xm=" << xm_ << ")";
+  return os.str();
+}
+
+BoundedPareto::BoundedPareto(double alpha, double xm, double hi)
+    : alpha_(alpha), xm_(xm), hi_(hi) {
+  if (!(alpha > 0.0)) throw InvalidArgument{"BoundedPareto: alpha must be > 0"};
+  if (!(xm > 0.0)) throw InvalidArgument{"BoundedPareto: xm must be > 0"};
+  if (!(hi > xm)) throw InvalidArgument{"BoundedPareto: hi must exceed xm"};
+  norm_ = 1.0 - std::pow(xm_ / hi_, alpha_);
+}
+
+double BoundedPareto::pdf(double x) const {
+  if (x < xm_ || x > hi_) return 0.0;
+  return alpha_ * std::pow(xm_, alpha_) / std::pow(x, alpha_ + 1.0) / norm_;
+}
+
+double BoundedPareto::cdf(double x) const {
+  if (x <= xm_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (1.0 - std::pow(xm_ / x, alpha_)) / norm_;
+}
+
+double BoundedPareto::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) throw InvalidArgument{"BoundedPareto::quantile: q outside [0, 1]"};
+  return xm_ / std::pow(1.0 - q * norm_, 1.0 / alpha_);
+}
+
+double BoundedPareto::sample(numeric::Rng& rng) const { return quantile(rng.uniform()); }
+
+double BoundedPareto::mean() const {
+  if (alpha_ == 1.0) return xm_ * std::log(hi_ / xm_) / norm_;
+  const double a = alpha_;
+  return a * std::pow(xm_, a) / (1.0 - a) * (std::pow(hi_, 1.0 - a) - std::pow(xm_, 1.0 - a)) /
+         norm_;
+}
+
+double BoundedPareto::variance() const {
+  // E[X^2] - mean^2, with E[X^2] in closed form.
+  const double a = alpha_;
+  double ex2;
+  if (a == 2.0) {
+    ex2 = 2.0 * xm_ * xm_ * std::log(hi_ / xm_) / norm_;
+  } else {
+    ex2 = a * std::pow(xm_, a) / (2.0 - a) *
+          (std::pow(hi_, 2.0 - a) - std::pow(xm_, 2.0 - a)) / norm_;
+  }
+  const double m = mean();
+  return ex2 - m * m;
+}
+
+std::string BoundedPareto::name() const {
+  std::ostringstream os;
+  os << "BoundedPareto(alpha=" << alpha_ << ", xm=" << xm_ << ", hi=" << hi_ << ")";
+  return os.str();
+}
+
+}  // namespace spotbid::dist

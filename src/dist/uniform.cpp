@@ -1,0 +1,51 @@
+#include "spotbid/dist/uniform.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "spotbid/core/types.hpp"
+
+namespace spotbid::dist {
+
+Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+  if (!(lo < hi)) throw InvalidArgument{"Uniform: lo >= hi"};
+}
+
+double Uniform::pdf(double x) const {
+  if (x < lo_ || x > hi_) return 0.0;
+  return 1.0 / (hi_ - lo_);
+}
+
+double Uniform::cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (x - lo_) / (hi_ - lo_);
+}
+
+double Uniform::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) throw InvalidArgument{"Uniform::quantile: q outside [0, 1]"};
+  return lo_ + q * (hi_ - lo_);
+}
+
+double Uniform::sample(numeric::Rng& rng) const { return rng.uniform(lo_, hi_); }
+
+double Uniform::mean() const { return 0.5 * (lo_ + hi_); }
+
+double Uniform::variance() const {
+  const double w = hi_ - lo_;
+  return w * w / 12.0;
+}
+
+double Uniform::partial_expectation(double p) const {
+  const double x = std::clamp(p, lo_, hi_);
+  // integral_{lo}^{x} t / (hi - lo) dt
+  return (x * x - lo_ * lo_) / (2.0 * (hi_ - lo_));
+}
+
+std::string Uniform::name() const {
+  std::ostringstream os;
+  os << "Uniform(lo=" << lo_ << ", hi=" << hi_ << ")";
+  return os.str();
+}
+
+}  // namespace spotbid::dist

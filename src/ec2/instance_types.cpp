@@ -1,0 +1,94 @@
+#include "spotbid/ec2/instance_types.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace spotbid::ec2 {
+
+namespace {
+
+/// Calibration rule for types Figure 3 does not cover: beta scales with the
+/// on-demand price (the utilization weight is a dollar quantity), theta =
+/// 0.02 ("few instances finish in each time slot"); alpha, the floor level,
+/// the floor occupancy, and the price stickiness vary mildly per type the
+/// way the real 2014 markets did (each type's market cleared independently).
+MarketCalibration scaled_calibration(double on_demand_usd, double alpha,
+                                     double min_price_fraction, double floor_mass,
+                                     double persistence) {
+  return MarketCalibration{1.7 * on_demand_usd, 0.02,      alpha,
+                           min_price_fraction,  floor_mass, persistence};
+}
+
+const std::array<InstanceType, 10>& catalog() {
+  static const std::array<InstanceType, 10> kTypes = {{
+      // Figure-3 types with the paper's fitted (beta, theta, alpha):
+      {"m3.xlarge", "m3", 4, 15.0, "1x32", Money{0.280},
+       MarketCalibration{0.6, 0.02, 5.0, 0.09}},
+      {"m3.2xlarge", "m3", 8, 30.0, "2x80", Money{0.560},
+       MarketCalibration{1.2, 0.02, 8.0, 0.09}},
+      {"c3.xlarge", "c3", 4, 7.5, "2x40", Money{0.210},
+       MarketCalibration{0.3, 0.02, 9.5, 0.09}},
+      {"m1.xlarge", "m1", 4, 15.0, "4x420 HDD", Money{0.350},
+       MarketCalibration{0.3, 0.02, 5.2, 0.09}},
+      // Experiment types (Table 3, Figures 5-6) with the scaling rule:
+      {"r3.xlarge", "r3", 4, 30.5, "1x80", Money{0.350},
+       scaled_calibration(0.350, 5.0, 0.090, 0.80, 0.90)},
+      {"r3.2xlarge", "r3", 8, 61.0, "1x160", Money{0.700},
+       scaled_calibration(0.700, 5.5, 0.085, 0.78, 0.92)},
+      {"r3.4xlarge", "r3", 16, 122.0, "1x320", Money{1.400},
+       scaled_calibration(1.400, 4.5, 0.095, 0.82, 0.90)},
+      {"c3.4xlarge", "c3", 16, 30.0, "2x160", Money{0.840},
+       scaled_calibration(0.840, 6.0, 0.088, 0.76, 0.88)},
+      {"c3.8xlarge", "c3", 32, 60.0, "2x320", Money{1.680},
+       scaled_calibration(1.680, 5.2, 0.092, 0.84, 0.91)},
+      {"c3.2xlarge", "c3", 8, 15.0, "2x80", Money{0.420},
+       scaled_calibration(0.420, 5.0, 0.090, 0.80, 0.90)},
+  }};
+  return kTypes;
+}
+
+}  // namespace
+
+std::span<const InstanceType> all_types() { return catalog(); }
+
+std::optional<InstanceType> find_type(std::string_view name) {
+  const auto& types = catalog();
+  const auto it = std::find_if(types.begin(), types.end(),
+                               [&](const InstanceType& t) { return t.name == name; });
+  if (it == types.end()) return std::nullopt;
+  return *it;
+}
+
+const InstanceType& require_type(std::string_view name) {
+  const auto& types = catalog();
+  const auto it = std::find_if(types.begin(), types.end(),
+                               [&](const InstanceType& t) { return t.name == name; });
+  if (it == types.end())
+    throw InvalidArgument{"unknown instance type: " + std::string{name}};
+  return *it;
+}
+
+std::vector<InstanceType> figure3_types() {
+  return {require_type("m3.xlarge"), require_type("m3.2xlarge"), require_type("c3.xlarge"),
+          require_type("m1.xlarge")};
+}
+
+std::vector<InstanceType> experiment_types() {
+  return {require_type("r3.xlarge"), require_type("r3.2xlarge"), require_type("r3.4xlarge"),
+          require_type("c3.4xlarge"), require_type("c3.8xlarge")};
+}
+
+std::vector<MapReduceSetting> mapreduce_settings() {
+  // The paper does not list the exact type pairs; these five pairings follow
+  // its stated policy: a modest master ("does not require a high-performance
+  // instance") and compute-optimized slaves.
+  return {
+      {"C1", require_type("m3.xlarge"), require_type("c3.4xlarge")},
+      {"C2", require_type("m3.xlarge"), require_type("c3.8xlarge")},
+      {"C3", require_type("c3.xlarge"), require_type("c3.4xlarge")},
+      {"C4", require_type("r3.xlarge"), require_type("c3.8xlarge")},
+      {"C5", require_type("m1.xlarge"), require_type("c3.4xlarge")},
+  };
+}
+
+}  // namespace spotbid::ec2

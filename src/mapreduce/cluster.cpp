@@ -1,0 +1,163 @@
+#include "spotbid/mapreduce/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "spotbid/numeric/rng.hpp"
+
+namespace spotbid::mapreduce {
+
+namespace {
+
+/// State of one map task.
+struct Task {
+  double work_hours = 0.0;
+  double progress_hours = 0.0;
+  int owner = -1;  ///< slave index, -1 when unassigned
+  [[nodiscard]] bool done() const { return progress_hours >= work_hours - 1e-12; }
+};
+
+/// Per-slave bookkeeping.
+struct Slave {
+  market::RequestId request = 0;
+  int task = -1;                    ///< index into tasks, -1 when idle
+  double recovery_debt_hours = 0.0;
+  int last_launches = 0;
+  long last_running_slots = 0;
+};
+
+/// Index of an unassigned, unfinished task; -1 when none.
+int next_pending_task(const std::vector<Task>& tasks) {
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    if (!tasks[i].done() && tasks[i].owner < 0) return static_cast<int>(i);
+  return -1;
+}
+
+bool all_done(const std::vector<Task>& tasks) {
+  return std::all_of(tasks.begin(), tasks.end(), [](const Task& t) { return t.done(); });
+}
+
+}  // namespace
+
+ClusterResult run_mapreduce(market::SpotMarket& master_market, market::SpotMarket& slave_market,
+                            const ClusterConfig& config) {
+  if (config.nodes < 1) throw InvalidArgument{"run_mapreduce: nodes must be >= 1"};
+  if (config.tasks_per_node < 1)
+    throw InvalidArgument{"run_mapreduce: tasks_per_node must be >= 1"};
+  if (std::abs((master_market.slot_length() - slave_market.slot_length()).hours()) > 1e-12)
+    throw InvalidArgument{"run_mapreduce: markets must share a slot length"};
+  if (master_market.current_slot() != slave_market.current_slot())
+    throw InvalidArgument{"run_mapreduce: markets must be aligned"};
+
+  const double tk = slave_market.slot_length().hours();
+  const double tr = config.job.recovery_time.hours();
+  const double total_work = (config.job.execution_time + config.job.overhead_time).hours();
+  if (!(total_work > 0.0)) throw InvalidArgument{"run_mapreduce: no work"};
+
+  // Build the task list: equal map tasks covering t_s + t_o.
+  const int task_count = config.nodes * config.tasks_per_node;
+  std::vector<Task> tasks(static_cast<std::size_t>(task_count));
+  for (auto& t : tasks) t.work_hours = total_work / task_count;
+
+  // Submit the master (one-time) and the slaves (persistent).
+  auto master_id = master_market.submit({config.master_bid, market::BidKind::kOneTime});
+  std::vector<Slave> slaves(static_cast<std::size_t>(config.nodes));
+  for (auto& s : slaves)
+    s.request = slave_market.submit({config.slave_bid, market::BidKind::kPersistent});
+
+  numeric::Rng failure_rng{config.seed};
+  ClusterResult result;
+  const SlotIndex start_slot = slave_market.current_slot();
+
+  for (long step = 0; step < config.max_slots; ++step) {
+    master_market.advance();
+    // Markets may be the same object; only advance once in that case.
+    if (&slave_market != &master_market) slave_market.advance();
+    ++result.slots;
+
+    // Master upkeep: resubmit if the one-time request was outbid.
+    const auto& master_status = master_market.status(master_id);
+    const bool master_up = master_status.state == market::RequestState::kRunning;
+    if (master_status.state == market::RequestState::kTerminated) {
+      result.master_cost += master_status.accrued_cost;
+      master_id = master_market.submit({config.master_bid, market::BidKind::kOneTime});
+      ++result.master_restarts;
+    }
+
+    for (std::size_t si = 0; si < slaves.size(); ++si) {
+      Slave& slave = slaves[si];
+      const auto& status = slave_market.status(slave.request);
+
+      // Detect relaunch after an interruption -> recovery debt.
+      if (status.launches > slave.last_launches) {
+        if (slave.last_launches > 0) {
+          slave.recovery_debt_hours += tr;
+          ++result.slave_interruptions;
+        }
+        slave.last_launches = status.launches;
+      }
+
+      const bool ran_this_slot = status.running_slots > slave.last_running_slots;
+      if (ran_this_slot) slave.last_running_slots = status.running_slots;
+      if (!ran_this_slot) continue;
+
+      // Hardware-failure injection: the node crashes mid-slot; the master
+      // reschedules its task and the node pays recovery when it resumes.
+      if (config.node_failure_probability > 0.0 &&
+          failure_rng.bernoulli(config.node_failure_probability)) {
+        ++result.injected_failures;
+        if (slave.task >= 0) {
+          tasks[static_cast<std::size_t>(slave.task)].owner = -1;
+          slave.task = -1;
+          ++result.tasks_rescheduled;
+        }
+        slave.recovery_debt_hours += tr;
+        continue;
+      }
+
+      // Slaves coordinate through the master; no progress while it is down.
+      if (!master_up) continue;
+
+      double available = tk;
+      if (slave.recovery_debt_hours > 0.0) {
+        const double pay = std::min(slave.recovery_debt_hours, available);
+        slave.recovery_debt_hours -= pay;
+        available -= pay;
+      }
+
+      // Work through tasks, pulling new assignments as they finish.
+      while (available > 1e-15) {
+        if (slave.task < 0) {
+          slave.task = next_pending_task(tasks);
+          if (slave.task < 0) break;  // nothing left for this node
+          tasks[static_cast<std::size_t>(slave.task)].owner = static_cast<int>(si);
+        }
+        Task& task = tasks[static_cast<std::size_t>(slave.task)];
+        const double need = task.work_hours - task.progress_hours;
+        const double spend = std::min(need, available);
+        task.progress_hours += spend;
+        available -= spend;
+        if (task.done()) slave.task = -1;
+      }
+    }
+
+    if (all_done(tasks)) {
+      result.completed = true;
+      break;
+    }
+  }
+
+  // Close requests and settle bills.
+  master_market.close(master_id);
+  result.master_cost += master_market.status(master_id).accrued_cost;
+  for (const auto& slave : slaves) {
+    slave_market.close(slave.request);
+    result.slave_cost += slave_market.status(slave.request).accrued_cost;
+  }
+  result.completion_time =
+      Hours{static_cast<double>(slave_market.current_slot() - start_slot) * tk};
+  return result;
+}
+
+}  // namespace spotbid::mapreduce

@@ -1,0 +1,41 @@
+#include "spotbid/market/checkpoint.hpp"
+
+namespace spotbid::market {
+
+void CheckpointStore::record_launch(const std::string& key, SlotIndex slot) {
+  journals_[key].push_back({slot, CheckpointRecord::Kind::kLaunch, Hours{0.0}});
+}
+
+void CheckpointStore::record_progress(const std::string& key, SlotIndex slot,
+                                      Hours completed_work) {
+  if (completed_work.hours() < 0.0)
+    throw InvalidArgument{"CheckpointStore: negative completed work"};
+  journals_[key].push_back({slot, CheckpointRecord::Kind::kProgress, completed_work});
+}
+
+int CheckpointStore::launch_count(const std::string& key) const {
+  const auto it = journals_.find(key);
+  if (it == journals_.end()) return 0;
+  int count = 0;
+  for (const auto& rec : it->second)
+    if (rec.kind == CheckpointRecord::Kind::kLaunch) ++count;
+  return count;
+}
+
+bool CheckpointStore::is_restart(const std::string& key) const { return launch_count(key) > 1; }
+
+std::optional<Hours> CheckpointStore::last_saved_work(const std::string& key) const {
+  const auto it = journals_.find(key);
+  if (it == journals_.end()) return std::nullopt;
+  for (auto rec = it->second.rbegin(); rec != it->second.rend(); ++rec)
+    if (rec->kind == CheckpointRecord::Kind::kProgress) return rec->completed_work;
+  return std::nullopt;
+}
+
+std::vector<CheckpointRecord> CheckpointStore::journal(const std::string& key) const {
+  const auto it = journals_.find(key);
+  if (it == journals_.end()) return {};
+  return it->second;
+}
+
+}  // namespace spotbid::market

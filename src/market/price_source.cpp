@@ -1,0 +1,73 @@
+#include "spotbid/market/price_source.hpp"
+
+#include <algorithm>
+
+namespace spotbid::market {
+
+TracePriceSource::TracePriceSource(trace::PriceTrace trace, bool wrap)
+    : trace_(std::move(trace)), wrap_(wrap) {
+  if (trace_.empty()) throw InvalidArgument{"TracePriceSource: empty trace"};
+}
+
+Money TracePriceSource::price_at(SlotIndex slot) {
+  if (slot < 0) throw InvalidArgument{"TracePriceSource: negative slot"};
+  const auto n = static_cast<SlotIndex>(trace_.size());
+  if (slot >= n) {
+    if (!wrap_) throw InvalidArgument{"TracePriceSource: slot past end of trace"};
+    slot %= n;
+  }
+  return trace_.price_at(slot);
+}
+
+Hours TracePriceSource::slot_length() const { return trace_.slot_length(); }
+
+ModelPriceSource::ModelPriceSource(dist::DistributionPtr price_distribution, Hours slot_length,
+                                   std::uint64_t seed, double persistence)
+    : distribution_(std::move(price_distribution)),
+      slot_length_(slot_length),
+      rng_(seed),
+      persistence_(persistence) {
+  if (!distribution_) throw InvalidArgument{"ModelPriceSource: null distribution"};
+  if (!(slot_length.hours() > 0.0))
+    throw InvalidArgument{"ModelPriceSource: slot length must be > 0"};
+  if (persistence < 0.0 || persistence >= 1.0)
+    throw InvalidArgument{"ModelPriceSource: persistence must be in [0, 1)"};
+}
+
+Money ModelPriceSource::price_at(SlotIndex slot) {
+  if (slot < 0) throw InvalidArgument{"ModelPriceSource: negative slot"};
+  while (cache_.size() <= static_cast<std::size_t>(slot)) {
+    if (!cache_.empty() && rng_.bernoulli(persistence_)) {
+      cache_.push_back(cache_.back());
+    } else {
+      cache_.push_back(distribution_->sample(rng_));
+    }
+  }
+  return Money{cache_[static_cast<std::size_t>(slot)]};
+}
+
+Hours ModelPriceSource::slot_length() const { return slot_length_; }
+
+QueuePriceSource::QueuePriceSource(provider::ProviderModel model, dist::DistributionPtr arrivals,
+                                   Hours slot_length, std::uint64_t seed)
+    : queue_(model, model.equilibrium_demand(arrivals ? arrivals->mean() : 1.0)),
+      arrivals_(std::move(arrivals)),
+      slot_length_(slot_length),
+      rng_(seed) {
+  if (!arrivals_) throw InvalidArgument{"QueuePriceSource: null arrivals"};
+  if (!(slot_length.hours() > 0.0))
+    throw InvalidArgument{"QueuePriceSource: slot length must be > 0"};
+}
+
+Money QueuePriceSource::price_at(SlotIndex slot) {
+  if (slot < 0) throw InvalidArgument{"QueuePriceSource: negative slot"};
+  while (cache_.size() <= static_cast<std::size_t>(slot)) {
+    const auto record = queue_.step(std::max(arrivals_->sample(rng_), 0.0));
+    cache_.push_back(record.price.usd());
+  }
+  return Money{cache_[static_cast<std::size_t>(slot)]};
+}
+
+Hours QueuePriceSource::slot_length() const { return slot_length_; }
+
+}  // namespace spotbid::market

@@ -1,0 +1,119 @@
+#include "spotbid/market/spot_market.hpp"
+
+namespace spotbid::market {
+
+SpotMarket::SpotMarket(std::unique_ptr<PriceSource> source) : source_(std::move(source)) {
+  if (!source_) throw InvalidArgument{"SpotMarket: null price source"};
+}
+
+Money SpotMarket::current_price() const {
+  if (!has_price_) throw ModelError{"SpotMarket::current_price: no slot simulated yet"};
+  return current_price_;
+}
+
+RequestId SpotMarket::submit(const BidRequest& request) {
+  if (!(request.bid_price.usd() > 0.0))
+    throw InvalidArgument{"SpotMarket::submit: bid must be positive"};
+  RequestStatus status;
+  status.state = RequestState::kSubmitted;
+  status.bid_price = request.bid_price;
+  status.kind = request.kind;
+  status.submitted_slot = next_slot_;
+  requests_.push_back(status);
+  return static_cast<RequestId>(requests_.size() - 1);
+}
+
+RequestStatus& SpotMarket::status_mutable(RequestId id) {
+  if (id >= requests_.size()) throw InvalidArgument{"SpotMarket: unknown request id"};
+  return requests_[id];
+}
+
+const RequestStatus& SpotMarket::status(RequestId id) const {
+  if (id >= requests_.size()) throw InvalidArgument{"SpotMarket: unknown request id"};
+  return requests_[id];
+}
+
+bool SpotMarket::is_final(RequestId id) const {
+  const auto state = status(id).state;
+  return state == RequestState::kTerminated || state == RequestState::kClosed;
+}
+
+void SpotMarket::close(RequestId id) {
+  auto& req = status_mutable(id);
+  if (req.state == RequestState::kTerminated || req.state == RequestState::kClosed) {
+    return;
+  }
+  req.state = RequestState::kClosed;
+  req.closed_slot = next_slot_;
+  events_.push_back({next_slot_, id, EventKind::kClosed});
+}
+
+SlotReport SpotMarket::advance() {
+  SlotReport report;
+  report.slot = next_slot_;
+  report.price = source_->price_at(next_slot_);
+  current_price_ = report.price;
+  has_price_ = true;
+
+  const Hours tk = source_->slot_length();
+  for (RequestId id = 0; id < requests_.size(); ++id) {
+    auto& req = requests_[id];
+    switch (req.state) {
+      case RequestState::kTerminated:
+      case RequestState::kClosed:
+        break;
+      case RequestState::kSubmitted: {
+        if (req.bid_price >= report.price) {
+          req.state = RequestState::kRunning;
+          ++req.launches;
+          req.accrued_cost += report.price * tk;
+          ++req.running_slots;
+          report.events.push_back({report.slot, id, EventKind::kLaunched});
+        } else {
+          // EC2 keeps unfulfilled spot requests open: wait for the price.
+          req.state = RequestState::kPending;
+          ++req.pending_slots;
+        }
+        break;
+      }
+      case RequestState::kPending: {
+        if (req.bid_price >= report.price) {
+          req.state = RequestState::kRunning;
+          ++req.launches;
+          req.accrued_cost += report.price * tk;
+          ++req.running_slots;
+          report.events.push_back({report.slot, id, EventKind::kLaunched});
+        } else {
+          ++req.pending_slots;
+        }
+        break;
+      }
+      case RequestState::kRunning: {
+        if (req.bid_price >= report.price) {
+          req.accrued_cost += report.price * tk;
+          ++req.running_slots;
+        } else if (req.kind == BidKind::kPersistent) {
+          req.state = RequestState::kPending;
+          ++req.interruptions;
+          ++req.pending_slots;
+          report.events.push_back({report.slot, id, EventKind::kInterrupted});
+        } else {
+          req.state = RequestState::kTerminated;
+          req.closed_slot = report.slot;
+          report.events.push_back({report.slot, id, EventKind::kTerminated});
+        }
+        break;
+      }
+    }
+  }
+
+  events_.insert(events_.end(), report.events.begin(), report.events.end());
+  ++next_slot_;
+  return report;
+}
+
+void SpotMarket::advance_many(int n) {
+  for (int i = 0; i < n; ++i) advance();
+}
+
+}  // namespace spotbid::market

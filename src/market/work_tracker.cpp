@@ -1,0 +1,43 @@
+#include "spotbid/market/work_tracker.hpp"
+
+#include <algorithm>
+
+namespace spotbid::market {
+
+WorkTracker::WorkTracker(Hours work_required, Hours recovery_time, Hours slot_length)
+    : work_hours_(work_required.hours()),
+      recovery_hours_(recovery_time.hours()),
+      slot_hours_(slot_length.hours()) {
+  if (!(work_hours_ > 0.0)) throw InvalidArgument{"WorkTracker: work must be > 0"};
+  if (recovery_hours_ < 0.0) throw InvalidArgument{"WorkTracker: negative recovery time"};
+  if (!(slot_hours_ > 0.0)) throw InvalidArgument{"WorkTracker: slot length must be > 0"};
+}
+
+void WorkTracker::on_slot(const RequestStatus& status) {
+  ++slots_;
+
+  // A launch beyond the first means the instance resumed after an
+  // interruption: it must first re-load the checkpoint (t_r of recovery).
+  if (status.launches > last_launches_) {
+    if (last_launches_ > 0) {
+      recovery_debt_hours_ += recovery_hours_;
+      ++relaunches_;
+    }
+    last_launches_ = status.launches;
+  }
+
+  // Did the instance run during this slot?
+  if (status.running_slots > last_running_slots_) {
+    last_running_slots_ = status.running_slots;
+    double available = slot_hours_;
+    if (recovery_debt_hours_ > 0.0) {
+      const double pay = std::min(recovery_debt_hours_, available);
+      recovery_debt_hours_ -= pay;
+      recovery_spent_hours_ += pay;
+      available -= pay;
+    }
+    progress_hours_ += available;
+  }
+}
+
+}  // namespace spotbid::market

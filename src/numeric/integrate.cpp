@@ -1,0 +1,65 @@
+#include "spotbid/numeric/integrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spotbid/core/types.hpp"
+
+namespace spotbid::numeric {
+
+double trapezoid(const std::function<double(double)>& f, double lo, double hi, int n) {
+  if (n < 1) throw InvalidArgument{"trapezoid: n < 1"};
+  if (lo == hi) return 0.0;
+  const double h = (hi - lo) / n;
+  double sum = 0.5 * (f(lo) + f(hi));
+  for (int i = 1; i < n; ++i) sum += f(lo + i * h);
+  return sum * h;
+}
+
+double simpson(const std::function<double(double)>& f, double lo, double hi, int n) {
+  if (n < 2) throw InvalidArgument{"simpson: n < 2"};
+  if (lo == hi) return 0.0;
+  if (n % 2 != 0) ++n;
+  const double h = (hi - lo) / n;
+  double sum = f(lo) + f(hi);
+  for (int i = 1; i < n; ++i) sum += f(lo + i * h) * ((i % 2 == 1) ? 4.0 : 2.0);
+  return sum * h / 3.0;
+}
+
+namespace {
+
+/// Simpson's rule over [a, b] given endpoint and midpoint values.
+double simpson_segment(double a, double b, double fa, double fb, double fm) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive_step(const std::function<double(double)>& f, double a, double fa, double b,
+                     double fb, double m, double fm, double whole, double tol, int depth) {
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpson_segment(a, m, fa, fm, flm);
+  const double right = simpson_segment(m, b, fm, fb, frm);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::abs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;  // Richardson extrapolation
+  }
+  return adaptive_step(f, a, fa, m, fm, lm, flm, left, 0.5 * tol, depth - 1) +
+         adaptive_step(f, m, fm, b, fb, rm, frm, right, 0.5 * tol, depth - 1);
+}
+
+}  // namespace
+
+double adaptive_simpson(const std::function<double(double)>& f, double lo, double hi, double tol,
+                        int max_depth) {
+  if (lo == hi) return 0.0;
+  const double m = 0.5 * (lo + hi);
+  const double flo = f(lo);
+  const double fhi = f(hi);
+  const double fm = f(m);
+  const double whole = simpson_segment(lo, hi, flo, fhi, fm);
+  return adaptive_step(f, lo, flo, hi, fhi, m, fm, whole, tol, max_depth);
+}
+
+}  // namespace spotbid::numeric

@@ -1,0 +1,120 @@
+#include "spotbid/numeric/interpolate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spotbid/core/types.hpp"
+
+namespace spotbid::numeric {
+
+namespace {
+
+void validate_grid(const std::vector<double>& x, const std::vector<double>& y,
+                   const char* who) {
+  if (x.size() != y.size()) throw InvalidArgument{std::string{who} + ": size mismatch"};
+  if (x.size() < 2) throw InvalidArgument{std::string{who} + ": need at least two knots"};
+  for (std::size_t i = 1; i < x.size(); ++i)
+    if (!(x[i - 1] < x[i])) throw InvalidArgument{std::string{who} + ": x not strictly increasing"};
+}
+
+/// Index of the segment containing q: largest i with x[i] <= q, clamped to
+/// [0, n-2].
+std::size_t segment_of(const std::vector<double>& x, double q) {
+  const auto it = std::upper_bound(x.begin(), x.end(), q);
+  if (it == x.begin()) return 0;
+  const std::size_t i = static_cast<std::size_t>(it - x.begin()) - 1;
+  return std::min(i, x.size() - 2);
+}
+
+}  // namespace
+
+LinearInterpolant::LinearInterpolant(std::vector<double> x, std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+  validate_grid(x_, y_, "LinearInterpolant");
+}
+
+double LinearInterpolant::operator()(double q) const {
+  if (x_.empty()) throw ModelError{"LinearInterpolant: empty"};
+  if (q <= x_.front()) return y_.front();
+  if (q >= x_.back()) return y_.back();
+  const std::size_t i = segment_of(x_, q);
+  const double t = (q - x_[i]) / (x_[i + 1] - x_[i]);
+  return y_[i] + t * (y_[i + 1] - y_[i]);
+}
+
+double LinearInterpolant::derivative(double q) const {
+  if (x_.empty()) throw ModelError{"LinearInterpolant: empty"};
+  if (q < x_.front() || q > x_.back()) return 0.0;
+  const std::size_t i = segment_of(x_, q);
+  return (y_[i + 1] - y_[i]) / (x_[i + 1] - x_[i]);
+}
+
+MonotoneCubicInterpolant::MonotoneCubicInterpolant(std::vector<double> x, std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+  validate_grid(x_, y_, "MonotoneCubicInterpolant");
+  const std::size_t n = x_.size();
+  std::vector<double> d(n - 1);  // secant slopes
+  for (std::size_t i = 0; i + 1 < n; ++i) d[i] = (y_[i + 1] - y_[i]) / (x_[i + 1] - x_[i]);
+
+  slope_.assign(n, 0.0);
+  slope_.front() = d.front();
+  slope_.back() = d.back();
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    if (d[i - 1] * d[i] <= 0.0) {
+      slope_[i] = 0.0;  // local extremum: flatten to preserve monotonicity
+    } else {
+      // Harmonic mean weighting (Fritsch-Carlson).
+      const double w1 = 2.0 * (x_[i + 1] - x_[i]) + (x_[i] - x_[i - 1]);
+      const double w2 = (x_[i + 1] - x_[i]) + 2.0 * (x_[i] - x_[i - 1]);
+      slope_[i] = (w1 + w2) / (w1 / d[i - 1] + w2 / d[i]);
+    }
+  }
+  // Clamp endpoint slopes so no segment overshoots.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (d[i] == 0.0) {
+      slope_[i] = 0.0;
+      slope_[i + 1] = 0.0;
+      continue;
+    }
+    const double a = slope_[i] / d[i];
+    const double b = slope_[i + 1] / d[i];
+    const double r = a * a + b * b;
+    if (r > 9.0) {
+      const double scale = 3.0 / std::sqrt(r);
+      slope_[i] = scale * a * d[i];
+      slope_[i + 1] = scale * b * d[i];
+    }
+  }
+}
+
+double MonotoneCubicInterpolant::operator()(double q) const {
+  if (x_.empty()) throw ModelError{"MonotoneCubicInterpolant: empty"};
+  if (q <= x_.front()) return y_.front();
+  if (q >= x_.back()) return y_.back();
+  const std::size_t i = segment_of(x_, q);
+  const double h = x_[i + 1] - x_[i];
+  const double t = (q - x_[i]) / h;
+  const double t2 = t * t;
+  const double t3 = t2 * t;
+  const double h00 = 2 * t3 - 3 * t2 + 1;
+  const double h10 = t3 - 2 * t2 + t;
+  const double h01 = -2 * t3 + 3 * t2;
+  const double h11 = t3 - t2;
+  return h00 * y_[i] + h10 * h * slope_[i] + h01 * y_[i + 1] + h11 * h * slope_[i + 1];
+}
+
+double MonotoneCubicInterpolant::derivative(double q) const {
+  if (x_.empty()) throw ModelError{"MonotoneCubicInterpolant: empty"};
+  if (q < x_.front() || q > x_.back()) return 0.0;
+  const std::size_t i = segment_of(x_, q);
+  const double h = x_[i + 1] - x_[i];
+  const double t = (q - x_[i]) / h;
+  const double t2 = t * t;
+  const double dh00 = (6 * t2 - 6 * t) / h;
+  const double dh10 = 3 * t2 - 4 * t + 1;
+  const double dh01 = (-6 * t2 + 6 * t) / h;
+  const double dh11 = 3 * t2 - 2 * t;
+  return dh00 * y_[i] + dh10 * slope_[i] + dh01 * y_[i + 1] + dh11 * slope_[i + 1];
+}
+
+}  // namespace spotbid::numeric

@@ -1,0 +1,139 @@
+#include "spotbid/numeric/roots.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spotbid/core/types.hpp"
+
+namespace spotbid::numeric {
+
+namespace {
+
+bool opposite_signs(double a, double b) {
+  return (a <= 0.0 && b >= 0.0) || (a >= 0.0 && b <= 0.0);
+}
+
+}  // namespace
+
+RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
+                  const RootOptions& options) {
+  if (!(lo <= hi)) throw InvalidArgument{"bisect: lo > hi"};
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return {lo, 0.0, 0, true};
+  if (fhi == 0.0) return {hi, 0.0, 0, true};
+  if (!opposite_signs(flo, fhi)) throw InvalidArgument{"bisect: f(lo) and f(hi) have the same sign"};
+
+  RootResult result;
+  for (int i = 0; i < options.max_iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    result = {mid, fmid, i + 1, false};
+    if (std::abs(fmid) <= options.f_tolerance || (hi - lo) <= options.x_tolerance) {
+      result.converged = true;
+      return result;
+    }
+    if (opposite_signs(flo, fmid)) {
+      hi = mid;
+      fhi = fmid;
+    } else {
+      lo = mid;
+      flo = fmid;
+    }
+  }
+  result.converged = (hi - lo) <= options.x_tolerance * 16;
+  return result;
+}
+
+RootResult brent(const std::function<double(double)>& f, double lo, double hi,
+                 const RootOptions& options) {
+  if (!(lo <= hi)) throw InvalidArgument{"brent: lo > hi"};
+  double a = lo;
+  double b = hi;
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return {a, 0.0, 0, true};
+  if (fb == 0.0) return {b, 0.0, 0, true};
+  if (!opposite_signs(fa, fb)) throw InvalidArgument{"brent: f(lo) and f(hi) have the same sign"};
+
+  // Classic Brent-Dekker as in Numerical Recipes / Brent (1973).
+  double c = a;
+  double fc = fa;
+  double d = b - a;
+  double e = d;
+
+  RootResult result;
+  for (int i = 0; i < options.max_iterations; ++i) {
+    if (std::abs(fc) < std::abs(fb)) {
+      a = b;
+      b = c;
+      c = a;
+      fa = fb;
+      fb = fc;
+      fc = fa;
+    }
+    const double tol = 2.0 * 2.220446049250313e-16 * std::abs(b) + 0.5 * options.x_tolerance;
+    const double m = 0.5 * (c - b);
+    result = {b, fb, i + 1, false};
+    if (std::abs(m) <= tol || fb == 0.0 || std::abs(fb) <= options.f_tolerance) {
+      result.converged = true;
+      return result;
+    }
+    if (std::abs(e) < tol || std::abs(fa) <= std::abs(fb)) {
+      d = m;  // bisection
+      e = m;
+    } else {
+      double p;
+      double q;
+      const double s = fb / fa;
+      if (a == c) {
+        // secant
+        p = 2.0 * m * s;
+        q = 1.0 - s;
+      } else {
+        // inverse quadratic interpolation
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * m * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::abs(p);
+      if (2.0 * p < std::min(3.0 * m * q - std::abs(tol * q), std::abs(e * q))) {
+        e = d;  // accept interpolation
+        d = p / q;
+      } else {
+        d = m;  // fall back to bisection
+        e = m;
+      }
+    }
+    a = b;
+    fa = fb;
+    b += (std::abs(d) > tol) ? d : (m > 0.0 ? tol : -tol);
+    fb = f(b);
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      d = b - a;
+      e = d;
+    }
+  }
+  return result;
+}
+
+std::optional<std::pair<double, double>> find_bracket(const std::function<double(double)>& f,
+                                                      double lo, double hi, int n_grid) {
+  if (!(lo < hi) || n_grid < 1) return std::nullopt;
+  double x_prev = lo;
+  double f_prev = f(lo);
+  for (int i = 1; i <= n_grid; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / n_grid;
+    const double fx = f(x);
+    if (opposite_signs(f_prev, fx)) return std::make_pair(x_prev, x);
+    x_prev = x;
+    f_prev = fx;
+  }
+  return std::nullopt;
+}
+
+}  // namespace spotbid::numeric

@@ -1,0 +1,131 @@
+#include "spotbid/numeric/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spotbid/core/types.hpp"
+
+namespace spotbid::numeric {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return n_ > 0 ? mean_ : 0.0; }
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return min_; }
+double RunningStats::max() const { return max_; }
+
+double kahan_sum(std::span<const double> xs) {
+  double sum = 0.0;
+  double c = 0.0;
+  for (double x : xs) {
+    const double y = x - c;
+    const double t = sum + y;
+    c = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) throw InvalidArgument{"mean: empty"};
+  return kahan_sum(xs) / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw InvalidArgument{"quantile: empty"};
+  if (q < 0.0 || q > 1.0) throw InvalidArgument{"quantile: q outside [0, 1]"};
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t i = static_cast<std::size_t>(pos);
+  if (i + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(i);
+  return sorted[i] + frac * (sorted[i + 1] - sorted[i]);
+}
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+  const std::size_t n = xs.size();
+  if (lag >= n) throw InvalidArgument{"autocorrelation: lag >= n"};
+  if (lag == 0) return 1.0;
+  const double m = mean(xs);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) den += (xs[i] - m) * (xs[i] - m);
+  if (den == 0.0) return 0.0;
+  for (std::size_t i = 0; i + lag < n; ++i) num += (xs[i] - m) * (xs[i + lag] - m);
+  return num / den;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  if (!(lo < hi)) throw InvalidArgument{"Histogram: lo >= hi"};
+  if (bins == 0) throw InvalidArgument{"Histogram: zero bins"};
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  const double w = bin_width();
+  auto i = static_cast<long>((x - lo_) / w);
+  i = std::clamp(i, 0L, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(i)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_width() const { return (hi_ - lo_) / static_cast<double>(counts_.size()); }
+
+double Histogram::bin_center(std::size_t i) const {
+  return lo_ + (static_cast<double>(i) + 0.5) * bin_width();
+}
+
+double Histogram::density(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(i)) /
+         (static_cast<double>(total_) * bin_width());
+}
+
+std::vector<double> Histogram::densities() const {
+  std::vector<double> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) out[i] = density(i);
+  return out;
+}
+
+double mean_squared_error(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw InvalidArgument{"mean_squared_error: size mismatch"};
+  if (a.empty()) throw InvalidArgument{"mean_squared_error: empty"};
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += (a[i] - b[i]) * (a[i] - b[i]);
+  return sum / static_cast<double>(a.size());
+}
+
+}  // namespace spotbid::numeric

@@ -1,0 +1,34 @@
+#include "spotbid/provider/calibration.hpp"
+
+#include <cmath>
+
+namespace spotbid::provider {
+
+ProviderModel calibrated_model(const ec2::InstanceType& type) {
+  return ProviderModel{type.on_demand, type.min_price(), type.market.beta, type.market.theta};
+}
+
+dist::DistributionPtr calibrated_arrivals(const ec2::InstanceType& type) {
+  const ProviderModel model = calibrated_model(type);
+  const double lambda_min = model.lambda_min();
+  if (!(lambda_min > 0.0))
+    throw ModelError{"calibrated_arrivals: floor never binds for " + type.name +
+                     " (beta too small relative to pi_bar - 2 pi_min)"};
+  const double q0 = type.market.floor_mass;
+  if (q0 < 0.0 || q0 >= 1.0)
+    throw InvalidArgument{"calibrated_arrivals: floor_mass must be in [0, 1)"};
+  // Extend the Pareto below Lambda_min so that P(Lambda <= Lambda_min) = q0:
+  // those arrivals clamp onto the price floor, reproducing the atom real
+  // spot prices show at their minimum.
+  const double alpha = type.market.pareto_alpha;
+  const double xm = lambda_min * std::pow(1.0 - q0, 1.0 / alpha);
+  return std::make_shared<dist::Pareto>(alpha, xm);
+}
+
+std::shared_ptr<const EquilibriumPriceDistribution> calibrated_price_distribution(
+    const ec2::InstanceType& type) {
+  return std::make_shared<EquilibriumPriceDistribution>(calibrated_model(type),
+                                                        calibrated_arrivals(type));
+}
+
+}  // namespace spotbid::provider

@@ -1,0 +1,92 @@
+#include "spotbid/provider/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spotbid/numeric/optimize.hpp"
+
+namespace spotbid::provider {
+
+ProviderModel::ProviderModel(Money pi_bar, Money pi_min, double beta, double theta)
+    : pi_bar_(pi_bar), pi_min_(pi_min), beta_(beta), theta_(theta) {
+  if (!(pi_bar.usd() > 0.0)) throw InvalidArgument{"ProviderModel: pi_bar must be > 0"};
+  if (pi_min.usd() < 0.0 || !(pi_min < pi_bar))
+    throw InvalidArgument{"ProviderModel: need 0 <= pi_min < pi_bar"};
+  if (!(beta > 0.0)) throw InvalidArgument{"ProviderModel: beta must be > 0"};
+  if (!(theta > 0.0) || theta > 1.0)
+    throw InvalidArgument{"ProviderModel: theta must be in (0, 1]"};
+}
+
+double ProviderModel::accepted_bids(Money pi, double demand) const {
+  const double fraction = (pi_bar_.usd() - pi.usd()) / spread();
+  return demand * std::clamp(fraction, 0.0, 1.0);
+}
+
+double ProviderModel::objective(Money pi, double demand) const {
+  const double n = accepted_bids(pi, demand);
+  return beta_ * std::log1p(n) + pi.usd() * n;
+}
+
+Money ProviderModel::optimal_price(double demand) const {
+  if (!(demand > 0.0)) throw InvalidArgument{"optimal_price: demand must be > 0"};
+  const double w = spread();
+  const double pb = pi_bar_.usd();
+  const double inv_l = 1.0 / demand;
+  const double root = std::sqrt((pb + 2.0 * w * inv_l) * (pb + 2.0 * w * inv_l) +
+                                8.0 * beta_ * w * inv_l);
+  const double interior = 0.75 * pb + 0.5 * w * inv_l - 0.25 * root;
+  return Money{std::clamp(interior, pi_min_.usd(), pb)};
+}
+
+Money ProviderModel::optimal_price_numeric(double demand) const {
+  if (!(demand > 0.0)) throw InvalidArgument{"optimal_price_numeric: demand must be > 0"};
+  const auto negated = [&](double pi) { return -objective(Money{pi}, demand); };
+  const auto result = numeric::grid_then_golden(negated, pi_min_.usd(), pi_bar_.usd(), 512,
+                                                {.x_tolerance = 1e-13, .max_iterations = 300});
+  return Money{result.x};
+}
+
+double ProviderModel::foc_residual(Money pi, double demand) const {
+  const double pb = pi_bar_.usd();
+  const double p = pi.usd();
+  if (pb - p == 0.0 || pb - 2.0 * p == 0.0)
+    throw InvalidArgument{"foc_residual: pi at a pole of eq. 2"};
+  return demand - spread() / (pb - p) * (beta_ / (pb - 2.0 * p) - 1.0);
+}
+
+Money ProviderModel::equilibrium_price(double arrivals) const {
+  if (arrivals < 0.0) throw InvalidArgument{"equilibrium_price: negative arrivals"};
+  const double h = 0.5 * (pi_bar_.usd() - beta_ / (1.0 + arrivals / theta_));
+  return Money{std::max(h, pi_min_.usd())};
+}
+
+double ProviderModel::equilibrium_arrivals(Money pi) const {
+  const double pb = pi_bar_.usd();
+  const double p = pi.usd();
+  const double floor_price = 0.5 * (pb - beta_);  // h(0)
+  if (!(p > floor_price) || !(p < 0.5 * pb))
+    throw ModelError{"equilibrium_arrivals: price outside (h(0), pi_bar/2)"};
+  return theta_ * (beta_ / (pb - 2.0 * p) - 1.0);
+}
+
+double ProviderModel::equilibrium_arrivals_derivative(Money pi) const {
+  const double denom = pi_bar_.usd() - 2.0 * pi.usd();
+  if (!(denom > 0.0))
+    throw ModelError{"equilibrium_arrivals_derivative: price >= pi_bar/2"};
+  return 2.0 * theta_ * beta_ / (denom * denom);
+}
+
+double ProviderModel::lambda_min() const {
+  const double h0 = 0.5 * (pi_bar_.usd() - beta_);
+  if (h0 >= pi_min_.usd()) return 0.0;  // floor never binds
+  return equilibrium_arrivals(pi_min_);
+}
+
+double ProviderModel::equilibrium_demand(double arrivals) const {
+  const Money pi = equilibrium_price(arrivals);
+  const double gap = pi_bar_.usd() - pi.usd();
+  if (!(gap > 0.0)) throw ModelError{"equilibrium_demand: price at the cap"};
+  return spread() * arrivals / (theta_ * gap);
+}
+
+}  // namespace spotbid::provider

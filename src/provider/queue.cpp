@@ -1,0 +1,82 @@
+#include "spotbid/provider/queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spotbid/numeric/roots.hpp"
+
+namespace spotbid::provider {
+
+QueueSimulator::QueueSimulator(ProviderModel model, double initial_demand)
+    : model_(model), demand_(initial_demand) {
+  if (!(initial_demand > 0.0))
+    throw InvalidArgument{"QueueSimulator: initial demand must be > 0"};
+}
+
+QueueSlot QueueSimulator::step(double arrivals) {
+  if (arrivals < 0.0) throw InvalidArgument{"QueueSimulator::step: negative arrivals"};
+  QueueSlot slot;
+  slot.demand = demand_;
+  slot.arrivals = arrivals;
+  slot.price = model_.optimal_price(demand_);
+  slot.accepted = model_.accepted_bids(slot.price, demand_);
+  slot.finished = model_.theta() * slot.accepted;
+  demand_ = demand_ - slot.finished + arrivals;
+  history_.push_back(slot);
+  return slot;
+}
+
+void QueueSimulator::run(const dist::Distribution& arrivals, int slots, numeric::Rng& rng) {
+  for (int i = 0; i < slots; ++i) step(std::max(arrivals.sample(rng), 0.0));
+}
+
+double QueueSimulator::average_demand() const {
+  if (history_.empty()) throw ModelError{"average_demand: no history"};
+  double sum = 0.0;
+  for (const auto& slot : history_) sum += slot.demand;
+  return sum / static_cast<double>(history_.size());
+}
+
+std::vector<double> QueueSimulator::drift_series() const {
+  std::vector<double> drifts;
+  if (history_.size() < 2) return drifts;
+  drifts.reserve(history_.size() - 1);
+  for (std::size_t i = 0; i + 1 < history_.size(); ++i) {
+    const double l0 = history_[i].demand;
+    const double l1 = history_[i + 1].demand;
+    drifts.push_back(0.5 * (l1 * l1 - l0 * l0));
+  }
+  return drifts;
+}
+
+double conditional_drift(const ProviderModel& model, double demand, double lambda_mean,
+                         double lambda_var) {
+  if (!(demand > 0.0)) throw InvalidArgument{"conditional_drift: demand must be > 0"};
+  const Money price = model.optimal_price(demand);
+  const double a =
+      1.0 - model.theta() * (model.pi_bar().usd() - price.usd()) / model.spread();
+  return 0.5 * (a * a - 1.0) * demand * demand + a * demand * lambda_mean +
+         0.5 * (lambda_var + lambda_mean * lambda_mean);
+}
+
+double drift_negative_threshold(const ProviderModel& model, double lambda_mean,
+                                double lambda_var, double search_hi) {
+  const auto drift = [&](double demand) {
+    return conditional_drift(model, demand, lambda_mean, lambda_var);
+  };
+  // The drift is dominated by -(c/2) L^2 for large L; scan geometrically for
+  // a negative point, then bisect for the crossing.
+  double hi = 1.0;
+  while (hi < search_hi && drift(hi) >= 0.0) hi *= 2.0;
+  if (drift(hi) >= 0.0)
+    throw ModelError{"drift_negative_threshold: drift not negative below search_hi"};
+  if (drift(1e-9) < 0.0) return 0.0;  // negative everywhere
+  const auto root = numeric::bisect(drift, 1e-9, hi, {.x_tolerance = 1e-9 * hi});
+  return root.x;
+}
+
+double equilibrium_residual(const ProviderModel& model, double demand, double arrivals) {
+  return demand - model.equilibrium_demand(arrivals);
+}
+
+}  // namespace spotbid::provider

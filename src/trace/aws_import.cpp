@@ -1,0 +1,359 @@
+#include "spotbid/trace/aws_import.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <istream>
+#include <map>
+#include <sstream>
+
+namespace spotbid::trace {
+
+namespace {
+
+/// Minimal recursive-descent reader for the JSON subset the AWS CLI emits.
+/// Values are returned as strings (callers convert); nested structure
+/// beyond object/array/string/number/bool/null is rejected.
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  /// Parse the top-level document into records.
+  std::vector<SpotPriceRecord> parse_history() {
+    skip_ws();
+    std::vector<SpotPriceRecord> records;
+    if (peek() == '{') {
+      // {"SpotPriceHistory": [...], ...}
+      expect('{');
+      bool found = false;
+      bool first = true;
+      while (true) {
+        skip_ws();
+        if (peek() == '}') {
+          get();
+          break;
+        }
+        if (!first) fail("expected ',' between object members");
+        first = false;
+        while (true) {
+          const std::string key = parse_string();
+          skip_ws();
+          expect(':');
+          skip_ws();
+          if (key == "SpotPriceHistory") {
+            records = parse_record_array();
+            found = true;
+          } else {
+            skip_value();
+          }
+          skip_ws();
+          if (peek() == ',') {
+            get();
+            skip_ws();
+            continue;
+          }
+          break;
+        }
+      }
+      if (!found) fail("missing \"SpotPriceHistory\" member");
+    } else if (peek() == '[') {
+      records = parse_record_array();
+    } else {
+      fail("document must be an object or array");
+    }
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return records;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw InvalidArgument{"aws_import: " + message + " (offset " + std::to_string(pos_) + ")"};
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  char get() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+  void expect(char c) {
+    if (get() != c) fail(std::string{"expected '"} + c + "'");
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+  }
+
+  std::string parse_string() {
+    skip_ws();
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = get();
+      if (c == '"') break;
+      if (c == '\\') {
+        const char e = get();
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          default: fail("unsupported escape sequence");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  /// Skip any JSON value (used for members we do not care about).
+  void skip_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '"') {
+      (void)parse_string();
+    } else if (c == '{' || c == '[') {
+      const char open = get();
+      const char close = (open == '{') ? '}' : ']';
+      int depth = 1;
+      while (depth > 0) {
+        const char d = get();
+        if (d == '"') {
+          --pos_;
+          (void)parse_string();
+        } else if (d == open) {
+          ++depth;
+        } else if (d == close) {
+          --depth;
+        }
+      }
+    } else {
+      // number / true / false / null: consume the token.
+      while (pos_ < text_.size()) {
+        const char d = text_[pos_];
+        if (d == ',' || d == '}' || d == ']' ||
+            std::isspace(static_cast<unsigned char>(d)) != 0)
+          break;
+        ++pos_;
+      }
+    }
+  }
+
+  std::vector<SpotPriceRecord> parse_record_array() {
+    skip_ws();
+    expect('[');
+    std::vector<SpotPriceRecord> records;
+    skip_ws();
+    if (peek() == ']') {
+      get();
+      return records;
+    }
+    while (true) {
+      records.push_back(parse_record());
+      skip_ws();
+      const char c = get();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    return records;
+  }
+
+  SpotPriceRecord parse_record() {
+    skip_ws();
+    expect('{');
+    SpotPriceRecord record;
+    bool has_price = false;
+    bool has_time = false;
+    skip_ws();
+    if (peek() == '}') {
+      get();
+      fail("empty record");
+    }
+    while (true) {
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (key == "InstanceType") {
+        record.instance_type = parse_string();
+      } else if (key == "AvailabilityZone") {
+        record.availability_zone = parse_string();
+      } else if (key == "ProductDescription") {
+        record.product_description = parse_string();
+      } else if (key == "SpotPrice") {
+        const std::string value = parse_string();
+        try {
+          record.spot_price = std::stod(value);
+        } catch (const std::exception&) {
+          fail("SpotPrice is not a number: " + value);
+        }
+        has_price = true;
+      } else if (key == "Timestamp") {
+        record.timestamp_epoch_s = parse_iso8601_utc(parse_string());
+        has_time = true;
+      } else {
+        skip_value();
+      }
+      skip_ws();
+      const char c = get();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in record");
+      skip_ws();
+    }
+    if (!has_price || !has_time) fail("record missing SpotPrice or Timestamp");
+    if (record.spot_price < 0.0) fail("negative SpotPrice");
+    return record;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+constexpr bool is_leap(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+constexpr int days_in_month(int year, int month) {
+  constexpr int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2 && is_leap(year)) return 29;
+  return kDays[month - 1];
+}
+
+}  // namespace
+
+std::int64_t parse_iso8601_utc(std::string_view text) {
+  // YYYY-MM-DDTHH:MM:SS[.fff](Z|+00:00)
+  const auto digits = [&](std::size_t at, int count) -> int {
+    if (at + count > text.size()) throw InvalidArgument{"parse_iso8601_utc: truncated"};
+    int value = 0;
+    for (int i = 0; i < count; ++i) {
+      const char c = text[at + i];
+      if (c < '0' || c > '9') throw InvalidArgument{"parse_iso8601_utc: expected digit"};
+      value = value * 10 + (c - '0');
+    }
+    return value;
+  };
+  const auto expect_char = [&](std::size_t at, char c) {
+    if (at >= text.size() || text[at] != c)
+      throw InvalidArgument{std::string{"parse_iso8601_utc: expected '"} + c + "'"};
+  };
+
+  const int year = digits(0, 4);
+  expect_char(4, '-');
+  const int month = digits(5, 2);
+  expect_char(7, '-');
+  const int day = digits(8, 2);
+  expect_char(10, 'T');
+  const int hour = digits(11, 2);
+  expect_char(13, ':');
+  const int minute = digits(14, 2);
+  expect_char(16, ':');
+  const int second = digits(17, 2);
+
+  std::size_t pos = 19;
+  if (pos < text.size() && text[pos] == '.') {
+    ++pos;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+  }
+  if (pos >= text.size()) throw InvalidArgument{"parse_iso8601_utc: missing timezone"};
+  if (text[pos] == 'Z') {
+    if (pos + 1 != text.size()) throw InvalidArgument{"parse_iso8601_utc: trailing characters"};
+  } else if (text.substr(pos) != "+00:00") {
+    throw InvalidArgument{"parse_iso8601_utc: only UTC timestamps are supported"};
+  }
+
+  if (year < 1970 || month < 1 || month > 12 || day < 1 || day > days_in_month(year, month) ||
+      hour > 23 || minute > 59 || second > 60) {
+    throw InvalidArgument{"parse_iso8601_utc: field out of range"};
+  }
+
+  // Days since the epoch.
+  std::int64_t days = 0;
+  for (int y = 1970; y < year; ++y) days += is_leap(y) ? 366 : 365;
+  for (int m = 1; m < month; ++m) days += days_in_month(year, m);
+  days += day - 1;
+  return ((days * 24 + hour) * 60 + minute) * 60 + second;
+}
+
+std::vector<SpotPriceRecord> parse_spot_price_history(std::string_view json) {
+  return JsonReader{json}.parse_history();
+}
+
+std::vector<SpotPriceRecord> parse_spot_price_history(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string text = buffer.str();
+  return parse_spot_price_history(std::string_view{text});
+}
+
+PriceTrace resample_to_trace(std::vector<SpotPriceRecord> records,
+                             const ResampleOptions& options) {
+  if (!(options.slot_length.hours() > 0.0))
+    throw InvalidArgument{"resample_to_trace: slot length must be > 0"};
+
+  // Filter by type/zone.
+  std::erase_if(records, [&](const SpotPriceRecord& r) {
+    if (!options.instance_type.empty() && r.instance_type != options.instance_type) return true;
+    if (!options.availability_zone.empty() && r.availability_zone != options.availability_zone)
+      return true;
+    return false;
+  });
+  if (records.empty()) throw InvalidArgument{"resample_to_trace: no records after filtering"};
+
+  // Homogeneity check when no explicit type filter was given.
+  const std::string& type = records.front().instance_type;
+  for (const auto& r : records) {
+    if (r.instance_type != type)
+      throw InvalidArgument{
+          "resample_to_trace: mixed instance types; set options.instance_type"};
+  }
+
+  std::sort(records.begin(), records.end(),
+            [](const SpotPriceRecord& a, const SpotPriceRecord& b) {
+              return a.timestamp_epoch_s < b.timestamp_epoch_s;
+            });
+
+  const auto slot_s = static_cast<std::int64_t>(std::llround(options.slot_length.seconds()));
+  const std::int64_t start = records.front().timestamp_epoch_s / slot_s * slot_s;
+  const std::int64_t end = records.back().timestamp_epoch_s;
+  const auto slots = static_cast<std::size_t>((end - start) / slot_s + 1);
+
+  // Per zone, carry the last observation forward; per slot take the
+  // cheapest zone still quoting.
+  std::map<std::string, double> zone_price;
+  std::vector<double> prices;
+  prices.reserve(slots);
+  std::size_t next_record = 0;
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    const std::int64_t slot_end = start + static_cast<std::int64_t>(slot + 1) * slot_s;
+    while (next_record < records.size() &&
+           records[next_record].timestamp_epoch_s < slot_end) {
+      zone_price[records[next_record].availability_zone] =
+          records[next_record].spot_price;
+      ++next_record;
+    }
+    if (zone_price.empty()) continue;  // cannot happen after the first slot
+    double cheapest = zone_price.begin()->second;
+    for (const auto& [zone, price] : zone_price) {
+      (void)zone;
+      cheapest = std::min(cheapest, price);
+    }
+    prices.push_back(cheapest);
+  }
+  if (prices.size() < 1) throw InvalidArgument{"resample_to_trace: empty resample"};
+  return PriceTrace{type, start, options.slot_length, std::move(prices)};
+}
+
+PriceTrace import_aws_history(std::string_view json, const ResampleOptions& options) {
+  return resample_to_trace(parse_spot_price_history(json), options);
+}
+
+}  // namespace spotbid::trace

@@ -1,0 +1,58 @@
+#include "spotbid/trace/generator.hpp"
+
+#include <algorithm>
+
+#include "spotbid/provider/calibration.hpp"
+#include "spotbid/provider/queue.hpp"
+
+namespace spotbid::trace {
+
+PriceTrace generate_equilibrium_trace(const provider::ProviderModel& model,
+                                      const dist::Distribution& arrivals,
+                                      const std::string& instance_type,
+                                      const GeneratorConfig& config) {
+  if (config.slots <= 0) throw InvalidArgument{"generate_equilibrium_trace: slots must be > 0"};
+  const double persistence = config.persistence.value_or(0.0);
+  if (persistence < 0.0 || persistence >= 1.0)
+    throw InvalidArgument{"generate_equilibrium_trace: persistence must be in [0, 1)"};
+  numeric::Rng rng{config.seed};
+  std::vector<double> prices;
+  prices.reserve(static_cast<std::size_t>(config.slots));
+  double current = 0.0;
+  for (int i = 0; i < config.slots; ++i) {
+    if (i == 0 || !rng.bernoulli(persistence)) {
+      const double lambda = std::max(arrivals.sample(rng), 0.0);
+      current = model.equilibrium_price(lambda).usd();
+    }
+    prices.push_back(current);
+  }
+  return PriceTrace{instance_type, config.start_epoch_s, config.slot_length, std::move(prices)};
+}
+
+PriceTrace generate_queue_trace(const provider::ProviderModel& model,
+                                const dist::Distribution& arrivals,
+                                const std::string& instance_type,
+                                const GeneratorConfig& config) {
+  if (config.slots <= 0) throw InvalidArgument{"generate_queue_trace: slots must be > 0"};
+  numeric::Rng rng{config.seed};
+  const double mean_arrivals = arrivals.mean();
+  provider::QueueSimulator queue{model, model.equilibrium_demand(mean_arrivals)};
+  std::vector<double> prices;
+  prices.reserve(static_cast<std::size_t>(config.slots));
+  for (int i = 0; i < config.slots; ++i) {
+    const auto slot = queue.step(std::max(arrivals.sample(rng), 0.0));
+    prices.push_back(slot.price.usd());
+  }
+  return PriceTrace{instance_type, config.start_epoch_s, config.slot_length, std::move(prices)};
+}
+
+PriceTrace generate_for_type(const ec2::InstanceType& type, const GeneratorConfig& config) {
+  const auto model = provider::calibrated_model(type);
+  const auto arrivals = provider::calibrated_arrivals(type);
+  GeneratorConfig with_stickiness = config;
+  if (!with_stickiness.persistence.has_value())
+    with_stickiness.persistence = type.market.persistence;
+  return generate_equilibrium_trace(model, *arrivals, type.name, with_stickiness);
+}
+
+}  // namespace spotbid::trace

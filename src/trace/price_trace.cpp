@@ -1,0 +1,84 @@
+#include "spotbid/trace/price_trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace spotbid::trace {
+
+PriceTrace::PriceTrace(std::string instance_type, std::int64_t start_epoch_s, Hours slot_length,
+                       std::vector<double> prices)
+    : instance_type_(std::move(instance_type)),
+      start_epoch_s_(start_epoch_s),
+      slot_length_(slot_length),
+      prices_(std::move(prices)) {
+  if (!(slot_length.hours() > 0.0)) throw InvalidArgument{"PriceTrace: slot length must be > 0"};
+  for (double p : prices_)
+    if (p < 0.0) throw InvalidArgument{"PriceTrace: negative price"};
+}
+
+Money PriceTrace::price_at(SlotIndex slot) const {
+  if (slot < 0 || static_cast<std::size_t>(slot) >= prices_.size())
+    throw InvalidArgument{"PriceTrace::price_at: slot out of range"};
+  return Money{prices_[static_cast<std::size_t>(slot)]};
+}
+
+int PriceTrace::hour_of_day(SlotIndex slot) const {
+  const double elapsed_s = static_cast<double>(slot) * slot_length_.seconds();
+  const auto total_s = start_epoch_s_ + static_cast<std::int64_t>(elapsed_s);
+  const auto seconds_of_day = ((total_s % 86400) + 86400) % 86400;
+  return static_cast<int>(seconds_of_day / 3600);
+}
+
+PriceTrace PriceTrace::slice(SlotIndex from, SlotIndex to) const {
+  if (from < 0 || to < from || static_cast<std::size_t>(to) > prices_.size())
+    throw InvalidArgument{"PriceTrace::slice: bad range"};
+  std::vector<double> sub(prices_.begin() + from, prices_.begin() + to);
+  const auto offset_s =
+      start_epoch_s_ + static_cast<std::int64_t>(static_cast<double>(from) * slot_length_.seconds());
+  return PriceTrace{instance_type_, offset_s, slot_length_, std::move(sub)};
+}
+
+std::vector<double> PriceTrace::prices_in_hours(int hour_lo, int hour_hi) const {
+  std::vector<double> out;
+  for (std::size_t i = 0; i < prices_.size(); ++i) {
+    const int h = hour_of_day(static_cast<SlotIndex>(i));
+    const bool inside = (hour_lo <= hour_hi) ? (h >= hour_lo && h < hour_hi)
+                                             : (h >= hour_lo || h < hour_hi);
+    if (inside) out.push_back(prices_[i]);
+  }
+  return out;
+}
+
+void PriceTrace::write_csv(std::ostream& os) const {
+  os << "# " << instance_type_ << "," << start_epoch_s_ << ","
+     << static_cast<std::int64_t>(slot_length_.seconds()) << "\n";
+  os.precision(17);
+  for (double p : prices_) os << p << "\n";
+}
+
+PriceTrace PriceTrace::read_csv(std::istream& is) {
+  std::string header;
+  if (!std::getline(is, header) || header.size() < 2 || header[0] != '#')
+    throw InvalidArgument{"PriceTrace::read_csv: missing header"};
+  std::istringstream hs{header.substr(1)};
+  std::string type;
+  std::string epoch_str;
+  std::string slot_str;
+  if (!std::getline(hs, type, ',') || !std::getline(hs, epoch_str, ',') ||
+      !std::getline(hs, slot_str))
+    throw InvalidArgument{"PriceTrace::read_csv: malformed header"};
+  // Trim leading space from the type.
+  while (!type.empty() && type.front() == ' ') type.erase(type.begin());
+
+  std::vector<double> prices;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    prices.push_back(std::stod(line));
+  }
+  return PriceTrace{type, std::stoll(epoch_str), Hours::from_seconds(std::stod(slot_str)),
+                    std::move(prices)};
+}
+
+}  // namespace spotbid::trace

@@ -1,0 +1,49 @@
+#include "spotbid/trace/statistics.hpp"
+
+#include <algorithm>
+
+namespace spotbid::trace {
+
+TraceSummary summarize(const PriceTrace& trace) {
+  if (trace.empty()) throw InvalidArgument{"summarize: empty trace"};
+  const auto prices = trace.prices();
+  TraceSummary s;
+  s.min = *std::min_element(prices.begin(), prices.end());
+  s.max = *std::max_element(prices.begin(), prices.end());
+  s.mean = numeric::mean(prices);
+  s.stddev = numeric::stddev(prices);
+  s.p50 = numeric::quantile(prices, 0.50);
+  s.p90 = numeric::quantile(prices, 0.90);
+  s.p99 = numeric::quantile(prices, 0.99);
+  return s;
+}
+
+std::vector<double> autocorrelations(const PriceTrace& trace, std::size_t max_lag) {
+  if (trace.size() <= max_lag) throw InvalidArgument{"autocorrelations: trace too short"};
+  std::vector<double> out;
+  out.reserve(max_lag);
+  for (std::size_t lag = 1; lag <= max_lag; ++lag)
+    out.push_back(numeric::autocorrelation(trace.prices(), lag));
+  return out;
+}
+
+dist::KsResult day_night_ks(const PriceTrace& trace) {
+  const auto day = trace.prices_in_hours(8, 20);
+  const auto night = trace.prices_in_hours(20, 8);
+  if (day.empty() || night.empty())
+    throw InvalidArgument{"day_night_ks: trace does not cover both day and night"};
+  return dist::ks_two_sample(day, night);
+}
+
+numeric::Histogram price_histogram(const PriceTrace& trace, std::size_t bins) {
+  if (trace.empty()) throw InvalidArgument{"price_histogram: empty trace"};
+  const auto prices = trace.prices();
+  const double lo = *std::min_element(prices.begin(), prices.end());
+  double hi = *std::max_element(prices.begin(), prices.end());
+  if (hi == lo) hi = lo + 1e-9;  // degenerate trace: widen to a sliver
+  numeric::Histogram hist{lo, hi, bins};
+  hist.add_all(prices);
+  return hist;
+}
+
+}  // namespace spotbid::trace

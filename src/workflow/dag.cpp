@@ -1,0 +1,117 @@
+#include "spotbid/workflow/dag.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "spotbid/market/work_tracker.hpp"
+
+namespace spotbid::workflow {
+
+std::vector<std::size_t> topological_order(const Workflow& workflow) {
+  const std::size_t n = workflow.tasks.size();
+  if (n == 0) throw InvalidArgument{"topological_order: empty workflow"};
+
+  std::vector<std::size_t> indegree(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::size_t dep : workflow.tasks[i].depends_on) {
+      if (dep >= n) throw InvalidArgument{"topological_order: dependency index out of range"};
+      if (dep == i) throw InvalidArgument{"topological_order: task depends on itself"};
+      ++indegree[i];
+    }
+  }
+
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i)
+    if (indegree[i] == 0) ready.push_back(i);
+
+  // Kahn's algorithm; dependents found by scanning (workflows are small).
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const std::size_t task = ready.back();
+    ready.pop_back();
+    order.push_back(task);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& deps = workflow.tasks[i].depends_on;
+      if (std::find(deps.begin(), deps.end(), task) != deps.end()) {
+        if (--indegree[i] == 0) ready.push_back(i);
+      }
+    }
+  }
+  if (order.size() != n) throw InvalidArgument{"topological_order: dependency cycle"};
+  return order;
+}
+
+void plan_bids(const bidding::SpotPriceModel& model, Workflow& workflow) {
+  for (auto& task : workflow.tasks) {
+    const bidding::JobSpec job{task.execution_time, task.recovery_time};
+    task.bid = bidding::persistent_bid(model, job).bid;
+  }
+}
+
+WorkflowOutcome run_workflow(market::SpotMarket& market, const Workflow& workflow,
+                             long max_slots) {
+  (void)topological_order(workflow);  // validates the DAG
+
+  const std::size_t n = workflow.tasks.size();
+  struct Live {
+    std::optional<market::RequestId> request;
+    std::optional<market::WorkTracker> tracker;
+  };
+  std::vector<Live> live(n);
+
+  WorkflowOutcome outcome;
+  outcome.tasks.assign(n, {});
+
+  const SlotIndex start = market.current_slot();
+  const Hours tk = market.slot_length();
+
+  const auto deps_done = [&](std::size_t i) {
+    return std::all_of(workflow.tasks[i].depends_on.begin(),
+                       workflow.tasks[i].depends_on.end(),
+                       [&](std::size_t dep) { return outcome.tasks[dep].completed; });
+  };
+
+  // Submit initially-ready tasks ("bid only after dependencies complete").
+  const auto submit_ready = [&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (outcome.tasks[i].completed || live[i].request.has_value()) continue;
+      if (!deps_done(i)) continue;
+      const auto& spec = workflow.tasks[i];
+      if (!(spec.bid.usd() > 0.0))
+        throw InvalidArgument{"run_workflow: task '" + spec.name +
+                              "' has no bid (call plan_bids first)"};
+      live[i].request = market.submit({spec.bid, market::BidKind::kPersistent});
+      live[i].tracker.emplace(spec.execution_time, spec.recovery_time, tk);
+      outcome.tasks[i].ready_slot = market.current_slot();
+    }
+  };
+  submit_ready();
+
+  long all_done_count = 0;
+  for (long step = 0; step < max_slots && all_done_count < static_cast<long>(n); ++step) {
+    market.advance();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!live[i].request.has_value() || outcome.tasks[i].completed) continue;
+      const auto id = *live[i].request;
+      live[i].tracker->on_slot(market.status(id));
+      if (live[i].tracker->done()) {
+        market.close(id);
+        auto& task = outcome.tasks[i];
+        task.completed = true;
+        task.finish_slot = market.current_slot();
+        task.cost = market.status(id).accrued_cost;
+        task.interruptions = live[i].tracker->interruptions_observed();
+        ++all_done_count;
+      }
+    }
+    submit_ready();  // newly unblocked tasks bid from the next slot
+  }
+
+  for (const auto& task : outcome.tasks) outcome.total_cost += task.cost;
+  outcome.completed = all_done_count == static_cast<long>(n);
+  outcome.makespan = tk * static_cast<double>(market.current_slot() - start);
+  return outcome;
+}
+
+}  // namespace spotbid::workflow

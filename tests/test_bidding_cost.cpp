@@ -1,0 +1,244 @@
+// Tests for the analytic cost formulas (eq. 8-19) against hand-computed
+// values on a uniform price law, where every quantity is closed-form:
+//   F(p) = (p-a)/(b-a),  A(p) = (p^2-a^2)/(2(b-a)),  E[pi|pi<=p] = (p+a)/2,
+//   psi(p) = 2a/(b-a)  (constant — the uniform law is the boundary case of
+//   Proposition 5's concavity assumption).
+
+#include "spotbid/bidding/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "spotbid/dist/uniform.hpp"
+#include "spotbid/ec2/instance_types.hpp"
+#include "spotbid/provider/calibration.hpp"
+
+namespace spotbid::bidding {
+namespace {
+
+constexpr double kA = 0.02;
+constexpr double kB = 0.10;
+constexpr double kTk = 1.0 / 12.0;
+
+SpotPriceModel uniform_model() {
+  return SpotPriceModel{std::make_shared<dist::Uniform>(kA, kB), Money{0.35}, Hours{kTk}};
+}
+
+double F(double p) { return (p - kA) / (kB - kA); }
+
+TEST(PriceModel, AcceptanceAndQuantile) {
+  const auto m = uniform_model();
+  EXPECT_DOUBLE_EQ(m.acceptance(Money{0.06}), 0.5);
+  EXPECT_DOUBLE_EQ(m.quantile(0.5).usd(), 0.06);
+  EXPECT_DOUBLE_EQ(m.support_lo().usd(), kA);
+  EXPECT_DOUBLE_EQ(m.support_hi().usd(), kB);
+}
+
+TEST(PriceModel, ExpectedPaymentIsConditionalMean) {
+  const auto m = uniform_model();
+  // E[pi | pi <= p] = (p + a)/2 for uniform.
+  EXPECT_NEAR(m.expected_payment(Money{0.06}).usd(), 0.04, 1e-12);
+  EXPECT_NEAR(m.expected_payment(Money{0.10}).usd(), 0.06, 1e-12);
+  EXPECT_THROW((void)m.expected_payment(Money{0.01}), ModelError);
+}
+
+TEST(PriceModel, ExpectedPaymentIncreasesWithBid) {
+  // The Proposition-4 proof's monotonicity: E[pi | pi <= p] grows with p.
+  const auto m = uniform_model();
+  double prev = 0.0;
+  for (double p = 0.025; p <= 0.1; p += 0.005) {
+    const double e = m.expected_payment(Money{p}).usd();
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(PriceModel, RejectsBadConstruction) {
+  auto d = std::make_shared<dist::Uniform>(kA, kB);
+  EXPECT_THROW((SpotPriceModel{nullptr, Money{1.0}, Hours{kTk}}), InvalidArgument);
+  EXPECT_THROW((SpotPriceModel{d, Money{0.0}, Hours{kTk}}), InvalidArgument);
+  EXPECT_THROW((SpotPriceModel{d, Money{1.0}, Hours{0.0}}), InvalidArgument);
+}
+
+TEST(Eq8, ExpectedUninterruptedRun) {
+  const auto m = uniform_model();
+  // F(0.06) = 0.5 -> expected run = tk / 0.5 = 2 slots.
+  EXPECT_NEAR(expected_uninterrupted_run(m, Money{0.06}).hours(), 2.0 * kTk, 1e-12);
+  // F = 1 -> infinite.
+  EXPECT_TRUE(std::isinf(expected_uninterrupted_run(m, Money{0.2}).hours()));
+}
+
+TEST(Eq10, OneTimeCost) {
+  const auto m = uniform_model();
+  // ts = 2h at bid 0.06: cost = 2 * 0.04.
+  EXPECT_NEAR(one_time_expected_cost(m, Money{0.06}, Hours{2.0}).usd(), 0.08, 1e-12);
+  // Bid below support: infinite.
+  EXPECT_TRUE(std::isinf(one_time_expected_cost(m, Money{0.01}, Hours{1.0}).usd()));
+}
+
+TEST(OneTimeSurvival, MatchesPowerLaw) {
+  const auto m = uniform_model();
+  // 1 hour = 12 slots at F = 0.5 -> 0.5^12.
+  EXPECT_NEAR(one_time_survival_probability(m, Money{0.06}, Hours{1.0}), std::pow(0.5, 12),
+              1e-15);
+  EXPECT_NEAR(one_time_survival_probability(m, Money{0.2}, Hours{1.0}), 1.0, 1e-15);
+}
+
+TEST(Eq14, FeasibilityThreshold) {
+  const auto m = uniform_model();
+  const JobSpec job{Hours{1.0}, Hours{0.0}};
+  (void)job;
+  // t_r < t_k/(1 - F). At F = 0.5 the bound is 2 tk.
+  EXPECT_TRUE(persistent_feasible(m, Money{0.06}, Hours{1.9 * kTk}));
+  EXPECT_FALSE(persistent_feasible(m, Money{0.06}, Hours{2.1 * kTk}));
+  // t_r < t_k is feasible at ANY bid (the paper's remark).
+  EXPECT_TRUE(persistent_feasible(m, Money{0.021}, Hours{0.99 * kTk}));
+}
+
+TEST(Eq13, PersistentBusyTime) {
+  const auto m = uniform_model();
+  const JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+  const double r = job.recovery_time.hours() / kTk;
+  const double p = 0.06;
+  const double expected = (1.0 - job.recovery_time.hours()) / (1.0 - r * (1.0 - F(p)));
+  EXPECT_NEAR(persistent_busy_time(m, Money{p}, job).hours(), expected, 1e-12);
+}
+
+TEST(Eq13, InfeasibleRecoveryGivesInfiniteBusyTime) {
+  const auto m = uniform_model();
+  const JobSpec job{Hours{1.0}, Hours{3.0 * kTk}};  // t_r = 3 slots
+  // At F(0.06) = 0.5: 1 - 3*0.5 = -0.5 <= 0 -> infinite.
+  EXPECT_TRUE(std::isinf(persistent_busy_time(m, Money{0.06}, job).hours()));
+  // At F = 0.9 (p = 0.092): 1 - 3*0.1 = 0.7 > 0 -> finite.
+  EXPECT_TRUE(std::isfinite(persistent_busy_time(m, Money{0.092}, job).hours()));
+}
+
+TEST(CompletionTime, BusyOverAcceptance) {
+  const auto m = uniform_model();
+  const JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+  const Money p{0.06};
+  const double busy = persistent_busy_time(m, p, job).hours();
+  EXPECT_NEAR(persistent_completion_time(m, p, job).hours(), busy / 0.5, 1e-12);
+}
+
+TEST(CompletionTime, DecreasesWithBid) {
+  // eq. 13 "decreases with p": higher bids mean fewer interruptions.
+  const auto m = uniform_model();
+  const JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+  double prev = std::numeric_limits<double>::infinity();
+  for (double p = 0.03; p <= 0.10; p += 0.01) {
+    const double t = persistent_completion_time(m, Money{p}, job).hours();
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Eq15, PersistentCostIsBusyTimesPayment) {
+  const auto m = uniform_model();
+  const JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+  const Money p{0.06};
+  const double busy = persistent_busy_time(m, p, job).hours();
+  EXPECT_NEAR(persistent_expected_cost(m, p, job).usd(), busy * 0.04, 1e-12);
+}
+
+TEST(Interruptions, MatchEq12TransitionCount) {
+  const auto m = uniform_model();
+  const JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+  const Money p{0.06};
+  const double T = persistent_completion_time(m, p, job).hours();
+  const double expected = T / kTk * 0.5 * 0.5 - 1.0;
+  EXPECT_NEAR(persistent_expected_interruptions(m, p, job), expected, 1e-9);
+}
+
+TEST(Eq17, ParallelBusyTimeScalesWithNodes) {
+  const auto m = uniform_model();
+  ParallelJobSpec job;
+  job.execution_time = Hours{1.0};
+  job.recovery_time = Hours::from_seconds(30.0);
+  job.overhead_time = Hours::from_seconds(60.0);
+  job.nodes = 4;
+  const Money p{0.06};
+  const double r = job.recovery_time.hours() / kTk;
+  const double numer = 1.0 + 60.0 / 3600.0 - 4.0 * 30.0 / 3600.0;
+  const double expected = numer / (1.0 - r * 0.5);
+  EXPECT_NEAR(parallel_total_busy_time(m, p, job).hours(), expected, 1e-12);
+  // Per-node completion (eq. 18 / F).
+  EXPECT_NEAR(parallel_completion_time(m, p, job).hours(), expected / 4.0 / 0.5, 1e-12);
+  // Cost = total busy * payment.
+  EXPECT_NEAR(parallel_expected_cost(m, p, job).usd(), expected * 0.04, 1e-12);
+}
+
+TEST(Eq17, OverSplitJobIsInfeasible) {
+  const auto m = uniform_model();
+  ParallelJobSpec job;
+  job.execution_time = Hours::from_seconds(100.0);
+  job.overhead_time = Hours{0.0};
+  job.recovery_time = Hours::from_seconds(30.0);
+  job.nodes = 4;  // 4 * 30s >= 100s
+  EXPECT_TRUE(std::isinf(parallel_total_busy_time(m, Money{0.06}, job).hours()));
+  EXPECT_THROW((void)parallel_total_busy_time(m, Money{0.06}, ParallelJobSpec{
+                   Hours{1.0}, Hours{0.0}, Hours{0.0}, 0}),
+               InvalidArgument);
+}
+
+TEST(ParallelSpeedup, MoreNodesFinishFaster) {
+  const auto m = uniform_model();
+  ParallelJobSpec job;
+  job.execution_time = Hours{1.0};
+  job.recovery_time = Hours::from_seconds(10.0);
+  job.overhead_time = Hours::from_seconds(60.0);
+  double prev = std::numeric_limits<double>::infinity();
+  for (int nodes : {1, 2, 4, 8}) {
+    job.nodes = nodes;
+    const double t = parallel_completion_time(m, Money{0.06}, job).hours();
+    EXPECT_LT(t, prev) << "nodes=" << nodes;
+    prev = t;
+  }
+}
+
+TEST(Psi, ConstantForUniformLaw) {
+  const auto m = uniform_model();
+  // psi = 2a/(b - a) = 0.5 for all p in the interior.
+  for (double p : {0.03, 0.05, 0.07, 0.09}) {
+    EXPECT_NEAR(psi(m, Money{p}), 2.0 * kA / (kB - kA), 1e-9) << "p=" << p;
+  }
+}
+
+TEST(Psi, InfiniteAtAndBelowSupportMinimum) {
+  const auto m = uniform_model();
+  EXPECT_TRUE(std::isinf(psi(m, Money{kA})));
+  EXPECT_TRUE(std::isinf(psi(m, Money{0.001})));
+}
+
+TEST(Psi, StationarityMatchesCostDerivativeZero) {
+  // On the calibrated (non-uniform) r3.xlarge law, the psi root at target
+  // t_k/t_r - 1 must be a stationary point of the eq.-15 cost.
+  const auto model = SpotPriceModel::from_type(ec2::require_type("r3.xlarge"));
+  const JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+  const double target = kTk / job.recovery_time.hours() - 1.0;
+
+  // Find the root by scanning.
+  double root = 0.0;
+  double prev_res = psi(model, Money{model.support_lo().usd() + 1e-6}) - target;
+  for (double p = model.support_lo().usd() + 1e-6; p < model.support_hi().usd(); p += 1e-5) {
+    const double res = psi(model, Money{p}) - target;
+    if ((res <= 0) != (prev_res <= 0)) {
+      root = p;
+      break;
+    }
+    prev_res = res;
+  }
+  ASSERT_GT(root, 0.0);
+
+  const double h = 2e-4;
+  const double up = persistent_expected_cost(model, Money{root + h}, job).usd();
+  const double down = persistent_expected_cost(model, Money{root - h}, job).usd();
+  const double at = persistent_expected_cost(model, Money{root}, job).usd();
+  EXPECT_LE(at, up + 1e-7);
+  EXPECT_LE(at, down + 1e-7);
+}
+
+}  // namespace
+}  // namespace spotbid::bidding

@@ -1,0 +1,202 @@
+// Tests for risk-averse bidding (variance- and deadline-constrained bids,
+// the paper's Section-8 extension).
+
+#include "spotbid/bidding/risk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "spotbid/client/job_runner.hpp"
+#include "spotbid/dist/uniform.hpp"
+#include "spotbid/ec2/instance_types.hpp"
+#include "spotbid/market/price_source.hpp"
+#include "spotbid/numeric/stats.hpp"
+
+namespace spotbid::bidding {
+namespace {
+
+constexpr double kTk = 1.0 / 12.0;
+
+SpotPriceModel uniform_model() {
+  return SpotPriceModel{std::make_shared<dist::Uniform>(0.02, 0.10), Money{0.35}, Hours{kTk}};
+}
+
+SpotPriceModel r3_model() { return SpotPriceModel::from_type(ec2::require_type("r3.xlarge")); }
+
+TEST(PaymentVariance, MatchesUniformClosedForm) {
+  // Var[pi | pi <= p] for uniform on [a, p] is (p - a)^2 / 12.
+  const auto m = uniform_model();
+  for (double p : {0.04, 0.06, 0.10}) {
+    const double expected = (p - 0.02) * (p - 0.02) / 12.0;
+    EXPECT_NEAR(conditional_payment_variance(m, Money{p}), expected, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(PaymentVariance, ThrowsBelowSupport) {
+  EXPECT_THROW((void)conditional_payment_variance(uniform_model(), Money{0.01}), ModelError);
+}
+
+TEST(PaymentVariance, HandlesFloorAtom) {
+  // At a bid just above the floor the conditional law is almost a point
+  // mass -> tiny variance; far above it is positive.
+  const auto m = r3_model();
+  const double at_floor = conditional_payment_variance(m, Money{m.support_lo().usd() + 1e-6});
+  const double mid = conditional_payment_variance(m, m.quantile(0.95));
+  EXPECT_LT(at_floor, 1e-8);
+  EXPECT_GT(mid, at_floor);
+}
+
+TEST(CostVariance, ScalesWithBusySlots) {
+  const auto m = uniform_model();
+  const JobSpec short_job{Hours{1.0}, Hours::from_seconds(30.0)};
+  const JobSpec long_job{Hours{4.0}, Hours::from_seconds(30.0)};
+  const Money p{0.06};
+  EXPECT_GT(persistent_cost_variance(m, p, long_job),
+            3.0 * persistent_cost_variance(m, p, short_job));
+}
+
+TEST(CostVariance, InfiniteWhenInfeasible) {
+  const auto m = uniform_model();
+  const JobSpec job{Hours{1.0}, Hours{3.0 * kTk}};
+  EXPECT_TRUE(std::isinf(persistent_cost_variance(m, Money{0.06}, job)));
+}
+
+TEST(VarianceConstrained, SlackBoundReturnsUnconstrainedOptimum) {
+  const auto m = r3_model();
+  const JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+  const auto base = persistent_bid(m, job);
+  const auto risk = variance_constrained_bid(m, job, 1.0);  // $1^2: enormous
+  EXPECT_NEAR(risk.bid.usd(), base.bid.usd(), 1e-9);
+}
+
+TEST(VarianceConstrained, TightBoundRaisesCostButRespectsBound) {
+  const auto m = r3_model();
+  const JobSpec job{Hours{8.0}, Hours::from_seconds(30.0)};
+  const auto base = persistent_bid(m, job);
+  const double base_var = persistent_cost_variance(m, base.bid, job);
+  ASSERT_GT(base_var, 0.0);
+
+  const double bound = base_var / 16.0;
+  const auto risk = variance_constrained_bid(m, job, bound);
+  ASSERT_FALSE(risk.use_on_demand);
+  EXPECT_LE(persistent_cost_variance(m, risk.bid, job), bound * (1.0 + 1e-9));
+  EXPECT_GE(risk.expected_cost.usd(), base.expected_cost.usd() - 1e-12);
+}
+
+TEST(VarianceConstrained, FloorBidAchievesZeroVariance) {
+  // The r3.xlarge law has a floor atom: bidding the floor pays exactly
+  // pi_min every busy slot, so a zero-variance bound is attainable on spot.
+  const auto m = r3_model();
+  const JobSpec job{Hours{8.0}, Hours::from_seconds(30.0)};
+  const auto risk = variance_constrained_bid(m, job, 0.0);
+  EXPECT_FALSE(risk.use_on_demand);
+  EXPECT_NEAR(risk.bid.usd(), m.support_lo().usd(), 2e-3 * m.support_lo().usd());
+  EXPECT_LE(persistent_cost_variance(m, risk.bid, job), 1e-10);
+}
+
+TEST(VarianceConstrained, ImpossibleBoundFallsBackToOnDemand) {
+  // An atomless law (uniform) has strictly positive variance at every
+  // admissible bid; a zero bound forces on-demand.
+  const auto m = uniform_model();
+  const JobSpec job{Hours{8.0}, Hours::from_seconds(30.0)};
+  const auto risk = variance_constrained_bid(m, job, 0.0);
+  EXPECT_TRUE(risk.use_on_demand);
+  EXPECT_DOUBLE_EQ(risk.expected_cost.usd(), 0.35 * 8.0);
+  EXPECT_THROW((void)variance_constrained_bid(m, job, -1.0), InvalidArgument);
+}
+
+TEST(DeadlineMiss, MonotoneInBidAndDeadline) {
+  const auto m = r3_model();
+  const JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+  const Hours deadline{2.0};
+  double prev = 1.1;
+  for (double q : {0.3, 0.6, 0.9, 0.99}) {
+    const double miss = deadline_miss_probability(m, m.quantile(q), job, deadline);
+    EXPECT_LE(miss, prev + 1e-12) << "q=" << q;
+    prev = miss;
+  }
+  // Longer deadline, easier.
+  const Money p = m.quantile(0.85);
+  EXPECT_GE(deadline_miss_probability(m, p, job, Hours{1.25}),
+            deadline_miss_probability(m, p, job, Hours{4.0}));
+}
+
+TEST(DeadlineMiss, EdgeCases) {
+  const auto m = r3_model();
+  const JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+  // Deadline shorter than the work itself: certain miss.
+  EXPECT_DOUBLE_EQ(deadline_miss_probability(m, m.quantile(0.99), job, Hours{0.5}), 1.0);
+  EXPECT_THROW((void)deadline_miss_probability(m, Money{0.05}, job, Hours{0.0}),
+               InvalidArgument);
+}
+
+TEST(DeadlineMiss, MatchesMonteCarloOnIidMarket) {
+  const auto m = r3_model();
+  const JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+  const Money bid = m.quantile(0.9);
+  const Hours deadline{1.5};
+  const double analytic = deadline_miss_probability(m, bid, job, deadline);
+
+  int misses = 0;
+  const int reps = 600;
+  for (int rep = 0; rep < reps; ++rep) {
+    market::SpotMarket market{std::make_unique<market::ModelPriceSource>(
+        m.distribution_ptr(), m.slot_length(), numeric::derive_seed(77, rep))};
+    client::RunOptions options;
+    options.max_slots = static_cast<long>(deadline.hours() / kTk + 0.5);
+    const auto run = client::run_persistent(market, bid, job, options);
+    if (!run.completed) ++misses;
+  }
+  EXPECT_NEAR(static_cast<double>(misses) / reps, analytic, 0.05);
+}
+
+TEST(DeadlineConstrained, IsCostMinimalOnTheAdmissibleSet) {
+  const auto m = r3_model();
+  const JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+  const Hours deadline{1.25};  // tight enough to exclude the optimum
+  const auto d = deadline_constrained_bid(m, job, deadline, 0.05);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_LE(deadline_miss_probability(m, d->bid, job, deadline), 0.05 + 1e-9);
+  // No admissible bid on a dense grid is cheaper.
+  for (int i = 1; i <= 120; ++i) {
+    const double p =
+        m.support_lo().usd() + (m.support_hi().usd() - m.support_lo().usd()) * i / 120.0;
+    if (deadline_miss_probability(m, Money{p}, job, deadline) > 0.05) continue;
+    EXPECT_LE(d->expected_cost.usd(),
+              persistent_expected_cost(m, Money{p}, job).usd() + 1e-9)
+        << "p=" << p;
+  }
+}
+
+TEST(DeadlineConstrained, SlackDeadlineReturnsUnconstrainedOptimum) {
+  const auto m = r3_model();
+  const JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+  const auto base = persistent_bid(m, job);
+  const auto d = deadline_constrained_bid(m, job, Hours{48.0}, 0.05);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NEAR(d->bid.usd(), base.bid.usd(), 1e-9);
+}
+
+TEST(DeadlineConstrained, TighterEpsilonCostsMore) {
+  const auto m = r3_model();
+  const JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+  const auto loose = deadline_constrained_bid(m, job, Hours{2.0}, 0.3);
+  const auto tight = deadline_constrained_bid(m, job, Hours{2.0}, 0.01);
+  ASSERT_TRUE(loose.has_value());
+  ASSERT_TRUE(tight.has_value());
+  EXPECT_GE(tight->bid.usd(), loose->bid.usd());
+  EXPECT_GE(tight->expected_cost.usd(), loose->expected_cost.usd() - 1e-12);
+}
+
+TEST(DeadlineConstrained, ImpossibleDeadlineIsNullopt) {
+  const auto m = r3_model();
+  const JobSpec job{Hours{4.0}, Hours::from_seconds(30.0)};
+  EXPECT_FALSE(deadline_constrained_bid(m, job, Hours{1.0}, 0.05).has_value());
+  EXPECT_THROW((void)deadline_constrained_bid(m, job, Hours{8.0}, 0.0), InvalidArgument);
+  EXPECT_THROW((void)deadline_constrained_bid(m, job, Hours{8.0}, 1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace spotbid::bidding

@@ -1,0 +1,139 @@
+// Tests for correlation-aware bidding (the Section-8 "Temporal
+// correlations" extension).
+
+#include "spotbid/bidding/sticky.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "spotbid/client/job_runner.hpp"
+#include "spotbid/ec2/instance_types.hpp"
+#include "spotbid/market/price_source.hpp"
+#include "spotbid/numeric/stats.hpp"
+#include "spotbid/trace/generator.hpp"
+
+namespace spotbid::bidding {
+namespace {
+
+SpotPriceModel r3_model() { return SpotPriceModel::from_type(ec2::require_type("r3.xlarge")); }
+
+TEST(EstimatePersistence, RecoversGeneratorParameter) {
+  const auto& type = ec2::require_type("r3.xlarge");
+  for (double rho : {0.0, 0.5, 0.9}) {
+    trace::GeneratorConfig config;
+    config.slots = 40000;
+    config.persistence = rho;
+    const auto trace = trace::generate_for_type(type, config);
+    EXPECT_NEAR(estimate_persistence(trace), rho, 0.05) << "rho=" << rho;
+  }
+}
+
+TEST(EstimatePersistence, ThrowsOnShortTrace) {
+  trace::PriceTrace t{"x", 0, Hours{1.0}, {0.1}};
+  EXPECT_THROW((void)estimate_persistence(t), InvalidArgument);
+}
+
+TEST(StickyMetrics, RhoZeroReducesToSection5) {
+  const auto m = r3_model();
+  const JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+  const Money p = m.quantile(0.9);
+  const auto sticky = sticky_persistent_metrics(m, p, job, 0.0);
+  ASSERT_TRUE(sticky.feasible);
+  EXPECT_NEAR(sticky.busy_time.hours(), persistent_busy_time(m, p, job).hours(), 1e-12);
+  EXPECT_NEAR(sticky.expected_completion.hours(),
+              persistent_completion_time(m, p, job).hours(), 1e-12);
+  EXPECT_NEAR(sticky.expected_interruptions, persistent_expected_interruptions(m, p, job),
+              1e-9);
+  EXPECT_NEAR(sticky.expected_cost.usd(), persistent_expected_cost(m, p, job).usd(), 1e-12);
+}
+
+TEST(StickyMetrics, HigherRhoMeansFewerInterruptions) {
+  // Long job so the interruption count stays above the clamp at zero.
+  const auto m = r3_model();
+  const JobSpec job{Hours{24.0}, Hours::from_seconds(30.0)};
+  const Money p = m.quantile(0.85);
+  double prev = 1e18;
+  for (double rho : {0.0, 0.5, 0.9}) {
+    const auto metrics = sticky_persistent_metrics(m, p, job, rho);
+    ASSERT_TRUE(metrics.feasible);
+    EXPECT_LT(metrics.expected_interruptions, prev) << "rho=" << rho;
+    EXPECT_GT(metrics.expected_interruptions, 0.0) << "rho=" << rho;
+    prev = metrics.expected_interruptions;
+  }
+}
+
+TEST(StickyMetrics, FeasibilityWidensWithRho) {
+  // A recovery time infeasible under i.i.d. prices can be feasible under
+  // sticky prices: eq. 14' has the (1 - rho) factor.
+  const auto m = r3_model();
+  const JobSpec job{Hours{2.0}, Hours{1.0}};  // t_r of 12 slots
+  const Money p = m.quantile(0.5);
+  EXPECT_FALSE(sticky_persistent_metrics(m, p, job, 0.0).feasible);
+  EXPECT_TRUE(sticky_persistent_metrics(m, p, job, 0.99).feasible);
+}
+
+TEST(StickyMetrics, RejectsBadRho) {
+  const auto m = r3_model();
+  const JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+  EXPECT_THROW((void)sticky_persistent_metrics(m, Money{0.05}, job, -0.1), InvalidArgument);
+  EXPECT_THROW((void)sticky_persistent_metrics(m, Money{0.05}, job, 1.0), InvalidArgument);
+}
+
+TEST(StickyBid, LowerThanIidBid) {
+  // Sticky prices interrupt less, so the corrected optimum needs less
+  // interruption insurance: p*(rho) <= p*(0).
+  const auto m = r3_model();
+  const JobSpec job{Hours{1.0}, Hours::from_seconds(120.0)};
+  const auto iid = sticky_persistent_bid(m, job, 0.0);
+  const auto sticky = sticky_persistent_bid(m, job, 0.9);
+  EXPECT_LE(sticky.bid.usd(), iid.bid.usd() + 1e-9);
+  EXPECT_LE(sticky.expected_cost.usd(), iid.expected_cost.usd() + 1e-12);
+}
+
+TEST(StickyBid, RhoZeroMatchesProposition5) {
+  const auto m = r3_model();
+  const JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+  const auto base = persistent_bid(m, job);
+  const auto sticky = sticky_persistent_bid(m, job, 0.0);
+  EXPECT_NEAR(sticky.bid.usd(), base.bid.usd(), 2e-3 * base.bid.usd());
+}
+
+TEST(StickyBid, PredictionMatchesStickyMarketMeasurement) {
+  // The corrected interruption count should track a sticky market run far
+  // better than the i.i.d. formula does.
+  const auto& type = ec2::require_type("r3.xlarge");
+  const auto m = r3_model();
+  const JobSpec job{Hours{8.0}, Hours::from_seconds(30.0)};
+  const double rho = type.market.persistence;
+  const auto decision = sticky_persistent_bid(m, job, rho);
+
+  numeric::RunningStats interruptions;
+  numeric::RunningStats completions;
+  for (int rep = 0; rep < 40; ++rep) {
+    market::SpotMarket market{std::make_unique<market::ModelPriceSource>(
+        m.distribution_ptr(), m.slot_length(), numeric::derive_seed(33, rep), rho)};
+    const auto run = client::run_persistent(market, decision.bid, job);
+    ASSERT_TRUE(run.completed);
+    interruptions.add(run.interruptions);
+    completions.add(run.completion_time.hours());
+  }
+  const auto metrics = sticky_persistent_metrics(m, decision.bid, job, rho);
+  EXPECT_NEAR(interruptions.mean(), metrics.expected_interruptions,
+              std::max(1.0, 0.5 * metrics.expected_interruptions));
+  // The i.i.d. formula (rho = 0) overestimates interruptions by ~1/(1-rho).
+  const auto iid = sticky_persistent_metrics(m, decision.bid, job, 0.0);
+  EXPECT_GT(iid.expected_interruptions, 3.0 * interruptions.mean());
+}
+
+TEST(StickyBid, RejectsBadInputs) {
+  const auto m = r3_model();
+  EXPECT_THROW((void)sticky_persistent_bid(m, JobSpec{Hours{0.001}, Hours{1.0}}, 0.5),
+               InvalidArgument);
+  EXPECT_THROW((void)sticky_persistent_bid(m, JobSpec{Hours{1.0}, Hours{0.0}}, 1.5),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace spotbid::bidding

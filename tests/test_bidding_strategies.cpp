@@ -1,0 +1,319 @@
+// Tests for the optimal bidding strategies (Propositions 4-5, Section 6)
+// and the comparison heuristics.
+
+#include "spotbid/bidding/strategies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "spotbid/dist/uniform.hpp"
+#include "spotbid/ec2/instance_types.hpp"
+#include "spotbid/trace/generator.hpp"
+
+namespace spotbid::bidding {
+namespace {
+
+constexpr double kTk = 1.0 / 12.0;
+
+SpotPriceModel r3_model() { return SpotPriceModel::from_type(ec2::require_type("r3.xlarge")); }
+
+SpotPriceModel uniform_model() {
+  return SpotPriceModel{std::make_shared<dist::Uniform>(0.02, 0.10), Money{0.35}, Hours{kTk}};
+}
+
+// ---- Proposition 4: one-time bids ----
+
+TEST(OneTime, BidsAtTheProposition4Percentile) {
+  const auto m = uniform_model();
+  const JobSpec job{Hours{1.0}, Hours{0.0}};
+  const auto d = one_time_bid(m, job);
+  // q = 1 - tk/ts = 1 - 1/12; uniform quantile = 0.02 + q * 0.08.
+  EXPECT_NEAR(d.bid.usd(), 0.02 + (1.0 - kTk) * 0.08, 1e-9);
+  EXPECT_NEAR(d.acceptance, 1.0 - kTk, 1e-9);
+  EXPECT_FALSE(d.use_on_demand);
+}
+
+TEST(OneTime, BidIncreasesWithExecutionTime) {
+  // "the bid price increases as the number of time slots required to
+  // complete the job increases".
+  const auto m = r3_model();
+  double prev = 0.0;
+  for (double ts : {0.25, 0.5, 1.0, 4.0, 12.0}) {
+    const auto d = one_time_bid(m, JobSpec{Hours{ts}, Hours{0.0}});
+    EXPECT_GE(d.bid.usd(), prev) << "ts=" << ts;
+    prev = d.bid.usd();
+  }
+}
+
+TEST(OneTime, ShortJobsBidNearTheFloor) {
+  // ts <= tk -> quantile clamps to the acceptance floor.
+  const auto m = r3_model();
+  const auto d = one_time_bid(m, JobSpec{Hours{kTk / 2.0}, Hours{0.0}});
+  EXPECT_LE(d.bid.usd(), m.quantile(0.05).usd() + 1e-12);
+}
+
+TEST(OneTime, CostBelowOnDemand) {
+  const auto m = r3_model();
+  const auto d = one_time_bid(m, JobSpec{Hours{1.0}, Hours{0.0}});
+  EXPECT_FALSE(d.use_on_demand);
+  EXPECT_LT(d.expected_cost.usd(), 0.35);
+  // ~90% savings regime.
+  EXPECT_LT(d.expected_cost.usd(), 0.2 * 0.35);
+}
+
+TEST(OneTime, RejectsNonPositiveExecution) {
+  EXPECT_THROW((void)one_time_bid(r3_model(), JobSpec{Hours{0.0}, Hours{0.0}}),
+               InvalidArgument);
+}
+
+// ---- Proposition 5: persistent bids ----
+
+TEST(Persistent, ClosedFormAgreesWithNumericOnSmoothLaw) {
+  const auto m = r3_model();
+  for (double tr_s : {10.0, 30.0, 60.0}) {
+    const JobSpec job{Hours{1.0}, Hours::from_seconds(tr_s)};
+    const auto analytic = persistent_bid(m, job);
+    const auto numeric = persistent_bid_numeric(m, job);
+    EXPECT_NEAR(analytic.expected_cost.usd(), numeric.expected_cost.usd(),
+                2e-3 * numeric.expected_cost.usd())
+        << "tr=" << tr_s;
+  }
+}
+
+TEST(Persistent, BidIsGloballyOptimalOnGrid) {
+  const auto m = r3_model();
+  const JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+  const auto d = persistent_bid(m, job);
+  for (int i = 1; i < 200; ++i) {
+    const double p =
+        m.support_lo().usd() + (m.support_hi().usd() - m.support_lo().usd()) * i / 200.0;
+    const Money cost = persistent_expected_cost(m, Money{p}, job);
+    EXPECT_LE(d.expected_cost.usd(), cost.usd() + 1e-9) << "p=" << p;
+  }
+}
+
+TEST(Persistent, LongerRecoveryRaisesBid) {
+  // Section 7.1: "longer recovery times yield higher bid prices".
+  const auto m = r3_model();
+  const auto d10 = persistent_bid(m, JobSpec{Hours{1.0}, Hours::from_seconds(10.0)});
+  const auto d30 = persistent_bid(m, JobSpec{Hours{1.0}, Hours::from_seconds(30.0)});
+  const auto d120 = persistent_bid(m, JobSpec{Hours{1.0}, Hours::from_seconds(120.0)});
+  EXPECT_LE(d10.bid.usd(), d30.bid.usd());
+  EXPECT_LE(d30.bid.usd(), d120.bid.usd());
+}
+
+TEST(Persistent, BidIndependentOfExecutionTime) {
+  // "the optimal bid price does not depend on the execution time t_s".
+  const auto m = r3_model();
+  const auto short_job = persistent_bid(m, JobSpec{Hours{0.5}, Hours::from_seconds(30.0)});
+  const auto long_job = persistent_bid(m, JobSpec{Hours{8.0}, Hours::from_seconds(30.0)});
+  EXPECT_NEAR(short_job.bid.usd(), long_job.bid.usd(),
+              2e-3 * long_job.bid.usd());
+}
+
+TEST(Persistent, CheaperButSlowerThanOneTime) {
+  // Figure 6's headline tradeoff.
+  const auto m = r3_model();
+  const JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+  const auto ot = one_time_bid(m, job);
+  const auto pe = persistent_bid(m, job);
+  EXPECT_LT(pe.expected_cost.usd(), ot.expected_cost.usd());
+  EXPECT_GT(pe.expected_completion.hours(), job.execution_time.hours());
+  EXPECT_LT(pe.bid.usd(), ot.bid.usd());
+}
+
+TEST(Persistent, PsiInverseSolvesTheTarget) {
+  const auto m = r3_model();
+  const double target = kTk / Hours::from_seconds(30.0).hours() - 1.0;
+  const auto root = psi_inverse(m, target);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_NEAR(psi(m, *root), target, 1e-6 * target);
+}
+
+TEST(Persistent, PsiInverseNulloptForUniformLaw) {
+  // psi is constant (= 0.5) on the uniform law: no interior root for
+  // targets away from it.
+  const auto m = uniform_model();
+  EXPECT_FALSE(psi_inverse(m, 9.0).has_value());
+  const JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+  // The strategy must still work through the numeric fallback.
+  const auto d = persistent_bid(m, job);
+  EXPECT_TRUE(std::isfinite(d.expected_cost.usd()));
+}
+
+TEST(Persistent, RejectsRecoveryLongerThanExecution) {
+  EXPECT_THROW((void)persistent_bid(r3_model(), JobSpec{Hours{0.001}, Hours{1.0}}),
+               InvalidArgument);
+}
+
+TEST(Persistent, ZeroRecoveryStillProducesAFiniteBid) {
+  const auto m = r3_model();
+  const auto d = persistent_bid(m, JobSpec{Hours{1.0}, Hours{0.0}});
+  EXPECT_GE(d.acceptance, kMinAcceptance - 1e-12);
+  EXPECT_TRUE(std::isfinite(d.expected_cost.usd()));
+}
+
+// ---- Section 6.1: parallel bids ----
+
+TEST(Parallel, SameStationarityAsSingleInstance) {
+  const auto m = r3_model();
+  ParallelJobSpec pjob;
+  pjob.execution_time = Hours{1.0};
+  pjob.recovery_time = Hours::from_seconds(30.0);
+  pjob.overhead_time = Hours::from_seconds(60.0);
+  pjob.nodes = 4;
+  const auto par = parallel_bid(m, pjob);
+  const auto single = persistent_bid(m, JobSpec{Hours{1.0}, Hours::from_seconds(30.0)});
+  EXPECT_NEAR(par.bid.usd(), single.bid.usd(), 2e-3 * single.bid.usd());
+}
+
+TEST(Parallel, OptimalOnGrid) {
+  const auto m = r3_model();
+  ParallelJobSpec pjob;
+  pjob.execution_time = Hours{1.0};
+  pjob.recovery_time = Hours::from_seconds(30.0);
+  pjob.overhead_time = Hours::from_seconds(60.0);
+  pjob.nodes = 4;
+  const auto d = parallel_bid(m, pjob);
+  for (int i = 1; i < 150; ++i) {
+    const double p =
+        m.support_lo().usd() + (m.support_hi().usd() - m.support_lo().usd()) * i / 150.0;
+    EXPECT_LE(d.expected_cost.usd(), parallel_expected_cost(m, Money{p}, pjob).usd() + 1e-9);
+  }
+}
+
+TEST(Parallel, RejectsOverSplitAndBadNodes) {
+  const auto m = r3_model();
+  ParallelJobSpec bad;
+  bad.execution_time = Hours::from_seconds(100.0);
+  bad.recovery_time = Hours::from_seconds(30.0);
+  bad.overhead_time = Hours{0.0};
+  bad.nodes = 4;
+  EXPECT_THROW((void)parallel_bid(m, bad), InvalidArgument);
+  bad.nodes = 0;
+  EXPECT_THROW((void)parallel_bid(m, bad), InvalidArgument);
+}
+
+// ---- heuristics ----
+
+TEST(Percentile, BidsTheRequestedQuantile) {
+  const auto m = r3_model();
+  const JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+  const auto d = percentile_bid(m, job, 0.90);
+  EXPECT_NEAR(d.bid.usd(), m.quantile(0.90).usd(), 1e-12);
+  EXPECT_THROW((void)percentile_bid(m, job, 0.0), InvalidArgument);
+  EXPECT_THROW((void)percentile_bid(m, job, 1.0), InvalidArgument);
+}
+
+TEST(Percentile, CostsMoreThanOptimalPersistent) {
+  // Figure 6: "bidding the (larger) 90th percentile price yields a much
+  // smaller decrease in cost" — i.e. a higher cost than the optimum.
+  const auto m = r3_model();
+  const JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+  const auto optimal = persistent_bid(m, job);
+  const auto heuristic = percentile_bid(m, job, 0.90);
+  EXPECT_GT(heuristic.expected_cost.usd(), optimal.expected_cost.usd());
+  // But completes faster (higher bid, fewer interruptions).
+  EXPECT_LT(heuristic.expected_completion.hours(), optimal.expected_completion.hours());
+}
+
+TEST(Retrospective, FindsMinimalSurvivingPrice) {
+  // Hand-built trace: 12 slots. A 3-slot job: windows' maxima are known.
+  trace::PriceTrace t{"x", 0, Hours{kTk},
+                      {0.09, 0.03, 0.04, 0.05, 0.08, 0.02, 0.02, 0.03, 0.09, 0.07, 0.06, 0.05}};
+  // Job of 3 slots (= 0.25 h), lookback the full hour.
+  const auto best = retrospective_best_bid(t, Hours{1.0}, Hours{0.25});
+  ASSERT_TRUE(best.has_value());
+  // Window [5,7]: prices 0.02 0.02 0.03 -> max 0.03 is the smallest max.
+  EXPECT_DOUBLE_EQ(best->usd(), 0.03);
+}
+
+TEST(Retrospective, NulloptWhenWindowTooShort) {
+  trace::PriceTrace t{"x", 0, Hours{kTk}, {0.05, 0.05}};
+  EXPECT_FALSE(retrospective_best_bid(t, Hours{1.0}, Hours{1.0}).has_value());
+}
+
+TEST(Retrospective, CanUnderestimateTheSafeBid) {
+  // The paper: "10 hours of history is insufficient to predict the future
+  // prices" — the retrospective price can be lower than the Prop.-4 bid.
+  const auto& type = ec2::require_type("r3.xlarge");
+  trace::GeneratorConfig config;
+  config.slots = 3000;
+  const auto t = trace::generate_for_type(type, config);
+  const auto model = SpotPriceModel::from_trace(t, type.on_demand);
+  const auto optimal = one_time_bid(model, JobSpec{Hours{1.0}, Hours{0.0}});
+  const auto retro = retrospective_best_bid(t, Hours{10.0}, Hours{1.0});
+  ASSERT_TRUE(retro.has_value());
+  EXPECT_LT(retro->usd(), optimal.bid.usd());
+}
+
+// ---- Section 6.2: MapReduce plans ----
+
+TEST(MapReduce, PlanSatisfiesEq20Constraint) {
+  const auto master = SpotPriceModel::from_type(ec2::require_type("m3.xlarge"));
+  const auto slave = SpotPriceModel::from_type(ec2::require_type("c3.4xlarge"));
+  ParallelJobSpec job;
+  job.execution_time = Hours{1.0};
+  job.recovery_time = Hours::from_seconds(30.0);
+  job.overhead_time = Hours::from_seconds(60.0);
+  const auto plan = mapreduce_bid(master, slave, job);
+
+  // Master expected uninterrupted life covers the slaves' completion.
+  const Hours master_life = expected_uninterrupted_run(master, plan.master.bid);
+  EXPECT_GE(master_life.hours(), plan.expected_completion.hours() - 1e-9);
+  // The paper's observation: M as low as 3 or 4.
+  EXPECT_GE(plan.nodes, 2);
+  EXPECT_LE(plan.nodes, 8);
+  // Spot beats on-demand by a wide margin.
+  EXPECT_LT(plan.expected_total_cost.usd(), 0.35 * plan.on_demand_cost.usd());
+}
+
+TEST(MapReduce, MasterCostIsSmallFractionOfSlaveCost) {
+  // Table 4: "The cost of the master node is 10% to 25% of the slave node
+  // cost" — we allow a broader band but require master << slaves.
+  for (const auto& setting : ec2::mapreduce_settings()) {
+    const auto master = SpotPriceModel::from_type(setting.master);
+    const auto slave = SpotPriceModel::from_type(setting.slave);
+    ParallelJobSpec job;
+    job.execution_time = Hours{1.0};
+    job.recovery_time = Hours::from_seconds(30.0);
+    job.overhead_time = Hours::from_seconds(60.0);
+    const auto plan = mapreduce_bid(master, slave, job);
+    EXPECT_LT(plan.master.expected_cost.usd(), 0.45 * plan.slaves.expected_cost.usd())
+        << setting.label;
+    EXPECT_GT(plan.master.expected_cost.usd(), 0.0) << setting.label;
+  }
+}
+
+TEST(MapReduce, RespectsMaxNodesCap) {
+  const auto master = SpotPriceModel::from_type(ec2::require_type("m3.xlarge"));
+  const auto slave = SpotPriceModel::from_type(ec2::require_type("c3.4xlarge"));
+  ParallelJobSpec job;
+  job.execution_time = Hours{1.0};
+  job.recovery_time = Hours::from_seconds(30.0);
+  job.overhead_time = Hours::from_seconds(60.0);
+  MapReduceOptions options;
+  options.max_nodes = 2;
+  const auto plan = mapreduce_bid(master, slave, job, options);
+  EXPECT_LE(plan.nodes, 2);
+  options.max_nodes = 0;
+  EXPECT_THROW((void)mapreduce_bid(master, slave, job, options), InvalidArgument);
+}
+
+TEST(MapReduce, OnDemandBaselineUsesBothTypes) {
+  const auto master = SpotPriceModel::from_type(ec2::require_type("m3.xlarge"));
+  const auto slave = SpotPriceModel::from_type(ec2::require_type("c3.8xlarge"));
+  ParallelJobSpec job;
+  job.execution_time = Hours{1.0};
+  job.recovery_time = Hours::from_seconds(30.0);
+  job.overhead_time = Hours::from_seconds(60.0);
+  const auto plan = mapreduce_bid(master, slave, job);
+  const double completion = plan.on_demand_completion.hours();
+  EXPECT_NEAR(plan.on_demand_cost.usd(),
+              (0.28 + 1.68 * plan.nodes) * completion, 1e-9);
+}
+
+}  // namespace
+}  // namespace spotbid::bidding

@@ -1,0 +1,222 @@
+// Tests for the client layer: price monitor, job runner, experiment harness.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "spotbid/client/experiment.hpp"
+#include "spotbid/client/job_runner.hpp"
+#include "spotbid/client/price_monitor.hpp"
+#include "spotbid/market/price_source.hpp"
+
+namespace spotbid::client {
+namespace {
+
+constexpr double kTk = 1.0 / 12.0;
+
+market::SpotMarket pattern_market(std::vector<double> pattern, bool wrap = true) {
+  trace::PriceTrace t{"pattern", 0, Hours{kTk}, std::move(pattern)};
+  return market::SpotMarket{std::make_unique<market::TracePriceSource>(std::move(t), wrap)};
+}
+
+// ---- PriceMonitor ----
+
+TEST(PriceMonitorTest, RejectsBadConstruction) {
+  EXPECT_THROW((PriceMonitor{Money{0.0}, Hours{kTk}}), InvalidArgument);
+  EXPECT_THROW((PriceMonitor{Money{0.35}, Hours{0.0}}), InvalidArgument);
+  EXPECT_THROW((PriceMonitor{Money{0.35}, Hours{kTk}, 1}), InvalidArgument);
+}
+
+TEST(PriceMonitorTest, NeedsTwoObservationsForAModel) {
+  PriceMonitor monitor{Money{0.35}, Hours{kTk}};
+  EXPECT_THROW((void)monitor.model(), ModelError);
+  monitor.observe(Money{0.03});
+  monitor.observe(Money{0.05});
+  const auto model = monitor.model();
+  EXPECT_DOUBLE_EQ(model.support_lo().usd(), 0.03);
+  EXPECT_DOUBLE_EQ(model.support_hi().usd(), 0.05);
+}
+
+TEST(PriceMonitorTest, WindowEvictsOldest) {
+  PriceMonitor monitor{Money{0.35}, Hours{kTk}, 3};
+  for (double p : {0.10, 0.02, 0.03, 0.04}) monitor.observe(Money{p});
+  EXPECT_EQ(monitor.observation_count(), 3u);
+  // The 0.10 observation fell out of the window.
+  EXPECT_DOUBLE_EQ(monitor.model().support_hi().usd(), 0.04);
+}
+
+TEST(PriceMonitorTest, ObserveTraceBulkLoads) {
+  PriceMonitor monitor{Money{0.35}, Hours{kTk}};
+  trace::PriceTrace t{"x", 0, Hours{kTk}, {0.03, 0.04, 0.05}};
+  monitor.observe_trace(t);
+  EXPECT_EQ(monitor.observation_count(), 3u);
+  EXPECT_THROW(monitor.observe(Money{-0.01}), InvalidArgument);
+}
+
+// ---- job runner: hand-verifiable deterministic scenarios ----
+
+TEST(RunPersistent, ExactBillingOnKnownPattern) {
+  // Job of exactly 3 slots, no recovery; prices 0.04, 0.08(out), 0.04, ...
+  auto market = pattern_market({0.04, 0.08, 0.04, 0.04, 0.04});
+  const bidding::JobSpec job{Hours{3.0 * kTk}, Hours{0.0}};
+  const auto result = run_persistent(market, Money{0.05}, job);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.finished_on_spot);
+  // Ran slots 0, 2, 3; idle slot 1. Completion = 4 slots.
+  EXPECT_NEAR(result.completion_time.hours(), 4.0 * kTk, 1e-12);
+  EXPECT_NEAR(result.running_time.hours(), 3.0 * kTk, 1e-12);
+  EXPECT_NEAR(result.cost.usd(), (0.04 + 0.04 + 0.04) * kTk, 1e-12);
+  EXPECT_EQ(result.interruptions, 1);
+  EXPECT_EQ(result.launches, 2);
+}
+
+TEST(RunPersistent, RecoveryExtendsRunningTime) {
+  // Same pattern but a full slot of recovery per interruption: the slot-2
+  // relaunch does recovery only, so one extra running slot is needed.
+  auto market = pattern_market({0.04, 0.08, 0.04, 0.04, 0.04, 0.04});
+  const bidding::JobSpec job{Hours{3.0 * kTk}, Hours{kTk}};
+  const auto result = run_persistent(market, Money{0.05}, job);
+  EXPECT_TRUE(result.completed);
+  EXPECT_NEAR(result.running_time.hours(), 4.0 * kTk, 1e-12);
+  EXPECT_NEAR(result.recovery_time_spent.hours(), kTk, 1e-12);
+  EXPECT_NEAR(result.cost.usd(), 4 * 0.04 * kTk, 1e-12);
+}
+
+TEST(RunPersistent, HourlyPriceIsCostOverRunningTime) {
+  auto market = pattern_market({0.04, 0.06});
+  const bidding::JobSpec job{Hours{2.0 * kTk}, Hours{0.0}};
+  const auto result = run_persistent(market, Money{0.10}, job);
+  EXPECT_NEAR(result.hourly_price().usd(), 0.05, 1e-12);
+}
+
+TEST(RunOneTime, CompletesWhenNeverOutbid) {
+  auto market = pattern_market({0.04, 0.04, 0.04});
+  const bidding::JobSpec job{Hours{3.0 * kTk}, Hours{0.0}};
+  const auto result = run_one_time(market, Money{0.05}, job, Money{0.35});
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.finished_on_spot);
+  EXPECT_EQ(result.interruptions, 0);
+  EXPECT_NEAR(result.cost.usd(), 3 * 0.04 * kTk, 1e-12);
+  EXPECT_NEAR(result.completion_time.hours(), 3 * kTk, 1e-12);
+}
+
+TEST(RunOneTime, FallsBackToOnDemandWhenTerminated) {
+  // Outbid after one slot; remaining 2 slots + recovery finish on demand.
+  auto market = pattern_market({0.04, 0.50, 0.04});
+  const bidding::JobSpec job{Hours{3.0 * kTk}, Hours::from_seconds(30.0)};
+  const auto result = run_one_time(market, Money{0.05}, job, Money{0.35});
+  EXPECT_TRUE(result.completed);
+  EXPECT_FALSE(result.finished_on_spot);
+  const double spot_part = 0.04 * kTk;
+  const double remaining = 2.0 * kTk + 30.0 / 3600.0;
+  EXPECT_NEAR(result.cost.usd(), spot_part + 0.35 * remaining, 1e-9);
+}
+
+TEST(RunOneTime, WaitsForThePriceToDropBeforeLaunching) {
+  // High price at submission: the request pends (unbilled) and launches
+  // when the price falls — EC2's open-request semantics.
+  auto market = pattern_market({0.50, 0.04, 0.04});
+  const bidding::JobSpec job{Hours{2.0 * kTk}, Hours{0.0}};
+  const auto result = run_one_time(market, Money{0.05}, job, Money{0.35});
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.finished_on_spot);
+  EXPECT_NEAR(result.cost.usd(), 2.0 * 0.04 * kTk, 1e-12);
+  // One pending slot + two running slots.
+  EXPECT_NEAR(result.completion_time.hours(), 3.0 * kTk, 1e-12);
+}
+
+TEST(RunOneTime, NoFallbackLeavesJobIncomplete) {
+  auto market = pattern_market({0.50});
+  const bidding::JobSpec job{Hours{kTk}, Hours{0.0}};
+  RunOptions options;
+  options.on_demand_fallback = false;
+  const auto result = run_one_time(market, Money{0.05}, job, Money{0.35}, options);
+  EXPECT_FALSE(result.completed);
+  EXPECT_DOUBLE_EQ(result.cost.usd(), 0.0);
+}
+
+TEST(RunOnDemand, CostsExactlyRateTimesExecution) {
+  const bidding::JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+  const auto result = run_on_demand(job, Money{0.35});
+  EXPECT_TRUE(result.completed);
+  EXPECT_DOUBLE_EQ(result.cost.usd(), 0.35);
+  EXPECT_DOUBLE_EQ(result.completion_time.hours(), 1.0);
+  EXPECT_EQ(result.interruptions, 0);
+}
+
+// ---- experiment harness ----
+
+TEST(Experiment, HistoryModelCoversRealisticRange) {
+  const auto& type = ec2::require_type("r3.xlarge");
+  ExperimentConfig config;
+  config.history_slots = 5000;
+  const auto model = history_model(type, config);
+  EXPECT_GT(model.support_lo().usd(), 0.0);
+  EXPECT_LT(model.support_hi().usd(), type.on_demand.usd());
+}
+
+TEST(Experiment, SingleInstanceStrategiesRankAsInThePaper) {
+  const auto& type = ec2::require_type("r3.xlarge");
+  const bidding::JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+  ExperimentConfig config;
+  config.repetitions = 5;
+  config.history_slots = 6000;
+
+  const auto one_time = run_single_instance_experiment(type, job, StrategyKind::kOneTime, config);
+  const auto persistent =
+      run_single_instance_experiment(type, job, StrategyKind::kPersistent, config);
+  const auto on_demand =
+      run_single_instance_experiment(type, job, StrategyKind::kOnDemand, config);
+
+  // Figure 5/6 shape: spot strategies cost far less than on-demand;
+  // persistent costs less than one-time but takes longer.
+  EXPECT_LT(one_time.avg_cost_usd, 0.4 * on_demand.avg_cost_usd);
+  EXPECT_LT(persistent.avg_cost_usd, one_time.avg_cost_usd * 1.05);
+  // Measured completions can tie when no interruption lands in a run; the
+  // analytic expectations carry the strict ordering.
+  EXPECT_GE(persistent.avg_completion_h, one_time.avg_completion_h);
+  EXPECT_GT(persistent.expected_completion_h, one_time.expected_completion_h);
+  EXPECT_EQ(on_demand.avg_completion_h, 1.0);
+  EXPECT_EQ(one_time.repetitions, 5);
+}
+
+TEST(Experiment, AnalyticPredictionsTrackMeasurements) {
+  // "our experimental results closely approximate the analytical results".
+  const auto& type = ec2::require_type("c3.4xlarge");
+  const bidding::JobSpec job{Hours{1.0}, Hours::from_seconds(30.0)};
+  ExperimentConfig config;
+  config.repetitions = 20;
+  config.history_slots = 8000;
+  const auto outcome =
+      run_single_instance_experiment(type, job, StrategyKind::kPersistent, config);
+  EXPECT_NEAR(outcome.avg_cost_usd, outcome.expected_cost_usd, 0.35 * outcome.expected_cost_usd);
+}
+
+TEST(Experiment, RejectsZeroRepetitions) {
+  const auto& type = ec2::require_type("r3.xlarge");
+  ExperimentConfig config;
+  config.repetitions = 0;
+  EXPECT_THROW((void)run_single_instance_experiment(type, bidding::JobSpec{},
+                                                    StrategyKind::kOneTime, config),
+               InvalidArgument);
+}
+
+TEST(Experiment, MapReduceOutcomeIsConsistent) {
+  const auto settings = ec2::mapreduce_settings();
+  bidding::ParallelJobSpec job;
+  job.execution_time = Hours{1.0};
+  job.recovery_time = Hours::from_seconds(30.0);
+  job.overhead_time = Hours::from_seconds(60.0);
+  ExperimentConfig config;
+  config.repetitions = 3;
+  config.history_slots = 5000;
+  const auto outcome = run_mapreduce_experiment(settings.front(), job, config);
+  EXPECT_TRUE(outcome.plan.nodes >= 1);
+  EXPECT_NEAR(outcome.avg_cost_usd, outcome.avg_master_cost_usd + outcome.avg_slave_cost_usd,
+              1e-9);
+  // ~90% cheaper than on-demand.
+  EXPECT_LT(outcome.avg_cost_usd, 0.4 * outcome.plan.on_demand_cost.usd());
+}
+
+}  // namespace
+}  // namespace spotbid::client

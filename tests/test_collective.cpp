@@ -1,0 +1,113 @@
+// Tests for the collective-behavior equilibrium (Section-8 extension).
+
+#include "spotbid/collective/equilibrium.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "spotbid/dist/uniform.hpp"
+#include "spotbid/provider/calibration.hpp"
+
+namespace spotbid::collective {
+namespace {
+
+TEST(GeneralizedPricer, RejectsBadParameters) {
+  EXPECT_THROW((GeneralizedPricer{Money{0.0}, Money{0.0}, 1.0, 0.5}), InvalidArgument);
+  EXPECT_THROW((GeneralizedPricer{Money{1.0}, Money{2.0}, 1.0, 0.5}), InvalidArgument);
+  EXPECT_THROW((GeneralizedPricer{Money{1.0}, Money{0.1}, 0.0, 0.5}), InvalidArgument);
+  EXPECT_THROW((GeneralizedPricer{Money{1.0}, Money{0.1}, 1.0, 2.0}), InvalidArgument);
+}
+
+TEST(GeneralizedPricer, UniformBidsReproduceClosedForm) {
+  // With uniform bids on [pi_min, pi_bar] the generalized pricer must match
+  // the eq.-3 closed form of ProviderModel.
+  const Money pi_bar{0.35};
+  const Money pi_min{0.0315};
+  const double beta = 0.595;
+  const GeneralizedPricer pricer{pi_bar, pi_min, beta, 0.02};
+  const provider::ProviderModel closed{pi_bar, pi_min, beta, 0.02};
+  const dist::Uniform bids{pi_min.usd(), pi_bar.usd()};
+  for (double demand : {0.5, 2.0, 10.0, 100.0}) {
+    EXPECT_NEAR(pricer.optimal_price(bids, demand).usd(),
+                closed.optimal_price(demand).usd(), 2e-4)
+        << "L=" << demand;
+  }
+}
+
+TEST(GeneralizedPricer, AcceptedBidsCountsTiesAsWins) {
+  const GeneralizedPricer pricer{Money{0.35}, Money{0.02}, 0.5, 0.02};
+  const dist::Uniform bids{0.05, 0.15};
+  // At pi = 0.05 every bid is >= pi.
+  EXPECT_NEAR(pricer.accepted_bids(bids, Money{0.05}, 10.0), 10.0, 1e-6);
+  EXPECT_NEAR(pricer.accepted_bids(bids, Money{0.10}, 10.0), 5.0, 1e-6);
+  EXPECT_NEAR(pricer.accepted_bids(bids, Money{0.20}, 10.0), 0.0, 1e-9);
+}
+
+TEST(GeneralizedPricer, PriceNeverUndercutsAllBids) {
+  // Revenue at a price above every bid is zero, so the optimum stays at or
+  // below the highest bid (plus the floor clamp).
+  const GeneralizedPricer pricer{Money{0.35}, Money{0.02}, 0.1, 0.02};
+  const dist::Uniform bids{0.04, 0.08};
+  const Money price = pricer.optimal_price(bids, 50.0);
+  EXPECT_LE(price.usd(), 0.08 + 1e-6);
+  EXPECT_GE(price.usd(), 0.02);
+}
+
+TEST(IterateBestResponse, RejectsDegenerateConfigs) {
+  const auto& type = ec2::require_type("m3.xlarge");
+  PopulationConfig config;
+  config.users = 1;
+  EXPECT_THROW((void)iterate_best_response(type, config), InvalidArgument);
+  config.users = 10;
+  config.recovery_seconds.clear();
+  EXPECT_THROW((void)iterate_best_response(type, config), InvalidArgument);
+  config.recovery_seconds = {30.0};
+  config.rounds = 0;
+  EXPECT_THROW((void)iterate_best_response(type, config), InvalidArgument);
+}
+
+TEST(IterateBestResponse, ConvergesAndStaysInPriceBand) {
+  const auto& type = ec2::require_type("m3.xlarge");
+  PopulationConfig config;
+  config.users = 40;
+  config.slots_per_round = 1500;
+  config.rounds = 6;
+  const auto rounds = iterate_best_response(type, config);
+  ASSERT_EQ(rounds.size(), 6u);
+
+  const double floor = type.min_price().usd();
+  const double cap = type.on_demand.usd();
+  for (const auto& round : rounds) {
+    EXPECT_GE(round.mean_bid_usd, floor * 0.5);
+    EXPECT_LE(round.mean_bid_usd, cap);
+    EXPECT_GE(round.mean_price_usd, floor * 0.5);
+    EXPECT_LE(round.mean_price_usd, cap);
+    EXPECT_LE(round.mean_price_usd, round.p90_price_usd + 1e-12);
+  }
+  // Bid movement settles: the last round moves less than the first
+  // adjustment (damped best-response converging).
+  EXPECT_LT(rounds.back().max_bid_movement_usd, rounds[1].max_bid_movement_usd + 1e-9);
+  EXPECT_LT(rounds.back().max_bid_movement_usd, 0.05);
+}
+
+TEST(IterateBestResponse, OptimizingCrowdMovesThePrice) {
+  // The paper's Section-8 conjecture: if many users optimize, the offered
+  // prices can shift from the single-user law. With bids piled near the
+  // floor, the provider's best response is to price off the bid pile —
+  // the realized mean price should differ from the single-user mean.
+  const auto& type = ec2::require_type("m3.xlarge");
+  PopulationConfig config;
+  config.users = 40;
+  config.slots_per_round = 1500;
+  config.rounds = 4;
+  const auto rounds = iterate_best_response(type, config);
+  const double single_user_mean =
+      provider::calibrated_price_distribution(type)->mean();
+  // Some measurable displacement (either direction) by the final round.
+  EXPECT_GT(std::abs(rounds.back().mean_price_usd - single_user_mean),
+            0.02 * single_user_mean);
+}
+
+}  // namespace
+}  // namespace spotbid::collective

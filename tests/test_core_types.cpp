@@ -1,0 +1,90 @@
+// Tests for the strong types in spotbid/core/types.hpp.
+
+#include "spotbid/core/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spotbid {
+namespace {
+
+TEST(Money, DefaultIsZero) { EXPECT_DOUBLE_EQ(Money{}.usd(), 0.0); }
+
+TEST(Money, Arithmetic) {
+  const Money a{1.25};
+  const Money b{0.75};
+  EXPECT_DOUBLE_EQ((a + b).usd(), 2.0);
+  EXPECT_DOUBLE_EQ((a - b).usd(), 0.5);
+  EXPECT_DOUBLE_EQ((a * 2.0).usd(), 2.5);
+  EXPECT_DOUBLE_EQ((2.0 * a).usd(), 2.5);
+  EXPECT_DOUBLE_EQ((a / 2.0).usd(), 0.625);
+}
+
+TEST(Money, RatioIsDimensionless) {
+  EXPECT_DOUBLE_EQ(Money{0.035} / Money{0.35}, 0.1);
+}
+
+TEST(Money, CompoundAssignment) {
+  Money m{1.0};
+  m += Money{0.5};
+  EXPECT_DOUBLE_EQ(m.usd(), 1.5);
+  m -= Money{1.0};
+  EXPECT_DOUBLE_EQ(m.usd(), 0.5);
+  m *= 4.0;
+  EXPECT_DOUBLE_EQ(m.usd(), 2.0);
+}
+
+TEST(Money, Ordering) {
+  EXPECT_LT(Money{0.03}, Money{0.04});
+  EXPECT_GE(Money{0.04}, Money{0.04});
+  EXPECT_EQ(Money{1.0}, Money{1.0});
+}
+
+TEST(Hours, SecondsConversionRoundTrip) {
+  const Hours t = Hours::from_seconds(30.0);
+  EXPECT_DOUBLE_EQ(t.hours(), 30.0 / 3600.0);
+  EXPECT_DOUBLE_EQ(t.seconds(), 30.0);
+}
+
+TEST(Hours, MinutesConversion) {
+  const Hours t = Hours::from_minutes(5.0);
+  EXPECT_DOUBLE_EQ(t.hours(), 5.0 / 60.0);
+  EXPECT_DOUBLE_EQ(t.minutes(), 5.0);
+}
+
+TEST(Hours, Arithmetic) {
+  const Hours a{2.0};
+  const Hours b{0.5};
+  EXPECT_DOUBLE_EQ((a + b).hours(), 2.5);
+  EXPECT_DOUBLE_EQ((a - b).hours(), 1.5);
+  EXPECT_DOUBLE_EQ((a * 3.0).hours(), 6.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).hours(), 0.5);
+  EXPECT_DOUBLE_EQ(a / b, 4.0);  // dimensionless ratio (t_r / t_k)
+}
+
+TEST(Hours, CompoundAssignment) {
+  Hours t{1.0};
+  t += Hours{0.25};
+  EXPECT_DOUBLE_EQ(t.hours(), 1.25);
+  t -= Hours{1.0};
+  EXPECT_DOUBLE_EQ(t.hours(), 0.25);
+}
+
+TEST(Hours, Ordering) {
+  EXPECT_LT(Hours{0.5}, Hours{1.0});
+  EXPECT_EQ(Hours{1.0}, Hours{1.0});
+}
+
+TEST(MixedUnits, RateTimesDurationIsCost) {
+  // $0.35/hour for 30 minutes = $0.175.
+  const Money cost = Money{0.35} * Hours{0.5};
+  EXPECT_DOUBLE_EQ(cost.usd(), 0.175);
+  EXPECT_DOUBLE_EQ((Hours{0.5} * Money{0.35}).usd(), 0.175);
+}
+
+TEST(Errors, TypesAreDistinguishable) {
+  EXPECT_THROW(throw InvalidArgument{"x"}, std::invalid_argument);
+  EXPECT_THROW(throw ModelError{"x"}, std::runtime_error);
+}
+
+}  // namespace
+}  // namespace spotbid

@@ -1,0 +1,125 @@
+// Tests for the empirical (interpolated-ECDF) distribution.
+
+#include "spotbid/dist/empirical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "spotbid/core/types.hpp"
+#include "spotbid/dist/exponential.hpp"
+#include "spotbid/numeric/rng.hpp"
+
+namespace spotbid::dist {
+namespace {
+
+TEST(Empirical, RejectsDegenerateInput) {
+  EXPECT_THROW((Empirical{std::vector<double>{}}), InvalidArgument);
+  EXPECT_THROW((Empirical{std::vector<double>{1.0}}), InvalidArgument);
+  EXPECT_THROW((Empirical{std::vector<double>{2.0, 2.0, 2.0}}), InvalidArgument);
+}
+
+TEST(Empirical, SupportMatchesSampleRange) {
+  const Empirical d{std::vector<double>{3.0, 1.0, 2.0}};
+  EXPECT_DOUBLE_EQ(d.support_lo(), 1.0);
+  EXPECT_DOUBLE_EQ(d.support_hi(), 3.0);
+}
+
+TEST(Empirical, MeanVarianceMatchSamples) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const Empirical d{xs};
+  EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+  EXPECT_NEAR(d.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Empirical, CdfInterpolatesBetweenKnots) {
+  const Empirical d{std::vector<double>{0.0, 1.0}};
+  // knots: (0, 0.5), (1, 1.0); interpolated in between.
+  EXPECT_DOUBLE_EQ(d.cdf(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(d.cdf(0.5), 0.75);
+  EXPECT_DOUBLE_EQ(d.cdf(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.cdf(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(2.0), 1.0);
+}
+
+TEST(Empirical, DuplicatesCreateAtomAtMinimum) {
+  // 60% of mass at the minimum — the spot-price floor pattern.
+  const std::vector<double> xs{1.0, 1.0, 1.0, 2.0, 3.0};
+  const Empirical d{xs};
+  EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.6);
+  EXPECT_DOUBLE_EQ(d.quantile(0.3), 1.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.6), 1.0);
+  EXPECT_GT(d.quantile(0.8), 1.0);
+}
+
+TEST(Empirical, QuantileCdfRoundTrip) {
+  numeric::Rng rng{5};
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.uniform(0.0, 2.0));
+  const Empirical d{xs};
+  for (double q : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    EXPECT_NEAR(d.cdf(d.quantile(q)), q, 1e-9) << "q=" << q;
+  }
+}
+
+TEST(Empirical, PdfIsPiecewiseConstantSlope) {
+  const Empirical d{std::vector<double>{0.0, 1.0}};
+  // One segment with slope 0.5 between the knots.
+  EXPECT_DOUBLE_EQ(d.pdf(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(d.pdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.pdf(2.0), 0.0);
+}
+
+TEST(Empirical, PartialExpectationIncludesAtom) {
+  const std::vector<double> xs{1.0, 1.0, 3.0, 3.0};
+  const Empirical d{xs};
+  // Atom of 0.5 at x=1 contributes 0.5; segment from (1, 0.5) to (3, 1.0)
+  // has density 0.25: integral_1^3 x * 0.25 dx = 1.0. Total E[X] = 1.5...
+  // but knot cum at 3 is 1.0 so A(3) must equal the mean of the
+  // interpolated law: 0.5*1 + 1.0 = 1.5.
+  EXPECT_NEAR(d.partial_expectation(3.0), 1.5, 1e-12);
+  EXPECT_NEAR(d.partial_expectation(1.0), 0.5, 1e-12);
+  EXPECT_NEAR(d.partial_expectation(0.5), 0.0, 1e-12);
+  // Halfway: atom + integral_1^2 0.25 x dx = 0.5 + 0.375.
+  EXPECT_NEAR(d.partial_expectation(2.0), 0.875, 1e-12);
+}
+
+TEST(Empirical, SamplesStayInSupportAndMatchMean) {
+  numeric::Rng gen{11};
+  std::vector<double> xs;
+  Exponential source{2.0};
+  for (int i = 0; i < 5000; ++i) xs.push_back(source.sample(gen));
+  const Empirical d{xs};
+
+  numeric::Rng rng{13};
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_GE(x, d.support_lo());
+    EXPECT_LE(x, d.support_hi());
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, d.mean(), 0.05 * d.mean());
+}
+
+TEST(Empirical, ApproximatesSourceDistribution) {
+  // ECDF of many exponential samples should be close to the true CDF.
+  numeric::Rng gen{17};
+  Exponential source{1.0};
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(source.sample(gen));
+  const Empirical d{xs};
+  for (double x : {0.2, 0.5, 1.0, 2.0, 3.0}) {
+    EXPECT_NEAR(d.cdf(x), source.cdf(x), 0.01) << "x=" << x;
+  }
+}
+
+TEST(Empirical, NameMentionsSampleCount) {
+  const Empirical d{std::vector<double>{1.0, 2.0, 3.0}};
+  EXPECT_NE(d.name().find("n=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spotbid::dist

@@ -1,0 +1,99 @@
+// Tests for least-squares histogram fitting (the Section-4.3 procedure).
+
+#include "spotbid/dist/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spotbid/core/types.hpp"
+#include "spotbid/dist/exponential.hpp"
+#include "spotbid/dist/pareto.hpp"
+#include "spotbid/numeric/rng.hpp"
+
+namespace spotbid::dist {
+namespace {
+
+numeric::Histogram sample_histogram(const Distribution& d, int n, double lo, double hi,
+                                    std::size_t bins, std::uint64_t seed) {
+  numeric::Rng rng{seed};
+  numeric::Histogram hist{lo, hi, bins};
+  for (int i = 0; i < n; ++i) hist.add(d.sample(rng));
+  return hist;
+}
+
+TEST(FitHistogram, RecoversExponentialMean) {
+  const Exponential truth{0.5};
+  const auto hist = sample_histogram(truth, 200000, 0.0, 4.0, 80, 21);
+  const PdfFamily family = [](const std::vector<double>& params, double x) {
+    return params[0] > 0 ? Exponential{params[0]}.pdf(x) : 1e9;
+  };
+  const auto fit = fit_histogram(family, hist, {1.0}, {{1e-4}, {10.0}});
+  EXPECT_NEAR(fit.params[0], 0.5, 0.03);
+  EXPECT_LT(fit.mse, 1e-3);
+}
+
+TEST(FitHistogram, RecoversParetoAlpha) {
+  const Pareto truth{5.0, 0.02};
+  const auto hist = sample_histogram(truth, 200000, 0.02, 0.1, 60, 22);
+  const PdfFamily family = [](const std::vector<double>& params, double x) {
+    return (params[0] > 0 && params[1] > 0) ? Pareto{params[0], params[1]}.pdf(x) : 1e9;
+  };
+  const auto fit = fit_histogram(family, hist, {3.0, 0.015}, {{0.5, 1e-4}, {20.0, 0.1}});
+  EXPECT_NEAR(fit.params[0], 5.0, 0.6);
+  EXPECT_NEAR(fit.params[1], 0.02, 0.003);
+}
+
+TEST(FitHistogram, WrongFamilyHasWorseMse) {
+  const Pareto truth{2.0, 0.05};
+  const auto hist = sample_histogram(truth, 100000, 0.05, 0.5, 50, 23);
+
+  const PdfFamily pareto_family = [](const std::vector<double>& p, double x) {
+    return (p[0] > 0 && p[1] > 0) ? Pareto{p[0], p[1]}.pdf(x) : 1e9;
+  };
+  const PdfFamily exp_family = [](const std::vector<double>& p, double x) {
+    return p[0] > 0 ? Exponential{p[0]}.pdf(x) : 1e9;
+  };
+  const auto good = fit_histogram(pareto_family, hist, {3.0, 0.04}, {{0.5, 1e-4}, {20.0, 0.5}});
+  const auto bad = fit_histogram(exp_family, hist, {0.2}, {{1e-4}, {10.0}});
+  EXPECT_LT(good.mse, bad.mse);
+}
+
+TEST(FitHistogram, RespectsBounds) {
+  const Exponential truth{0.5};
+  const auto hist = sample_histogram(truth, 50000, 0.0, 4.0, 40, 24);
+  const PdfFamily family = [](const std::vector<double>& p, double x) {
+    return Exponential{std::max(p[0], 1e-9)}.pdf(x);
+  };
+  // Force the parameter away from the truth: bounds [2, 3].
+  const auto fit = fit_histogram(family, hist, {2.5}, {{2.0}, {3.0}});
+  EXPECT_GE(fit.params[0], 2.0);
+  EXPECT_LE(fit.params[0], 3.0);
+}
+
+TEST(FitHistogram, ThrowsOnEmptyStart) {
+  numeric::Histogram hist{0.0, 1.0, 4};
+  hist.add(0.5);
+  const PdfFamily family = [](const std::vector<double>&, double) { return 1.0; };
+  EXPECT_THROW((void)fit_histogram(family, hist, {}), InvalidArgument);
+}
+
+TEST(FitHistogram, ThrowsOnBoundsMismatch) {
+  numeric::Histogram hist{0.0, 1.0, 4};
+  hist.add(0.5);
+  const PdfFamily family = [](const std::vector<double>&, double) { return 1.0; };
+  EXPECT_THROW((void)fit_histogram(family, hist, {1.0}, {{0.0, 0.0}, {1.0, 1.0}}),
+               InvalidArgument);
+}
+
+TEST(HistogramMse, ZeroForPerfectModel) {
+  // Histogram of uniform samples vs the uniform density: near-zero MSE.
+  numeric::Rng rng{25};
+  numeric::Histogram hist{0.0, 1.0, 10};
+  for (int i = 0; i < 500000; ++i) hist.add(rng.uniform());
+  const PdfFamily family = [](const std::vector<double>&, double) { return 1.0; };
+  EXPECT_LT(histogram_mse(family, {}, hist), 1e-3);
+}
+
+}  // namespace
+}  // namespace spotbid::dist

@@ -1,0 +1,101 @@
+// Tests for the Kolmogorov-Smirnov tests (Section 4.3's day/night check).
+
+#include "spotbid/dist/ks_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "spotbid/core/types.hpp"
+#include "spotbid/dist/exponential.hpp"
+#include "spotbid/dist/pareto.hpp"
+#include "spotbid/dist/uniform.hpp"
+#include "spotbid/numeric/rng.hpp"
+
+namespace spotbid::dist {
+namespace {
+
+std::vector<double> draw(const Distribution& d, int n, std::uint64_t seed) {
+  numeric::Rng rng{seed};
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) xs.push_back(d.sample(rng));
+  return xs;
+}
+
+TEST(KolmogorovQ, Limits) {
+  EXPECT_DOUBLE_EQ(kolmogorov_q(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(kolmogorov_q(-1.0), 1.0);
+  EXPECT_NEAR(kolmogorov_q(10.0), 0.0, 1e-12);
+  EXPECT_GT(kolmogorov_q(0.5), kolmogorov_q(1.0));
+}
+
+TEST(KolmogorovQ, KnownValue) {
+  // Q(1.0) ~ 0.26999967.
+  EXPECT_NEAR(kolmogorov_q(1.0), 0.26999967, 1e-6);
+}
+
+TEST(TwoSample, SameDistributionHighPValue) {
+  Exponential d{1.0};
+  const auto a = draw(d, 3000, 1);
+  const auto b = draw(d, 3000, 2);
+  const auto result = ks_two_sample(a, b);
+  EXPECT_GT(result.p_value, 0.01);  // the paper's acceptance threshold
+  EXPECT_LT(result.statistic, 0.05);
+}
+
+TEST(TwoSample, DifferentDistributionsLowPValue) {
+  const auto a = draw(Exponential{1.0}, 2000, 3);
+  const auto b = draw(Exponential{2.0}, 2000, 4);
+  const auto result = ks_two_sample(a, b);
+  EXPECT_LT(result.p_value, 1e-6);
+  EXPECT_GT(result.statistic, 0.1);
+}
+
+TEST(TwoSample, SubtleShiftDetectedWithEnoughSamples) {
+  const auto a = draw(Uniform{0.0, 1.0}, 20000, 5);
+  const auto b = draw(Uniform{0.05, 1.05}, 20000, 6);
+  EXPECT_LT(ks_two_sample(a, b).p_value, 0.01);
+}
+
+TEST(TwoSample, ThrowsOnEmpty) {
+  const std::vector<double> a{1.0};
+  EXPECT_THROW((void)ks_two_sample(a, std::vector<double>{}), InvalidArgument);
+  EXPECT_THROW((void)ks_two_sample(std::vector<double>{}, a), InvalidArgument);
+}
+
+TEST(TwoSample, StatisticIsSymmetric) {
+  const auto a = draw(Exponential{1.0}, 500, 7);
+  const auto b = draw(Pareto{3.0, 0.5}, 700, 8);
+  EXPECT_DOUBLE_EQ(ks_two_sample(a, b).statistic, ks_two_sample(b, a).statistic);
+}
+
+TEST(OneSample, MatchingReferenceHighPValue) {
+  Pareto ref{5.0, 0.02};
+  const auto xs = draw(ref, 4000, 9);
+  const auto result = ks_one_sample(xs, ref);
+  EXPECT_GT(result.p_value, 0.01);
+}
+
+TEST(OneSample, WrongReferenceLowPValue) {
+  const auto xs = draw(Pareto{5.0, 0.02}, 4000, 10);
+  const Exponential wrong{1.0};
+  EXPECT_LT(ks_one_sample(xs, wrong).p_value, 1e-10);
+}
+
+TEST(OneSample, ThrowsOnEmpty) {
+  EXPECT_THROW((void)ks_one_sample(std::vector<double>{}, Exponential{1.0}), InvalidArgument);
+}
+
+TEST(OneSample, PerfectFitStatisticSmall) {
+  // Deterministic grid hitting the reference's quantiles exactly.
+  Uniform ref{0.0, 1.0};
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back((i + 0.5) / 1000.0);
+  const auto result = ks_one_sample(xs, ref);
+  EXPECT_LT(result.statistic, 0.002);
+  EXPECT_GT(result.p_value, 0.99);
+}
+
+}  // namespace
+}  // namespace spotbid::dist

@@ -1,0 +1,112 @@
+// Tests for the EC2 instance catalog (Table 2) and its calibration.
+
+#include "spotbid/ec2/instance_types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace spotbid::ec2 {
+namespace {
+
+TEST(Catalog, AllTypesHaveValidFields) {
+  for (const auto& t : all_types()) {
+    EXPECT_FALSE(t.name.empty());
+    EXPECT_GT(t.vcpus, 0) << t.name;
+    EXPECT_GT(t.memory_gib, 0.0) << t.name;
+    EXPECT_GT(t.on_demand.usd(), 0.0) << t.name;
+    EXPECT_GT(t.market.beta, 0.0) << t.name;
+    EXPECT_GT(t.market.theta, 0.0) << t.name;
+    EXPECT_LE(t.market.theta, 1.0) << t.name;
+    EXPECT_GT(t.market.pareto_alpha, 1.0) << t.name;  // finite mean (Prop. 1)
+    EXPECT_GT(t.market.min_price_fraction, 0.0) << t.name;
+    EXPECT_LT(t.market.min_price_fraction, 0.5) << t.name;
+    EXPECT_GE(t.market.floor_mass, 0.0) << t.name;
+    EXPECT_LT(t.market.floor_mass, 1.0) << t.name;
+  }
+}
+
+TEST(Catalog, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& t : all_types()) names.insert(t.name);
+  EXPECT_EQ(names.size(), all_types().size());
+}
+
+TEST(Catalog, FindTypeReturnsMatch) {
+  const auto t = find_type("r3.xlarge");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->name, "r3.xlarge");
+  EXPECT_EQ(t->family, "r3");
+  EXPECT_EQ(t->vcpus, 4);
+  EXPECT_DOUBLE_EQ(t->on_demand.usd(), 0.350);
+}
+
+TEST(Catalog, FindTypeUnknownIsNullopt) {
+  EXPECT_FALSE(find_type("x9.mega").has_value());
+}
+
+TEST(Catalog, RequireTypeThrowsForUnknown) {
+  EXPECT_THROW((void)require_type("nope"), InvalidArgument);
+  EXPECT_NO_THROW((void)require_type("c3.8xlarge"));
+}
+
+TEST(Catalog, MinPriceIsFractionOfOnDemand) {
+  const auto& t = require_type("r3.xlarge");
+  EXPECT_DOUBLE_EQ(t.min_price().usd(), 0.350 * t.market.min_price_fraction);
+}
+
+TEST(Catalog, Table2SizesMatchPaper) {
+  EXPECT_EQ(require_type("m3.2xlarge").vcpus, 8);
+  EXPECT_DOUBLE_EQ(require_type("m3.2xlarge").memory_gib, 30.0);
+  EXPECT_EQ(require_type("r3.4xlarge").vcpus, 16);
+  EXPECT_DOUBLE_EQ(require_type("r3.4xlarge").memory_gib, 122.0);
+  EXPECT_EQ(require_type("c3.8xlarge").vcpus, 32);
+  EXPECT_DOUBLE_EQ(require_type("c3.8xlarge").memory_gib, 60.0);
+}
+
+TEST(Catalog, OnDemandPricesScaleWithinFamily) {
+  // 2014 pricing doubled per size step within a family.
+  EXPECT_DOUBLE_EQ(require_type("r3.2xlarge").on_demand.usd(),
+                   2.0 * require_type("r3.xlarge").on_demand.usd());
+  EXPECT_DOUBLE_EQ(require_type("r3.4xlarge").on_demand.usd(),
+                   4.0 * require_type("r3.xlarge").on_demand.usd());
+  EXPECT_DOUBLE_EQ(require_type("c3.8xlarge").on_demand.usd(),
+                   2.0 * require_type("c3.4xlarge").on_demand.usd());
+}
+
+TEST(Figure3Types, MatchesPaperPanels) {
+  const auto types = figure3_types();
+  ASSERT_EQ(types.size(), 4u);
+  EXPECT_EQ(types[3].name, "m1.xlarge");  // the panel the paper names
+  // Fitted (beta, theta, alpha) from the Figure-3 caption.
+  EXPECT_DOUBLE_EQ(types[0].market.beta, 0.6);
+  EXPECT_DOUBLE_EQ(types[1].market.beta, 1.2);
+  EXPECT_DOUBLE_EQ(types[2].market.pareto_alpha, 9.5);
+  EXPECT_DOUBLE_EQ(types[3].market.pareto_alpha, 5.2);
+  for (const auto& t : types) EXPECT_DOUBLE_EQ(t.market.theta, 0.02);
+}
+
+TEST(ExperimentTypes, AreTheTable3Five) {
+  const auto types = experiment_types();
+  ASSERT_EQ(types.size(), 5u);
+  EXPECT_EQ(types[0].name, "r3.xlarge");
+  EXPECT_EQ(types[1].name, "r3.2xlarge");
+  EXPECT_EQ(types[2].name, "r3.4xlarge");
+  EXPECT_EQ(types[3].name, "c3.4xlarge");
+  EXPECT_EQ(types[4].name, "c3.8xlarge");
+}
+
+TEST(MapReduceSettings, FiveSettingsWithComputeOptimizedSlaves) {
+  const auto settings = mapreduce_settings();
+  ASSERT_EQ(settings.size(), 5u);
+  std::set<std::string> labels;
+  for (const auto& s : settings) {
+    labels.insert(s.label);
+    EXPECT_EQ(s.slave.family, "c3") << "slaves should be compute-optimized";
+    EXPECT_GE(s.slave.vcpus, s.master.vcpus) << "slave should out-muscle master";
+  }
+  EXPECT_EQ(labels.size(), 5u);
+}
+
+}  // namespace
+}  // namespace spotbid::ec2

@@ -1,0 +1,163 @@
+// Tests for the simulated MapReduce cluster.
+
+#include "spotbid/mapreduce/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "spotbid/market/price_source.hpp"
+
+namespace spotbid::mapreduce {
+namespace {
+
+constexpr double kTk = 1.0 / 12.0;
+
+market::SpotMarket flat_market(double price, int slots = 4000) {
+  std::vector<double> prices(static_cast<std::size_t>(slots), price);
+  trace::PriceTrace t{"flat", 0, Hours{kTk}, std::move(prices)};
+  return market::SpotMarket{std::make_unique<market::TracePriceSource>(std::move(t), true)};
+}
+
+market::SpotMarket pattern_market(std::vector<double> pattern) {
+  trace::PriceTrace t{"pattern", 0, Hours{kTk}, std::move(pattern)};
+  return market::SpotMarket{std::make_unique<market::TracePriceSource>(std::move(t), true)};
+}
+
+ClusterConfig basic_config(int nodes = 2) {
+  ClusterConfig config;
+  config.nodes = nodes;
+  config.master_bid = Money{0.10};
+  config.slave_bid = Money{0.10};
+  config.job.execution_time = Hours{1.0};
+  config.job.recovery_time = Hours::from_seconds(30.0);
+  config.job.overhead_time = Hours::from_seconds(60.0);
+  return config;
+}
+
+TEST(Cluster, CompletesOnCalmMarket) {
+  auto master = flat_market(0.03);
+  auto slave = flat_market(0.05);
+  const auto result = run_mapreduce(master, slave, basic_config(2));
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.slave_interruptions, 0);
+  EXPECT_EQ(result.master_restarts, 0);
+  // Work = 1h + 60s split over 2 nodes -> ~0.509 h, rounded up to slots.
+  EXPECT_NEAR(result.completion_time.hours(), 0.509, 0.1);
+  // Billing: both markets charge their flat spot price for every running
+  // slot of every node.
+  const double slots_each = result.completion_time.hours() / kTk;
+  EXPECT_NEAR(result.slave_cost.usd(), 2 * slots_each * 0.05 * kTk, 0.02);
+  EXPECT_NEAR(result.master_cost.usd(), slots_each * 0.03 * kTk, 0.01);
+}
+
+TEST(Cluster, MoreNodesFinishFaster) {
+  auto m2 = flat_market(0.03);
+  auto s2 = flat_market(0.05);
+  const auto two = run_mapreduce(m2, s2, basic_config(2));
+  auto m8 = flat_market(0.03);
+  auto s8 = flat_market(0.05);
+  const auto eight = run_mapreduce(m8, s8, basic_config(8));
+  EXPECT_LT(eight.completion_time.hours(), two.completion_time.hours());
+}
+
+TEST(Cluster, SlaveInterruptionsPayRecovery) {
+  // Slaves outbid every 4th slot; master never interrupted.
+  std::vector<double> pattern(4, 0.05);
+  pattern[3] = 0.20;
+  auto master = flat_market(0.03);
+  auto slave = pattern_market(pattern);
+  auto config = basic_config(2);
+  const auto result = run_mapreduce(master, slave, config);
+  EXPECT_TRUE(result.completed);
+  EXPECT_GT(result.slave_interruptions, 0);
+  // With recovery overhead the completion must exceed the calm-market one.
+  auto calm_m = flat_market(0.03);
+  auto calm_s = flat_market(0.05);
+  const auto calm = run_mapreduce(calm_m, calm_s, basic_config(2));
+  EXPECT_GT(result.completion_time.hours(), calm.completion_time.hours());
+}
+
+TEST(Cluster, MasterOutbidTriggersRestartAndStallsSlaves) {
+  // Master's one-time request dies on slot 3 and must be resubmitted.
+  std::vector<double> master_pattern(12, 0.03);
+  master_pattern[3] = 0.50;
+  auto master = pattern_market(master_pattern);
+  auto slave = flat_market(0.05);
+  auto config = basic_config(2);
+  config.master_bid = Money{0.10};  // below 0.50 spike
+  const auto result = run_mapreduce(master, slave, config);
+  EXPECT_TRUE(result.completed);
+  EXPECT_GE(result.master_restarts, 1);
+}
+
+TEST(Cluster, FailureInjectionReschedulesTasks) {
+  auto master = flat_market(0.03);
+  auto slave = flat_market(0.05);
+  auto config = basic_config(4);
+  config.job.execution_time = Hours{4.0};
+  config.node_failure_probability = 0.2;
+  config.seed = 99;
+  const auto result = run_mapreduce(master, slave, config);
+  EXPECT_TRUE(result.completed);
+  EXPECT_GT(result.injected_failures, 0);
+  EXPECT_GT(result.tasks_rescheduled, 0);
+}
+
+TEST(Cluster, SharedMarketForMasterAndSlaves) {
+  auto market = flat_market(0.04);
+  const auto result = run_mapreduce(market, market, basic_config(2));
+  EXPECT_TRUE(result.completed);
+  EXPECT_GT(result.master_cost.usd(), 0.0);
+  EXPECT_GT(result.slave_cost.usd(), 0.0);
+}
+
+TEST(Cluster, MaxSlotsCapsRunaway) {
+  // Slave bid below every price: the job can never progress.
+  auto master = flat_market(0.03);
+  auto slave = flat_market(0.50);
+  auto config = basic_config(2);
+  config.slave_bid = Money{0.10};
+  config.max_slots = 200;
+  const auto result = run_mapreduce(master, slave, config);
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.slots, 200);
+  EXPECT_DOUBLE_EQ(result.slave_cost.usd(), 0.0);  // never ran, never billed
+}
+
+TEST(Cluster, RejectsBadConfigs) {
+  auto a = flat_market(0.03);
+  auto b = flat_market(0.05);
+  auto config = basic_config(0);
+  EXPECT_THROW((void)run_mapreduce(a, b, config), InvalidArgument);
+  config = basic_config(2);
+  config.tasks_per_node = 0;
+  EXPECT_THROW((void)run_mapreduce(a, b, config), InvalidArgument);
+}
+
+TEST(Cluster, RejectsMisalignedMarkets) {
+  auto a = flat_market(0.03);
+  auto b = flat_market(0.05);
+  a.advance();  // skew the slot indexes
+  EXPECT_THROW((void)run_mapreduce(a, b, basic_config(2)), InvalidArgument);
+}
+
+TEST(Cluster, TaskGranularityDoesNotChangeTotalWork) {
+  auto coarse_m = flat_market(0.03);
+  auto coarse_s = flat_market(0.05);
+  auto config = basic_config(2);
+  config.tasks_per_node = 1;
+  const auto coarse = run_mapreduce(coarse_m, coarse_s, config);
+
+  auto fine_m = flat_market(0.03);
+  auto fine_s = flat_market(0.05);
+  config.tasks_per_node = 16;
+  const auto fine = run_mapreduce(fine_m, fine_s, config);
+
+  EXPECT_TRUE(coarse.completed);
+  EXPECT_TRUE(fine.completed);
+  EXPECT_NEAR(coarse.completion_time.hours(), fine.completion_time.hours(), 2 * kTk);
+}
+
+}  // namespace
+}  // namespace spotbid::mapreduce

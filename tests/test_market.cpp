@@ -1,0 +1,255 @@
+// Tests for the spot-market simulator: lifecycle semantics, billing, price
+// sources, checkpoint store, and the work tracker.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "spotbid/dist/uniform.hpp"
+#include "spotbid/market/checkpoint.hpp"
+#include "spotbid/market/price_source.hpp"
+#include "spotbid/market/spot_market.hpp"
+#include "spotbid/market/work_tracker.hpp"
+
+namespace spotbid::market {
+namespace {
+
+constexpr double kTk = 1.0 / 12.0;  // five-minute slots
+
+/// Market replaying the given prices (non-wrapping).
+SpotMarket make_market(std::vector<double> prices, bool wrap = false) {
+  trace::PriceTrace trace{"test", 0, Hours{kTk}, std::move(prices)};
+  return SpotMarket{std::make_unique<TracePriceSource>(std::move(trace), wrap)};
+}
+
+TEST(SpotMarket, RejectsNullSourceAndBadBids) {
+  EXPECT_THROW((SpotMarket{nullptr}), InvalidArgument);
+  auto m = make_market({0.05});
+  EXPECT_THROW((void)m.submit({Money{0.0}, BidKind::kPersistent}), InvalidArgument);
+  EXPECT_THROW((void)m.status(42), InvalidArgument);
+}
+
+TEST(SpotMarket, CurrentPriceRequiresASlot) {
+  auto m = make_market({0.05, 0.06});
+  EXPECT_THROW((void)m.current_price(), ModelError);
+  m.advance();
+  EXPECT_DOUBLE_EQ(m.current_price().usd(), 0.05);
+}
+
+TEST(SpotMarket, WinningBidLaunchesAndIsBilledSpotPrice) {
+  auto m = make_market({0.05, 0.06, 0.04});
+  const auto id = m.submit({Money{0.055}, BidKind::kPersistent});
+  m.advance();  // price 0.05 <= bid: runs
+  const auto& s1 = m.status(id);
+  EXPECT_EQ(s1.state, RequestState::kRunning);
+  EXPECT_EQ(s1.launches, 1);
+  // Charged the SPOT price (0.05), not the bid (0.055).
+  EXPECT_NEAR(s1.accrued_cost.usd(), 0.05 * kTk, 1e-12);
+
+  m.advance();  // price 0.06 > bid: interrupted (persistent -> pending)
+  const auto& s2 = m.status(id);
+  EXPECT_EQ(s2.state, RequestState::kPending);
+  EXPECT_EQ(s2.interruptions, 1);
+  EXPECT_NEAR(s2.accrued_cost.usd(), 0.05 * kTk, 1e-12);  // idle is free
+
+  m.advance();  // price 0.04: relaunches
+  const auto& s3 = m.status(id);
+  EXPECT_EQ(s3.state, RequestState::kRunning);
+  EXPECT_EQ(s3.launches, 2);
+  EXPECT_NEAR(s3.accrued_cost.usd(), (0.05 + 0.04) * kTk, 1e-12);
+  EXPECT_EQ(s3.running_slots, 2);
+  EXPECT_EQ(s3.pending_slots, 1);
+}
+
+TEST(SpotMarket, OneTimePendsUntilPriceDrops) {
+  // EC2 keeps an unfulfilled one-time request open; it launches when the
+  // price falls to the bid, and nothing is billed while it waits.
+  auto m = make_market({0.10, 0.10, 0.01});
+  const auto id = m.submit({Money{0.05}, BidKind::kOneTime});
+  m.advance();
+  EXPECT_EQ(m.status(id).state, RequestState::kPending);
+  EXPECT_FALSE(m.is_final(id));
+  m.advance();
+  EXPECT_EQ(m.status(id).state, RequestState::kPending);
+  EXPECT_DOUBLE_EQ(m.status(id).accrued_cost.usd(), 0.0);
+  m.advance();
+  EXPECT_EQ(m.status(id).state, RequestState::kRunning);
+  EXPECT_EQ(m.status(id).pending_slots, 2);
+}
+
+TEST(SpotMarket, OneTimeTerminatedWhenOutbid) {
+  auto m = make_market({0.04, 0.08, 0.01});
+  const auto id = m.submit({Money{0.05}, BidKind::kOneTime});
+  m.advance();
+  EXPECT_EQ(m.status(id).state, RequestState::kRunning);
+  m.advance();
+  EXPECT_EQ(m.status(id).state, RequestState::kTerminated);
+  EXPECT_EQ(m.status(id).closed_slot, 1);
+  m.advance();  // stays dead
+  EXPECT_EQ(m.status(id).state, RequestState::kTerminated);
+  EXPECT_NEAR(m.status(id).accrued_cost.usd(), 0.04 * kTk, 1e-12);
+}
+
+TEST(SpotMarket, PersistentPendsWhenBelowPriceAtSubmission) {
+  auto m = make_market({0.10, 0.01});
+  const auto id = m.submit({Money{0.05}, BidKind::kPersistent});
+  m.advance();
+  EXPECT_EQ(m.status(id).state, RequestState::kPending);
+  m.advance();
+  EXPECT_EQ(m.status(id).state, RequestState::kRunning);
+  EXPECT_EQ(m.status(id).launches, 1);
+  EXPECT_EQ(m.status(id).interruptions, 0);  // pend-then-launch is no interruption
+}
+
+TEST(SpotMarket, SubmissionTakesEffectNextSlot) {
+  auto m = make_market({0.05, 0.05});
+  m.advance();
+  const auto id = m.submit({Money{0.06}, BidKind::kPersistent});
+  EXPECT_EQ(m.status(id).state, RequestState::kSubmitted);
+  m.advance();
+  EXPECT_EQ(m.status(id).state, RequestState::kRunning);
+  // Only one slot billed.
+  EXPECT_NEAR(m.status(id).accrued_cost.usd(), 0.05 * kTk, 1e-12);
+}
+
+TEST(SpotMarket, CloseStopsBillingAndIsIdempotent) {
+  auto m = make_market({0.05, 0.05, 0.05});
+  const auto id = m.submit({Money{0.06}, BidKind::kPersistent});
+  m.advance();
+  m.close(id);
+  EXPECT_EQ(m.status(id).state, RequestState::kClosed);
+  m.advance();
+  EXPECT_NEAR(m.status(id).accrued_cost.usd(), 0.05 * kTk, 1e-12);
+  m.close(id);  // no-op
+  EXPECT_EQ(m.status(id).state, RequestState::kClosed);
+  EXPECT_THROW((void)m.close(777), InvalidArgument);
+}
+
+TEST(SpotMarket, EventLogRecordsLifecycle) {
+  auto m = make_market({0.04, 0.08, 0.04});
+  const auto id = m.submit({Money{0.05}, BidKind::kPersistent});
+  m.advance();  // launch
+  m.advance();  // interrupt
+  m.advance();  // relaunch
+  m.close(id);
+  const auto& log = m.event_log();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0].kind, EventKind::kLaunched);
+  EXPECT_EQ(log[1].kind, EventKind::kInterrupted);
+  EXPECT_EQ(log[2].kind, EventKind::kLaunched);
+  EXPECT_EQ(log[3].kind, EventKind::kClosed);
+  EXPECT_EQ(log[1].slot, 1);
+}
+
+TEST(SpotMarket, BidEqualToPriceWins) {
+  // "users' bids above the spot price are accepted" — ties count as wins in
+  // our implementation (bid >= price), matching Amazon's bid >= spot rule.
+  auto m = make_market({0.05});
+  const auto id = m.submit({Money{0.05}, BidKind::kOneTime});
+  m.advance();
+  EXPECT_EQ(m.status(id).state, RequestState::kRunning);
+}
+
+TEST(TracePriceSourceTest, WrapAndNoWrap) {
+  trace::PriceTrace t{"x", 0, Hours{kTk}, {0.1, 0.2}};
+  TracePriceSource wrap{t, true};
+  EXPECT_DOUBLE_EQ(wrap.price_at(3).usd(), 0.2);
+  TracePriceSource no_wrap{t, false};
+  EXPECT_THROW((void)no_wrap.price_at(2), InvalidArgument);
+  EXPECT_THROW((void)no_wrap.price_at(-1), InvalidArgument);
+}
+
+TEST(ModelPriceSourceTest, DeterministicAndCached) {
+  auto d = std::make_shared<dist::Uniform>(0.02, 0.10);
+  ModelPriceSource a{d, Hours{kTk}, 5};
+  ModelPriceSource b{d, Hours{kTk}, 5};
+  for (SlotIndex i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(a.price_at(i).usd(), b.price_at(i).usd());
+  // Re-query is stable.
+  const double p3 = a.price_at(3).usd();
+  EXPECT_DOUBLE_EQ(a.price_at(3).usd(), p3);
+}
+
+TEST(QueuePriceSourceTest, ProducesPricesWithinBounds) {
+  provider::ProviderModel model{Money{0.35}, Money{0.0315}, 0.595, 0.02};
+  auto arrivals = std::make_shared<dist::Uniform>(0.01, 0.2);
+  QueuePriceSource source{model, arrivals, Hours{kTk}, 9};
+  for (SlotIndex i = 0; i < 200; ++i) {
+    const double p = source.price_at(i).usd();
+    EXPECT_GE(p, model.pi_min().usd() - 1e-12);
+    EXPECT_LE(p, 0.5 * 0.35 + 1e-12);
+  }
+}
+
+TEST(Checkpoint, LaunchCountAndRestartDetection) {
+  CheckpointStore store;
+  EXPECT_EQ(store.launch_count("a"), 0);
+  EXPECT_FALSE(store.is_restart("a"));
+  store.record_launch("a", 0);
+  EXPECT_EQ(store.launch_count("a"), 1);
+  EXPECT_FALSE(store.is_restart("a"));
+  store.record_launch("a", 5);
+  EXPECT_TRUE(store.is_restart("a"));
+  EXPECT_EQ(store.key_count(), 1u);
+}
+
+TEST(Checkpoint, LastSavedWork) {
+  CheckpointStore store;
+  EXPECT_FALSE(store.last_saved_work("j").has_value());
+  store.record_launch("j", 0);
+  store.record_progress("j", 3, Hours{0.25});
+  store.record_progress("j", 7, Hours{0.5});
+  ASSERT_TRUE(store.last_saved_work("j").has_value());
+  EXPECT_DOUBLE_EQ(store.last_saved_work("j")->hours(), 0.5);
+  EXPECT_EQ(store.journal("j").size(), 3u);
+  EXPECT_THROW(store.record_progress("j", 8, Hours{-1.0}), InvalidArgument);
+}
+
+TEST(WorkTrackerTest, ProgressesOnlyWhileRunning) {
+  auto m = make_market({0.04, 0.08, 0.04, 0.04});
+  const auto id = m.submit({Money{0.05}, BidKind::kPersistent});
+  WorkTracker tracker{Hours{3.0 * kTk}, Hours{0.0}, Hours{kTk}};
+  for (int i = 0; i < 4; ++i) {
+    m.advance();
+    tracker.on_slot(m.status(id));
+  }
+  // Ran slots 0, 2, 3 -> 3 slots of progress, done.
+  EXPECT_TRUE(tracker.done());
+  EXPECT_NEAR(tracker.progress().hours(), 3.0 * kTk, 1e-12);
+  EXPECT_EQ(tracker.interruptions_observed(), 1);
+}
+
+TEST(WorkTrackerTest, RecoveryConsumesRunningTime) {
+  auto m = make_market({0.04, 0.08, 0.04, 0.04, 0.04});
+  const auto id = m.submit({Money{0.05}, BidKind::kPersistent});
+  // Recovery of half a slot after each interruption.
+  WorkTracker tracker{Hours{3.0 * kTk}, Hours{kTk / 2.0}, Hours{kTk}};
+  for (int i = 0; i < 5; ++i) {
+    m.advance();
+    tracker.on_slot(m.status(id));
+  }
+  // Running slots: 0, 2, 3, 4 = 4 slots; 0.5 slot lost to recovery.
+  EXPECT_NEAR(tracker.progress().hours(), 3.5 * kTk, 1e-12);
+  EXPECT_NEAR(tracker.recovery_spent().hours(), 0.5 * kTk, 1e-12);
+  EXPECT_TRUE(tracker.done());
+}
+
+TEST(WorkTrackerTest, FirstLaunchPaysNoRecovery) {
+  auto m = make_market({0.04, 0.04});
+  const auto id = m.submit({Money{0.05}, BidKind::kPersistent});
+  WorkTracker tracker{Hours{2.0 * kTk}, Hours{kTk}, Hours{kTk}};
+  m.advance();
+  tracker.on_slot(m.status(id));
+  m.advance();
+  tracker.on_slot(m.status(id));
+  EXPECT_TRUE(tracker.done());
+  EXPECT_DOUBLE_EQ(tracker.recovery_spent().hours(), 0.0);
+}
+
+TEST(WorkTrackerTest, RejectsBadConstruction) {
+  EXPECT_THROW((WorkTracker{Hours{0.0}, Hours{0.0}, Hours{1.0}}), InvalidArgument);
+  EXPECT_THROW((WorkTracker{Hours{1.0}, Hours{-1.0}, Hours{1.0}}), InvalidArgument);
+  EXPECT_THROW((WorkTracker{Hours{1.0}, Hours{0.0}, Hours{0.0}}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace spotbid::market

@@ -1,0 +1,89 @@
+// Tests for the quadrature routines.
+
+#include "spotbid/numeric/integrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spotbid/core/types.hpp"
+
+namespace spotbid::numeric {
+namespace {
+
+TEST(Trapezoid, ExactForLinear) {
+  EXPECT_NEAR(trapezoid([](double x) { return 3.0 * x + 1.0; }, 0.0, 2.0, 1), 8.0, 1e-12);
+}
+
+TEST(Trapezoid, ConvergesForQuadratic) {
+  EXPECT_NEAR(trapezoid([](double x) { return x * x; }, 0.0, 1.0, 4096), 1.0 / 3.0, 1e-7);
+}
+
+TEST(Trapezoid, ZeroWidthIntervalIsZero) {
+  EXPECT_DOUBLE_EQ(trapezoid([](double) { return 42.0; }, 1.0, 1.0), 0.0);
+}
+
+TEST(Trapezoid, ThrowsOnBadSubdivisions) {
+  EXPECT_THROW((void)trapezoid([](double) { return 1.0; }, 0.0, 1.0, 0), InvalidArgument);
+}
+
+TEST(Simpson, ExactForCubic) {
+  // Simpson integrates cubics exactly.
+  EXPECT_NEAR(simpson([](double x) { return x * x * x; }, 0.0, 2.0, 2), 4.0, 1e-12);
+}
+
+TEST(Simpson, RoundsOddSubdivisionsUp) {
+  EXPECT_NEAR(simpson([](double x) { return x * x; }, 0.0, 1.0, 3), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Simpson, ThrowsOnBadSubdivisions) {
+  EXPECT_THROW((void)simpson([](double) { return 1.0; }, 0.0, 1.0, 1), InvalidArgument);
+}
+
+TEST(AdaptiveSimpson, SmoothExponential) {
+  EXPECT_NEAR(adaptive_simpson([](double x) { return std::exp(x); }, 0.0, 1.0),
+              std::exp(1.0) - 1.0, 1e-10);
+}
+
+TEST(AdaptiveSimpson, SharpPeak) {
+  // Narrow Gaussian centered at 0.5: integral over [0,1] is ~ sqrt(pi)/100.
+  const double sigma = 0.01;
+  const auto peak = [&](double x) {
+    const double z = (x - 0.5) / sigma;
+    return std::exp(-z * z);
+  };
+  const double expected = sigma * std::sqrt(3.14159265358979323846);
+  EXPECT_NEAR(adaptive_simpson(peak, 0.0, 1.0, 1e-12), expected, 1e-9);
+}
+
+TEST(AdaptiveSimpson, NearSingularDensity) {
+  // 1/sqrt(x) on (0, 1] integrates to 2; the integrand blows up at the left
+  // endpoint the way the eq.-7 density blows up near pi_bar/2.
+  const auto f = [](double x) { return x > 0 ? 1.0 / std::sqrt(x) : 0.0; };
+  EXPECT_NEAR(adaptive_simpson(f, 1e-12, 1.0, 1e-10), 2.0, 5e-3);
+}
+
+TEST(AdaptiveSimpson, ReversedIntervalIsNegative) {
+  const double forward = adaptive_simpson([](double x) { return x; }, 0.0, 2.0);
+  const double backward = adaptive_simpson([](double x) { return x; }, 2.0, 0.0);
+  EXPECT_NEAR(forward, -backward, 1e-12);
+}
+
+TEST(AdaptiveSimpson, ZeroWidthIntervalIsZero) {
+  EXPECT_DOUBLE_EQ(adaptive_simpson([](double) { return 5.0; }, 3.0, 3.0), 0.0);
+}
+
+class PolynomialDegree : public ::testing::TestWithParam<int> {};
+
+// Property sweep: adaptive Simpson integrates x^n on [0, 1] to 1/(n+1).
+TEST_P(PolynomialDegree, AdaptiveIsAccurate) {
+  const int n = GetParam();
+  const double result =
+      adaptive_simpson([n](double x) { return std::pow(x, n); }, 0.0, 1.0, 1e-12);
+  EXPECT_NEAR(result, 1.0 / (n + 1.0), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PolynomialDegree, ::testing::Range(0, 9));
+
+}  // namespace
+}  // namespace spotbid::numeric

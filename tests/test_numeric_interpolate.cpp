@@ -1,0 +1,105 @@
+// Tests for linear and monotone-cubic interpolation.
+
+#include "spotbid/numeric/interpolate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "spotbid/core/types.hpp"
+
+namespace spotbid::numeric {
+namespace {
+
+TEST(Linear, HitsKnotsExactly) {
+  const LinearInterpolant f{{0.0, 1.0, 2.0}, {5.0, 7.0, 4.0}};
+  EXPECT_DOUBLE_EQ(f(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 7.0);
+  EXPECT_DOUBLE_EQ(f(2.0), 4.0);
+}
+
+TEST(Linear, InterpolatesMidpoints) {
+  const LinearInterpolant f{{0.0, 2.0}, {0.0, 10.0}};
+  EXPECT_DOUBLE_EQ(f(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(f(0.5), 2.5);
+}
+
+TEST(Linear, ClampsOutsideRange) {
+  const LinearInterpolant f{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(f(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(f(9.0), 4.0);
+}
+
+TEST(Linear, Derivative) {
+  const LinearInterpolant f{{0.0, 1.0, 3.0}, {0.0, 2.0, 2.0}};
+  EXPECT_DOUBLE_EQ(f.derivative(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(f.derivative(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.derivative(-1.0), 0.0);  // outside: flat clamp
+}
+
+TEST(Linear, RejectsBadGrids) {
+  EXPECT_THROW((LinearInterpolant{{0.0, 0.0}, {1.0, 2.0}}), InvalidArgument);
+  EXPECT_THROW((LinearInterpolant{{1.0, 0.0}, {1.0, 2.0}}), InvalidArgument);
+  EXPECT_THROW((LinearInterpolant{{0.0}, {1.0}}), InvalidArgument);
+  EXPECT_THROW((LinearInterpolant{{0.0, 1.0}, {1.0}}), InvalidArgument);
+}
+
+TEST(MonotoneCubic, HitsKnotsExactly) {
+  const MonotoneCubicInterpolant f{{0.0, 1.0, 2.0, 3.0}, {0.0, 0.5, 0.9, 1.0}};
+  EXPECT_DOUBLE_EQ(f(0.0), 0.0);
+  EXPECT_NEAR(f(1.0), 0.5, 1e-15);
+  EXPECT_NEAR(f(2.0), 0.9, 1e-15);
+  EXPECT_DOUBLE_EQ(f(3.0), 1.0);
+}
+
+TEST(MonotoneCubic, PreservesMonotonicity) {
+  // CDF-like data with an abrupt knee; a natural cubic spline would
+  // overshoot above 1 here, Fritsch-Carlson must not.
+  const MonotoneCubicInterpolant f{{0.0, 1.0, 1.1, 4.0}, {0.0, 0.05, 0.96, 1.0}};
+  double prev = f(0.0);
+  for (int i = 1; i <= 400; ++i) {
+    const double x = 4.0 * i / 400.0;
+    const double y = f(x);
+    EXPECT_GE(y, prev - 1e-12) << "non-monotone at x=" << x;
+    EXPECT_LE(y, 1.0 + 1e-12) << "overshoot at x=" << x;
+    prev = y;
+  }
+}
+
+TEST(MonotoneCubic, FlatSegmentsStayFlat) {
+  const MonotoneCubicInterpolant f{{0.0, 1.0, 2.0}, {3.0, 3.0, 5.0}};
+  EXPECT_DOUBLE_EQ(f(0.5), 3.0);
+}
+
+TEST(MonotoneCubic, DerivativeNonNegativeForIncreasingData) {
+  const MonotoneCubicInterpolant f{{0.0, 0.5, 2.0, 2.5}, {0.0, 0.4, 0.6, 1.0}};
+  for (int i = 0; i <= 100; ++i) {
+    const double x = 2.5 * i / 100.0;
+    EXPECT_GE(f.derivative(x), -1e-12);
+  }
+}
+
+TEST(MonotoneCubic, ClampsOutsideRange) {
+  const MonotoneCubicInterpolant f{{1.0, 2.0, 3.0}, {1.0, 4.0, 9.0}};
+  EXPECT_DOUBLE_EQ(f(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(f(10.0), 9.0);
+  EXPECT_DOUBLE_EQ(f.derivative(0.0), 0.0);
+}
+
+TEST(MonotoneCubic, SmoothFunctionReproduction) {
+  // Dense knots on sqrt(x): interpolation error should be tiny.
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= 50; ++i) {
+    const double x = 0.5 + 4.0 * i / 50.0;
+    xs.push_back(x);
+    ys.push_back(std::sqrt(x));
+  }
+  const MonotoneCubicInterpolant f{xs, ys};
+  for (double x = 0.6; x < 4.4; x += 0.0137)
+    EXPECT_NEAR(f(x), std::sqrt(x), 1e-5);
+}
+
+}  // namespace
+}  // namespace spotbid::numeric

@@ -1,0 +1,148 @@
+// Tests for the derivative-free optimizers.
+
+#include "spotbid/numeric/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spotbid/core/types.hpp"
+
+namespace spotbid::numeric {
+namespace {
+
+TEST(GoldenSection, Quadratic) {
+  const auto r = golden_section([](double x) { return (x - 1.3) * (x - 1.3); }, -5.0, 5.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 1.3, 1e-8);
+  EXPECT_NEAR(r.f, 0.0, 1e-15);
+}
+
+TEST(GoldenSection, NonSmoothAbsoluteValue) {
+  const auto r = golden_section([](double x) { return std::abs(x - 0.7); }, -2.0, 2.0);
+  EXPECT_NEAR(r.x, 0.7, 1e-8);
+}
+
+TEST(GoldenSection, MinimumAtBoundary) {
+  const auto r = golden_section([](double x) { return x; }, 2.0, 5.0);
+  EXPECT_NEAR(r.x, 2.0, 1e-6);
+}
+
+TEST(GoldenSection, ThrowsOnInvertedInterval) {
+  EXPECT_THROW((void)golden_section([](double x) { return x; }, 1.0, 0.0), InvalidArgument);
+}
+
+TEST(BrentMinimize, Quadratic) {
+  const auto r = brent_minimize([](double x) { return 3.0 * (x + 2.1) * (x + 2.1) + 4.0; },
+                                -10.0, 10.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, -2.1, 1e-7);
+  EXPECT_NEAR(r.f, 4.0, 1e-12);
+}
+
+TEST(BrentMinimize, Cosine) {
+  const auto r = brent_minimize([](double x) { return std::cos(x); }, 2.0, 5.0);
+  EXPECT_NEAR(r.x, 3.14159265358979, 1e-6);
+  EXPECT_NEAR(r.f, -1.0, 1e-12);
+}
+
+TEST(BrentMinimize, FewerEvaluationsThanGolden) {
+  int brent_calls = 0;
+  int golden_calls = 0;
+  const auto smooth = [](double x) { return std::pow(x - 0.4, 4) + x * x; };
+  (void)brent_minimize(
+      [&](double x) {
+        ++brent_calls;
+        return smooth(x);
+      },
+      -3.0, 3.0);
+  (void)golden_section(
+      [&](double x) {
+        ++golden_calls;
+        return smooth(x);
+      },
+      -3.0, 3.0);
+  EXPECT_LT(brent_calls, golden_calls);
+}
+
+TEST(GridThenGolden, EscapesLocalMinima) {
+  // Multi-well objective: a plain golden-section from the wrong basin gets
+  // stuck; the grid stage must land in the global basin.
+  const auto f = [](double x) {
+    return 0.3 * std::sin(3.0 * x) + 0.05 * (x - 2.0) * (x - 2.0);
+  };
+  const auto r = grid_then_golden(f, -4.0, 4.0, 512);
+  // Dense scan for the true global minimum.
+  double best = f(-4.0);
+  for (int i = 1; i <= 100000; ++i) best = std::min(best, f(-4.0 + 8.0 * i / 100000.0));
+  EXPECT_NEAR(r.f, best, 1e-8);
+  const auto local = golden_section(f, -4.0, -1.0);
+  EXPECT_LT(r.f, local.f);
+}
+
+TEST(GridThenGolden, HandlesPlateaus) {
+  const auto f = [](double x) { return (x < 1.0) ? 1.0 : (x < 2.0 ? 0.0 : 1.0); };
+  const auto r = grid_then_golden(f, 0.0, 3.0, 64);
+  EXPECT_GE(r.x, 1.0);
+  EXPECT_LE(r.x, 2.0);
+  EXPECT_DOUBLE_EQ(r.f, 0.0);
+}
+
+TEST(NelderMead, Sphere3D) {
+  const auto r = nelder_mead(
+      [](const std::vector<double>& x) {
+        double s = 0.0;
+        for (double v : x) s += v * v;
+        return s;
+      },
+      {1.0, -2.0, 3.0});
+  EXPECT_TRUE(r.converged);
+  for (double v : r.x) EXPECT_NEAR(v, 0.0, 1e-4);
+}
+
+TEST(NelderMead, Rosenbrock2D) {
+  const auto rosenbrock = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  const auto r = nelder_mead(rosenbrock, {-1.2, 1.0}, {.max_iterations = 5000});
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, StartAtOptimumStaysThere) {
+  const auto r = nelder_mead(
+      [](const std::vector<double>& x) { return (x[0] - 2.0) * (x[0] - 2.0); }, {2.0});
+  EXPECT_NEAR(r.x[0], 2.0, 1e-5);
+}
+
+TEST(NelderMead, ThrowsOnEmptyStart) {
+  EXPECT_THROW((void)nelder_mead([](const std::vector<double>&) { return 0.0; }, {}),
+               InvalidArgument);
+}
+
+class UnimodalRecovery : public ::testing::TestWithParam<double> {};
+
+// Property sweep: all three 1-D minimizers find the same optimum of a
+// shifted quartic (the shape of the eq.-15 cost curve: steep left, gentle
+// right).
+TEST_P(UnimodalRecovery, AllMinimizersAgree) {
+  const double target = GetParam();
+  const auto f = [&](double x) {
+    const double d = x - target;
+    return d < 0 ? 5.0 * d * d : std::pow(d, 1.5);
+  };
+  const auto g = golden_section(f, target - 3.0, target + 3.0);
+  const auto b = brent_minimize(f, target - 3.0, target + 3.0);
+  const auto gr = grid_then_golden(f, target - 3.0, target + 3.0, 128);
+  EXPECT_NEAR(g.x, target, 1e-6);
+  EXPECT_NEAR(b.x, target, 1e-5);
+  EXPECT_NEAR(gr.x, target, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, UnimodalRecovery,
+                         ::testing::Values(-2.0, -0.5, 0.0, 0.33, 1.0, 2.7));
+
+}  // namespace
+}  // namespace spotbid::numeric

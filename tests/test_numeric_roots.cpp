@@ -1,0 +1,124 @@
+// Tests for bisection / Brent root finding and bracket scanning.
+
+#include "spotbid/numeric/roots.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spotbid/core/types.hpp"
+
+namespace spotbid::numeric {
+namespace {
+
+TEST(Bisect, LinearRoot) {
+  const auto r = bisect([](double x) { return 2.0 * x - 1.0; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.5, 1e-10);
+}
+
+TEST(Bisect, EndpointRootReturnsImmediately) {
+  const auto r = bisect([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.x, 0.0);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(Bisect, ThrowsWithoutSignChange) {
+  EXPECT_THROW((void)bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0), InvalidArgument);
+}
+
+TEST(Bisect, ThrowsOnInvertedInterval) {
+  EXPECT_THROW((void)bisect([](double x) { return x; }, 1.0, 0.0), InvalidArgument);
+}
+
+TEST(Brent, PolynomialRoot) {
+  // x^3 - 2x - 5 has a root near 2.0945514815.
+  const auto r = brent([](double x) { return x * x * x - 2.0 * x - 5.0; }, 1.0, 3.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 2.0945514815423265, 1e-9);
+}
+
+TEST(Brent, TranscendentalRoot) {
+  // cos(x) = x near 0.7390851332.
+  const auto r = brent([](double x) { return std::cos(x) - x; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.7390851332151607, 1e-10);
+}
+
+TEST(Brent, SteepFunction) {
+  // exp(20x) - 1 crosses zero at 0 with huge curvature.
+  const auto r = brent([](double x) { return std::exp(20.0 * x) - 1.0; }, -1.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.0, 1e-9);
+}
+
+TEST(Brent, ThrowsWithoutSignChange) {
+  EXPECT_THROW((void)brent([](double x) { return x * x + 1.0; }, -1.0, 1.0), InvalidArgument);
+}
+
+TEST(Brent, ConvergesFasterThanBisect) {
+  int brent_calls = 0;
+  int bisect_calls = 0;
+  const auto f_brent = [&](double x) {
+    ++brent_calls;
+    return std::atan(x) - 0.3;
+  };
+  const auto f_bisect = [&](double x) {
+    ++bisect_calls;
+    return std::atan(x) - 0.3;
+  };
+  const RootOptions tight{.x_tolerance = 1e-14, .f_tolerance = 0.0, .max_iterations = 500};
+  (void)brent(f_brent, -4.0, 4.0, tight);
+  (void)bisect(f_bisect, -4.0, 4.0, tight);
+  EXPECT_LT(brent_calls, bisect_calls);
+}
+
+TEST(Brent, FTolerance) {
+  const auto r =
+      brent([](double x) { return x * x * x; }, -2.0, 1.0, {.f_tolerance = 1e-6});
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(std::abs(r.f), 1e-6);
+}
+
+TEST(FindBracket, LocatesSignChange) {
+  const auto bracket = find_bracket([](double x) { return x - 0.37; }, 0.0, 1.0, 10);
+  ASSERT_TRUE(bracket.has_value());
+  EXPECT_LE(bracket->first, 0.37);
+  EXPECT_GE(bracket->second, 0.37);
+}
+
+TEST(FindBracket, ReturnsNulloptWhenNoRoot) {
+  EXPECT_FALSE(find_bracket([](double x) { return x * x + 1.0; }, -1.0, 1.0, 16).has_value());
+}
+
+TEST(FindBracket, FindsFirstOfMultipleRoots) {
+  // sin has roots at pi and 2 pi inside [1, 7].
+  const auto bracket = find_bracket([](double x) { return std::sin(x); }, 1.0, 7.0, 60);
+  ASSERT_TRUE(bracket.has_value());
+  EXPECT_LT(bracket->second, 4.0);  // first root (pi), not the second
+}
+
+TEST(FindBracket, DegenerateInterval) {
+  EXPECT_FALSE(find_bracket([](double x) { return x; }, 1.0, 1.0, 8).has_value());
+}
+
+class BrentRecoversQuantile : public ::testing::TestWithParam<double> {};
+
+// Property sweep: inverting a strictly increasing CDF-like map via brent
+// recovers the quantile to high precision — the exact pattern psi_inverse
+// and F^{-1} rely on.
+TEST_P(BrentRecoversQuantile, RoundTrip) {
+  const double q = GetParam();
+  const auto cdf = [](double x) { return 1.0 - std::exp(-x / 3.0); };
+  const auto r = brent([&](double x) { return cdf(x) - q; }, 0.0, 100.0,
+                       {.x_tolerance = 1e-13});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(cdf(r.x), q, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(QuantileSweep, BrentRecoversQuantile,
+                         ::testing::Values(0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.917, 0.99));
+
+}  // namespace
+}  // namespace spotbid::numeric

@@ -1,0 +1,160 @@
+// Tests for the descriptive statistics utilities.
+
+#include "spotbid/numeric/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "spotbid/core/types.hpp"
+#include "spotbid/numeric/rng.hpp"
+
+namespace spotbid::numeric {
+namespace {
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), 5u);
+  EXPECT_DOUBLE_EQ(rs.mean(), mean(xs));
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 16.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  rs.add(3.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) rs.add(1e9 + (i % 2));
+  EXPECT_NEAR(rs.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(rs.variance(), 0.25025, 1e-3);
+}
+
+TEST(KahanSum, RecoversSmallTerms) {
+  std::vector<double> xs(10001, 1e-10);
+  xs[0] = 1e10;
+  EXPECT_DOUBLE_EQ(kahan_sum(xs), 1e10 + 1e-6);
+}
+
+TEST(Mean, ThrowsOnEmpty) {
+  EXPECT_THROW((void)mean(std::vector<double>{}), InvalidArgument);
+}
+
+TEST(Variance, KnownValue) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Quantile, InterpolatesType7) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  const std::vector<double> xs{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+}
+
+TEST(Quantile, Errors) {
+  EXPECT_THROW((void)quantile(std::vector<double>{}, 0.5), InvalidArgument);
+  EXPECT_THROW((void)quantile(std::vector<double>{1.0}, 1.5), InvalidArgument);
+  EXPECT_THROW((void)quantile(std::vector<double>{1.0}, -0.1), InvalidArgument);
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  const std::vector<double> xs{1.0, 3.0, 2.0, 5.0};
+  EXPECT_DOUBLE_EQ(autocorrelation(xs, 0), 1.0);
+}
+
+TEST(Autocorrelation, ConstantSeriesIsZero) {
+  const std::vector<double> xs(50, 3.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(xs, 1), 0.0);
+}
+
+TEST(Autocorrelation, AlternatingSeriesIsNegative) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_LT(autocorrelation(xs, 1), -0.9);
+}
+
+TEST(Autocorrelation, IidSamplesNearZero) {
+  Rng rng{99};
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.uniform());
+  EXPECT_NEAR(autocorrelation(xs, 1), 0.0, 0.02);
+  EXPECT_NEAR(autocorrelation(xs, 5), 0.0, 0.02);
+}
+
+TEST(Autocorrelation, Ar1SeriesDecaysGeometrically) {
+  Rng rng{7};
+  const double rho = 0.8;
+  std::vector<double> xs{0.0};
+  for (int i = 1; i < 50000; ++i) xs.push_back(rho * xs.back() + rng.normal());
+  EXPECT_NEAR(autocorrelation(xs, 1), rho, 0.02);
+  EXPECT_NEAR(autocorrelation(xs, 2), rho * rho, 0.03);
+}
+
+TEST(Autocorrelation, ThrowsOnExcessiveLag) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_THROW((void)autocorrelation(xs, 2), InvalidArgument);
+}
+
+TEST(HistogramTest, CountsAndDensityIntegrateToOne) {
+  Histogram h{0.0, 10.0, 10};
+  for (int i = 0; i < 100; ++i) h.add(i / 10.0);
+  EXPECT_EQ(h.total(), 100u);
+  double integral = 0.0;
+  for (std::size_t i = 0; i < h.bins(); ++i) integral += h.density(i) * h.bin_width();
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdgeBins) {
+  Histogram h{0.0, 1.0, 4};
+  h.add(-5.0);
+  h.add(99.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(HistogramTest, BinCenters) {
+  Histogram h{0.0, 1.0, 4};
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.125);
+  EXPECT_DOUBLE_EQ(h.bin_center(3), 0.875);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW((Histogram{1.0, 1.0, 4}), InvalidArgument);
+  EXPECT_THROW((Histogram{0.0, 1.0, 0}), InvalidArgument);
+}
+
+TEST(Mse, KnownValue) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{1.0, 4.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean_squared_error(a, b), 4.0 / 3.0);
+}
+
+TEST(Mse, Errors) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW((void)mean_squared_error(a, b), InvalidArgument);
+  EXPECT_THROW((void)mean_squared_error(std::vector<double>{}, std::vector<double>{}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace spotbid::numeric

@@ -1,0 +1,213 @@
+// Tests for the Section-4.1 provider model: eq. 1-3 and the Proposition-2
+// equilibrium maps.
+
+#include "spotbid/provider/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spotbid/ec2/instance_types.hpp"
+#include "spotbid/provider/calibration.hpp"
+
+namespace spotbid::provider {
+namespace {
+
+ProviderModel reference_model() {
+  // r3.xlarge-like: pi_bar = 0.35, pi_min = 0.0315, beta = 0.595, theta = 0.02.
+  return ProviderModel{Money{0.35}, Money{0.0315}, 0.595, 0.02};
+}
+
+TEST(Model, RejectsBadParameters) {
+  EXPECT_THROW((ProviderModel{Money{0.0}, Money{0.0}, 1.0, 0.5}), InvalidArgument);
+  EXPECT_THROW((ProviderModel{Money{1.0}, Money{1.0}, 1.0, 0.5}), InvalidArgument);
+  EXPECT_THROW((ProviderModel{Money{1.0}, Money{2.0}, 1.0, 0.5}), InvalidArgument);
+  EXPECT_THROW((ProviderModel{Money{1.0}, Money{0.1}, 0.0, 0.5}), InvalidArgument);
+  EXPECT_THROW((ProviderModel{Money{1.0}, Money{0.1}, 1.0, 0.0}), InvalidArgument);
+  EXPECT_THROW((ProviderModel{Money{1.0}, Money{0.1}, 1.0, 1.5}), InvalidArgument);
+}
+
+TEST(Model, AcceptedBidsIsLinearInPrice) {
+  const auto m = reference_model();
+  // At the floor every bid is accepted; at the cap none are.
+  EXPECT_NEAR(m.accepted_bids(m.pi_bar(), 100.0), 0.0, 1e-12);
+  const double at_floor = m.accepted_bids(m.pi_min(), 100.0);
+  EXPECT_NEAR(at_floor, 100.0, 1e-9);
+  // Midpoint price accepts the matching uniform fraction.
+  const Money mid{0.5 * (m.pi_bar().usd() + m.pi_min().usd())};
+  EXPECT_NEAR(m.accepted_bids(mid, 100.0), 50.0, 1e-9);
+}
+
+TEST(Model, ObjectiveMatchesHandComputation) {
+  const auto m = reference_model();
+  const double demand = 40.0;
+  const Money pi{0.1};
+  const double n = m.accepted_bids(pi, demand);
+  EXPECT_NEAR(m.objective(pi, demand), 0.595 * std::log1p(n) + 0.1 * n, 1e-12);
+}
+
+class ClosedFormVsNumeric : public ::testing::TestWithParam<double> {};
+
+// The closed form of eq. 3 must equal a direct numeric maximization of
+// eq. 1 across demand levels spanning four orders of magnitude.
+TEST_P(ClosedFormVsNumeric, AgreeAcrossDemand) {
+  const auto m = reference_model();
+  const double demand = GetParam();
+  const Money analytic = m.optimal_price(demand);
+  const Money numeric = m.optimal_price_numeric(demand);
+  EXPECT_NEAR(analytic.usd(), numeric.usd(), 2e-6) << "L=" << demand;
+  // And the objective agrees even more tightly than the argmax.
+  EXPECT_NEAR(m.objective(analytic, demand), m.objective(numeric, demand),
+              1e-9 * (1.0 + std::abs(m.objective(analytic, demand))));
+}
+
+INSTANTIATE_TEST_SUITE_P(DemandSweep, ClosedFormVsNumeric,
+                         ::testing::Values(0.01, 0.1, 1.0, 3.0, 10.0, 50.0, 200.0, 1000.0,
+                                           10000.0));
+
+TEST(Model, FocResidualVanishesAtInteriorOptimum) {
+  const auto m = reference_model();
+  for (double demand : {5.0, 20.0, 100.0}) {
+    const Money p = m.optimal_price(demand);
+    if (p > m.pi_min()) {
+      EXPECT_NEAR(m.foc_residual(p, demand), 0.0, 1e-6 * demand) << "L=" << demand;
+    }
+  }
+}
+
+TEST(Model, PriceIsBoundedByHalfCap) {
+  // beta -> 0 pushes the optimum to pi_bar/2; it never exceeds it.
+  const auto m = reference_model();
+  for (double demand : {0.01, 1.0, 100.0, 1e6}) {
+    EXPECT_LE(m.optimal_price(demand).usd(), 0.5 * m.pi_bar().usd() + 1e-12);
+    EXPECT_GE(m.optimal_price(demand).usd(), m.pi_min().usd());
+  }
+}
+
+TEST(Model, PriceIncreasesWithDemand) {
+  const auto m = reference_model();
+  double prev = 0.0;
+  for (double demand : {0.5, 1.0, 2.0, 5.0, 20.0, 100.0}) {
+    const double p = m.optimal_price(demand).usd();
+    EXPECT_GE(p, prev - 1e-12) << "L=" << demand;
+    prev = p;
+  }
+}
+
+TEST(Model, HigherBetaLowersPrice) {
+  // "More weight on the utilization term (a higher beta) leads to a lower
+  // spot price and more accepted bids."
+  const ProviderModel low_beta{Money{0.35}, Money{0.0315}, 0.4, 0.02};
+  const ProviderModel high_beta{Money{0.35}, Money{0.0315}, 1.2, 0.02};
+  for (double demand : {1.0, 10.0, 100.0}) {
+    EXPECT_LE(high_beta.optimal_price(demand).usd(), low_beta.optimal_price(demand).usd());
+    EXPECT_GE(high_beta.accepted_bids(high_beta.optimal_price(demand), demand),
+              low_beta.accepted_bids(low_beta.optimal_price(demand), demand));
+  }
+}
+
+TEST(Model, EquilibriumMapRoundTrips) {
+  const auto m = reference_model();
+  for (double lambda : {0.01, 0.05, 0.1, 1.0, 10.0}) {
+    const Money pi = m.equilibrium_price(lambda);
+    if (pi > m.pi_min()) {
+      EXPECT_NEAR(m.equilibrium_arrivals(pi), lambda, 1e-9 * (1.0 + lambda));
+    }
+  }
+}
+
+TEST(Model, EquilibriumPriceIncreasingInArrivals) {
+  const auto m = reference_model();
+  double prev = 0.0;
+  for (double lambda : {0.0, 0.01, 0.1, 1.0, 10.0, 1000.0}) {
+    const double p = m.equilibrium_price(lambda).usd();
+    EXPECT_GE(p, prev - 1e-15);
+    prev = p;
+  }
+  // sup h = pi_bar / 2.
+  EXPECT_LT(prev, m.max_equilibrium_price().usd());
+  EXPECT_NEAR(m.equilibrium_price(1e12).usd(), 0.5 * m.pi_bar().usd(), 1e-6);
+}
+
+TEST(Model, EquilibriumPriceClampedAtFloor) {
+  const auto m = reference_model();
+  EXPECT_DOUBLE_EQ(m.equilibrium_price(0.0).usd(), m.pi_min().usd());
+  EXPECT_THROW((void)m.equilibrium_price(-1.0), InvalidArgument);
+}
+
+TEST(Model, LambdaMinMapsToFloor) {
+  const auto m = reference_model();
+  const double lambda_min = m.lambda_min();
+  ASSERT_GT(lambda_min, 0.0);
+  EXPECT_NEAR(m.equilibrium_price(lambda_min).usd(), m.pi_min().usd(), 1e-12);
+  // Just above Lambda_min the price clears the floor.
+  EXPECT_GT(m.equilibrium_price(lambda_min * 1.01).usd(), m.pi_min().usd());
+}
+
+TEST(Model, LambdaMinZeroWhenFloorNeverBinds) {
+  // Small beta: h(0) = (pi_bar - beta)/2 >= pi_min already.
+  const ProviderModel m{Money{0.35}, Money{0.01}, 0.2, 0.02};
+  EXPECT_DOUBLE_EQ(m.lambda_min(), 0.0);
+}
+
+TEST(Model, EquilibriumArrivalsRejectsOutOfRangePrices) {
+  const auto m = reference_model();
+  // At or above pi_bar/2 the map has no preimage.
+  EXPECT_THROW((void)m.equilibrium_arrivals(Money{0.5 * 0.35}), ModelError);
+  // Below h(0) = (pi_bar - beta)/2 likewise. Use a small-beta model so
+  // h(0) is positive and a cheap price is genuinely unreachable.
+  const ProviderModel small_beta{Money{0.35}, Money{0.01}, 0.2, 0.02};
+  EXPECT_THROW((void)small_beta.equilibrium_arrivals(Money{0.05}), ModelError);
+}
+
+TEST(Model, ArrivalsDerivativeMatchesFiniteDifference) {
+  const auto m = reference_model();
+  const Money p{0.08};
+  const double h = 1e-7;
+  const double numeric =
+      (m.equilibrium_arrivals(Money{p.usd() + h}) - m.equilibrium_arrivals(Money{p.usd() - h})) /
+      (2.0 * h);
+  EXPECT_NEAR(m.equilibrium_arrivals_derivative(p), numeric, 1e-4 * numeric);
+}
+
+TEST(Model, EquilibriumDemandSatisfiesEq21) {
+  const auto m = reference_model();
+  const double lambda = 0.05;
+  const double demand = m.equilibrium_demand(lambda);
+  // eq. 21: L = W Lambda / (theta (pi_bar - pi*)).
+  const Money pi = m.equilibrium_price(lambda);
+  EXPECT_NEAR(demand, m.spread() * lambda / (0.02 * (0.35 - pi.usd())), 1e-9);
+  // And the eq.-3 price at that demand is the equilibrium price (Prop. 2).
+  EXPECT_NEAR(m.optimal_price(demand).usd(), pi.usd(), 1e-9);
+}
+
+TEST(Calibration, CalibratedModelMatchesType) {
+  const auto& type = ec2::require_type("m3.xlarge");
+  const auto m = calibrated_model(type);
+  EXPECT_DOUBLE_EQ(m.pi_bar().usd(), type.on_demand.usd());
+  EXPECT_DOUBLE_EQ(m.pi_min().usd(), type.min_price().usd());
+  EXPECT_DOUBLE_EQ(m.beta(), type.market.beta);
+  EXPECT_DOUBLE_EQ(m.theta(), type.market.theta);
+}
+
+TEST(Calibration, ArrivalsReproduceFloorMass) {
+  const auto& type = ec2::require_type("r3.xlarge");
+  const auto m = calibrated_model(type);
+  const auto arrivals = calibrated_arrivals(type);
+  // P(Lambda <= Lambda_min) should equal the configured floor mass.
+  EXPECT_NEAR(arrivals->cdf(m.lambda_min()), type.market.floor_mass, 1e-9);
+}
+
+TEST(Calibration, AllCatalogTypesCalibrate) {
+  for (const auto& type : ec2::all_types()) {
+    EXPECT_NO_THROW({
+      const auto m = calibrated_model(type);
+      const auto a = calibrated_arrivals(type);
+      EXPECT_GT(m.lambda_min(), 0.0) << type.name;
+      EXPECT_GT(a->mean(), 0.0) << type.name;
+    }) << type.name;
+  }
+}
+
+}  // namespace
+}  // namespace spotbid::provider

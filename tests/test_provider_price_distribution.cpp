@@ -1,0 +1,157 @@
+// Tests for the Proposition-3 equilibrium price distribution.
+
+#include "spotbid/provider/price_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "spotbid/dist/exponential.hpp"
+#include "spotbid/dist/pareto.hpp"
+#include "spotbid/ec2/instance_types.hpp"
+#include "spotbid/numeric/integrate.hpp"
+#include "spotbid/provider/calibration.hpp"
+
+namespace spotbid::provider {
+namespace {
+
+ProviderModel reference_model() {
+  return ProviderModel{Money{0.35}, Money{0.0315}, 0.595, 0.02};
+}
+
+/// Arrival law with no mass below Lambda_min -> continuous price law.
+dist::DistributionPtr continuous_arrivals(const ProviderModel& m, double alpha = 5.0) {
+  return std::make_shared<dist::Pareto>(alpha, m.lambda_min());
+}
+
+/// Arrival law with mass below Lambda_min -> an atom at the floor.
+dist::DistributionPtr atom_arrivals(const ProviderModel& m, double floor_mass, double alpha = 5.0) {
+  const double xm = m.lambda_min() * std::pow(1.0 - floor_mass, 1.0 / alpha);
+  return std::make_shared<dist::Pareto>(alpha, xm);
+}
+
+TEST(PriceDistribution, RejectsNullArrivals) {
+  EXPECT_THROW((EquilibriumPriceDistribution{reference_model(), nullptr}), InvalidArgument);
+}
+
+TEST(PriceDistribution, SupportStartsAtFloorWithParetoXmLambdaMin) {
+  const auto m = reference_model();
+  const EquilibriumPriceDistribution d{m, continuous_arrivals(m)};
+  EXPECT_NEAR(d.support_lo(), m.pi_min().usd(), 1e-12);
+  EXPECT_LT(d.support_hi(), 0.5 * m.pi_bar().usd() + 1e-12);
+  EXPECT_NEAR(d.floor_atom(), 0.0, 1e-9);
+}
+
+TEST(PriceDistribution, FloorAtomMatchesArrivalMassBelowLambdaMin) {
+  const auto m = reference_model();
+  const EquilibriumPriceDistribution d{m, atom_arrivals(m, 0.35)};
+  EXPECT_NEAR(d.floor_atom(), 0.35, 1e-9);
+  EXPECT_NEAR(d.cdf(m.pi_min().usd()), 0.35, 1e-9);
+  // The atom is a point mass: just above the floor the CDF is continuous
+  // from the atom value.
+  EXPECT_NEAR(d.cdf(m.pi_min().usd() * 1.0001), 0.35, 0.02);
+}
+
+TEST(PriceDistribution, DensityIntegratesToOneMinusAtom) {
+  const auto m = reference_model();
+  const EquilibriumPriceDistribution d{m, atom_arrivals(m, 0.35)};
+  const double mass = numeric::adaptive_simpson([&](double x) { return d.pdf(x); },
+                                                d.support_lo(), d.support_hi(), 1e-11);
+  EXPECT_NEAR(mass, 1.0 - 0.35, 1e-3);
+}
+
+TEST(PriceDistribution, CdfQuantileRoundTrip) {
+  const auto m = reference_model();
+  const EquilibriumPriceDistribution d{m, atom_arrivals(m, 0.35)};
+  for (double q : {0.4, 0.5, 0.7, 0.9, 0.99}) {
+    EXPECT_NEAR(d.cdf(d.quantile(q)), q, 1e-8) << "q=" << q;
+  }
+  // Quantiles inside the atom collapse onto the floor.
+  EXPECT_DOUBLE_EQ(d.quantile(0.1), d.support_lo());
+  EXPECT_DOUBLE_EQ(d.quantile(0.35), d.support_lo());
+}
+
+TEST(PriceDistribution, PushForwardMatchesArrivalCdf) {
+  // F_pi(pi) must equal F_Lambda(h^{-1}(pi)) above the floor.
+  const auto m = reference_model();
+  const auto arrivals = continuous_arrivals(m);
+  const EquilibriumPriceDistribution d{m, arrivals};
+  for (double q : {0.3, 0.6, 0.9}) {
+    const double lambda = arrivals->quantile(q);
+    const double pi = m.equilibrium_price(lambda).usd();
+    EXPECT_NEAR(d.cdf(pi), q, 1e-8);
+  }
+}
+
+TEST(PriceDistribution, PdfCarriesTheJacobian) {
+  // f_pi(pi) = f_Lambda(h^{-1}(pi)) * dh^{-1}/dpi — check against a finite
+  // difference of the CDF.
+  const auto m = reference_model();
+  const EquilibriumPriceDistribution d{m, continuous_arrivals(m)};
+  const double pi = d.quantile(0.5);
+  const double h = 1e-7;
+  const double numeric_pdf = (d.cdf(pi + h) - d.cdf(pi - h)) / (2.0 * h);
+  EXPECT_NEAR(d.pdf(pi), numeric_pdf, 1e-3 * numeric_pdf);
+}
+
+TEST(PriceDistribution, SampleMomentsMatchComputedMoments) {
+  const auto m = reference_model();
+  const EquilibriumPriceDistribution d{m, atom_arrivals(m, 0.35)};
+  numeric::Rng rng{77};
+  const int n = 200000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  int at_floor = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_GE(x, d.support_lo() - 1e-12);
+    EXPECT_LE(x, 0.5 * m.pi_bar().usd());
+    if (x == d.support_lo()) ++at_floor;
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, d.mean(), 0.01 * d.mean());
+  EXPECT_NEAR(sum2 / n - (sum / n) * (sum / n), d.variance(), 0.05 * d.variance());
+  EXPECT_NEAR(static_cast<double>(at_floor) / n, 0.35, 0.01);
+}
+
+TEST(PriceDistribution, PartialExpectationIncludesAtom) {
+  const auto m = reference_model();
+  const EquilibriumPriceDistribution d{m, atom_arrivals(m, 0.35)};
+  const double floor = d.support_lo();
+  EXPECT_NEAR(d.partial_expectation(floor), 0.35 * floor, 1e-9);
+  // Over the full support it is the mean.
+  EXPECT_NEAR(d.partial_expectation(d.support_hi()), d.mean(), 2e-4 * d.mean());
+}
+
+TEST(PriceDistribution, ExponentialArrivalsAlsoWork) {
+  const auto m = reference_model();
+  // Exponential with most mass below Lambda_min -> big floor atom.
+  auto arrivals = std::make_shared<dist::Exponential>(m.lambda_min());
+  const EquilibriumPriceDistribution d{m, arrivals};
+  const double expected_atom = arrivals->cdf(m.lambda_min());  // 1 - 1/e
+  EXPECT_NEAR(d.floor_atom(), expected_atom, 1e-9);
+  EXPECT_GT(d.mean(), m.pi_min().usd());
+  EXPECT_LT(d.mean(), 0.5 * m.pi_bar().usd());
+}
+
+TEST(PriceDistribution, CalibratedTypesProduceRealisticPrices) {
+  for (const auto& type : ec2::experiment_types()) {
+    const auto d = calibrated_price_distribution(type);
+    // Spot prices must live well below on-demand (the ~90% savings regime).
+    EXPECT_GT(d->mean(), 0.0) << type.name;
+    EXPECT_LT(d->mean(), 0.3 * type.on_demand.usd()) << type.name;
+    EXPECT_NEAR(d->floor_atom(), type.market.floor_mass, 1e-9) << type.name;
+  }
+}
+
+TEST(PriceDistribution, QuantileRejectsOutOfRange) {
+  const auto m = reference_model();
+  const EquilibriumPriceDistribution d{m, continuous_arrivals(m)};
+  EXPECT_THROW((void)d.quantile(-0.01), InvalidArgument);
+  EXPECT_THROW((void)d.quantile(1.01), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace spotbid::provider

@@ -1,0 +1,142 @@
+// Tests for the Section-4.2 queue dynamics: eq. 4, Proposition 1 (Lyapunov
+// stability) and Proposition 2 (equilibrium).
+
+#include "spotbid/provider/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spotbid/dist/exponential.hpp"
+#include "spotbid/dist/pareto.hpp"
+#include "spotbid/numeric/stats.hpp"
+
+namespace spotbid::provider {
+namespace {
+
+ProviderModel reference_model() {
+  return ProviderModel{Money{0.35}, Money{0.0315}, 0.595, 0.02};
+}
+
+TEST(QueueSimulator, RejectsBadInputs) {
+  EXPECT_THROW((QueueSimulator{reference_model(), 0.0}), InvalidArgument);
+  QueueSimulator q{reference_model(), 10.0};
+  EXPECT_THROW((void)q.step(-1.0), InvalidArgument);
+}
+
+TEST(QueueSimulator, StepFollowsEq4) {
+  const auto m = reference_model();
+  QueueSimulator q{m, 50.0};
+  const auto slot = q.step(3.0);
+  EXPECT_DOUBLE_EQ(slot.demand, 50.0);
+  EXPECT_DOUBLE_EQ(slot.arrivals, 3.0);
+  EXPECT_DOUBLE_EQ(slot.price.usd(), m.optimal_price(50.0).usd());
+  EXPECT_DOUBLE_EQ(slot.accepted, m.accepted_bids(slot.price, 50.0));
+  EXPECT_DOUBLE_EQ(slot.finished, 0.02 * slot.accepted);
+  // L(t+1) = L(t) - theta N(t) + Lambda(t).
+  EXPECT_DOUBLE_EQ(q.demand(), 50.0 - slot.finished + 3.0);
+}
+
+TEST(QueueSimulator, EquilibriumIsAFixedPoint) {
+  // Proposition 2: with L = equilibrium_demand(lambda) and arrivals exactly
+  // lambda each slot, the demand never moves.
+  const auto m = reference_model();
+  const double lambda = 0.05;
+  QueueSimulator q{m, m.equilibrium_demand(lambda)};
+  for (int i = 0; i < 100; ++i) (void)q.step(lambda);
+  EXPECT_NEAR(q.demand(), m.equilibrium_demand(lambda), 1e-6 * q.demand());
+  // And the realized price equals h(lambda) throughout.
+  for (const auto& slot : q.history()) {
+    EXPECT_NEAR(slot.price.usd(), m.equilibrium_price(lambda).usd(), 1e-9);
+  }
+}
+
+TEST(QueueSimulator, ConvergesToEquilibriumFromAnywhere) {
+  const auto m = reference_model();
+  const double lambda = 0.05;
+  const double eq = m.equilibrium_demand(lambda);
+  for (double start : {eq * 0.1, eq * 10.0}) {
+    QueueSimulator q{m, start};
+    for (int i = 0; i < 20000; ++i) (void)q.step(lambda);
+    EXPECT_NEAR(q.demand(), eq, 0.01 * eq) << "start=" << start;
+  }
+}
+
+TEST(QueueSimulator, StochasticArrivalsStayBounded) {
+  // Proposition 1 in action: time-averaged demand stays bounded under
+  // i.i.d. Pareto arrivals with finite mean and variance.
+  const auto m = reference_model();
+  auto arrivals = dist::Pareto{5.0, m.lambda_min()};
+  numeric::Rng rng{31337};
+  QueueSimulator q{m, 1.0};
+  q.run(arrivals, 30000, rng);
+
+  const double eq = m.equilibrium_demand(arrivals.mean());
+  EXPECT_LT(q.average_demand(), 5.0 * eq);
+  EXPECT_GT(q.average_demand(), 0.2 * eq);
+  // No runaway growth: the last demand value is of the same order.
+  EXPECT_LT(q.demand(), 20.0 * eq);
+}
+
+TEST(QueueSimulator, DriftSeriesMatchesDefinition) {
+  const auto m = reference_model();
+  QueueSimulator q{m, 10.0};
+  (void)q.step(1.0);
+  (void)q.step(2.0);
+  (void)q.step(0.5);
+  const auto drifts = q.drift_series();
+  ASSERT_EQ(drifts.size(), 2u);
+  const auto& h = q.history();
+  EXPECT_DOUBLE_EQ(drifts[0],
+                   0.5 * (h[1].demand * h[1].demand - h[0].demand * h[0].demand));
+}
+
+TEST(ConditionalDrift, NegativeForLargeDemand) {
+  const auto m = reference_model();
+  const dist::Pareto arrivals{5.0, m.lambda_min()};
+  const double lm = arrivals.mean();
+  const double lv = arrivals.variance();
+  const double threshold = drift_negative_threshold(m, lm, lv);
+  EXPECT_GT(threshold, 0.0);
+  // Above the threshold the drift is negative; below it, positive.
+  EXPECT_LT(conditional_drift(m, threshold * 1.5, lm, lv), 0.0);
+  EXPECT_LT(conditional_drift(m, threshold * 10.0, lm, lv), 0.0);
+  EXPECT_GT(conditional_drift(m, threshold * 0.5, lm, lv), 0.0);
+}
+
+TEST(ConditionalDrift, MatchesMonteCarloEstimate) {
+  const auto m = reference_model();
+  const dist::Exponential arrivals{0.05};
+  const double demand = 30.0;
+
+  numeric::Rng rng{99};
+  numeric::RunningStats mc;
+  for (int i = 0; i < 400000; ++i) {
+    QueueSimulator q{m, demand};
+    (void)q.step(arrivals.sample(rng));
+    const double l1 = q.demand();
+    mc.add(0.5 * (l1 * l1 - demand * demand));
+  }
+  const double analytic = conditional_drift(m, demand, arrivals.mean(), arrivals.variance());
+  EXPECT_NEAR(mc.mean(), analytic, 0.02 * std::abs(analytic));
+}
+
+TEST(ConditionalDrift, RejectsBadDemand) {
+  EXPECT_THROW((void)conditional_drift(reference_model(), 0.0, 1.0, 1.0), InvalidArgument);
+}
+
+TEST(EquilibriumResidual, ZeroAtFixedPoint) {
+  const auto m = reference_model();
+  const double lambda = 0.08;
+  EXPECT_NEAR(equilibrium_residual(m, m.equilibrium_demand(lambda), lambda), 0.0, 1e-9);
+  EXPECT_GT(equilibrium_residual(m, m.equilibrium_demand(lambda) + 5.0, lambda), 0.0);
+  EXPECT_LT(equilibrium_residual(m, m.equilibrium_demand(lambda) - 5.0, lambda), 0.0);
+}
+
+TEST(AverageDemand, ThrowsWithoutHistory) {
+  QueueSimulator q{reference_model(), 5.0};
+  EXPECT_THROW((void)q.average_demand(), ModelError);
+}
+
+}  // namespace
+}  // namespace spotbid::provider

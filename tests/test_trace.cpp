@@ -1,0 +1,220 @@
+// Tests for price traces, the synthetic generator, and trace statistics.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "spotbid/ec2/instance_types.hpp"
+#include "spotbid/provider/calibration.hpp"
+#include "spotbid/trace/generator.hpp"
+#include "spotbid/trace/price_trace.hpp"
+#include "spotbid/trace/statistics.hpp"
+
+namespace spotbid::trace {
+namespace {
+
+PriceTrace small_trace() {
+  return PriceTrace{"test", 0, Hours{1.0 / 12.0}, {0.03, 0.04, 0.05, 0.04, 0.03, 0.06}};
+}
+
+TEST(PriceTraceTest, BasicAccessors) {
+  const auto t = small_trace();
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_FALSE(t.empty());
+  EXPECT_DOUBLE_EQ(t.price_at(0).usd(), 0.03);
+  EXPECT_DOUBLE_EQ(t.price_at(5).usd(), 0.06);
+  EXPECT_NEAR(t.duration().hours(), 0.5, 1e-12);
+}
+
+TEST(PriceTraceTest, RejectsBadConstruction) {
+  EXPECT_THROW((PriceTrace{"x", 0, Hours{0.0}, {0.1}}), InvalidArgument);
+  EXPECT_THROW((PriceTrace{"x", 0, Hours{1.0}, {-0.1}}), InvalidArgument);
+}
+
+TEST(PriceTraceTest, PriceAtOutOfRangeThrows) {
+  const auto t = small_trace();
+  EXPECT_THROW((void)t.price_at(-1), InvalidArgument);
+  EXPECT_THROW((void)t.price_at(6), InvalidArgument);
+}
+
+TEST(PriceTraceTest, HourOfDayWrapsCorrectly) {
+  // Start at 23:00 UTC with 30-minute slots.
+  PriceTrace t{"x", 23 * 3600, Hours{0.5}, {1, 1, 1, 1}};
+  EXPECT_EQ(t.hour_of_day(0), 23);
+  EXPECT_EQ(t.hour_of_day(1), 23);
+  EXPECT_EQ(t.hour_of_day(2), 0);  // midnight wrap
+  EXPECT_EQ(t.hour_of_day(3), 0);
+}
+
+TEST(PriceTraceTest, SlicePreservesTimestamps) {
+  const auto t = small_trace();
+  const auto s = t.slice(2, 5);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.price_at(0).usd(), 0.05);
+  EXPECT_EQ(s.start_epoch_s(), t.start_epoch_s() + 2 * 300);
+  EXPECT_THROW((void)t.slice(3, 2), InvalidArgument);
+  EXPECT_THROW((void)t.slice(0, 7), InvalidArgument);
+}
+
+TEST(PriceTraceTest, PricesInHoursSelectsWindow) {
+  // 24 hourly slots starting at midnight: day [8, 20) has 12 slots.
+  std::vector<double> prices(24, 0.1);
+  PriceTrace t{"x", 0, Hours{1.0}, prices};
+  EXPECT_EQ(t.prices_in_hours(8, 20).size(), 12u);
+  EXPECT_EQ(t.prices_in_hours(20, 8).size(), 12u);  // wrapping night window
+  EXPECT_EQ(t.prices_in_hours(0, 24).size(), 24u);
+}
+
+TEST(PriceTraceTest, CsvRoundTrip) {
+  const auto t = small_trace();
+  std::stringstream ss;
+  t.write_csv(ss);
+  const auto back = PriceTrace::read_csv(ss);
+  EXPECT_EQ(back.instance_type(), "test");
+  EXPECT_EQ(back.start_epoch_s(), 0);
+  EXPECT_NEAR(back.slot_length().hours(), 1.0 / 12.0, 1e-12);
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i)
+    EXPECT_DOUBLE_EQ(back.prices()[i], t.prices()[i]);
+}
+
+TEST(PriceTraceTest, CsvRejectsMissingHeader) {
+  std::stringstream ss{"0.05\n0.06\n"};
+  EXPECT_THROW((void)PriceTrace::read_csv(ss), InvalidArgument);
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const auto& type = ec2::require_type("r3.xlarge");
+  GeneratorConfig config;
+  config.slots = 500;
+  const auto a = generate_for_type(type, config);
+  const auto b = generate_for_type(type, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a.prices()[i], b.prices()[i]);
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const auto& type = ec2::require_type("r3.xlarge");
+  GeneratorConfig a_cfg;
+  a_cfg.slots = 500;
+  GeneratorConfig b_cfg = a_cfg;
+  b_cfg.seed = a_cfg.seed + 1;
+  const auto a = generate_for_type(type, a_cfg);
+  const auto b = generate_for_type(type, b_cfg);
+  int same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a.prices()[i] == b.prices()[i]) ++same;
+  // Floor slots coincide (most of the mass sits at pi_min), but the spike
+  // structure must differ between seeds.
+  EXPECT_LT(same, static_cast<int>(a.size()) - 20);
+}
+
+TEST(Generator, PricesRespectModelBounds) {
+  const auto& type = ec2::require_type("c3.4xlarge");
+  const auto model = provider::calibrated_model(type);
+  GeneratorConfig config;
+  config.slots = 2000;
+  const auto t = generate_for_type(type, config);
+  for (double p : t.prices()) {
+    EXPECT_GE(p, model.pi_min().usd() - 1e-12);
+    EXPECT_LE(p, 0.5 * model.pi_bar().usd() + 1e-12);
+  }
+}
+
+TEST(Generator, StickyTracesCarryPricesOver) {
+  const auto& type = ec2::require_type("r3.xlarge");
+  GeneratorConfig config;
+  config.slots = 5000;
+  const auto t = generate_for_type(type, config);  // type persistence ~0.9
+  int carried = 0;
+  for (std::size_t i = 1; i < t.size(); ++i)
+    if (t.prices()[i] == t.prices()[i - 1]) ++carried;
+  const double sticky_fraction = static_cast<double>(carried) / (t.size() - 1);
+  // Explicit i.i.d. config turns stickiness off; floor redraws still
+  // collide (floor_mass^2 of slot pairs), so compare against that baseline.
+  config.persistence = 0.0;
+  const auto iid = generate_for_type(type, config);
+  carried = 0;
+  for (std::size_t i = 1; i < iid.size(); ++i)
+    if (iid.prices()[i] == iid.prices()[i - 1]) ++carried;
+  const double iid_fraction = static_cast<double>(carried) / (iid.size() - 1);
+  EXPECT_GT(sticky_fraction, 0.9);
+  EXPECT_LT(iid_fraction, 0.8);
+  EXPECT_GT(sticky_fraction, iid_fraction + 0.1);
+}
+
+TEST(Generator, FloorMassAppearsInTrace) {
+  const auto& type = ec2::require_type("r3.xlarge");
+  const auto model = provider::calibrated_model(type);
+  GeneratorConfig config;
+  config.slots = 20000;
+  const auto t = generate_for_type(type, config);
+  int at_floor = 0;
+  for (double p : t.prices())
+    if (p <= model.pi_min().usd() + 1e-12) ++at_floor;
+  // Sticky prices shrink the effective sample size, so allow a wide band.
+  EXPECT_NEAR(static_cast<double>(at_floor) / t.size(), type.market.floor_mass, 0.08);
+}
+
+TEST(Generator, QueueModeProducesCorrelatedPrices) {
+  const auto& type = ec2::require_type("r3.xlarge");
+  const auto model = provider::calibrated_model(type);
+  const auto arrivals = provider::calibrated_arrivals(type);
+  GeneratorConfig config;
+  config.slots = 8000;
+  const auto eq = generate_equilibrium_trace(model, *arrivals, type.name, config);
+  const auto qu = generate_queue_trace(model, *arrivals, type.name, config);
+  // Queue mode smooths demand over slots -> stronger lag-1 autocorrelation.
+  const double ac_eq = autocorrelations(eq, 1)[0];
+  const double ac_qu = autocorrelations(qu, 1)[0];
+  EXPECT_GT(ac_qu, ac_eq + 0.2);
+  EXPECT_LT(std::abs(ac_eq), 0.05);  // i.i.d. equilibrium prices
+}
+
+TEST(Generator, RejectsNonPositiveSlots) {
+  const auto& type = ec2::require_type("r3.xlarge");
+  GeneratorConfig config;
+  config.slots = 0;
+  EXPECT_THROW((void)generate_for_type(type, config), InvalidArgument);
+}
+
+TEST(Statistics, SummaryIsOrdered) {
+  const auto& type = ec2::require_type("m3.xlarge");
+  GeneratorConfig config;
+  config.slots = 5000;
+  const auto t = generate_for_type(type, config);
+  const auto s = summarize(t);
+  EXPECT_LE(s.min, s.p50);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+  EXPECT_LE(s.p99, s.max);
+  EXPECT_GT(s.stddev, 0.0);
+}
+
+TEST(Statistics, DayNightKsAcceptsIidTrace) {
+  // Equilibrium prices are i.i.d., so day and night must look alike — the
+  // Section-4.3 validation (p-value > 0.01).
+  const auto& type = ec2::require_type("m3.xlarge");
+  GeneratorConfig config;
+  config.slots = kTwoMonthsSlots;
+  config.persistence = 0.0;  // i.i.d. slots so the K-S independence holds
+  const auto t = generate_for_type(type, config);
+  EXPECT_GT(day_night_ks(t).p_value, 0.01);
+}
+
+TEST(Statistics, HistogramCoversTraceRange) {
+  const auto t = small_trace();
+  const auto h = price_histogram(t, 3);
+  EXPECT_EQ(h.total(), t.size());
+  EXPECT_DOUBLE_EQ(h.lo(), 0.03);
+  EXPECT_DOUBLE_EQ(h.hi(), 0.06);
+}
+
+TEST(Statistics, EmptyTraceThrows) {
+  const PriceTrace empty{"x", 0, Hours{1.0}, {}};
+  EXPECT_THROW((void)summarize(empty), InvalidArgument);
+  EXPECT_THROW((void)price_histogram(empty), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace spotbid::trace

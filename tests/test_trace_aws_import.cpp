@@ -1,0 +1,203 @@
+// Tests for the AWS spot-price-history importer (JSON parsing, ISO-8601
+// timestamps, and last-observation-carried-forward resampling).
+
+#include "spotbid/trace/aws_import.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "spotbid/bidding/strategies.hpp"
+#include "spotbid/ec2/instance_types.hpp"
+
+namespace spotbid::trace {
+namespace {
+
+constexpr const char* kSample = R"({
+  "SpotPriceHistory": [
+    {
+      "InstanceType": "r3.xlarge",
+      "ProductDescription": "Linux/UNIX",
+      "SpotPrice": "0.045000",
+      "Timestamp": "2014-09-09T01:00:00.000Z",
+      "AvailabilityZone": "us-east-1a"
+    },
+    {
+      "InstanceType": "r3.xlarge",
+      "ProductDescription": "Linux/UNIX",
+      "SpotPrice": "0.031500",
+      "Timestamp": "2014-09-09T00:00:00.000Z",
+      "AvailabilityZone": "us-east-1a"
+    }
+  ],
+  "NextToken": ""
+})";
+
+TEST(Iso8601, ParsesEpochAndKnownDates) {
+  EXPECT_EQ(parse_iso8601_utc("1970-01-01T00:00:00Z"), 0);
+  EXPECT_EQ(parse_iso8601_utc("1970-01-02T00:00:00Z"), 86400);
+  // 2014-09-09T00:00:00Z = 1410220800 (cross-checked with date -u).
+  EXPECT_EQ(parse_iso8601_utc("2014-09-09T00:00:00Z"), 1410220800);
+  // Fractional seconds and +00:00 suffix accepted.
+  EXPECT_EQ(parse_iso8601_utc("2014-09-09T00:00:00.123Z"), 1410220800);
+  EXPECT_EQ(parse_iso8601_utc("2014-09-09T00:00:00+00:00"), 1410220800);
+}
+
+TEST(Iso8601, LeapYearHandling) {
+  // 2016-02-29 exists; 2100 is not a leap year.
+  EXPECT_EQ(parse_iso8601_utc("2016-03-01T00:00:00Z") -
+                parse_iso8601_utc("2016-02-29T00:00:00Z"),
+            86400);
+  EXPECT_THROW((void)parse_iso8601_utc("2015-02-29T00:00:00Z"), InvalidArgument);
+}
+
+TEST(Iso8601, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_iso8601_utc("not a date"), InvalidArgument);
+  EXPECT_THROW((void)parse_iso8601_utc("2014-13-01T00:00:00Z"), InvalidArgument);
+  EXPECT_THROW((void)parse_iso8601_utc("2014-01-32T00:00:00Z"), InvalidArgument);
+  EXPECT_THROW((void)parse_iso8601_utc("2014-01-01T25:00:00Z"), InvalidArgument);
+  EXPECT_THROW((void)parse_iso8601_utc("2014-01-01T00:00:00"), InvalidArgument);
+  EXPECT_THROW((void)parse_iso8601_utc("2014-01-01T00:00:00-05:00"), InvalidArgument);
+  EXPECT_THROW((void)parse_iso8601_utc("2014-01-01T00:00:00Zjunk"), InvalidArgument);
+}
+
+TEST(ParseHistory, ReadsWrappedDocument) {
+  const auto records = parse_spot_price_history(kSample);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].instance_type, "r3.xlarge");
+  EXPECT_EQ(records[0].availability_zone, "us-east-1a");
+  EXPECT_EQ(records[0].product_description, "Linux/UNIX");
+  EXPECT_DOUBLE_EQ(records[0].spot_price, 0.045);
+  EXPECT_DOUBLE_EQ(records[1].spot_price, 0.0315);
+}
+
+TEST(ParseHistory, ReadsBareArray) {
+  const auto records = parse_spot_price_history(
+      R"([{"SpotPrice": "0.05", "Timestamp": "2014-09-09T00:00:00Z"}])");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_DOUBLE_EQ(records[0].spot_price, 0.05);
+}
+
+TEST(ParseHistory, StreamOverload) {
+  std::istringstream is{kSample};
+  EXPECT_EQ(parse_spot_price_history(is).size(), 2u);
+}
+
+TEST(ParseHistory, SkipsUnknownMembersAndNestedValues) {
+  const auto records = parse_spot_price_history(
+      R"({"Extra": {"nested": [1, 2, {"deep": "x"}]},
+          "SpotPriceHistory": [{"SpotPrice": "0.04",
+                                "Timestamp": "2014-09-09T00:00:00Z",
+                                "Unknown": ["a", {"b": 1}],
+                                "Flag": true}],
+          "NextToken": null})");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_DOUBLE_EQ(records[0].spot_price, 0.04);
+}
+
+TEST(ParseHistory, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)parse_spot_price_history("42"), InvalidArgument);
+  EXPECT_THROW((void)parse_spot_price_history("{\"SpotPriceHistory\": }"), InvalidArgument);
+  EXPECT_THROW((void)parse_spot_price_history("{\"Other\": []}"), InvalidArgument);
+  EXPECT_THROW((void)parse_spot_price_history(
+                   R"([{"SpotPrice": "0.04"}])"),  // missing Timestamp
+               InvalidArgument);
+  EXPECT_THROW((void)parse_spot_price_history(
+                   R"([{"SpotPrice": "abc", "Timestamp": "2014-09-09T00:00:00Z"}])"),
+               InvalidArgument);
+  EXPECT_THROW((void)parse_spot_price_history(
+                   R"([{"SpotPrice": "-1", "Timestamp": "2014-09-09T00:00:00Z"}])"),
+               InvalidArgument);
+  EXPECT_THROW((void)parse_spot_price_history(std::string{kSample} + "junk"),
+               InvalidArgument);
+}
+
+TEST(Resample, CarriesLastObservationForward) {
+  // Price changes at t=0 (0.0315) and t=1h (0.045); 5-minute slots over the
+  // hour stay at the first price, the last slot switches.
+  const auto trace = import_aws_history(kSample);
+  EXPECT_EQ(trace.instance_type(), "r3.xlarge");
+  ASSERT_EQ(trace.size(), 13u);  // slots at 0, 5, ..., 60 minutes
+  for (std::size_t i = 0; i < 12; ++i)
+    EXPECT_DOUBLE_EQ(trace.prices()[i], 0.0315) << "slot " << i;
+  EXPECT_DOUBLE_EQ(trace.prices()[12], 0.045);
+  EXPECT_EQ(trace.start_epoch_s(), 1410220800);
+}
+
+TEST(Resample, CheapestZoneWins) {
+  const auto records = parse_spot_price_history(R"([
+    {"InstanceType": "t", "AvailabilityZone": "a", "SpotPrice": "0.05",
+     "Timestamp": "2014-09-09T00:00:00Z"},
+    {"InstanceType": "t", "AvailabilityZone": "b", "SpotPrice": "0.03",
+     "Timestamp": "2014-09-09T00:01:00Z"},
+    {"InstanceType": "t", "AvailabilityZone": "b", "SpotPrice": "0.08",
+     "Timestamp": "2014-09-09T00:30:00Z"}
+  ])");
+  auto trace = resample_to_trace(records);
+  // Slot 0: zones a=0.05, b=0.03 -> 0.03. After b spikes to 0.08, a's 0.05
+  // is the cheapest quote.
+  EXPECT_DOUBLE_EQ(trace.prices().front(), 0.03);
+  EXPECT_DOUBLE_EQ(trace.prices().back(), 0.05);
+}
+
+TEST(Resample, ZoneFilterSelectsOneMarket) {
+  const auto records = parse_spot_price_history(R"([
+    {"InstanceType": "t", "AvailabilityZone": "a", "SpotPrice": "0.05",
+     "Timestamp": "2014-09-09T00:00:00Z"},
+    {"InstanceType": "t", "AvailabilityZone": "b", "SpotPrice": "0.03",
+     "Timestamp": "2014-09-09T00:10:00Z"}
+  ])");
+  ResampleOptions options;
+  options.availability_zone = "a";
+  const auto trace = resample_to_trace(records, options);
+  for (double p : trace.prices()) EXPECT_DOUBLE_EQ(p, 0.05);
+}
+
+TEST(Resample, MixedTypesRequireExplicitFilter) {
+  const auto records = parse_spot_price_history(R"([
+    {"InstanceType": "t1", "SpotPrice": "0.05", "Timestamp": "2014-09-09T00:00:00Z"},
+    {"InstanceType": "t2", "SpotPrice": "0.03", "Timestamp": "2014-09-09T00:10:00Z"}
+  ])");
+  EXPECT_THROW((void)resample_to_trace(records), InvalidArgument);
+  ResampleOptions options;
+  options.instance_type = "t2";
+  const auto trace = resample_to_trace(records, options);
+  EXPECT_EQ(trace.instance_type(), "t2");
+}
+
+TEST(Resample, EmptyAfterFilterThrows) {
+  const auto records = parse_spot_price_history(
+      R"([{"InstanceType": "t", "SpotPrice": "0.05", "Timestamp": "2014-09-09T00:00:00Z"}])");
+  ResampleOptions options;
+  options.instance_type = "other";
+  EXPECT_THROW((void)resample_to_trace(records, options), InvalidArgument);
+  EXPECT_THROW((void)resample_to_trace({}, ResampleOptions{}), InvalidArgument);
+}
+
+TEST(Resample, EndToEndBiddingOnImportedHistory) {
+  // A realistic mini-history drives the full bidding pipeline.
+  std::ostringstream json;
+  json << R"({"SpotPriceHistory": [)";
+  for (int i = 0; i < 200; ++i) {
+    if (i) json << ",";
+    const double price = (i % 13 == 12) ? 0.08 : 0.0315 + 0.0001 * (i % 7);
+    const int minutes = 5 * i;
+    json << R"({"InstanceType": "r3.xlarge", "SpotPrice": ")" << price
+         << R"(", "Timestamp": "2014-09-0)" << (9 + minutes / 1440) << "T"
+         << (minutes / 60) % 24 / 10 << (minutes / 60) % 24 % 10 << ":" << (minutes % 60) / 10
+         << (minutes % 60) % 10 << R"(:00Z", "AvailabilityZone": "us-east-1a"})";
+  }
+  json << "]}";
+  const auto trace = import_aws_history(json.str());
+  EXPECT_GE(trace.size(), 190u);
+
+  const auto model =
+      spotbid::bidding::SpotPriceModel::from_trace(trace, spotbid::ec2::require_type("r3.xlarge").on_demand);
+  const auto decision =
+      spotbid::bidding::persistent_bid(model, spotbid::bidding::JobSpec{Hours{1.0}, Hours::from_seconds(30.0)});
+  EXPECT_GT(decision.bid.usd(), 0.03);
+  EXPECT_LT(decision.bid.usd(), 0.35);
+}
+
+}  // namespace
+}  // namespace spotbid::trace

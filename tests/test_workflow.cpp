@@ -1,0 +1,158 @@
+// Tests for dependent-task workflows (Section-8 "Task dependence").
+
+#include "spotbid/workflow/dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "spotbid/ec2/instance_types.hpp"
+#include "spotbid/market/price_source.hpp"
+#include "spotbid/trace/generator.hpp"
+
+namespace spotbid::workflow {
+namespace {
+
+constexpr double kTk = 1.0 / 12.0;
+
+market::SpotMarket flat_market(double price, int slots = 4000) {
+  std::vector<double> prices(static_cast<std::size_t>(slots), price);
+  trace::PriceTrace t{"flat", 0, Hours{kTk}, std::move(prices)};
+  return market::SpotMarket{std::make_unique<market::TracePriceSource>(std::move(t), true)};
+}
+
+/// Diamond: a -> {b, c} -> d.
+Workflow diamond(Hours task_len = Hours{2.0 * kTk}) {
+  Workflow w;
+  w.tasks.push_back({"a", task_len, Hours{0.0}, {}, Money{0.05}});
+  w.tasks.push_back({"b", task_len, Hours{0.0}, {0}, Money{0.05}});
+  w.tasks.push_back({"c", task_len, Hours{0.0}, {0}, Money{0.05}});
+  w.tasks.push_back({"d", task_len, Hours{0.0}, {1, 2}, Money{0.05}});
+  return w;
+}
+
+TEST(Topological, OrdersRespectDependencies) {
+  const auto w = diamond();
+  const auto order = topological_order(w);
+  ASSERT_EQ(order.size(), 4u);
+  const auto pos = [&](std::size_t task) {
+    return std::find(order.begin(), order.end(), task) - order.begin();
+  };
+  EXPECT_LT(pos(0), pos(1));
+  EXPECT_LT(pos(0), pos(2));
+  EXPECT_LT(pos(1), pos(3));
+  EXPECT_LT(pos(2), pos(3));
+}
+
+TEST(Topological, DetectsCyclesAndBadIndices) {
+  Workflow cyclic;
+  cyclic.tasks.push_back({"a", Hours{0.1}, Hours{0.0}, {1}, Money{0.05}});
+  cyclic.tasks.push_back({"b", Hours{0.1}, Hours{0.0}, {0}, Money{0.05}});
+  EXPECT_THROW((void)topological_order(cyclic), InvalidArgument);
+
+  Workflow self_ref;
+  self_ref.tasks.push_back({"a", Hours{0.1}, Hours{0.0}, {0}, Money{0.05}});
+  EXPECT_THROW((void)topological_order(self_ref), InvalidArgument);
+
+  Workflow bad_index;
+  bad_index.tasks.push_back({"a", Hours{0.1}, Hours{0.0}, {7}, Money{0.05}});
+  EXPECT_THROW((void)topological_order(bad_index), InvalidArgument);
+
+  EXPECT_THROW((void)topological_order(Workflow{}), InvalidArgument);
+}
+
+TEST(RunWorkflow, DiamondCompletesInStages) {
+  auto market = flat_market(0.04);
+  const auto w = diamond();
+  const auto outcome = run_workflow(market, w);
+  ASSERT_TRUE(outcome.completed);
+  // Stages: a (2 slots), then b and c in parallel (2 slots), then d
+  // (2 slots) — six slots of makespan on a calm market.
+  EXPECT_NEAR(outcome.makespan.hours(), 6.0 * kTk, 1e-12);
+  // b and c started only after a finished.
+  EXPECT_GE(outcome.tasks[1].ready_slot, outcome.tasks[0].finish_slot);
+  EXPECT_GE(outcome.tasks[2].ready_slot, outcome.tasks[0].finish_slot);
+  EXPECT_GE(outcome.tasks[3].ready_slot,
+            std::max(outcome.tasks[1].finish_slot, outcome.tasks[2].finish_slot));
+  // Total cost: 8 task-slots at the flat price.
+  EXPECT_NEAR(outcome.total_cost.usd(), 8.0 * 0.04 * kTk, 1e-9);
+}
+
+TEST(RunWorkflow, NoBidOnWaitingTasks) {
+  // While a runs, downstream tasks must not be billed or submitted: only
+  // one instance's worth of cost accrues during stage one.
+  auto market = flat_market(0.04);
+  const auto w = diamond();
+  const auto outcome = run_workflow(market, w);
+  ASSERT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.tasks[1].ready_slot, outcome.tasks[0].finish_slot);
+  // Cost of a alone is exactly 2 slots of spot price.
+  EXPECT_NEAR(outcome.tasks[0].cost.usd(), 2.0 * 0.04 * kTk, 1e-12);
+}
+
+TEST(RunWorkflow, SurvivesInterruptionsWithRecovery) {
+  // Every 4th slot spikes above the bid: tasks get interrupted, pay
+  // recovery, and the workflow still completes.
+  std::vector<double> pattern{0.04, 0.04, 0.04, 0.50};
+  std::vector<double> prices;
+  for (int i = 0; i < 400; ++i) prices.push_back(pattern[i % 4]);
+  trace::PriceTrace t{"spiky", 0, Hours{kTk}, std::move(prices)};
+  market::SpotMarket market{std::make_unique<market::TracePriceSource>(std::move(t), true)};
+
+  Workflow w;
+  w.tasks.push_back({"a", Hours{5.0 * kTk}, Hours{0.5 * kTk}, {}, Money{0.10}});
+  w.tasks.push_back({"b", Hours{5.0 * kTk}, Hours{0.5 * kTk}, {0}, Money{0.10}});
+  const auto outcome = run_workflow(market, w);
+  ASSERT_TRUE(outcome.completed);
+  EXPECT_GT(outcome.tasks[0].interruptions + outcome.tasks[1].interruptions, 0);
+  EXPECT_GT(outcome.makespan.hours(), 10.0 * kTk);
+}
+
+TEST(RunWorkflow, MissingBidThrows) {
+  auto market = flat_market(0.04);
+  Workflow w;
+  w.tasks.push_back({"a", Hours{0.1}, Hours{0.0}, {}, Money{0.0}});
+  EXPECT_THROW((void)run_workflow(market, w), InvalidArgument);
+}
+
+TEST(RunWorkflow, MaxSlotsBoundsRunaway) {
+  auto market = flat_market(0.50);  // price always above the bids
+  const auto w = diamond();
+  const auto outcome = run_workflow(market, w, /*max_slots=*/50);
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_FALSE(outcome.tasks[0].completed);
+  EXPECT_DOUBLE_EQ(outcome.total_cost.usd(), 0.0);
+}
+
+TEST(PlanBids, FillsProposition5BidsPerRecoveryTime) {
+  const auto model =
+      bidding::SpotPriceModel::from_type(ec2::require_type("r3.xlarge"));
+  Workflow w;
+  w.tasks.push_back({"fast-recovery", Hours{1.0}, Hours::from_seconds(10.0), {}, Money{}});
+  w.tasks.push_back({"slow-recovery", Hours{1.0}, Hours::from_seconds(240.0), {0}, Money{}});
+  plan_bids(model, w);
+  EXPECT_GT(w.tasks[0].bid.usd(), 0.0);
+  // Harder recovery -> higher bid (Prop. 5 comparative statics).
+  EXPECT_GT(w.tasks[1].bid.usd(), w.tasks[0].bid.usd());
+}
+
+TEST(PlanBids, EndToEndOnSimulatedMarket) {
+  const auto& type = ec2::require_type("c3.4xlarge");
+  const auto model = bidding::SpotPriceModel::from_type(type);
+  Workflow w;
+  w.tasks.push_back({"extract", Hours{0.5}, Hours::from_seconds(30.0), {}, Money{}});
+  w.tasks.push_back({"transform", Hours{1.0}, Hours::from_seconds(30.0), {0}, Money{}});
+  w.tasks.push_back({"load", Hours{0.25}, Hours::from_seconds(30.0), {1}, Money{}});
+  plan_bids(model, w);
+
+  market::SpotMarket market{std::make_unique<market::ModelPriceSource>(
+      model.distribution_ptr(), model.slot_length(), 555, type.market.persistence)};
+  const auto outcome = run_workflow(market, w);
+  ASSERT_TRUE(outcome.completed);
+  // Far cheaper than on-demand for the same 1.75 h of work.
+  EXPECT_LT(outcome.total_cost.usd(), 0.5 * type.on_demand.usd() * 1.75);
+}
+
+}  // namespace
+}  // namespace spotbid::workflow

@@ -1,0 +1,253 @@
+// spotbid — command-line bidding client.
+//
+// The operational equivalent of the paper's Figure-1 client: feed it price
+// history (real AWS JSON or library-generated CSV), and it computes the
+// Section-5/6 optimal bids, analyzes the price process, or simulates a job
+// end-to-end.
+//
+//   spotbid catalog
+//   spotbid generate  --type r3.xlarge [--slots N] [--seed S] [--out t.csv]
+//   spotbid analyze   --in trace.csv | --json history.json [--type T]
+//   spotbid bid       --type r3.xlarge [--in trace.csv | --json h.json]
+//                     [--hours H] [--recovery SECONDS]
+//                     [--deadline HOURS --epsilon E] [--nodes M]
+//   spotbid simulate  --type r3.xlarge [--hours H] [--recovery SECONDS]
+//                     [--seed S] [--one-time]
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "spotbid/spotbid.hpp"
+
+namespace {
+
+using namespace spotbid;
+
+/// Tiny flag parser: --key value pairs plus boolean switches.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument '%s'\n", key.c_str());
+        ok_ = false;
+        return;
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // boolean switch
+      }
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool has(const std::string& key) const { return values_.count(key) > 0; }
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double number(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: spotbid <catalog|generate|analyze|bid|simulate> [--flags]\n"
+               "  catalog                         list instance types (Table 2)\n"
+               "  generate --type T [--slots N] [--seed S] [--out FILE]\n"
+               "  analyze  --in trace.csv | --json history.json [--type T]\n"
+               "  bid      --type T [--in trace.csv | --json h.json] [--hours H]\n"
+               "           [--recovery S] [--deadline H --epsilon E] [--nodes M]\n"
+               "  simulate --type T [--hours H] [--recovery S] [--seed S] [--one-time]\n");
+  return 2;
+}
+
+/// Load a trace from --in (library CSV) or --json (AWS CLI format);
+/// nullopt when neither flag is present.
+std::optional<trace::PriceTrace> load_trace(const Args& args) {
+  if (args.has("in")) {
+    std::ifstream file{args.get("in")};
+    if (!file) throw InvalidArgument{"cannot open " + args.get("in")};
+    return trace::PriceTrace::read_csv(file);
+  }
+  if (args.has("json")) {
+    std::ifstream file{args.get("json")};
+    if (!file) throw InvalidArgument{"cannot open " + args.get("json")};
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    trace::ResampleOptions options;
+    options.instance_type = args.get("type");
+    const std::string text = buffer.str();
+    return trace::import_aws_history(text, options);
+  }
+  return std::nullopt;
+}
+
+int cmd_catalog() {
+  std::printf("%-12s %5s %8s %-10s %12s %9s\n", "type", "vCPU", "mem GiB", "storage",
+              "on-demand $", "floor $");
+  for (const auto& t : ec2::all_types()) {
+    std::printf("%-12s %5d %8.1f %-10s %12.3f %9.4f\n", t.name.c_str(), t.vcpus, t.memory_gib,
+                t.storage.c_str(), t.on_demand.usd(), t.min_price().usd());
+  }
+  return 0;
+}
+
+int cmd_generate(const Args& args) {
+  const auto& type = ec2::require_type(args.get("type", "r3.xlarge"));
+  trace::GeneratorConfig config;
+  config.slots = static_cast<int>(args.number("slots", trace::kTwoMonthsSlots));
+  config.seed = static_cast<std::uint64_t>(args.number("seed", 2015));
+  const auto trace = trace::generate_for_type(type, config);
+  if (args.has("out")) {
+    std::ofstream out{args.get("out")};
+    if (!out) throw InvalidArgument{"cannot open " + args.get("out")};
+    trace.write_csv(out);
+    std::printf("wrote %zu slots for %s to %s\n", trace.size(), type.name.c_str(),
+                args.get("out").c_str());
+  } else {
+    trace.write_csv(std::cout);
+  }
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  const auto maybe = load_trace(args);
+  if (!maybe) {
+    std::fprintf(stderr, "analyze needs --in trace.csv or --json history.json\n");
+    return 2;
+  }
+  const auto& trace = *maybe;
+  const auto summary = trace::summarize(trace);
+  std::printf("trace: %s, %zu slots of %.0f s (%.1f days)\n", trace.instance_type().c_str(),
+              trace.size(), trace.slot_length().seconds(), trace.duration().hours() / 24.0);
+  std::printf("price: min $%.4f  p50 $%.4f  mean $%.4f  p90 $%.4f  p99 $%.4f  max $%.4f\n",
+              summary.min, summary.p50, summary.mean, summary.p90, summary.p99, summary.max);
+  if (trace.size() > 200) {
+    const auto acs = trace::autocorrelations(trace, 6);
+    std::printf("autocorrelation (lags 1..6):");
+    for (double ac : acs) std::printf(" %.2f", ac);
+    std::printf("\nestimated stickiness rho = %.3f\n", bidding::estimate_persistence(trace));
+    const auto ks = trace::day_night_ks(trace);
+    std::printf("day/night K-S: statistic %.4f, p-value %.3f %s\n", ks.statistic, ks.p_value,
+                ks.p_value > 0.01 ? "(homogeneous, i.i.d.-friendly)" : "(time-of-day effect!)");
+  }
+  return 0;
+}
+
+int cmd_bid(const Args& args) {
+  const auto& type = ec2::require_type(args.get("type", "r3.xlarge"));
+  const auto maybe = load_trace(args);
+  const auto model = maybe ? bidding::SpotPriceModel::from_trace(*maybe, type.on_demand)
+                           : client::history_model(type, {});
+  std::printf("price model: %s\n\n", maybe ? "from supplied history" : "synthetic two-month history");
+
+  const bidding::JobSpec job{Hours{args.number("hours", 1.0)},
+                             Hours::from_seconds(args.number("recovery", 30.0))};
+
+  const auto one_time = bidding::one_time_bid(model, bidding::JobSpec{job.execution_time, Hours{0.0}});
+  std::printf("one-time (Prop. 4):    bid $%.4f  E[cost] $%.4f  (on-demand $%.4f)\n",
+              one_time.bid.usd(), one_time.expected_cost.usd(),
+              type.on_demand.usd() * job.execution_time.hours());
+
+  const auto persistent = bidding::persistent_bid(model, job);
+  std::printf("persistent (Prop. 5):  bid $%.4f  E[cost] $%.4f  E[completion] %.2f h\n",
+              persistent.bid.usd(), persistent.expected_cost.usd(),
+              persistent.expected_completion.hours());
+
+  if (maybe) {
+    const double rho = bidding::estimate_persistence(*maybe);
+    const auto sticky = bidding::sticky_persistent_bid(model, job, rho);
+    std::printf("sticky-aware (rho=%.2f): bid $%.4f  E[cost] $%.4f\n", rho, sticky.bid.usd(),
+                sticky.expected_cost.usd());
+  }
+
+  if (args.has("deadline")) {
+    const Hours deadline{args.number("deadline", job.execution_time.hours() * 2.0)};
+    const double epsilon = args.number("epsilon", 0.05);
+    if (const auto d = bidding::deadline_constrained_bid(model, job, deadline, epsilon)) {
+      std::printf("deadline %.2f h @ %.0f%%:  bid $%.4f  E[cost] $%.4f\n", deadline.hours(),
+                  100.0 * (1.0 - epsilon), d->bid.usd(), d->expected_cost.usd());
+    } else {
+      std::printf("deadline %.2f h @ %.0f%%:  infeasible on spot — use on-demand\n",
+                  deadline.hours(), 100.0 * (1.0 - epsilon));
+    }
+  }
+
+  if (args.has("nodes")) {
+    bidding::ParallelJobSpec parallel;
+    parallel.execution_time = job.execution_time;
+    parallel.recovery_time = job.recovery_time;
+    parallel.overhead_time = Hours::from_seconds(args.number("overhead", 60.0));
+    parallel.nodes = static_cast<int>(args.number("nodes", 4));
+    const auto d = bidding::parallel_bid(model, parallel);
+    std::printf("parallel x%d (Sec 6.1): bid $%.4f  E[cost] $%.4f  E[completion] %.2f h\n",
+                parallel.nodes, d.bid.usd(), d.expected_cost.usd(),
+                d.expected_completion.hours());
+  }
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const auto& type = ec2::require_type(args.get("type", "r3.xlarge"));
+  const bidding::JobSpec job{Hours{args.number("hours", 1.0)},
+                             Hours::from_seconds(args.number("recovery", 30.0))};
+  const auto model = client::history_model(type, {});
+  const bool one_time = args.has("one-time");
+  const auto decision =
+      one_time ? bidding::one_time_bid(model, bidding::JobSpec{job.execution_time, Hours{0.0}})
+               : bidding::persistent_bid(model, job);
+
+  market::SpotMarket market{std::make_unique<market::ModelPriceSource>(
+      provider::calibrated_price_distribution(type), trace::kDefaultSlotLength,
+      static_cast<std::uint64_t>(args.number("seed", 1)), type.market.persistence)};
+  const auto run = one_time
+                       ? client::run_one_time(market, decision.bid, job, type.on_demand)
+                       : client::run_persistent(market, decision.bid, job);
+
+  std::printf("%s bid $%.4f on %s\n", one_time ? "one-time" : "persistent", decision.bid.usd(),
+              type.name.c_str());
+  std::printf("completed: %s%s\n", run.completed ? "yes" : "no",
+              run.finished_on_spot ? "" : " (via on-demand fallback)");
+  std::printf("cost $%.4f  completion %.2f h  interruptions %d  launches %d\n", run.cost.usd(),
+              run.completion_time.hours(), run.interruptions, run.launches);
+  std::printf("savings vs on-demand: %.1f%%\n",
+              100.0 * (1.0 - run.cost.usd() / (type.on_demand.usd() * job.execution_time.hours())));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args{argc, argv, 2};
+  if (!args.ok()) return usage();
+  try {
+    if (command == "catalog") return cmd_catalog();
+    if (command == "generate") return cmd_generate(args);
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "bid") return cmd_bid(args);
+    if (command == "simulate") return cmd_simulate(args);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  return usage();
+}
