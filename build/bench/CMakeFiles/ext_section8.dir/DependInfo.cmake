@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_section8.cpp" "bench/CMakeFiles/ext_section8.dir/ext_section8.cpp.o" "gcc" "bench/CMakeFiles/ext_section8.dir/ext_section8.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/client/CMakeFiles/spotbid_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/spotbid_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/spotbid_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/spotbid_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/spotbid_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/bidding/CMakeFiles/spotbid_bidding.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/spotbid_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/provider/CMakeFiles/spotbid_provider.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/spotbid_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/spotbid_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec2/CMakeFiles/spotbid_ec2.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spotbid_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

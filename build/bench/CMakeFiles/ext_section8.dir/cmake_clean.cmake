@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_section8.dir/ext_section8.cpp.o"
+  "CMakeFiles/ext_section8.dir/ext_section8.cpp.o.d"
+  "ext_section8"
+  "ext_section8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_section8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

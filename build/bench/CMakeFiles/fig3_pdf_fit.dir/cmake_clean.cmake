@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_pdf_fit.dir/fig3_pdf_fit.cpp.o"
+  "CMakeFiles/fig3_pdf_fit.dir/fig3_pdf_fit.cpp.o.d"
+  "fig3_pdf_fit"
+  "fig3_pdf_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_pdf_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_persistent_vs_onetime.dir/fig6_persistent_vs_onetime.cpp.o"
+  "CMakeFiles/fig6_persistent_vs_onetime.dir/fig6_persistent_vs_onetime.cpp.o.d"
+  "fig6_persistent_vs_onetime"
+  "fig6_persistent_vs_onetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_persistent_vs_onetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_persistent_vs_onetime.
+# This may be replaced when dependencies are built.

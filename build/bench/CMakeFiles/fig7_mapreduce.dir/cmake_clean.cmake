@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_mapreduce.dir/fig7_mapreduce.cpp.o"
+  "CMakeFiles/fig7_mapreduce.dir/fig7_mapreduce.cpp.o.d"
+  "fig7_mapreduce"
+  "fig7_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

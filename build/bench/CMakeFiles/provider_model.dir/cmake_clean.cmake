@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provider_model.dir/provider_model.cpp.o"
+  "CMakeFiles/provider_model.dir/provider_model.cpp.o.d"
+  "provider_model"
+  "provider_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provider_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

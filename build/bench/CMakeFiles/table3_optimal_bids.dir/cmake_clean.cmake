@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_optimal_bids.dir/table3_optimal_bids.cpp.o"
+  "CMakeFiles/table3_optimal_bids.dir/table3_optimal_bids.cpp.o.d"
+  "table3_optimal_bids"
+  "table3_optimal_bids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_optimal_bids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

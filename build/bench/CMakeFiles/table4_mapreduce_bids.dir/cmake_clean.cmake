@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_mapreduce_bids.dir/table4_mapreduce_bids.cpp.o"
+  "CMakeFiles/table4_mapreduce_bids.dir/table4_mapreduce_bids.cpp.o.d"
+  "table4_mapreduce_bids"
+  "table4_mapreduce_bids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_mapreduce_bids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

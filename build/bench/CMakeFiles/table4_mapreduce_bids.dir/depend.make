@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_mapreduce_bids.
+# This may be replaced when dependencies are built.

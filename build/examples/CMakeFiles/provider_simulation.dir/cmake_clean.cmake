@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provider_simulation.dir/provider_simulation.cpp.o"
+  "CMakeFiles/provider_simulation.dir/provider_simulation.cpp.o.d"
+  "provider_simulation"
+  "provider_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provider_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

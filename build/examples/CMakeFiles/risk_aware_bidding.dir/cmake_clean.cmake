@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/risk_aware_bidding.dir/risk_aware_bidding.cpp.o"
+  "CMakeFiles/risk_aware_bidding.dir/risk_aware_bidding.cpp.o.d"
+  "risk_aware_bidding"
+  "risk_aware_bidding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risk_aware_bidding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

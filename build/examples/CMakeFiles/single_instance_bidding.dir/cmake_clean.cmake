@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_instance_bidding.dir/single_instance_bidding.cpp.o"
+  "CMakeFiles/single_instance_bidding.dir/single_instance_bidding.cpp.o.d"
+  "single_instance_bidding"
+  "single_instance_bidding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_instance_bidding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for single_instance_bidding.
+# This may be replaced when dependencies are built.

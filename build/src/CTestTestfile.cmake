@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("numeric")
+subdirs("dist")
+subdirs("ec2")
+subdirs("provider")
+subdirs("trace")
+subdirs("market")
+subdirs("bidding")
+subdirs("mapreduce")
+subdirs("collective")
+subdirs("workflow")
+subdirs("client")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bidding/cost.cpp" "src/bidding/CMakeFiles/spotbid_bidding.dir/cost.cpp.o" "gcc" "src/bidding/CMakeFiles/spotbid_bidding.dir/cost.cpp.o.d"
+  "/root/repo/src/bidding/price_model.cpp" "src/bidding/CMakeFiles/spotbid_bidding.dir/price_model.cpp.o" "gcc" "src/bidding/CMakeFiles/spotbid_bidding.dir/price_model.cpp.o.d"
+  "/root/repo/src/bidding/risk.cpp" "src/bidding/CMakeFiles/spotbid_bidding.dir/risk.cpp.o" "gcc" "src/bidding/CMakeFiles/spotbid_bidding.dir/risk.cpp.o.d"
+  "/root/repo/src/bidding/sticky.cpp" "src/bidding/CMakeFiles/spotbid_bidding.dir/sticky.cpp.o" "gcc" "src/bidding/CMakeFiles/spotbid_bidding.dir/sticky.cpp.o.d"
+  "/root/repo/src/bidding/strategies.cpp" "src/bidding/CMakeFiles/spotbid_bidding.dir/strategies.cpp.o" "gcc" "src/bidding/CMakeFiles/spotbid_bidding.dir/strategies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/spotbid_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/provider/CMakeFiles/spotbid_provider.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/spotbid_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/spotbid_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec2/CMakeFiles/spotbid_ec2.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spotbid_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotbid_bidding.dir/cost.cpp.o"
+  "CMakeFiles/spotbid_bidding.dir/cost.cpp.o.d"
+  "CMakeFiles/spotbid_bidding.dir/price_model.cpp.o"
+  "CMakeFiles/spotbid_bidding.dir/price_model.cpp.o.d"
+  "CMakeFiles/spotbid_bidding.dir/risk.cpp.o"
+  "CMakeFiles/spotbid_bidding.dir/risk.cpp.o.d"
+  "CMakeFiles/spotbid_bidding.dir/sticky.cpp.o"
+  "CMakeFiles/spotbid_bidding.dir/sticky.cpp.o.d"
+  "CMakeFiles/spotbid_bidding.dir/strategies.cpp.o"
+  "CMakeFiles/spotbid_bidding.dir/strategies.cpp.o.d"
+  "libspotbid_bidding.a"
+  "libspotbid_bidding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotbid_bidding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotbid_client.dir/experiment.cpp.o"
+  "CMakeFiles/spotbid_client.dir/experiment.cpp.o.d"
+  "CMakeFiles/spotbid_client.dir/job_runner.cpp.o"
+  "CMakeFiles/spotbid_client.dir/job_runner.cpp.o.d"
+  "CMakeFiles/spotbid_client.dir/price_monitor.cpp.o"
+  "CMakeFiles/spotbid_client.dir/price_monitor.cpp.o.d"
+  "libspotbid_client.a"
+  "libspotbid_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotbid_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collective/equilibrium.cpp" "src/collective/CMakeFiles/spotbid_collective.dir/equilibrium.cpp.o" "gcc" "src/collective/CMakeFiles/spotbid_collective.dir/equilibrium.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bidding/CMakeFiles/spotbid_bidding.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/spotbid_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/provider/CMakeFiles/spotbid_provider.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/spotbid_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/spotbid_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec2/CMakeFiles/spotbid_ec2.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spotbid_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

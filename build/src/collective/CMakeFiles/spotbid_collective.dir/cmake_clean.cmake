@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotbid_collective.dir/equilibrium.cpp.o"
+  "CMakeFiles/spotbid_collective.dir/equilibrium.cpp.o.d"
+  "libspotbid_collective.a"
+  "libspotbid_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotbid_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

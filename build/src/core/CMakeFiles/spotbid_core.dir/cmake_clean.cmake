@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotbid_core.dir/version.cpp.o"
+  "CMakeFiles/spotbid_core.dir/version.cpp.o.d"
+  "libspotbid_core.a"
+  "libspotbid_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotbid_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/core/CMakeFiles/spotbid_core.dir/version.cpp.o: \
+ /root/repo/src/core/version.cpp /usr/include/stdc-predef.h \
+ /root/repo/include/spotbid/core/version.hpp

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/distribution.cpp" "src/dist/CMakeFiles/spotbid_dist.dir/distribution.cpp.o" "gcc" "src/dist/CMakeFiles/spotbid_dist.dir/distribution.cpp.o.d"
+  "/root/repo/src/dist/empirical.cpp" "src/dist/CMakeFiles/spotbid_dist.dir/empirical.cpp.o" "gcc" "src/dist/CMakeFiles/spotbid_dist.dir/empirical.cpp.o.d"
+  "/root/repo/src/dist/exponential.cpp" "src/dist/CMakeFiles/spotbid_dist.dir/exponential.cpp.o" "gcc" "src/dist/CMakeFiles/spotbid_dist.dir/exponential.cpp.o.d"
+  "/root/repo/src/dist/fit.cpp" "src/dist/CMakeFiles/spotbid_dist.dir/fit.cpp.o" "gcc" "src/dist/CMakeFiles/spotbid_dist.dir/fit.cpp.o.d"
+  "/root/repo/src/dist/ks_test.cpp" "src/dist/CMakeFiles/spotbid_dist.dir/ks_test.cpp.o" "gcc" "src/dist/CMakeFiles/spotbid_dist.dir/ks_test.cpp.o.d"
+  "/root/repo/src/dist/lognormal.cpp" "src/dist/CMakeFiles/spotbid_dist.dir/lognormal.cpp.o" "gcc" "src/dist/CMakeFiles/spotbid_dist.dir/lognormal.cpp.o.d"
+  "/root/repo/src/dist/pareto.cpp" "src/dist/CMakeFiles/spotbid_dist.dir/pareto.cpp.o" "gcc" "src/dist/CMakeFiles/spotbid_dist.dir/pareto.cpp.o.d"
+  "/root/repo/src/dist/uniform.cpp" "src/dist/CMakeFiles/spotbid_dist.dir/uniform.cpp.o" "gcc" "src/dist/CMakeFiles/spotbid_dist.dir/uniform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/spotbid_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spotbid_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

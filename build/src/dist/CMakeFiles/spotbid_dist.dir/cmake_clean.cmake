@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotbid_dist.dir/distribution.cpp.o"
+  "CMakeFiles/spotbid_dist.dir/distribution.cpp.o.d"
+  "CMakeFiles/spotbid_dist.dir/empirical.cpp.o"
+  "CMakeFiles/spotbid_dist.dir/empirical.cpp.o.d"
+  "CMakeFiles/spotbid_dist.dir/exponential.cpp.o"
+  "CMakeFiles/spotbid_dist.dir/exponential.cpp.o.d"
+  "CMakeFiles/spotbid_dist.dir/fit.cpp.o"
+  "CMakeFiles/spotbid_dist.dir/fit.cpp.o.d"
+  "CMakeFiles/spotbid_dist.dir/ks_test.cpp.o"
+  "CMakeFiles/spotbid_dist.dir/ks_test.cpp.o.d"
+  "CMakeFiles/spotbid_dist.dir/lognormal.cpp.o"
+  "CMakeFiles/spotbid_dist.dir/lognormal.cpp.o.d"
+  "CMakeFiles/spotbid_dist.dir/pareto.cpp.o"
+  "CMakeFiles/spotbid_dist.dir/pareto.cpp.o.d"
+  "CMakeFiles/spotbid_dist.dir/uniform.cpp.o"
+  "CMakeFiles/spotbid_dist.dir/uniform.cpp.o.d"
+  "libspotbid_dist.a"
+  "libspotbid_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotbid_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

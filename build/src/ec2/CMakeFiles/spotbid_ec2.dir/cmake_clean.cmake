@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotbid_ec2.dir/instance_types.cpp.o"
+  "CMakeFiles/spotbid_ec2.dir/instance_types.cpp.o.d"
+  "libspotbid_ec2.a"
+  "libspotbid_ec2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotbid_ec2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

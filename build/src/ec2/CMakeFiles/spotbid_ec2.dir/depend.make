@@ -1,0 +1,2 @@
+# Empty dependencies file for spotbid_ec2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotbid_mapreduce.dir/cluster.cpp.o"
+  "CMakeFiles/spotbid_mapreduce.dir/cluster.cpp.o.d"
+  "libspotbid_mapreduce.a"
+  "libspotbid_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotbid_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotbid_market.dir/checkpoint.cpp.o"
+  "CMakeFiles/spotbid_market.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/spotbid_market.dir/price_source.cpp.o"
+  "CMakeFiles/spotbid_market.dir/price_source.cpp.o.d"
+  "CMakeFiles/spotbid_market.dir/spot_market.cpp.o"
+  "CMakeFiles/spotbid_market.dir/spot_market.cpp.o.d"
+  "CMakeFiles/spotbid_market.dir/work_tracker.cpp.o"
+  "CMakeFiles/spotbid_market.dir/work_tracker.cpp.o.d"
+  "libspotbid_market.a"
+  "libspotbid_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotbid_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

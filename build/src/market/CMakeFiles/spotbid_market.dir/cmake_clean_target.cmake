@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspotbid_market.a"
+)

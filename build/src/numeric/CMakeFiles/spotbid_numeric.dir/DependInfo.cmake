@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/integrate.cpp" "src/numeric/CMakeFiles/spotbid_numeric.dir/integrate.cpp.o" "gcc" "src/numeric/CMakeFiles/spotbid_numeric.dir/integrate.cpp.o.d"
+  "/root/repo/src/numeric/interpolate.cpp" "src/numeric/CMakeFiles/spotbid_numeric.dir/interpolate.cpp.o" "gcc" "src/numeric/CMakeFiles/spotbid_numeric.dir/interpolate.cpp.o.d"
+  "/root/repo/src/numeric/optimize.cpp" "src/numeric/CMakeFiles/spotbid_numeric.dir/optimize.cpp.o" "gcc" "src/numeric/CMakeFiles/spotbid_numeric.dir/optimize.cpp.o.d"
+  "/root/repo/src/numeric/rng.cpp" "src/numeric/CMakeFiles/spotbid_numeric.dir/rng.cpp.o" "gcc" "src/numeric/CMakeFiles/spotbid_numeric.dir/rng.cpp.o.d"
+  "/root/repo/src/numeric/roots.cpp" "src/numeric/CMakeFiles/spotbid_numeric.dir/roots.cpp.o" "gcc" "src/numeric/CMakeFiles/spotbid_numeric.dir/roots.cpp.o.d"
+  "/root/repo/src/numeric/stats.cpp" "src/numeric/CMakeFiles/spotbid_numeric.dir/stats.cpp.o" "gcc" "src/numeric/CMakeFiles/spotbid_numeric.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/spotbid_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotbid_numeric.dir/integrate.cpp.o"
+  "CMakeFiles/spotbid_numeric.dir/integrate.cpp.o.d"
+  "CMakeFiles/spotbid_numeric.dir/interpolate.cpp.o"
+  "CMakeFiles/spotbid_numeric.dir/interpolate.cpp.o.d"
+  "CMakeFiles/spotbid_numeric.dir/optimize.cpp.o"
+  "CMakeFiles/spotbid_numeric.dir/optimize.cpp.o.d"
+  "CMakeFiles/spotbid_numeric.dir/rng.cpp.o"
+  "CMakeFiles/spotbid_numeric.dir/rng.cpp.o.d"
+  "CMakeFiles/spotbid_numeric.dir/roots.cpp.o"
+  "CMakeFiles/spotbid_numeric.dir/roots.cpp.o.d"
+  "CMakeFiles/spotbid_numeric.dir/stats.cpp.o"
+  "CMakeFiles/spotbid_numeric.dir/stats.cpp.o.d"
+  "libspotbid_numeric.a"
+  "libspotbid_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotbid_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

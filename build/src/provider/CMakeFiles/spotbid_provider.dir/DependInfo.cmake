@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/provider/calibration.cpp" "src/provider/CMakeFiles/spotbid_provider.dir/calibration.cpp.o" "gcc" "src/provider/CMakeFiles/spotbid_provider.dir/calibration.cpp.o.d"
+  "/root/repo/src/provider/model.cpp" "src/provider/CMakeFiles/spotbid_provider.dir/model.cpp.o" "gcc" "src/provider/CMakeFiles/spotbid_provider.dir/model.cpp.o.d"
+  "/root/repo/src/provider/price_distribution.cpp" "src/provider/CMakeFiles/spotbid_provider.dir/price_distribution.cpp.o" "gcc" "src/provider/CMakeFiles/spotbid_provider.dir/price_distribution.cpp.o.d"
+  "/root/repo/src/provider/queue.cpp" "src/provider/CMakeFiles/spotbid_provider.dir/queue.cpp.o" "gcc" "src/provider/CMakeFiles/spotbid_provider.dir/queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/spotbid_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec2/CMakeFiles/spotbid_ec2.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/spotbid_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spotbid_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotbid_provider.dir/calibration.cpp.o"
+  "CMakeFiles/spotbid_provider.dir/calibration.cpp.o.d"
+  "CMakeFiles/spotbid_provider.dir/model.cpp.o"
+  "CMakeFiles/spotbid_provider.dir/model.cpp.o.d"
+  "CMakeFiles/spotbid_provider.dir/price_distribution.cpp.o"
+  "CMakeFiles/spotbid_provider.dir/price_distribution.cpp.o.d"
+  "CMakeFiles/spotbid_provider.dir/queue.cpp.o"
+  "CMakeFiles/spotbid_provider.dir/queue.cpp.o.d"
+  "libspotbid_provider.a"
+  "libspotbid_provider.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotbid_provider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

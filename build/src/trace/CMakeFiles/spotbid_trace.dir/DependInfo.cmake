@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/aws_import.cpp" "src/trace/CMakeFiles/spotbid_trace.dir/aws_import.cpp.o" "gcc" "src/trace/CMakeFiles/spotbid_trace.dir/aws_import.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/spotbid_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/spotbid_trace.dir/generator.cpp.o.d"
+  "/root/repo/src/trace/price_trace.cpp" "src/trace/CMakeFiles/spotbid_trace.dir/price_trace.cpp.o" "gcc" "src/trace/CMakeFiles/spotbid_trace.dir/price_trace.cpp.o.d"
+  "/root/repo/src/trace/statistics.cpp" "src/trace/CMakeFiles/spotbid_trace.dir/statistics.cpp.o" "gcc" "src/trace/CMakeFiles/spotbid_trace.dir/statistics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/provider/CMakeFiles/spotbid_provider.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/spotbid_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/spotbid_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec2/CMakeFiles/spotbid_ec2.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spotbid_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

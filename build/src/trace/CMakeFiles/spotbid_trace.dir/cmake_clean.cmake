@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotbid_trace.dir/aws_import.cpp.o"
+  "CMakeFiles/spotbid_trace.dir/aws_import.cpp.o.d"
+  "CMakeFiles/spotbid_trace.dir/generator.cpp.o"
+  "CMakeFiles/spotbid_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/spotbid_trace.dir/price_trace.cpp.o"
+  "CMakeFiles/spotbid_trace.dir/price_trace.cpp.o.d"
+  "CMakeFiles/spotbid_trace.dir/statistics.cpp.o"
+  "CMakeFiles/spotbid_trace.dir/statistics.cpp.o.d"
+  "libspotbid_trace.a"
+  "libspotbid_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotbid_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotbid_workflow.dir/dag.cpp.o"
+  "CMakeFiles/spotbid_workflow.dir/dag.cpp.o.d"
+  "libspotbid_workflow.a"
+  "libspotbid_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotbid_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

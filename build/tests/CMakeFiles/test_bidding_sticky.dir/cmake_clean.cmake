@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bidding_sticky.dir/test_bidding_sticky.cpp.o"
+  "CMakeFiles/test_bidding_sticky.dir/test_bidding_sticky.cpp.o.d"
+  "test_bidding_sticky"
+  "test_bidding_sticky.pdb"
+  "test_bidding_sticky[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bidding_sticky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_bidding_sticky.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bidding_strategies.dir/test_bidding_strategies.cpp.o"
+  "CMakeFiles/test_bidding_strategies.dir/test_bidding_strategies.cpp.o.d"
+  "test_bidding_strategies"
+  "test_bidding_strategies.pdb"
+  "test_bidding_strategies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bidding_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_fit.dir/test_dist_fit.cpp.o"
+  "CMakeFiles/test_dist_fit.dir/test_dist_fit.cpp.o.d"
+  "test_dist_fit"
+  "test_dist_fit.pdb"
+  "test_dist_fit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

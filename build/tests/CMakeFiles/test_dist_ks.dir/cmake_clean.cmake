@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_ks.dir/test_dist_ks.cpp.o"
+  "CMakeFiles/test_dist_ks.dir/test_dist_ks.cpp.o.d"
+  "test_dist_ks"
+  "test_dist_ks.pdb"
+  "test_dist_ks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_ks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

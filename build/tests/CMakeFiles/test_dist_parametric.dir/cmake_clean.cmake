@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_parametric.dir/test_dist_parametric.cpp.o"
+  "CMakeFiles/test_dist_parametric.dir/test_dist_parametric.cpp.o.d"
+  "test_dist_parametric"
+  "test_dist_parametric.pdb"
+  "test_dist_parametric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_parametric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

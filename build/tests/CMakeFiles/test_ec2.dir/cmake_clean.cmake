@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ec2.dir/test_ec2.cpp.o"
+  "CMakeFiles/test_ec2.dir/test_ec2.cpp.o.d"
+  "test_ec2"
+  "test_ec2.pdb"
+  "test_ec2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ec2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

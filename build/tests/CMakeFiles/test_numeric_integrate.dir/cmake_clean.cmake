@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numeric_integrate.dir/test_numeric_integrate.cpp.o"
+  "CMakeFiles/test_numeric_integrate.dir/test_numeric_integrate.cpp.o.d"
+  "test_numeric_integrate"
+  "test_numeric_integrate.pdb"
+  "test_numeric_integrate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numeric_integrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_numeric_integrate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numeric_rng.dir/test_numeric_rng.cpp.o"
+  "CMakeFiles/test_numeric_rng.dir/test_numeric_rng.cpp.o.d"
+  "test_numeric_rng"
+  "test_numeric_rng.pdb"
+  "test_numeric_rng[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numeric_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

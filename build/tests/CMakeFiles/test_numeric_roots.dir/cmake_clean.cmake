@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numeric_roots.dir/test_numeric_roots.cpp.o"
+  "CMakeFiles/test_numeric_roots.dir/test_numeric_roots.cpp.o.d"
+  "test_numeric_roots"
+  "test_numeric_roots.pdb"
+  "test_numeric_roots[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numeric_roots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numeric_stats.dir/test_numeric_stats.cpp.o"
+  "CMakeFiles/test_numeric_stats.dir/test_numeric_stats.cpp.o.d"
+  "test_numeric_stats"
+  "test_numeric_stats.pdb"
+  "test_numeric_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numeric_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_provider_model.dir/test_provider_model.cpp.o"
+  "CMakeFiles/test_provider_model.dir/test_provider_model.cpp.o.d"
+  "test_provider_model"
+  "test_provider_model.pdb"
+  "test_provider_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_provider_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_provider_queue.dir/test_provider_queue.cpp.o"
+  "CMakeFiles/test_provider_queue.dir/test_provider_queue.cpp.o.d"
+  "test_provider_queue"
+  "test_provider_queue.pdb"
+  "test_provider_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_provider_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_aws_import.dir/test_trace_aws_import.cpp.o"
+  "CMakeFiles/test_trace_aws_import.dir/test_trace_aws_import.cpp.o.d"
+  "test_trace_aws_import"
+  "test_trace_aws_import.pdb"
+  "test_trace_aws_import[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_aws_import.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_core_types[1]_include.cmake")
+include("/root/repo/build/tests/test_numeric_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_numeric_roots[1]_include.cmake")
+include("/root/repo/build/tests/test_numeric_optimize[1]_include.cmake")
+include("/root/repo/build/tests/test_numeric_integrate[1]_include.cmake")
+include("/root/repo/build/tests/test_numeric_interpolate[1]_include.cmake")
+include("/root/repo/build/tests/test_numeric_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_dist_parametric[1]_include.cmake")
+include("/root/repo/build/tests/test_dist_empirical[1]_include.cmake")
+include("/root/repo/build/tests/test_dist_ks[1]_include.cmake")
+include("/root/repo/build/tests/test_dist_fit[1]_include.cmake")
+include("/root/repo/build/tests/test_ec2[1]_include.cmake")
+include("/root/repo/build/tests/test_provider_model[1]_include.cmake")
+include("/root/repo/build/tests/test_provider_price_distribution[1]_include.cmake")
+include("/root/repo/build/tests/test_provider_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_aws_import[1]_include.cmake")
+include("/root/repo/build/tests/test_market[1]_include.cmake")
+include("/root/repo/build/tests/test_bidding_cost[1]_include.cmake")
+include("/root/repo/build/tests/test_bidding_strategies[1]_include.cmake")
+include("/root/repo/build/tests/test_bidding_risk[1]_include.cmake")
+include("/root/repo/build/tests/test_bidding_sticky[1]_include.cmake")
+include("/root/repo/build/tests/test_collective[1]_include.cmake")
+include("/root/repo/build/tests/test_workflow[1]_include.cmake")
+include("/root/repo/build/tests/test_mapreduce[1]_include.cmake")
+include("/root/repo/build/tests/test_client[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")

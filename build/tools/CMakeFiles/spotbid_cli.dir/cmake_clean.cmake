@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotbid_cli.dir/spotbid_cli.cpp.o"
+  "CMakeFiles/spotbid_cli.dir/spotbid_cli.cpp.o.d"
+  "spotbid"
+  "spotbid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotbid_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
