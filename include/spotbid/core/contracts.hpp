@@ -1,0 +1,134 @@
+#pragma once
+
+/// \file contracts.hpp
+/// Runtime invariant contracts for the spotbid library.
+///
+/// The paper's formulas live on razor-thin domains: F_pi must be a monotone
+/// CDF on [pi_min, pi_bar], the inverse equilibrium map
+/// h^{-1}(pi) = theta (beta/(pi_bar - 2 pi) - 1) has a pole at pi_bar/2, and
+/// eq. 8's run length t_k / (1 - F_pi(p)) blows up at the support edge.
+/// Instead of ad-hoc `throw` statements scattered per call site, every module
+/// states its preconditions through the macros below, which gives one place
+/// to control what a violation does:
+///
+///  - default            violations throw spotbid::ContractViolation, which
+///                       derives from spotbid::InvalidArgument so existing
+///                       callers (and tests) catching InvalidArgument keep
+///                       working;
+///  - SPOTBID_CONTRACTS_ABORT   violations print to stderr and abort() —
+///                       the right mode under sanitizers or a fuzzer, where
+///                       an uncaught abort pinpoints the faulting frame;
+///  - SPOTBID_NO_CONTRACTS      checks compile to nothing (the condition is
+///                       not even evaluated) for release builds that have
+///                       been proven clean under the checked configurations.
+///
+/// Macros:
+///   SPOTBID_EXPECT(cond, what)                general precondition
+///   SPOTBID_REQUIRE_FINITE(value, what)       value is finite (no NaN/inf)
+///   SPOTBID_REQUIRE_NOT_NAN(value, what)      value is not NaN (+-inf ok,
+///                                             e.g. cdf(+inf) = 1 queries)
+///   SPOTBID_REQUIRE_PROB(value, what)         value in [0, 1]
+///   SPOTBID_REQUIRE_IN_SUPPORT(value, lo, hi, what)  lo <= value <= hi
+///
+/// `what` is a short string naming the quantity ("q", "bid price", ...); the
+/// violation message carries the file:line of the failing check plus the
+/// offending value where the macro knows it.
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "spotbid/core/types.hpp"
+
+#if defined(SPOTBID_CONTRACTS_ABORT)
+#include <cstdio>
+#include <cstdlib>
+#endif
+
+namespace spotbid::contracts {
+
+/// Thrown (in the default mode) when a SPOTBID_* contract fails. Derives
+/// from InvalidArgument: a contract violation is a caller error.
+class ContractViolation : public InvalidArgument {
+ public:
+  using InvalidArgument::InvalidArgument;
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise(const std::string& message) {
+#if defined(SPOTBID_CONTRACTS_ABORT)
+  std::fprintf(stderr, "spotbid contract violation: %s\n", message.c_str());
+  std::abort();
+#else
+  throw ContractViolation{message};
+#endif
+}
+
+[[noreturn]] inline void fail(const char* what, const char* condition, const char* file,
+                              int line) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << what << " (violated: " << condition << ")";
+  raise(os.str());
+}
+
+[[noreturn]] inline void fail_value(const char* what, const char* requirement, double value,
+                                    const char* file, int line) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << what << " " << requirement << ", got " << value;
+  raise(os.str());
+}
+
+inline void require_finite(double value, const char* what, const char* file, int line) {
+  if (!std::isfinite(value)) fail_value(what, "must be finite", value, file, line);
+}
+
+inline void require_not_nan(double value, const char* what, const char* file, int line) {
+  if (std::isnan(value)) fail_value(what, "must not be NaN", value, file, line);
+}
+
+inline void require_prob(double value, const char* what, const char* file, int line) {
+  if (!(value >= 0.0 && value <= 1.0))
+    fail_value(what, "must be a probability in [0, 1]", value, file, line);
+}
+
+inline void require_in_support(double value, double lo, double hi, const char* what,
+                               const char* file, int line) {
+  // NaN fails both comparisons; an infinite hi admits any value above lo.
+  if (!(value >= lo && value <= hi)) {
+    std::ostringstream os;
+    os << file << ":" << line << ": " << what << " must lie in [" << lo << ", " << hi
+       << "], got " << value;
+    raise(os.str());
+  }
+}
+
+}  // namespace detail
+}  // namespace spotbid::contracts
+
+#if defined(SPOTBID_NO_CONTRACTS)
+
+// Contracts disabled: do not evaluate the operands (sizeof keeps them
+// parsed, so disabling contracts cannot hide a compile error), cost nothing.
+#define SPOTBID_EXPECT(cond, what) ((void)sizeof((cond) ? 1 : 0))
+#define SPOTBID_REQUIRE_FINITE(value, what) ((void)sizeof(value))
+#define SPOTBID_REQUIRE_NOT_NAN(value, what) ((void)sizeof(value))
+#define SPOTBID_REQUIRE_PROB(value, what) ((void)sizeof(value))
+#define SPOTBID_REQUIRE_IN_SUPPORT(value, lo, hi, what) \
+  ((void)sizeof(value), (void)sizeof(lo), (void)sizeof(hi))
+
+#else
+
+#define SPOTBID_EXPECT(cond, what) \
+  ((cond) ? (void)0 : ::spotbid::contracts::detail::fail((what), #cond, __FILE__, __LINE__))
+#define SPOTBID_REQUIRE_FINITE(value, what) \
+  ::spotbid::contracts::detail::require_finite((value), (what), __FILE__, __LINE__)
+#define SPOTBID_REQUIRE_NOT_NAN(value, what) \
+  ::spotbid::contracts::detail::require_not_nan((value), (what), __FILE__, __LINE__)
+#define SPOTBID_REQUIRE_PROB(value, what) \
+  ::spotbid::contracts::detail::require_prob((value), (what), __FILE__, __LINE__)
+#define SPOTBID_REQUIRE_IN_SUPPORT(value, lo, hi, what)                               \
+  ::spotbid::contracts::detail::require_in_support((value), (lo), (hi), (what), __FILE__, \
+                                                   __LINE__)
+
+#endif  // SPOTBID_NO_CONTRACTS

@@ -3,31 +3,57 @@
 #include <algorithm>
 #include <cmath>
 
+#include "spotbid/core/contracts.hpp"
+
 namespace spotbid::bidding {
 
-Hours expected_uninterrupted_run(const SpotPriceModel& model, Money p) {
+namespace {
+
+/// F(p) with the CDF invariant enforced: the bidding formulas divide by f
+/// and (1 - f), so a distribution returning outside [0, 1] (or NaN) would
+/// silently corrupt every downstream cost.
+double checked_acceptance(const SpotPriceModel& model, Money p) {
+  SPOTBID_REQUIRE_FINITE(p.usd(), "bid price p");
   const double f = model.acceptance(p);
+  SPOTBID_REQUIRE_PROB(f, "acceptance F_pi(p)");
+  return f;
+}
+
+}  // namespace
+
+Hours expected_uninterrupted_run(const SpotPriceModel& model, Money p) {
+  const double f = checked_acceptance(model, p);
+  // eq. 8 divides by 1 - F(p): at the support top F(p) = 1 the run is never
+  // interrupted. Return +infinity explicitly rather than dividing by zero
+  // (0/0-style noise when t_k underflows, and UBSan flags the intent).
   if (f >= 1.0) return Hours{kInfiniteCost};
   return Hours{model.slot_length().hours() / (1.0 - f)};
 }
 
 Money one_time_expected_cost(const SpotPriceModel& model, Money p, Hours execution_time) {
-  const double f = model.acceptance(p);
+  SPOTBID_EXPECT(execution_time.hours() >= 0.0,
+                 "one_time_expected_cost: execution time must be >= 0");
+  const double f = checked_acceptance(model, p);
   if (!(f > 0.0)) return Money{kInfiniteCost};
   return Money{model.partial_expectation(p) / f} * execution_time;
 }
 
 double one_time_survival_probability(const SpotPriceModel& model, Money p, Hours execution_time) {
-  const double f = model.acceptance(p);
+  SPOTBID_EXPECT(execution_time.hours() >= 0.0,
+                 "one_time_survival_probability: execution time must be >= 0");
+  const double f = checked_acceptance(model, p);
+  if (f >= 1.0) return 1.0;  // F(p) = 1: no slot can interrupt the run
   const double slots = std::ceil(execution_time / model.slot_length());
   return std::pow(f, slots);
 }
 
 bool persistent_feasible(const SpotPriceModel& model, Money p, Hours recovery_time) {
+  SPOTBID_EXPECT(recovery_time.hours() >= 0.0,
+                 "persistent_feasible: recovery time must be >= 0");
   // eq. 14: t_r < t_k / (1 - F(p)). Equivalently 1 - r (1 - F) > 0 with
   // r = t_r / t_k, the positive-denominator condition of eq. 13.
   const double r = recovery_time / model.slot_length();
-  const double f = model.acceptance(p);
+  const double f = checked_acceptance(model, p);
   return 1.0 - r * (1.0 - f) > 0.0;
 }
 
@@ -36,12 +62,14 @@ namespace {
 /// Denominator of eq. 13/17: 1 - (t_r/t_k)(1 - F(p)); <= 0 means infeasible.
 double busy_denominator(const SpotPriceModel& model, Money p, Hours recovery_time) {
   const double r = recovery_time / model.slot_length();
-  return 1.0 - r * (1.0 - model.acceptance(p));
+  return 1.0 - r * (1.0 - checked_acceptance(model, p));
 }
 
 }  // namespace
 
 Hours persistent_busy_time(const SpotPriceModel& model, Money p, const JobSpec& job) {
+  SPOTBID_EXPECT(job.execution_time >= job.recovery_time,
+                 "persistent_busy_time: eq. 13 needs t_s >= t_r");
   const double denom = busy_denominator(model, p, job.recovery_time);
   if (!(denom > 0.0)) return Hours{kInfiniteCost};
   return Hours{(job.execution_time - job.recovery_time).hours() / denom};

@@ -1,5 +1,6 @@
 #include "spotbid/bidding/price_model.hpp"
 
+#include "spotbid/core/contracts.hpp"
 #include "spotbid/dist/empirical.hpp"
 #include "spotbid/provider/calibration.hpp"
 
@@ -7,13 +8,15 @@ namespace spotbid::bidding {
 
 SpotPriceModel::SpotPriceModel(dist::DistributionPtr prices, Money on_demand, Hours slot_length)
     : prices_(std::move(prices)), on_demand_(on_demand), slot_length_(slot_length) {
-  if (!prices_) throw InvalidArgument{"SpotPriceModel: null price distribution"};
-  if (!(on_demand.usd() > 0.0)) throw InvalidArgument{"SpotPriceModel: on-demand price must be > 0"};
-  if (!(slot_length.hours() > 0.0)) throw InvalidArgument{"SpotPriceModel: slot length must be > 0"};
+  SPOTBID_EXPECT(prices_ != nullptr, "SpotPriceModel: null price distribution");
+  SPOTBID_REQUIRE_FINITE(on_demand.usd(), "SpotPriceModel: on-demand price");
+  SPOTBID_EXPECT(on_demand.usd() > 0.0, "SpotPriceModel: on-demand price must be > 0");
+  SPOTBID_REQUIRE_FINITE(slot_length.hours(), "SpotPriceModel: slot length");
+  SPOTBID_EXPECT(slot_length.hours() > 0.0, "SpotPriceModel: slot length must be > 0");
 }
 
 SpotPriceModel SpotPriceModel::from_trace(const trace::PriceTrace& trace, Money on_demand) {
-  if (trace.size() < 2) throw InvalidArgument{"SpotPriceModel::from_trace: trace too short"};
+  SPOTBID_EXPECT(trace.size() >= 2, "SpotPriceModel::from_trace: trace too short");
   auto empirical = std::make_shared<dist::Empirical>(trace.prices());
   return SpotPriceModel{std::move(empirical), on_demand, trace.slot_length()};
 }
@@ -23,11 +26,20 @@ SpotPriceModel SpotPriceModel::from_type(const ec2::InstanceType& type, Hours sl
                         slot_length};
 }
 
-double SpotPriceModel::acceptance(Money p) const { return prices_->cdf(p.usd()); }
+double SpotPriceModel::acceptance(Money p) const {
+  SPOTBID_REQUIRE_NOT_NAN(p.usd(), "SpotPriceModel::acceptance: bid price");
+  return prices_->cdf(p.usd());
+}
 
-double SpotPriceModel::density(Money p) const { return prices_->pdf(p.usd()); }
+double SpotPriceModel::density(Money p) const {
+  SPOTBID_REQUIRE_NOT_NAN(p.usd(), "SpotPriceModel::density: price");
+  return prices_->pdf(p.usd());
+}
 
-Money SpotPriceModel::quantile(double q) const { return Money{prices_->quantile(q)}; }
+Money SpotPriceModel::quantile(double q) const {
+  SPOTBID_REQUIRE_PROB(q, "SpotPriceModel::quantile: q");
+  return Money{prices_->quantile(q)};
+}
 
 Money SpotPriceModel::expected_payment(Money p) const {
   const double f = acceptance(p);

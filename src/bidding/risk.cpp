@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "spotbid/core/contracts.hpp"
 #include "spotbid/numeric/integrate.hpp"
 #include "spotbid/numeric/optimize.hpp"
 #include "spotbid/numeric/roots.hpp"
@@ -51,8 +52,8 @@ double persistent_cost_variance(const SpotPriceModel& model, Money p, const JobS
 
 BidDecision variance_constrained_bid(const SpotPriceModel& model, const JobSpec& job,
                                      double max_variance_usd2) {
-  if (!(max_variance_usd2 >= 0.0))
-    throw InvalidArgument{"variance_constrained_bid: negative variance bound"};
+  SPOTBID_EXPECT(max_variance_usd2 >= 0.0,
+                 "variance_constrained_bid: negative variance bound");
 
   BidDecision unconstrained = persistent_bid(model, job);
   if (!unconstrained.use_on_demand &&
@@ -102,8 +103,8 @@ BidDecision variance_constrained_bid(const SpotPriceModel& model, const JobSpec&
 
 double deadline_miss_probability(const SpotPriceModel& model, Money p, const JobSpec& job,
                                  Hours deadline) {
-  if (!(deadline.hours() > 0.0))
-    throw InvalidArgument{"deadline_miss_probability: deadline must be > 0"};
+  SPOTBID_REQUIRE_FINITE(deadline.hours(), "deadline_miss_probability: deadline");
+  SPOTBID_EXPECT(deadline.hours() > 0.0, "deadline_miss_probability: deadline must be > 0");
   const double tk = model.slot_length().hours();
   const auto d_slots = static_cast<long>(std::floor(deadline.hours() / tk + 1e-12));
   // Needed busy slots: execution plus expected recovery overhead at p.
@@ -127,7 +128,8 @@ double deadline_miss_probability(const SpotPriceModel& model, Money p, const Job
       log_coeff += std::log(static_cast<double>(d_slots - k + 1)) -
                    std::log(static_cast<double>(k));
     }
-    total += std::exp(log_coeff + k * log_f + (d_slots - k) * log_1mf);
+    total += std::exp(log_coeff + static_cast<double>(k) * log_f +
+                      static_cast<double>(d_slots - k) * log_1mf);
   }
   return std::clamp(total, 0.0, 1.0);
 }
@@ -135,8 +137,9 @@ double deadline_miss_probability(const SpotPriceModel& model, Money p, const Job
 std::optional<BidDecision> deadline_constrained_bid(const SpotPriceModel& model,
                                                     const JobSpec& job, Hours deadline,
                                                     double epsilon) {
-  if (!(epsilon > 0.0) || epsilon >= 1.0)
-    throw InvalidArgument{"deadline_constrained_bid: epsilon must be in (0, 1)"};
+  SPOTBID_REQUIRE_PROB(epsilon, "deadline_constrained_bid: epsilon");
+  SPOTBID_EXPECT(epsilon > 0.0 && epsilon < 1.0,
+                 "deadline_constrained_bid: epsilon must be in the open interval (0, 1)");
 
   const double lo = model.quantile(kMinAcceptance).usd();
   double hi = model.support_hi().usd();

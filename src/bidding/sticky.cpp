@@ -4,12 +4,13 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "spotbid/core/contracts.hpp"
 #include "spotbid/numeric/optimize.hpp"
 
 namespace spotbid::bidding {
 
 double estimate_persistence(const trace::PriceTrace& trace) {
-  if (trace.size() < 2) throw InvalidArgument{"estimate_persistence: trace too short"};
+  SPOTBID_EXPECT(trace.size() >= 2, "estimate_persistence: trace too short");
   const auto prices = trace.prices();
 
   // Fraction of slots identical to their predecessor.
@@ -39,8 +40,7 @@ double estimate_persistence(const trace::PriceTrace& trace) {
 
 StickyMetrics sticky_persistent_metrics(const SpotPriceModel& model, Money p,
                                         const JobSpec& job, double rho) {
-  if (rho < 0.0 || rho >= 1.0)
-    throw InvalidArgument{"sticky_persistent_metrics: rho must be in [0, 1)"};
+  SPOTBID_EXPECT(rho >= 0.0 && rho < 1.0, "sticky_persistent_metrics: rho must be in [0, 1)");
   StickyMetrics m;
   const double f = model.acceptance(p);
   if (!(f > 0.0)) return m;  // infeasible: bid never wins
@@ -61,10 +61,9 @@ StickyMetrics sticky_persistent_metrics(const SpotPriceModel& model, Money p,
 }
 
 BidDecision sticky_persistent_bid(const SpotPriceModel& model, const JobSpec& job, double rho) {
-  if (rho < 0.0 || rho >= 1.0)
-    throw InvalidArgument{"sticky_persistent_bid: rho must be in [0, 1)"};
-  if (!(job.execution_time > job.recovery_time))
-    throw InvalidArgument{"sticky_persistent_bid: execution time must exceed recovery time"};
+  SPOTBID_EXPECT(rho >= 0.0 && rho < 1.0, "sticky_persistent_bid: rho must be in [0, 1)");
+  SPOTBID_EXPECT(job.execution_time > job.recovery_time,
+                 "sticky_persistent_bid: execution time must exceed recovery time");
 
   // eq. 16': same psi, target scaled by the carry-over survival.
   std::optional<Money> closed_form;

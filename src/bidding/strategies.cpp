@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "spotbid/core/contracts.hpp"
 #include "spotbid/numeric/optimize.hpp"
 #include "spotbid/numeric/roots.hpp"
 
@@ -48,8 +49,9 @@ void apply_on_demand_guard(BidDecision& d, const SpotPriceModel& model, Hours ex
 }  // namespace
 
 BidDecision one_time_bid(const SpotPriceModel& model, const JobSpec& job) {
-  if (!(job.execution_time.hours() > 0.0))
-    throw InvalidArgument{"one_time_bid: execution time must be > 0"};
+  SPOTBID_REQUIRE_FINITE(job.execution_time.hours(), "one_time_bid: execution time");
+  SPOTBID_EXPECT(job.execution_time.hours() > 0.0,
+                 "one_time_bid: execution time must be > 0");
 
   // Proposition 4: bid at the (1 - t_k/t_s) percentile, floored at the
   // price-support minimum (and our acceptance floor).
@@ -84,8 +86,8 @@ std::optional<Money> psi_inverse(const SpotPriceModel& model, double target) {
 }
 
 BidDecision persistent_bid_numeric(const SpotPriceModel& model, const JobSpec& job) {
-  if (!(job.execution_time > job.recovery_time))
-    throw InvalidArgument{"persistent_bid: execution time must exceed recovery time"};
+  SPOTBID_EXPECT(job.execution_time > job.recovery_time,
+                 "persistent_bid: execution time must exceed recovery time (eq. 13)");
   const auto [lo, hi] = bid_bounds(model);
   const auto objective = [&](double p) {
     const Money cost = persistent_expected_cost(model, Money{p}, job);
@@ -99,8 +101,8 @@ BidDecision persistent_bid_numeric(const SpotPriceModel& model, const JobSpec& j
 }
 
 BidDecision persistent_bid(const SpotPriceModel& model, const JobSpec& job) {
-  if (!(job.execution_time > job.recovery_time))
-    throw InvalidArgument{"persistent_bid: execution time must exceed recovery time"};
+  SPOTBID_EXPECT(job.execution_time > job.recovery_time,
+                 "persistent_bid: execution time must exceed recovery time (eq. 13)");
 
   std::optional<Money> closed_form;
   if (job.recovery_time.hours() > 0.0) {
@@ -129,11 +131,10 @@ BidDecision persistent_bid(const SpotPriceModel& model, const JobSpec& job) {
 }
 
 BidDecision parallel_bid(const SpotPriceModel& model, const ParallelJobSpec& job) {
-  if (job.nodes < 1) throw InvalidArgument{"parallel_bid: nodes must be >= 1"};
+  SPOTBID_EXPECT(job.nodes >= 1, "parallel_bid: nodes must be >= 1");
   const Hours workload = job.execution_time + job.overhead_time;
-  if (!(workload.hours() > static_cast<double>(job.nodes) * job.recovery_time.hours()))
-    throw InvalidArgument{
-        "parallel_bid: over-split job (M * t_r >= t_s + t_o violates eq. 17)"};
+  SPOTBID_EXPECT(workload.hours() > static_cast<double>(job.nodes) * job.recovery_time.hours(),
+                 "parallel_bid: over-split job (M * t_r >= t_s + t_o violates eq. 17)");
 
   // eq. 19 shares eq. 15's stationarity point, so the per-node bid is the
   // Proposition-5 optimum; evaluate the parallel formulas at it.
@@ -179,8 +180,9 @@ BidDecision parallel_bid(const SpotPriceModel& model, const ParallelJobSpec& job
 }
 
 BidDecision percentile_bid(const SpotPriceModel& model, const JobSpec& job, double percentile) {
-  if (percentile <= 0.0 || percentile >= 1.0)
-    throw InvalidArgument{"percentile_bid: percentile must be in (0, 1)"};
+  SPOTBID_REQUIRE_PROB(percentile, "percentile_bid: percentile");
+  SPOTBID_EXPECT(percentile > 0.0 && percentile < 1.0,
+                 "percentile_bid: percentile must be in the open interval (0, 1)");
   BidDecision d = make_persistent_decision(model, job, model.quantile(percentile));
   d.rationale = "heuristic percentile bid";
   apply_on_demand_guard(d, model, job.execution_time);
@@ -210,7 +212,7 @@ std::optional<Money> retrospective_best_bid(const trace::PriceTrace& trace, Hour
 
 MapReducePlan mapreduce_bid(const SpotPriceModel& master_model, const SpotPriceModel& slave_model,
                             const ParallelJobSpec& job, const MapReduceOptions& options) {
-  if (options.max_nodes < 1) throw InvalidArgument{"mapreduce_bid: max_nodes must be >= 1"};
+  SPOTBID_EXPECT(options.max_nodes >= 1, "mapreduce_bid: max_nodes must be >= 1");
 
   MapReducePlan plan;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "spotbid/core/contracts.hpp"
 #include "spotbid/dist/empirical.hpp"
 #include "spotbid/numeric/optimize.hpp"
 #include "spotbid/numeric/stats.hpp"
@@ -12,12 +13,14 @@ namespace spotbid::collective {
 
 GeneralizedPricer::GeneralizedPricer(Money pi_bar, Money pi_min, double beta, double theta)
     : pi_bar_(pi_bar), pi_min_(pi_min), beta_(beta), theta_(theta) {
-  if (!(pi_bar.usd() > 0.0)) throw InvalidArgument{"GeneralizedPricer: pi_bar must be > 0"};
-  if (pi_min.usd() < 0.0 || !(pi_min < pi_bar))
-    throw InvalidArgument{"GeneralizedPricer: need 0 <= pi_min < pi_bar"};
-  if (!(beta > 0.0)) throw InvalidArgument{"GeneralizedPricer: beta must be > 0"};
-  if (!(theta > 0.0) || theta > 1.0)
-    throw InvalidArgument{"GeneralizedPricer: theta must be in (0, 1]"};
+  SPOTBID_REQUIRE_FINITE(pi_bar.usd(), "GeneralizedPricer: pi_bar");
+  SPOTBID_REQUIRE_FINITE(pi_min.usd(), "GeneralizedPricer: pi_min");
+  SPOTBID_REQUIRE_FINITE(beta, "GeneralizedPricer: beta");
+  SPOTBID_EXPECT(pi_bar.usd() > 0.0, "GeneralizedPricer: pi_bar must be > 0");
+  SPOTBID_EXPECT(pi_min.usd() >= 0.0 && pi_min < pi_bar,
+                 "GeneralizedPricer: need 0 <= pi_min < pi_bar");
+  SPOTBID_EXPECT(beta > 0.0, "GeneralizedPricer: beta must be > 0");
+  SPOTBID_EXPECT(theta > 0.0 && theta <= 1.0, "GeneralizedPricer: theta must be in (0, 1]");
 }
 
 double GeneralizedPricer::accepted_bids(const dist::Distribution& bids, Money pi,
@@ -37,7 +40,8 @@ double GeneralizedPricer::objective(const dist::Distribution& bids, Money pi,
 }
 
 Money GeneralizedPricer::optimal_price(const dist::Distribution& bids, double demand) const {
-  if (!(demand > 0.0)) throw InvalidArgument{"GeneralizedPricer: demand must be > 0"};
+  SPOTBID_REQUIRE_FINITE(demand, "GeneralizedPricer: demand");
+  SPOTBID_EXPECT(demand > 0.0, "GeneralizedPricer: demand must be > 0");
   const auto negated = [&](double pi) { return -objective(bids, Money{pi}, demand); };
   // The objective is piecewise against an ECDF, so rely on the dense grid.
   const auto best = numeric::grid_then_golden(negated, pi_min_.usd(), pi_bar_.usd(), 1024);
@@ -46,11 +50,10 @@ Money GeneralizedPricer::optimal_price(const dist::Distribution& bids, double de
 
 std::vector<RoundSummary> iterate_best_response(const ec2::InstanceType& type,
                                                 const PopulationConfig& config) {
-  if (config.users < 2) throw InvalidArgument{"iterate_best_response: need >= 2 users"};
-  if (config.recovery_seconds.empty())
-    throw InvalidArgument{"iterate_best_response: empty job mix"};
-  if (config.rounds < 1 || config.slots_per_round < 100)
-    throw InvalidArgument{"iterate_best_response: degenerate round configuration"};
+  SPOTBID_EXPECT(config.users >= 2, "iterate_best_response: need >= 2 users");
+  SPOTBID_EXPECT(!config.recovery_seconds.empty(), "iterate_best_response: empty job mix");
+  SPOTBID_EXPECT(config.rounds >= 1 && config.slots_per_round >= 100,
+                 "iterate_best_response: degenerate round configuration");
 
   const auto base_model = provider::calibrated_model(type);
   const auto arrivals = provider::calibrated_arrivals(type);

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "spotbid/core/contracts.hpp"
 #include "spotbid/numeric/integrate.hpp"
 
 namespace spotbid::dist {
 
 double Distribution::partial_expectation(double p) const {
+  SPOTBID_REQUIRE_NOT_NAN(p, "Distribution::partial_expectation: p");
   const double lo = support_lo();
   if (p <= lo) return 0.0;
   // Cap an unbounded support at the 1 - 1e-12 quantile: beyond it the

@@ -4,13 +4,14 @@
 #include <cmath>
 #include <sstream>
 
-#include "spotbid/core/types.hpp"
+#include "spotbid/core/contracts.hpp"
 #include "spotbid/numeric/stats.hpp"
 
 namespace spotbid::dist {
 
 Empirical::Empirical(std::span<const double> samples) : n_(samples.size()) {
-  if (n_ < 2) throw InvalidArgument{"Empirical: need at least two samples"};
+  SPOTBID_EXPECT(n_ >= 2, "Empirical: need at least two samples");
+  for (double s : samples) SPOTBID_REQUIRE_FINITE(s, "Empirical: sample");
 
   std::vector<double> sorted(samples.begin(), samples.end());
   std::sort(sorted.begin(), sorted.end());
@@ -34,6 +35,7 @@ Empirical::Empirical(std::span<const double> samples) : n_(samples.size()) {
 }
 
 double Empirical::cdf(double x) const {
+  SPOTBID_REQUIRE_NOT_NAN(x, "Empirical::cdf: x");
   if (x < x_.front()) return 0.0;
   if (x >= x_.back()) return 1.0;
   const auto it = std::upper_bound(x_.begin(), x_.end(), x);
@@ -43,6 +45,7 @@ double Empirical::cdf(double x) const {
 }
 
 double Empirical::pdf(double x) const {
+  SPOTBID_REQUIRE_NOT_NAN(x, "Empirical::pdf: x");
   if (x < x_.front() || x > x_.back()) return 0.0;
   auto it = std::upper_bound(x_.begin(), x_.end(), x);
   std::size_t i = (it == x_.begin()) ? 0 : static_cast<std::size_t>(it - x_.begin()) - 1;
@@ -51,7 +54,7 @@ double Empirical::pdf(double x) const {
 }
 
 double Empirical::quantile(double q) const {
-  if (q < 0.0 || q > 1.0) throw InvalidArgument{"Empirical::quantile: q outside [0, 1]"};
+  SPOTBID_REQUIRE_PROB(q, "Empirical::quantile: q");
   if (q <= cum_.front()) return x_.front();
   if (q >= 1.0) return x_.back();
   const auto it = std::lower_bound(cum_.begin(), cum_.end(), q);
@@ -74,6 +77,7 @@ double Empirical::support_lo() const { return x_.front(); }
 double Empirical::support_hi() const { return x_.back(); }
 
 double Empirical::partial_expectation(double p) const {
+  SPOTBID_REQUIRE_NOT_NAN(p, "Empirical::partial_expectation: p");
   if (p < x_.front()) return 0.0;
   // Atom at the minimum (probability cum_[0]) plus the piecewise-linear
   // segments of the interpolated ECDF.

@@ -4,26 +4,30 @@
 #include <limits>
 #include <sstream>
 
-#include "spotbid/core/types.hpp"
+#include "spotbid/core/contracts.hpp"
 
 namespace spotbid::dist {
 
 Exponential::Exponential(double eta, double shift) : eta_(eta), shift_(shift) {
-  if (!(eta > 0.0)) throw InvalidArgument{"Exponential: eta must be > 0"};
+  SPOTBID_REQUIRE_FINITE(eta, "Exponential: eta");
+  SPOTBID_REQUIRE_FINITE(shift, "Exponential: shift");
+  SPOTBID_EXPECT(eta > 0.0, "Exponential: eta must be > 0");
 }
 
 double Exponential::pdf(double x) const {
+  SPOTBID_REQUIRE_NOT_NAN(x, "Exponential::pdf: x");
   if (x < shift_) return 0.0;
   return std::exp(-(x - shift_) / eta_) / eta_;
 }
 
 double Exponential::cdf(double x) const {
+  SPOTBID_REQUIRE_NOT_NAN(x, "Exponential::cdf: x");
   if (x <= shift_) return 0.0;
   return -std::expm1(-(x - shift_) / eta_);
 }
 
 double Exponential::quantile(double q) const {
-  if (q < 0.0 || q > 1.0) throw InvalidArgument{"Exponential::quantile: q outside [0, 1]"};
+  SPOTBID_REQUIRE_PROB(q, "Exponential::quantile: q");
   if (q == 1.0) return std::numeric_limits<double>::infinity();
   return shift_ - eta_ * std::log1p(-q);
 }
@@ -37,10 +41,12 @@ double Exponential::variance() const { return eta_ * eta_; }
 double Exponential::support_hi() const { return std::numeric_limits<double>::infinity(); }
 
 double Exponential::partial_expectation(double p) const {
+  SPOTBID_REQUIRE_NOT_NAN(p, "Exponential::partial_expectation: p");
   if (p <= shift_) return 0.0;
   // integral_shift^p x (1/eta) e^{-(x-shift)/eta} dx
   //   = (shift + eta) - (p + eta) e^{-(p-shift)/eta}   [shift + eta = mean]
   const double z = (p - shift_) / eta_;
+  if (std::isinf(p)) return shift_ + eta_;  // full mean; avoids inf * 0
   return (shift_ + eta_) - (p + eta_) * std::exp(-z);
 }
 

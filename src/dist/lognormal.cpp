@@ -4,7 +4,7 @@
 #include <limits>
 #include <sstream>
 
-#include "spotbid/core/types.hpp"
+#include "spotbid/core/contracts.hpp"
 #include "spotbid/numeric/roots.hpp"
 
 namespace spotbid::dist {
@@ -55,22 +55,27 @@ double normal_quantile(double p) {
 }  // namespace
 
 LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
-  if (!(sigma > 0.0)) throw InvalidArgument{"LogNormal: sigma must be > 0"};
+  SPOTBID_REQUIRE_FINITE(mu, "LogNormal: mu");
+  SPOTBID_REQUIRE_FINITE(sigma, "LogNormal: sigma");
+  SPOTBID_EXPECT(sigma > 0.0, "LogNormal: sigma must be > 0");
 }
 
 double LogNormal::pdf(double x) const {
+  SPOTBID_REQUIRE_NOT_NAN(x, "LogNormal::pdf: x");
   if (x <= 0.0) return 0.0;
   const double z = (std::log(x) - mu_) / sigma_;
   return std::exp(-0.5 * z * z) / (x * sigma_ * std::sqrt(2.0 * 3.14159265358979323846));
 }
 
 double LogNormal::cdf(double x) const {
+  SPOTBID_REQUIRE_NOT_NAN(x, "LogNormal::cdf: x");
   if (x <= 0.0) return 0.0;
+  if (std::isinf(x)) return 1.0;
   return normal_cdf((std::log(x) - mu_) / sigma_);
 }
 
 double LogNormal::quantile(double q) const {
-  if (q < 0.0 || q > 1.0) throw InvalidArgument{"LogNormal::quantile: q outside [0, 1]"};
+  SPOTBID_REQUIRE_PROB(q, "LogNormal::quantile: q");
   if (q == 0.0) return 0.0;
   if (q == 1.0) return std::numeric_limits<double>::infinity();
   return std::exp(mu_ + sigma_ * normal_quantile(q));

@@ -4,27 +4,31 @@
 #include <limits>
 #include <sstream>
 
-#include "spotbid/core/types.hpp"
+#include "spotbid/core/contracts.hpp"
 
 namespace spotbid::dist {
 
 Pareto::Pareto(double alpha, double xm) : alpha_(alpha), xm_(xm) {
-  if (!(alpha > 0.0)) throw InvalidArgument{"Pareto: alpha must be > 0"};
-  if (!(xm > 0.0)) throw InvalidArgument{"Pareto: xm must be > 0"};
+  SPOTBID_REQUIRE_FINITE(alpha, "Pareto: alpha");
+  SPOTBID_REQUIRE_FINITE(xm, "Pareto: xm");
+  SPOTBID_EXPECT(alpha > 0.0, "Pareto: alpha must be > 0");
+  SPOTBID_EXPECT(xm > 0.0, "Pareto: xm must be > 0");
 }
 
 double Pareto::pdf(double x) const {
+  SPOTBID_REQUIRE_NOT_NAN(x, "Pareto::pdf: x");
   if (x < xm_) return 0.0;
   return alpha_ * std::pow(xm_, alpha_) / std::pow(x, alpha_ + 1.0);
 }
 
 double Pareto::cdf(double x) const {
+  SPOTBID_REQUIRE_NOT_NAN(x, "Pareto::cdf: x");
   if (x <= xm_) return 0.0;
   return 1.0 - std::pow(xm_ / x, alpha_);
 }
 
 double Pareto::quantile(double q) const {
-  if (q < 0.0 || q > 1.0) throw InvalidArgument{"Pareto::quantile: q outside [0, 1]"};
+  SPOTBID_REQUIRE_PROB(q, "Pareto::quantile: q");
   if (q == 1.0) return std::numeric_limits<double>::infinity();
   return xm_ / std::pow(1.0 - q, 1.0 / alpha_);
 }
@@ -48,6 +52,7 @@ double Pareto::variance() const {
 double Pareto::support_hi() const { return std::numeric_limits<double>::infinity(); }
 
 double Pareto::partial_expectation(double p) const {
+  SPOTBID_REQUIRE_NOT_NAN(p, "Pareto::partial_expectation: p");
   if (p <= xm_) return 0.0;
   if (alpha_ == 1.0) {
     // integral xm^1 / x dx = xm * log(p / xm)
@@ -67,25 +72,30 @@ std::string Pareto::name() const {
 
 BoundedPareto::BoundedPareto(double alpha, double xm, double hi)
     : alpha_(alpha), xm_(xm), hi_(hi) {
-  if (!(alpha > 0.0)) throw InvalidArgument{"BoundedPareto: alpha must be > 0"};
-  if (!(xm > 0.0)) throw InvalidArgument{"BoundedPareto: xm must be > 0"};
-  if (!(hi > xm)) throw InvalidArgument{"BoundedPareto: hi must exceed xm"};
+  SPOTBID_REQUIRE_FINITE(alpha, "BoundedPareto: alpha");
+  SPOTBID_REQUIRE_FINITE(xm, "BoundedPareto: xm");
+  SPOTBID_REQUIRE_FINITE(hi, "BoundedPareto: hi");
+  SPOTBID_EXPECT(alpha > 0.0, "BoundedPareto: alpha must be > 0");
+  SPOTBID_EXPECT(xm > 0.0, "BoundedPareto: xm must be > 0");
+  SPOTBID_EXPECT(hi > xm, "BoundedPareto: hi must exceed xm");
   norm_ = 1.0 - std::pow(xm_ / hi_, alpha_);
 }
 
 double BoundedPareto::pdf(double x) const {
+  SPOTBID_REQUIRE_NOT_NAN(x, "BoundedPareto::pdf: x");
   if (x < xm_ || x > hi_) return 0.0;
   return alpha_ * std::pow(xm_, alpha_) / std::pow(x, alpha_ + 1.0) / norm_;
 }
 
 double BoundedPareto::cdf(double x) const {
+  SPOTBID_REQUIRE_NOT_NAN(x, "BoundedPareto::cdf: x");
   if (x <= xm_) return 0.0;
   if (x >= hi_) return 1.0;
   return (1.0 - std::pow(xm_ / x, alpha_)) / norm_;
 }
 
 double BoundedPareto::quantile(double q) const {
-  if (q < 0.0 || q > 1.0) throw InvalidArgument{"BoundedPareto::quantile: q outside [0, 1]"};
+  SPOTBID_REQUIRE_PROB(q, "BoundedPareto::quantile: q");
   return xm_ / std::pow(1.0 - q * norm_, 1.0 / alpha_);
 }
 

@@ -3,27 +3,31 @@
 #include <algorithm>
 #include <sstream>
 
-#include "spotbid/core/types.hpp"
+#include "spotbid/core/contracts.hpp"
 
 namespace spotbid::dist {
 
 Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
-  if (!(lo < hi)) throw InvalidArgument{"Uniform: lo >= hi"};
+  SPOTBID_REQUIRE_FINITE(lo, "Uniform: lo");
+  SPOTBID_REQUIRE_FINITE(hi, "Uniform: hi");
+  SPOTBID_EXPECT(lo < hi, "Uniform: lo must be < hi");
 }
 
 double Uniform::pdf(double x) const {
+  SPOTBID_REQUIRE_NOT_NAN(x, "Uniform::pdf: x");
   if (x < lo_ || x > hi_) return 0.0;
   return 1.0 / (hi_ - lo_);
 }
 
 double Uniform::cdf(double x) const {
+  SPOTBID_REQUIRE_NOT_NAN(x, "Uniform::cdf: x");
   if (x <= lo_) return 0.0;
   if (x >= hi_) return 1.0;
   return (x - lo_) / (hi_ - lo_);
 }
 
 double Uniform::quantile(double q) const {
-  if (q < 0.0 || q > 1.0) throw InvalidArgument{"Uniform::quantile: q outside [0, 1]"};
+  SPOTBID_REQUIRE_PROB(q, "Uniform::quantile: q");
   return lo_ + q * (hi_ - lo_);
 }
 
@@ -37,6 +41,7 @@ double Uniform::variance() const {
 }
 
 double Uniform::partial_expectation(double p) const {
+  SPOTBID_REQUIRE_NOT_NAN(p, "Uniform::partial_expectation: p");
   const double x = std::clamp(p, lo_, hi_);
   // integral_{lo}^{x} t / (hi - lo) dt
   return (x * x - lo_ * lo_) / (2.0 * (hi_ - lo_));

@@ -1,5 +1,7 @@
 #include "spotbid/market/checkpoint.hpp"
 
+#include "spotbid/core/contracts.hpp"
+
 namespace spotbid::market {
 
 void CheckpointStore::record_launch(const std::string& key, SlotIndex slot) {
@@ -8,8 +10,8 @@ void CheckpointStore::record_launch(const std::string& key, SlotIndex slot) {
 
 void CheckpointStore::record_progress(const std::string& key, SlotIndex slot,
                                       Hours completed_work) {
-  if (completed_work.hours() < 0.0)
-    throw InvalidArgument{"CheckpointStore: negative completed work"};
+  SPOTBID_REQUIRE_FINITE(completed_work.hours(), "CheckpointStore: completed work");
+  SPOTBID_EXPECT(completed_work.hours() >= 0.0, "CheckpointStore: negative completed work");
   journals_[key].push_back({slot, CheckpointRecord::Kind::kProgress, completed_work});
 }
 

@@ -2,15 +2,17 @@
 
 #include <algorithm>
 
+#include "spotbid/core/contracts.hpp"
+
 namespace spotbid::market {
 
 TracePriceSource::TracePriceSource(trace::PriceTrace trace, bool wrap)
     : trace_(std::move(trace)), wrap_(wrap) {
-  if (trace_.empty()) throw InvalidArgument{"TracePriceSource: empty trace"};
+  SPOTBID_EXPECT(!trace_.empty(), "TracePriceSource: empty trace");
 }
 
 Money TracePriceSource::price_at(SlotIndex slot) {
-  if (slot < 0) throw InvalidArgument{"TracePriceSource: negative slot"};
+  SPOTBID_EXPECT(slot >= 0, "TracePriceSource: negative slot");
   const auto n = static_cast<SlotIndex>(trace_.size());
   if (slot >= n) {
     if (!wrap_) throw InvalidArgument{"TracePriceSource: slot past end of trace"};
@@ -27,15 +29,14 @@ ModelPriceSource::ModelPriceSource(dist::DistributionPtr price_distribution, Hou
       slot_length_(slot_length),
       rng_(seed),
       persistence_(persistence) {
-  if (!distribution_) throw InvalidArgument{"ModelPriceSource: null distribution"};
-  if (!(slot_length.hours() > 0.0))
-    throw InvalidArgument{"ModelPriceSource: slot length must be > 0"};
-  if (persistence < 0.0 || persistence >= 1.0)
-    throw InvalidArgument{"ModelPriceSource: persistence must be in [0, 1)"};
+  SPOTBID_EXPECT(distribution_ != nullptr, "ModelPriceSource: null distribution");
+  SPOTBID_EXPECT(slot_length.hours() > 0.0, "ModelPriceSource: slot length must be > 0");
+  SPOTBID_EXPECT(persistence >= 0.0 && persistence < 1.0,
+                 "ModelPriceSource: persistence must be in [0, 1)");
 }
 
 Money ModelPriceSource::price_at(SlotIndex slot) {
-  if (slot < 0) throw InvalidArgument{"ModelPriceSource: negative slot"};
+  SPOTBID_EXPECT(slot >= 0, "ModelPriceSource: negative slot");
   while (cache_.size() <= static_cast<std::size_t>(slot)) {
     if (!cache_.empty() && rng_.bernoulli(persistence_)) {
       cache_.push_back(cache_.back());
@@ -54,13 +55,12 @@ QueuePriceSource::QueuePriceSource(provider::ProviderModel model, dist::Distribu
       arrivals_(std::move(arrivals)),
       slot_length_(slot_length),
       rng_(seed) {
-  if (!arrivals_) throw InvalidArgument{"QueuePriceSource: null arrivals"};
-  if (!(slot_length.hours() > 0.0))
-    throw InvalidArgument{"QueuePriceSource: slot length must be > 0"};
+  SPOTBID_EXPECT(arrivals_ != nullptr, "QueuePriceSource: null arrivals");
+  SPOTBID_EXPECT(slot_length.hours() > 0.0, "QueuePriceSource: slot length must be > 0");
 }
 
 Money QueuePriceSource::price_at(SlotIndex slot) {
-  if (slot < 0) throw InvalidArgument{"QueuePriceSource: negative slot"};
+  SPOTBID_EXPECT(slot >= 0, "QueuePriceSource: negative slot");
   while (cache_.size() <= static_cast<std::size_t>(slot)) {
     const auto record = queue_.step(std::max(arrivals_->sample(rng_), 0.0));
     cache_.push_back(record.price.usd());

@@ -1,9 +1,11 @@
 #include "spotbid/market/spot_market.hpp"
 
+#include "spotbid/core/contracts.hpp"
+
 namespace spotbid::market {
 
 SpotMarket::SpotMarket(std::unique_ptr<PriceSource> source) : source_(std::move(source)) {
-  if (!source_) throw InvalidArgument{"SpotMarket: null price source"};
+  SPOTBID_EXPECT(source_ != nullptr, "SpotMarket: null price source");
 }
 
 Money SpotMarket::current_price() const {
@@ -12,24 +14,24 @@ Money SpotMarket::current_price() const {
 }
 
 RequestId SpotMarket::submit(const BidRequest& request) {
-  if (!(request.bid_price.usd() > 0.0))
-    throw InvalidArgument{"SpotMarket::submit: bid must be positive"};
+  SPOTBID_REQUIRE_FINITE(request.bid_price.usd(), "SpotMarket::submit: bid price");
+  SPOTBID_EXPECT(request.bid_price.usd() > 0.0, "SpotMarket::submit: bid must be positive");
   RequestStatus status;
   status.state = RequestState::kSubmitted;
   status.bid_price = request.bid_price;
   status.kind = request.kind;
   status.submitted_slot = next_slot_;
   requests_.push_back(status);
-  return static_cast<RequestId>(requests_.size() - 1);
+  return requests_.size() - 1;
 }
 
 RequestStatus& SpotMarket::status_mutable(RequestId id) {
-  if (id >= requests_.size()) throw InvalidArgument{"SpotMarket: unknown request id"};
+  SPOTBID_EXPECT(id < requests_.size(), "SpotMarket: unknown request id");
   return requests_[id];
 }
 
 const RequestStatus& SpotMarket::status(RequestId id) const {
-  if (id >= requests_.size()) throw InvalidArgument{"SpotMarket: unknown request id"};
+  SPOTBID_EXPECT(id < requests_.size(), "SpotMarket: unknown request id");
   return requests_[id];
 }
 
@@ -52,6 +54,8 @@ SlotReport SpotMarket::advance() {
   SlotReport report;
   report.slot = next_slot_;
   report.price = source_->price_at(next_slot_);
+  SPOTBID_REQUIRE_FINITE(report.price.usd(), "SpotMarket::advance: source price");
+  SPOTBID_EXPECT(report.price.usd() >= 0.0, "SpotMarket::advance: negative source price");
   current_price_ = report.price;
   has_price_ = true;
 
@@ -113,6 +117,7 @@ SlotReport SpotMarket::advance() {
 }
 
 void SpotMarket::advance_many(int n) {
+  SPOTBID_EXPECT(n >= 0, "SpotMarket::advance_many: negative slot count");
   for (int i = 0; i < n; ++i) advance();
 }
 

@@ -2,15 +2,19 @@
 
 #include <algorithm>
 
+#include "spotbid/core/contracts.hpp"
+
 namespace spotbid::market {
 
 WorkTracker::WorkTracker(Hours work_required, Hours recovery_time, Hours slot_length)
     : work_hours_(work_required.hours()),
       recovery_hours_(recovery_time.hours()),
       slot_hours_(slot_length.hours()) {
-  if (!(work_hours_ > 0.0)) throw InvalidArgument{"WorkTracker: work must be > 0"};
-  if (recovery_hours_ < 0.0) throw InvalidArgument{"WorkTracker: negative recovery time"};
-  if (!(slot_hours_ > 0.0)) throw InvalidArgument{"WorkTracker: slot length must be > 0"};
+  SPOTBID_REQUIRE_FINITE(work_hours_, "WorkTracker: work");
+  SPOTBID_REQUIRE_FINITE(recovery_hours_, "WorkTracker: recovery time");
+  SPOTBID_EXPECT(work_hours_ > 0.0, "WorkTracker: work must be > 0");
+  SPOTBID_EXPECT(recovery_hours_ >= 0.0, "WorkTracker: negative recovery time");
+  SPOTBID_EXPECT(slot_hours_ > 0.0, "WorkTracker: slot length must be > 0");
 }
 
 void WorkTracker::on_slot(const RequestStatus& status) {

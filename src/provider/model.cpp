@@ -3,21 +3,27 @@
 #include <algorithm>
 #include <cmath>
 
+#include "spotbid/core/contracts.hpp"
 #include "spotbid/numeric/optimize.hpp"
 
 namespace spotbid::provider {
 
 ProviderModel::ProviderModel(Money pi_bar, Money pi_min, double beta, double theta)
     : pi_bar_(pi_bar), pi_min_(pi_min), beta_(beta), theta_(theta) {
-  if (!(pi_bar.usd() > 0.0)) throw InvalidArgument{"ProviderModel: pi_bar must be > 0"};
-  if (pi_min.usd() < 0.0 || !(pi_min < pi_bar))
-    throw InvalidArgument{"ProviderModel: need 0 <= pi_min < pi_bar"};
-  if (!(beta > 0.0)) throw InvalidArgument{"ProviderModel: beta must be > 0"};
-  if (!(theta > 0.0) || theta > 1.0)
-    throw InvalidArgument{"ProviderModel: theta must be in (0, 1]"};
+  SPOTBID_REQUIRE_FINITE(pi_bar.usd(), "ProviderModel: pi_bar");
+  SPOTBID_REQUIRE_FINITE(pi_min.usd(), "ProviderModel: pi_min");
+  SPOTBID_REQUIRE_FINITE(beta, "ProviderModel: beta");
+  SPOTBID_EXPECT(pi_bar.usd() > 0.0, "ProviderModel: pi_bar must be > 0");
+  SPOTBID_EXPECT(pi_min.usd() >= 0.0 && pi_min < pi_bar,
+                 "ProviderModel: need 0 <= pi_min < pi_bar");
+  SPOTBID_EXPECT(beta > 0.0, "ProviderModel: beta must be > 0");
+  SPOTBID_EXPECT(theta > 0.0 && theta <= 1.0, "ProviderModel: theta must be in (0, 1]");
 }
 
 double ProviderModel::accepted_bids(Money pi, double demand) const {
+  SPOTBID_REQUIRE_IN_SUPPORT(pi.usd(), pi_min_.usd(), pi_bar_.usd(),
+                             "accepted_bids: pi (eq. 3 price bounds)");
+  SPOTBID_EXPECT(demand >= 0.0, "accepted_bids: demand must be >= 0");
   const double fraction = (pi_bar_.usd() - pi.usd()) / spread();
   return demand * std::clamp(fraction, 0.0, 1.0);
 }
@@ -28,7 +34,8 @@ double ProviderModel::objective(Money pi, double demand) const {
 }
 
 Money ProviderModel::optimal_price(double demand) const {
-  if (!(demand > 0.0)) throw InvalidArgument{"optimal_price: demand must be > 0"};
+  SPOTBID_REQUIRE_FINITE(demand, "optimal_price: demand");
+  SPOTBID_EXPECT(demand > 0.0, "optimal_price: demand must be > 0");
   const double w = spread();
   const double pb = pi_bar_.usd();
   const double inv_l = 1.0 / demand;
@@ -39,7 +46,8 @@ Money ProviderModel::optimal_price(double demand) const {
 }
 
 Money ProviderModel::optimal_price_numeric(double demand) const {
-  if (!(demand > 0.0)) throw InvalidArgument{"optimal_price_numeric: demand must be > 0"};
+  SPOTBID_REQUIRE_FINITE(demand, "optimal_price_numeric: demand");
+  SPOTBID_EXPECT(demand > 0.0, "optimal_price_numeric: demand must be > 0");
   const auto negated = [&](double pi) { return -objective(Money{pi}, demand); };
   const auto result = numeric::grid_then_golden(negated, pi_min_.usd(), pi_bar_.usd(), 512,
                                                 {.x_tolerance = 1e-13, .max_iterations = 300});
@@ -47,22 +55,26 @@ Money ProviderModel::optimal_price_numeric(double demand) const {
 }
 
 double ProviderModel::foc_residual(Money pi, double demand) const {
+  SPOTBID_REQUIRE_FINITE(pi.usd(), "foc_residual: pi");
   const double pb = pi_bar_.usd();
   const double p = pi.usd();
-  if (pb - p == 0.0 || pb - 2.0 * p == 0.0)
-    throw InvalidArgument{"foc_residual: pi at a pole of eq. 2"};
+  SPOTBID_EXPECT(pb - p != 0.0 && pb - 2.0 * p != 0.0, "foc_residual: pi at a pole of eq. 2");
   return demand - spread() / (pb - p) * (beta_ / (pb - 2.0 * p) - 1.0);
 }
 
 Money ProviderModel::equilibrium_price(double arrivals) const {
-  if (arrivals < 0.0) throw InvalidArgument{"equilibrium_price: negative arrivals"};
+  SPOTBID_REQUIRE_NOT_NAN(arrivals, "equilibrium_price: arrivals");
+  SPOTBID_EXPECT(arrivals >= 0.0, "equilibrium_price: arrivals must be >= 0");
   const double h = 0.5 * (pi_bar_.usd() - beta_ / (1.0 + arrivals / theta_));
   return Money{std::max(h, pi_min_.usd())};
 }
 
 double ProviderModel::equilibrium_arrivals(Money pi) const {
+  SPOTBID_REQUIRE_FINITE(pi.usd(), "equilibrium_arrivals: pi");
   const double pb = pi_bar_.usd();
   const double p = pi.usd();
+  // h^{-1}(pi) = theta (beta/(pi_bar - 2 pi) - 1) has a pole at pi_bar/2 and
+  // goes negative below h(0); both are outside the Proposition-2 range.
   const double floor_price = 0.5 * (pb - beta_);  // h(0)
   if (!(p > floor_price) || !(p < 0.5 * pb))
     throw ModelError{"equilibrium_arrivals: price outside (h(0), pi_bar/2)"};

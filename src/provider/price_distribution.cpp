@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "spotbid/core/contracts.hpp"
 #include "spotbid/numeric/integrate.hpp"
 
 namespace spotbid::provider {
@@ -35,6 +36,7 @@ EquilibriumPriceDistribution::EquilibriumPriceDistribution(ProviderModel model,
 }
 
 double EquilibriumPriceDistribution::pdf(double x) const {
+  SPOTBID_REQUIRE_NOT_NAN(x, "EquilibriumPriceDistribution::pdf: x");
   if (x <= lo_ || x >= 0.5 * model_.pi_bar().usd()) return 0.0;
   if (x >= hi_) return 0.0;
   const double h0 = 0.5 * (model_.pi_bar().usd() - model_.beta());
@@ -44,6 +46,7 @@ double EquilibriumPriceDistribution::pdf(double x) const {
 }
 
 double EquilibriumPriceDistribution::cdf(double x) const {
+  SPOTBID_REQUIRE_NOT_NAN(x, "EquilibriumPriceDistribution::cdf: x");
   if (x < lo_) return 0.0;
   if (x >= hi_) return 1.0;
   if (x == lo_) return atom_;
@@ -55,8 +58,7 @@ double EquilibriumPriceDistribution::cdf(double x) const {
 }
 
 double EquilibriumPriceDistribution::quantile(double q) const {
-  if (q < 0.0 || q > 1.0)
-    throw InvalidArgument{"EquilibriumPriceDistribution::quantile: q outside [0, 1]"};
+  SPOTBID_REQUIRE_PROB(q, "EquilibriumPriceDistribution::quantile: q");
   if (q <= atom_) return lo_;
   const double lambda = arrivals_->quantile(q);
   return model_.equilibrium_price(lambda).usd();
@@ -71,6 +73,7 @@ double EquilibriumPriceDistribution::mean() const { return mean_; }
 double EquilibriumPriceDistribution::variance() const { return var_; }
 
 double EquilibriumPriceDistribution::partial_expectation(double p) const {
+  SPOTBID_REQUIRE_NOT_NAN(p, "EquilibriumPriceDistribution::partial_expectation: p");
   if (p < lo_) return 0.0;
   double total = atom_ * lo_;
   const double hi = std::min(p, hi_);

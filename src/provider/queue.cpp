@@ -3,18 +3,20 @@
 #include <algorithm>
 #include <cmath>
 
+#include "spotbid/core/contracts.hpp"
 #include "spotbid/numeric/roots.hpp"
 
 namespace spotbid::provider {
 
 QueueSimulator::QueueSimulator(ProviderModel model, double initial_demand)
     : model_(model), demand_(initial_demand) {
-  if (!(initial_demand > 0.0))
-    throw InvalidArgument{"QueueSimulator: initial demand must be > 0"};
+  SPOTBID_REQUIRE_FINITE(initial_demand, "QueueSimulator: initial demand");
+  SPOTBID_EXPECT(initial_demand > 0.0, "QueueSimulator: initial demand must be > 0");
 }
 
 QueueSlot QueueSimulator::step(double arrivals) {
-  if (arrivals < 0.0) throw InvalidArgument{"QueueSimulator::step: negative arrivals"};
+  SPOTBID_REQUIRE_FINITE(arrivals, "QueueSimulator::step: arrivals");
+  SPOTBID_EXPECT(arrivals >= 0.0, "QueueSimulator::step: negative arrivals");
   QueueSlot slot;
   slot.demand = demand_;
   slot.arrivals = arrivals;
@@ -22,6 +24,9 @@ QueueSlot QueueSimulator::step(double arrivals) {
   slot.accepted = model_.accepted_bids(slot.price, demand_);
   slot.finished = model_.theta() * slot.accepted;
   demand_ = demand_ - slot.finished + arrivals;
+  // eq. 4: L(t+1) = L(t) - theta N(t) + Lambda(t) stays non-negative because
+  // N <= L and theta <= 1; a negative queue means the recursion is broken.
+  SPOTBID_EXPECT(demand_ >= 0.0, "QueueSimulator::step: eq. 4 queue went negative");
   history_.push_back(slot);
   return slot;
 }
@@ -51,7 +56,9 @@ std::vector<double> QueueSimulator::drift_series() const {
 
 double conditional_drift(const ProviderModel& model, double demand, double lambda_mean,
                          double lambda_var) {
-  if (!(demand > 0.0)) throw InvalidArgument{"conditional_drift: demand must be > 0"};
+  SPOTBID_EXPECT(demand > 0.0, "conditional_drift: demand must be > 0");
+  SPOTBID_REQUIRE_FINITE(lambda_mean, "conditional_drift: lambda_mean");
+  SPOTBID_EXPECT(lambda_var >= 0.0, "conditional_drift: lambda_var must be >= 0");
   const Money price = model.optimal_price(demand);
   const double a =
       1.0 - model.theta() * (model.pi_bar().usd() - price.usd()) / model.spread();

@@ -1,0 +1,284 @@
+// Tests for the invariant-contract layer (core/contracts.hpp) and the
+// domain checks it enforces across dist/, provider/, and bidding/:
+//
+//   * quantile(q) rejects q outside [0, 1] in every distribution family;
+//   * h^{-1} (equilibrium_arrivals) rejects prices at or beyond the
+//     pi_bar/2 pole of eq. 6;
+//   * eq. 8's run length and eq. 14's persistent feasibility handle the
+//     F_pi(p) = 1 edge and infeasible recovery times explicitly;
+//   * NaN inputs are rejected at the API boundary instead of propagating.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "spotbid/bidding/cost.hpp"
+#include "spotbid/bidding/price_model.hpp"
+#include "spotbid/bidding/strategies.hpp"
+#include "spotbid/core/contracts.hpp"
+#include "spotbid/core/types.hpp"
+#include "spotbid/dist/empirical.hpp"
+#include "spotbid/dist/exponential.hpp"
+#include "spotbid/dist/lognormal.hpp"
+#include "spotbid/dist/pareto.hpp"
+#include "spotbid/dist/uniform.hpp"
+#include "spotbid/provider/model.hpp"
+#include "spotbid/provider/price_distribution.hpp"
+#include "spotbid/provider/queue.hpp"
+
+namespace spotbid {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+using contracts::ContractViolation;
+
+// ---------------------------------------------------------------------------
+// The exception type itself.
+
+// Contract failures must remain catchable as InvalidArgument so the
+// pre-contract API guarantee ("throws InvalidArgument on bad input") holds.
+static_assert(std::is_base_of_v<InvalidArgument, ContractViolation>);
+static_assert(std::is_base_of_v<std::invalid_argument, ContractViolation>);
+
+TEST(Contracts, ViolationCarriesContextAndLocation) {
+  dist::Uniform u{0.0, 1.0};
+  try {
+    (void)u.quantile(2.0);
+    FAIL() << "expected a contract violation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("quantile"), std::string::npos) << what;
+    EXPECT_NE(what.find("2"), std::string::npos) << "offending value missing: " << what;
+  }
+}
+
+TEST(Contracts, MacrosEvaluateConditionExactlyOnce) {
+  int evaluations = 0;
+  const auto bump = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  SPOTBID_EXPECT(bump(), "side-effect probe");
+#if defined(SPOTBID_NO_CONTRACTS)
+  EXPECT_EQ(evaluations, 0);  // compiled out: parsed but unevaluated
+#else
+  EXPECT_EQ(evaluations, 1);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// dist/: quantile domain + NaN rejection, every family.
+
+std::vector<dist::DistributionPtr> all_families() {
+  std::vector<dist::DistributionPtr> families;
+  families.push_back(std::make_unique<dist::Uniform>(0.04, 0.12));
+  families.push_back(std::make_unique<dist::Exponential>(25.0, 0.02));
+  families.push_back(std::make_unique<dist::Pareto>(2.5, 0.03));
+  families.push_back(std::make_unique<dist::BoundedPareto>(1.8, 0.03, 0.30));
+  families.push_back(std::make_unique<dist::LogNormal>(-2.5, 0.4));
+  const std::vector<double> samples{0.031, 0.044, 0.052, 0.067, 0.071, 0.088};
+  families.push_back(std::make_unique<dist::Empirical>(samples));
+  return families;
+}
+
+TEST(DistContracts, QuantileRejectsProbabilitiesOutsideUnitInterval) {
+  for (const auto& d : all_families()) {
+    SCOPED_TRACE(d->name());
+    EXPECT_THROW((void)d->quantile(-0.01), ContractViolation);
+    EXPECT_THROW((void)d->quantile(1.01), ContractViolation);
+    EXPECT_THROW((void)d->quantile(kNaN), ContractViolation);
+    // Legacy catch sites that expect InvalidArgument still work.
+    EXPECT_THROW((void)d->quantile(-1.0), InvalidArgument);
+    // The endpoints themselves are legal.
+    EXPECT_NO_THROW((void)d->quantile(0.0));
+    EXPECT_NO_THROW((void)d->quantile(1.0));
+  }
+}
+
+TEST(DistContracts, EvaluationsRejectNaNQueries) {
+  for (const auto& d : all_families()) {
+    SCOPED_TRACE(d->name());
+    EXPECT_THROW((void)d->pdf(kNaN), ContractViolation);
+    EXPECT_THROW((void)d->cdf(kNaN), ContractViolation);
+    EXPECT_THROW((void)d->partial_expectation(kNaN), ContractViolation);
+    // +-infinity stays a legitimate limit query.
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_DOUBLE_EQ(d->cdf(inf), 1.0);
+    EXPECT_DOUBLE_EQ(d->cdf(-inf), 0.0);
+  }
+}
+
+TEST(DistContracts, ConstructorsRejectNonFiniteAndDegenerateParameters) {
+  EXPECT_THROW(dist::Uniform(0.2, 0.1), ContractViolation);
+  EXPECT_THROW(dist::Uniform(kNaN, 1.0), ContractViolation);
+  EXPECT_THROW(dist::Exponential(0.0), ContractViolation);
+  EXPECT_THROW(dist::Pareto(2.0, kNaN), ContractViolation);
+  EXPECT_THROW(dist::BoundedPareto(2.0, 0.1, 0.1), ContractViolation);
+  EXPECT_THROW(dist::LogNormal(0.0, -1.0), ContractViolation);
+  const std::vector<double> with_nan{0.1, kNaN, 0.3};
+  EXPECT_THROW(dist::Empirical{with_nan}, ContractViolation);
+  const std::vector<double> singleton{0.1};
+  EXPECT_THROW(dist::Empirical{singleton}, ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// provider/: the eq. 6 pole, eq. 3 price bounds, eq. 4 queue domain.
+
+provider::ProviderModel make_provider() {
+  // h(0) = (0.35 - 0.3)/2 = 0.025; the pole sits at pi_bar/2 = 0.175.
+  return provider::ProviderModel{Money{0.35}, Money{0.01}, 0.3, 0.5};
+}
+
+TEST(ProviderContracts, InverseEquilibriumRejectsPricesAtOrPastThePole) {
+  const auto m = make_provider();
+  const double pole = 0.5 * m.pi_bar().usd();
+  // h^{-1}(pi) = theta (beta/(pi_bar - 2 pi) - 1) blows up at pi_bar/2:
+  // exactly at and beyond the pole must throw, not return garbage.
+  EXPECT_THROW((void)m.equilibrium_arrivals(Money{pole}), ModelError);
+  EXPECT_THROW((void)m.equilibrium_arrivals(Money{pole + 0.01}), ModelError);
+  EXPECT_THROW((void)m.equilibrium_arrivals(Money{m.pi_bar().usd()}), ModelError);
+  // Below h(0) the inverse is undefined too.
+  EXPECT_THROW((void)m.equilibrium_arrivals(Money{0.02}), ModelError);
+  EXPECT_THROW((void)m.equilibrium_arrivals(Money{kNaN}), ContractViolation);
+  // Strictly inside (h(0), pi_bar/2) it round-trips through h.
+  const double pi = 0.17;
+  const double lambda = m.equilibrium_arrivals(Money{pi});
+  EXPECT_GT(lambda, 0.0);
+  EXPECT_NEAR(m.equilibrium_price(lambda).usd(), pi, 1e-12);
+}
+
+TEST(ProviderContracts, AcceptedBidsEnforcesEq3PriceBounds) {
+  const auto m = make_provider();
+  EXPECT_NO_THROW((void)m.accepted_bids(m.pi_min(), 10.0));
+  EXPECT_NO_THROW((void)m.accepted_bids(m.pi_bar(), 10.0));
+  EXPECT_THROW((void)m.accepted_bids(Money{m.pi_bar().usd() + 0.01}, 10.0),
+               ContractViolation);
+  EXPECT_THROW((void)m.accepted_bids(Money{-0.01}, 10.0), ContractViolation);
+  EXPECT_THROW((void)m.accepted_bids(Money{0.1}, -1.0), ContractViolation);
+}
+
+TEST(ProviderContracts, ModelConstructorRejectsBadParameters) {
+  EXPECT_THROW(provider::ProviderModel(Money{0.0}, Money{0.0}, 0.3, 0.5),
+               ContractViolation);
+  EXPECT_THROW(provider::ProviderModel(Money{0.35}, Money{0.4}, 0.3, 0.5),
+               ContractViolation);
+  EXPECT_THROW(provider::ProviderModel(Money{0.35}, Money{0.01}, kNaN, 0.5),
+               ContractViolation);
+  EXPECT_THROW(provider::ProviderModel(Money{0.35}, Money{0.01}, 0.3, 1.5),
+               ContractViolation);
+}
+
+TEST(ProviderContracts, QueueRejectsBadArrivalsAndStaysNonNegative) {
+  provider::QueueSimulator queue{make_provider(), 40.0};
+  EXPECT_THROW((void)queue.step(-1.0), ContractViolation);
+  EXPECT_THROW((void)queue.step(kNaN), ContractViolation);
+  EXPECT_THROW(provider::QueueSimulator(make_provider(), -5.0), ContractViolation);
+  // The eq. 4 recursion L(t+1) = L(t) - theta N + Lambda must keep the
+  // queue non-negative along a legitimate trajectory.
+  for (int t = 0; t < 50; ++t) {
+    const auto slot = queue.step(8.0 + 4.0 * (t % 3));
+    EXPECT_GE(slot.demand, 0.0);
+  }
+}
+
+TEST(ProviderContracts, EquilibriumPriceDistributionChecksItsDomains) {
+  auto arrivals = std::make_unique<dist::Pareto>(2.0, 1.0);
+  provider::EquilibriumPriceDistribution prices{make_provider(), std::move(arrivals)};
+  EXPECT_THROW((void)prices.quantile(-0.5), ContractViolation);
+  EXPECT_THROW((void)prices.quantile(1.5), ContractViolation);
+  EXPECT_THROW((void)prices.pdf(kNaN), ContractViolation);
+  EXPECT_THROW((void)prices.cdf(kNaN), ContractViolation);
+  EXPECT_NO_THROW((void)prices.quantile(0.5));
+}
+
+// ---------------------------------------------------------------------------
+// bidding/: eq. 8's F = 1 edge and eq. 13/14 persistent feasibility.
+
+bidding::SpotPriceModel make_spot_model() {
+  // Uniform prices on [0.04, 0.12]; 5-minute slots (t_k = 1/12 h).
+  return bidding::SpotPriceModel{std::make_unique<dist::Uniform>(0.04, 0.12),
+                                 Money{0.25}, Hours{1.0 / 12.0}};
+}
+
+TEST(BiddingContracts, Eq8RunLengthIsInfiniteWhenAcceptanceIsOne) {
+  const auto model = make_spot_model();
+  // At or above the support top F_pi(p) = 1: eq. 8's t_k / (1 - F) must
+  // report "never interrupted", not divide by zero.
+  EXPECT_TRUE(std::isinf(bidding::expected_uninterrupted_run(model, Money{0.12}).hours()));
+  EXPECT_TRUE(std::isinf(bidding::expected_uninterrupted_run(model, Money{0.20}).hours()));
+  // Strictly inside the support it is finite and increasing in p.
+  const double run_mid = bidding::expected_uninterrupted_run(model, Money{0.08}).hours();
+  const double run_high = bidding::expected_uninterrupted_run(model, Money{0.11}).hours();
+  EXPECT_TRUE(std::isfinite(run_mid));
+  EXPECT_LT(run_mid, run_high);
+}
+
+TEST(BiddingContracts, SurvivalProbabilityIsExactlyOneWhenAcceptanceIsOne) {
+  const auto model = make_spot_model();
+  EXPECT_DOUBLE_EQ(
+      bidding::one_time_survival_probability(model, Money{0.12}, Hours{5.0}), 1.0);
+  EXPECT_DOUBLE_EQ(
+      bidding::one_time_survival_probability(model, Money{0.20}, Hours{5.0}), 1.0);
+  EXPECT_LT(bidding::one_time_survival_probability(model, Money{0.08}, Hours{5.0}), 1.0);
+}
+
+TEST(BiddingContracts, PersistentFeasibilityFollowsEq14) {
+  const auto model = make_spot_model();
+  // t_r = 10 min = 2 t_k, so eq. 14 (t_r < t_k / (1 - F)) needs F > 1/2,
+  // i.e. p > 0.08 under Uniform(0.04, 0.12).
+  const Hours recovery{1.0 / 6.0};
+  EXPECT_FALSE(bidding::persistent_feasible(model, Money{0.07}, recovery));
+  EXPECT_TRUE(bidding::persistent_feasible(model, Money{0.09}, recovery));
+
+  const bidding::JobSpec job{.execution_time = Hours{2.0}, .recovery_time = recovery};
+  EXPECT_TRUE(std::isinf(bidding::persistent_busy_time(model, Money{0.07}, job).hours()));
+  EXPECT_TRUE(std::isinf(bidding::persistent_expected_cost(model, Money{0.07}, job).usd()));
+  EXPECT_TRUE(std::isfinite(bidding::persistent_busy_time(model, Money{0.09}, job).hours()));
+  EXPECT_TRUE(std::isfinite(bidding::persistent_expected_cost(model, Money{0.09}, job).usd()));
+}
+
+TEST(BiddingContracts, PersistentFormulasRequireExecutionAtLeastRecovery) {
+  const auto model = make_spot_model();
+  // eq. 13's numerator t_s - t_r would go negative: a job that cannot even
+  // hold its own checkpoint is a caller bug, not an infeasible bid.
+  const bidding::JobSpec bad{.execution_time = Hours{0.01}, .recovery_time = Hours{0.5}};
+  EXPECT_THROW((void)bidding::persistent_busy_time(model, Money{0.1}, bad),
+               ContractViolation);
+  EXPECT_THROW((void)bidding::persistent_bid(model, bad), ContractViolation);
+}
+
+TEST(BiddingContracts, StrategyPreconditionsAreEnforced) {
+  const auto model = make_spot_model();
+  const bidding::JobSpec negative{.execution_time = Hours{-1.0},
+                                  .recovery_time = Hours{0.01}};
+  EXPECT_THROW((void)bidding::one_time_bid(model, negative), ContractViolation);
+  const bidding::JobSpec job{.execution_time = Hours{2.0},
+                             .recovery_time = Hours::from_seconds(30.0)};
+  EXPECT_THROW((void)bidding::percentile_bid(model, job, 0.0), ContractViolation);
+  EXPECT_THROW((void)bidding::percentile_bid(model, job, 1.0), ContractViolation);
+  EXPECT_THROW((void)bidding::percentile_bid(model, job, kNaN), ContractViolation);
+  EXPECT_NO_THROW((void)bidding::percentile_bid(model, job, 0.75));
+}
+
+TEST(BiddingContracts, SpotPriceModelChecksItsInputs) {
+  const auto model = make_spot_model();
+  EXPECT_THROW((void)model.acceptance(Money{kNaN}), ContractViolation);
+  EXPECT_THROW((void)model.quantile(-0.1), ContractViolation);
+  EXPECT_THROW((void)model.quantile(1.1), ContractViolation);
+  EXPECT_THROW(bidding::SpotPriceModel(nullptr, Money{0.25}, Hours{1.0 / 12.0}),
+               ContractViolation);
+  EXPECT_THROW(bidding::SpotPriceModel(std::make_unique<dist::Uniform>(0.0, 1.0),
+                                       Money{-0.25}, Hours{1.0 / 12.0}),
+               ContractViolation);
+  EXPECT_THROW(bidding::SpotPriceModel(std::make_unique<dist::Uniform>(0.0, 1.0),
+                                       Money{0.25}, Hours{0.0}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace spotbid
