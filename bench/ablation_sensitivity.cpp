@@ -9,11 +9,13 @@
 
 #include <cmath>
 #include <iostream>
+#include <iterator>
 #include <memory>
 
 #include "bench_common.hpp"
 #include "spotbid/bidding/strategies.hpp"
 #include "spotbid/client/experiment.hpp"
+#include "spotbid/core/parallel.hpp"
 #include "spotbid/dist/exponential.hpp"
 #include "spotbid/dist/lognormal.hpp"
 #include "spotbid/dist/pareto.hpp"
@@ -85,16 +87,22 @@ void calibration_ablation() {
   config.history_slots = 8000;
 
   bench::Table table{{"floor mass", "persistence", "measured cost", "fallbacks/10"}};
-  for (double floor_mass : {0.5, 0.8}) {
-    for (double persistence : {0.0, 0.9, 0.98}) {
-      auto type = ec2::require_type("r3.xlarge");
-      type.market.floor_mass = floor_mass;
-      type.market.persistence = persistence;
-      const auto outcome = client::run_single_instance_experiment(
-          type, job, client::StrategyKind::kOneTime, config);
-      table.row({bench::fmt("%.2f", floor_mass), bench::fmt("%.2f", persistence),
-                 bench::usd(outcome.avg_cost_usd), std::to_string(outcome.spot_failures)});
-    }
+  // 2 x 3 calibration grid, one independent experiment per cell; sweep on
+  // the parallel engine and emit rows in grid order.
+  const double floor_masses[] = {0.5, 0.8};
+  const double persistences[] = {0.0, 0.9, 0.98};
+  const std::size_t kCols = std::size(persistences);
+  const auto grid = core::parallel_map(std::size(floor_masses) * kCols, [&](std::size_t at) {
+    auto type = ec2::require_type("r3.xlarge");
+    type.market.floor_mass = floor_masses[at / kCols];
+    type.market.persistence = persistences[at % kCols];
+    return client::run_single_instance_experiment(type, job, client::StrategyKind::kOneTime,
+                                                  config);
+  });
+  for (std::size_t at = 0; at < std::size(floor_masses) * kCols; ++at) {
+    table.row({bench::fmt("%.2f", floor_masses[at / kCols]),
+               bench::fmt("%.2f", persistences[at % kCols]),
+               bench::usd(grid[at].avg_cost_usd), std::to_string(grid[at].spot_failures)});
   }
   table.print();
   std::cout << "Takeaway: with i.i.d. prices (persistence 0) most Proposition-4 one-time\n"

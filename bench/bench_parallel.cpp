@@ -1,0 +1,164 @@
+// Perf harness for the deterministic parallel Monte-Carlo engine: a
+// Figure-5-style one-time-bid sweep (r3.xlarge, 1000 market replicas) run
+// once serially (1 thread) and once on the full pool, verifying the
+// reduction is bit-identical and emitting BENCH_spotbid.json with wall
+// times, speedup, and replica throughput so the perf trajectory is
+// trackable across commits.
+//
+//   ./bench_parallel [output.json]          (default: BENCH_spotbid.json)
+//   SPOTBID_BENCH_REPLICAS=N overrides the replica count (default 1000).
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "bench_common.hpp"
+#include "spotbid/client/experiment.hpp"
+#include "spotbid/client/job_runner.hpp"
+#include "spotbid/client/monte_carlo.hpp"
+#include "spotbid/core/parallel.hpp"
+#include "spotbid/market/price_source.hpp"
+#include "spotbid/provider/calibration.hpp"
+
+namespace {
+
+using namespace spotbid;
+
+/// Ordered fold of the replica outcomes; all doubles, so two runs are
+/// comparable bit for bit.
+struct SweepResult {
+  double total_cost_usd = 0.0;
+  double total_completion_h = 0.0;
+  double total_interruptions = 0.0;
+  int fallbacks = 0;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] bool operator==(const SweepResult& other) const {
+    return total_cost_usd == other.total_cost_usd &&
+           total_completion_h == other.total_completion_h &&
+           total_interruptions == other.total_interruptions && fallbacks == other.fallbacks;
+  }
+};
+
+int replica_count() {
+  if (const char* raw = std::getenv("SPOTBID_BENCH_REPLICAS")) {
+    const int value = std::atoi(raw);
+    if (value > 0) return value;
+  }
+  return 1000;
+}
+
+/// The fig5 measurement cell: one-time Proposition-4 bid on r3.xlarge,
+/// replicated over independent market seeds. The job is 24 h (288 slots)
+/// rather than fig5's 1 h so one replica is enough work for the speedup
+/// measurement to reflect the engine, not scheduling overhead.
+SweepResult run_sweep(int replicas, int threads) {
+  const auto& type = ec2::require_type("r3.xlarge");
+  const bidding::JobSpec job{Hours{24.0}, Hours{0.0}};
+  const auto model = client::history_model(type, {});
+  const auto decision = bidding::one_time_bid(model, job);
+  auto prices = provider::calibrated_price_distribution(type);
+
+  client::MonteCarloConfig mc;
+  mc.replicas = replicas;
+  mc.seed = 55;
+  mc.stream_offset = 100;
+  mc.threads = threads;
+
+  const auto start = std::chrono::steady_clock::now();
+  SweepResult result = client::run_replicas_reduce(
+      mc,
+      [&](const client::Replica& replica) {
+        auto source = std::make_unique<market::ModelPriceSource>(
+            prices, trace::kDefaultSlotLength, replica.seed, type.market.persistence);
+        market::SpotMarket market{std::move(source)};
+        return client::run_one_time(market, decision.bid, job, type.on_demand);
+      },
+      SweepResult{},
+      [](SweepResult& acc, const client::RunResult& run, int) {
+        acc.total_cost_usd += run.cost.usd();
+        acc.total_completion_h += run.completion_time.hours();
+        acc.total_interruptions += run.interruptions;
+        if (!run.finished_on_spot) ++acc.fallbacks;
+      });
+  result.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                            .count();
+  return result;
+}
+
+void write_json(const std::string& path, int replicas, int threads, const SweepResult& serial,
+                const SweepResult& parallel, bool identical) {
+  const double speedup =
+      parallel.wall_seconds > 0.0 ? serial.wall_seconds / parallel.wall_seconds : 0.0;
+  std::ofstream os{path};
+  os.precision(17);
+  os << "{\n"
+     << "  \"benchmark\": \"fig5_onetime_sweep\",\n"
+     << "  \"instance_type\": \"r3.xlarge\",\n"
+     << "  \"replicas\": " << replicas << ",\n"
+     << "  \"threads\": " << threads << ",\n"
+     << "  \"serial_wall_s\": " << serial.wall_seconds << ",\n"
+     << "  \"parallel_wall_s\": " << parallel.wall_seconds << ",\n"
+     << "  \"speedup\": " << speedup << ",\n"
+     << "  \"serial_replicas_per_s\": " << replicas / serial.wall_seconds << ",\n"
+     << "  \"parallel_replicas_per_s\": " << replicas / parallel.wall_seconds << ",\n"
+     << "  \"bit_identical\": " << (identical ? "true" : "false") << ",\n"
+     << "  \"mean_cost_usd\": " << parallel.total_cost_usd / replicas << ",\n"
+     << "  \"fallbacks\": " << parallel.fallbacks << "\n"
+     << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out = argc > 1 ? argv[1] : "BENCH_spotbid.json";
+  const int replicas = replica_count();
+  const int threads = core::default_thread_count();
+
+  bench::banner("Parallel Monte-Carlo engine: serial vs pooled fig5 sweep");
+  std::cout << "replicas " << replicas << ", pool threads " << threads << "\n";
+
+  // Best of three measured runs per path: the sweep is only a few
+  // milliseconds, so a single run is at the mercy of scheduler noise.
+  // Every run must also fold to the same bits.
+  const auto best_of = [replicas](int threads) {
+    SweepResult best = run_sweep(replicas, threads);
+    for (int i = 0; i < 2; ++i) {
+      const SweepResult again = run_sweep(replicas, threads);
+      if (!(again == best)) {
+        std::cerr << "FATAL: repeated sweep produced different bits\n";
+        std::exit(1);
+      }
+      if (again.wall_seconds < best.wall_seconds) best = again;
+    }
+    return best;
+  };
+  const SweepResult serial = best_of(/*threads=*/1);
+  const SweepResult parallel = best_of(/*threads=*/0);
+  const bool identical = serial == parallel;
+
+  bench::Table table{{"path", "wall time", "replicas/s", "mean cost", "fallbacks"}};
+  table.row({"serial (1 thread)", bench::fmt("%.3f s", serial.wall_seconds),
+             bench::fmt("%.1f", replicas / serial.wall_seconds),
+             bench::usd(serial.total_cost_usd / replicas), std::to_string(serial.fallbacks)});
+  table.row({"parallel (" + std::to_string(threads) + " threads)",
+             bench::fmt("%.3f s", parallel.wall_seconds),
+             bench::fmt("%.1f", replicas / parallel.wall_seconds),
+             bench::usd(parallel.total_cost_usd / replicas),
+             std::to_string(parallel.fallbacks)});
+  table.print();
+  std::cout << "speedup " << bench::fmt("%.2fx", serial.wall_seconds / parallel.wall_seconds)
+            << ", reductions bit-identical: " << (identical ? "yes" : "NO") << "\n";
+
+  write_json(out, replicas, threads, serial, parallel, identical);
+  std::cout << "wrote " << out << "\n";
+
+  if (!identical) {
+    std::cerr << "FATAL: serial and parallel reductions differ\n";
+    return 1;
+  }
+  return 0;
+}

@@ -4,12 +4,14 @@
 // t_r of recovery after each interruption, so the busy time decomposes as
 // T F(p) = (number of interruptions) * t_r + t_s.
 
+#include <algorithm>
 #include <iostream>
 #include <memory>
 
 #include "bench_common.hpp"
 #include "spotbid/bidding/strategies.hpp"
 #include "spotbid/client/job_runner.hpp"
+#include "spotbid/core/parallel.hpp"
 #include "spotbid/ec2/instance_types.hpp"
 #include "spotbid/market/price_source.hpp"
 #include "spotbid/trace/generator.hpp"
@@ -28,28 +30,40 @@ void reproduce_figure4() {
 
   // The paper's figure shows a day with exactly two interruptions; scan
   // seeded days (starting from 909, for 2014-09-09) for one that replays
-  // that way under the Proposition-5 bid.
+  // that way under the Proposition-5 bid. The candidate seeds are
+  // independent, so the scan fans out over the parallel layer; taking the
+  // first match in seed order keeps the chosen day identical to the old
+  // serial scan for any thread count.
   trace::GeneratorConfig config;
   config.slots = 288 * 2;  // two days, enough to finish with idle periods
   trace::PriceTrace day{"r3.xlarge", 0, trace::kDefaultSlotLength, {0.0, 0.0}};
   bidding::BidDecision decision;
-  for (std::uint64_t seed = 909; seed < 909 + 200; ++seed) {
-    config.seed = seed;
-    auto candidate = trace::generate_for_type(type, config);
-    const auto model = bidding::SpotPriceModel::from_trace(candidate, type.on_demand);
-    const auto d = bidding::persistent_bid(model, job);
-    market::SpotMarket probe{std::make_unique<market::TracePriceSource>(candidate, true)};
-    const auto run = client::run_persistent(probe, d.bid, job);
-    if (run.completed && run.interruptions == 2) {
-      day = std::move(candidate);
-      decision = d;
-      break;
-    }
-  }
-  if (day.size() == 2) {
+
+  struct Candidate {
+    bool matches = false;
+    trace::PriceTrace trace{"", 0, trace::kDefaultSlotLength, {0.0, 0.0}};
+    bidding::BidDecision decision;
+  };
+  const auto candidates = core::parallel_map(200, [&](std::size_t offset) {
+    trace::GeneratorConfig scan = config;
+    scan.seed = 909 + offset;
+    Candidate c;
+    c.trace = trace::generate_for_type(type, scan);
+    const auto model = bidding::SpotPriceModel::from_trace(c.trace, type.on_demand);
+    c.decision = bidding::persistent_bid(model, job);
+    market::SpotMarket probe{std::make_unique<market::TracePriceSource>(c.trace, true)};
+    const auto run = client::run_persistent(probe, c.decision.bid, job);
+    c.matches = run.completed && run.interruptions == 2;
+    return c;
+  });
+  const auto hit = std::find_if(candidates.begin(), candidates.end(),
+                                [](const Candidate& c) { return c.matches; });
+  if (hit == candidates.end()) {
     std::cout << "no two-interruption day found in the seed scan\n";
     return;
   }
+  day = hit->trace;
+  decision = hit->decision;
 
   std::cout << "bid price p = " << bench::usd(decision.bid.usd())
             << "   (paper's example: $0.0323)\n\n";

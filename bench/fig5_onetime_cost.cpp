@@ -8,6 +8,7 @@
 
 #include "bench_common.hpp"
 #include "spotbid/client/experiment.hpp"
+#include "spotbid/core/parallel.hpp"
 #include "spotbid/trace/generator.hpp"
 
 namespace {
@@ -26,9 +27,16 @@ void reproduce_figure5() {
                       "savings", "fallbacks/20"}};
   double worst_savings = 1.0;
   double best_savings = 0.0;
-  for (const auto& type : ec2::experiment_types()) {
-    const auto outcome =
-        client::run_single_instance_experiment(type, job, client::StrategyKind::kOneTime, config);
+  // One cell per instance type, swept on the parallel engine; rows render
+  // afterwards in catalog order, so the table is thread-count-invariant.
+  const auto& types = ec2::experiment_types();
+  const auto outcomes = core::parallel_map(types.size(), [&](std::size_t i) {
+    return client::run_single_instance_experiment(types[i], job,
+                                                  client::StrategyKind::kOneTime, config);
+  });
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    const auto& type = types[i];
+    const auto& outcome = outcomes[i];
     const double on_demand = type.on_demand.usd();
     const double savings = 1.0 - outcome.avg_cost_usd / on_demand;
     worst_savings = std::min(worst_savings, savings);

@@ -9,9 +9,11 @@
 // more. The 90th-percentile heuristic saves less than the optimum.
 
 #include <iostream>
+#include <iterator>
 
 #include "bench_common.hpp"
 #include "spotbid/client/experiment.hpp"
+#include "spotbid/core/parallel.hpp"
 
 namespace {
 
@@ -41,23 +43,33 @@ void reproduce_figure6() {
   config.seed = 66;
 
   bench::Table table{{"type", "series", "(a) price/h", "(b) completion", "(c) total cost"}};
-  for (const auto& type : ec2::experiment_types()) {
-    const bidding::JobSpec job10{Hours{1.0}, Hours::from_seconds(10.0)};
-    const bidding::JobSpec job30{Hours{1.0}, Hours::from_seconds(30.0)};
-
-    const auto one_time = client::run_single_instance_experiment(
-        type, bidding::JobSpec{Hours{1.0}, Hours{0.0}}, client::StrategyKind::kOneTime, config);
-    const auto p10 = client::run_single_instance_experiment(
-        type, job10, client::StrategyKind::kPersistent, config);
-    const auto p30 = client::run_single_instance_experiment(
-        type, job30, client::StrategyKind::kPersistent, config);
-    const auto pct90 = client::run_single_instance_experiment(
-        type, job30, client::StrategyKind::kPercentile90, config);
-
-    const auto c10 = relative_to(one_time, p10);
-    const auto c30 = relative_to(one_time, p30);
-    const auto c90 = relative_to(one_time, pct90);
-    table.row({type.name, "persistent t_r=10s", bench::percent(c10.price_diff),
+  // The sweep is a flat grid of independent (type, strategy) experiment
+  // cells; fan the whole grid out on the parallel engine and assemble the
+  // comparison rows afterwards in catalog order.
+  const auto& types = ec2::experiment_types();
+  const bidding::JobSpec job00{Hours{1.0}, Hours{0.0}};
+  const bidding::JobSpec job10{Hours{1.0}, Hours::from_seconds(10.0)};
+  const bidding::JobSpec job30{Hours{1.0}, Hours::from_seconds(30.0)};
+  struct GridCell {
+    const bidding::JobSpec* job;
+    client::StrategyKind strategy;
+  };
+  const GridCell cells[] = {{&job00, client::StrategyKind::kOneTime},
+                            {&job10, client::StrategyKind::kPersistent},
+                            {&job30, client::StrategyKind::kPersistent},
+                            {&job30, client::StrategyKind::kPercentile90}};
+  const std::size_t kCells = std::size(cells);
+  const auto grid = core::parallel_map(types.size() * kCells, [&](std::size_t at) {
+    const auto& cell = cells[at % kCells];
+    return client::run_single_instance_experiment(types[at / kCells], *cell.job,
+                                                  cell.strategy, config);
+  });
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    const auto& one_time = grid[i * kCells + 0];
+    const auto c10 = relative_to(one_time, grid[i * kCells + 1]);
+    const auto c30 = relative_to(one_time, grid[i * kCells + 2]);
+    const auto c90 = relative_to(one_time, grid[i * kCells + 3]);
+    table.row({types[i].name, "persistent t_r=10s", bench::percent(c10.price_diff),
                bench::percent(c10.completion_diff), bench::percent(c10.cost_diff)});
     table.row({"", "persistent t_r=30s", bench::percent(c30.price_diff),
                bench::percent(c30.completion_diff), bench::percent(c30.cost_diff)});

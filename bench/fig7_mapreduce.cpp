@@ -8,6 +8,7 @@
 
 #include "bench_common.hpp"
 #include "spotbid/client/experiment.hpp"
+#include "spotbid/core/parallel.hpp"
 
 namespace {
 
@@ -30,8 +31,15 @@ void reproduce_figure7() {
                       "savings"}};
   double total_savings = 0.0;
   double total_slowdown = 0.0;
-  for (const auto& setting : ec2::mapreduce_settings()) {
-    const auto outcome = client::run_mapreduce_experiment(setting, job, config);
+  // One independent cluster experiment per client setting; sweep them on
+  // the parallel engine, then render rows in setting order.
+  const auto& settings = ec2::mapreduce_settings();
+  const auto outcomes = core::parallel_map(settings.size(), [&](std::size_t i) {
+    return client::run_mapreduce_experiment(settings[i], job, config);
+  });
+  for (std::size_t i = 0; i < settings.size(); ++i) {
+    const auto& setting = settings[i];
+    const auto& outcome = outcomes[i];
     const auto& plan = outcome.plan;
     const double slowdown =
         outcome.avg_completion_h / plan.on_demand_completion.hours() - 1.0;

@@ -29,11 +29,15 @@ enum class StrategyKind : std::uint8_t {
   kOnDemand,      ///< baseline
 };
 
-/// Experiment parameters.
+/// Experiment parameters. Repetitions execute on the parallel Monte-Carlo
+/// engine (spotbid/client/monte_carlo.hpp); every averaged outcome is
+/// bit-identical for any thread count because each repetition derives its
+/// seed from its replica index and the averages fold in replica order.
 struct ExperimentConfig {
   int repetitions = 10;
   std::uint64_t seed = 42;       ///< master seed; reps derive sub-seeds
   int history_slots = trace::kTwoMonthsSlots;  ///< price history fed to the client
+  int threads = 0;  ///< replication threads; 0 = SPOTBID_THREADS / hardware
 };
 
 /// Averages over the repetitions of one (type, job, strategy) cell.

@@ -25,6 +25,8 @@ class Empirical final : public Distribution {
 
   [[nodiscard]] double pdf(double x) const override;
   [[nodiscard]] double cdf(double x) const override;
+  /// Generalized inverse inf{x : cdf(x) >= q}; satisfies
+  /// cdf(quantile(q)) >= q and quantile(cdf(x)) <= x for x in the support.
   [[nodiscard]] double quantile(double q) const override;
   /// Resamples uniformly between adjacent order statistics (i.e. draws from
   /// the interpolated ECDF, not just the discrete sample set).

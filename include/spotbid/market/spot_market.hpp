@@ -107,7 +107,10 @@ class SpotMarket {
 
   /// Close a request (job finished or user cancellation). Releases the
   /// instance if running. Throws InvalidArgument for unknown ids; closing
-  /// an already-final request is a no-op.
+  /// an already-final request is a no-op. A request closed while still
+  /// kSubmitted (same slot it was submitted) never enters the auction:
+  /// closed_slot == submitted_slot, accrued_cost stays zero, and the log
+  /// records only the kClosed event.
   void close(RequestId id);
 
   /// Simulate one slot and return what happened.

@@ -46,7 +46,9 @@ class Rng {
   /// Uniform double in [0, 1) with 53 random bits.
   [[nodiscard]] double uniform();
 
-  /// Uniform double in [lo, hi).
+  /// Uniform double in [lo, hi). The half-open contract is enforced even
+  /// when the affine map lo + u*(hi - lo) rounds to (or past) hi: such
+  /// draws are clamped to the largest representable double below hi.
   [[nodiscard]] double uniform(double lo, double hi);
 
   /// Uniform integer in [0, n). Precondition: n > 0.

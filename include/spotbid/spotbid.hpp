@@ -3,6 +3,7 @@
 /// \file spotbid.hpp
 /// Umbrella header: the full public API of the spotbid library.
 
+#include "spotbid/core/parallel.hpp"
 #include "spotbid/core/types.hpp"
 #include "spotbid/core/version.hpp"
 
@@ -54,4 +55,5 @@
 
 #include "spotbid/client/experiment.hpp"
 #include "spotbid/client/job_runner.hpp"
+#include "spotbid/client/monte_carlo.hpp"
 #include "spotbid/client/price_monitor.hpp"

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "spotbid/client/monte_carlo.hpp"
 #include "spotbid/provider/calibration.hpp"
 #include "spotbid/trace/generator.hpp"
 
@@ -79,11 +80,21 @@ AveragedOutcome run_single_instance_experiment(const ec2::InstanceType& type,
   outcome.expected_hourly_price_usd =
       decision.use_on_demand ? type.on_demand.usd() : model.expected_payment(decision.bid).usd();
 
-  for (int rep = 0; rep < config.repetitions; ++rep) {
-    auto market = make_market(type, type_seed(type, config.seed, 100 + rep));
-    const RunResult run = one_time
-                              ? run_one_time(market, decision.bid, job, type.on_demand)
-                              : run_persistent(market, decision.bid, job);
+  // Replicas run in parallel; the per-replica seed reproduces the historical
+  // serial derivation type_seed(type, seed, 100 + rep) exactly, and the
+  // accumulation below folds in replica order, so the outcome is
+  // bit-identical to the old serial loop for every thread count.
+  MonteCarloConfig mc;
+  mc.replicas = config.repetitions;
+  mc.seed = config.seed ^ numeric::fnv1a(type.name);
+  mc.stream_offset = 100;
+  mc.threads = config.threads;
+  const auto runs = run_replicas(mc, [&](const Replica& replica) {
+    auto market = make_market(type, replica.seed);
+    return one_time ? run_one_time(market, decision.bid, job, type.on_demand)
+                    : run_persistent(market, decision.bid, job);
+  });
+  for (const RunResult& run : runs) {
     outcome.avg_cost_usd += run.cost.usd();
     outcome.avg_completion_h += run.completion_time.hours();
     outcome.avg_hourly_price_usd += run.hourly_price().usd();
@@ -111,7 +122,17 @@ MapReduceOutcome run_mapreduce_experiment(const ec2::MapReduceSetting& setting,
   outcome.plan = bidding::mapreduce_bid(master_model, slave_model, job);
   outcome.repetitions = config.repetitions;
 
-  for (int rep = 0; rep < config.repetitions; ++rep) {
+  // Parallel replicas; stream_offset 1300 makes Replica::seed the historical
+  // cluster seed derive_seed(seed, 1300 + rep), and the market seeds are
+  // recomputed per replica from the index, so results match the old serial
+  // loop bit for bit.
+  MonteCarloConfig mc;
+  mc.replicas = config.repetitions;
+  mc.seed = config.seed;
+  mc.stream_offset = 1300;
+  mc.threads = config.threads;
+  const auto runs = run_replicas(mc, [&](const Replica& replica) {
+    const std::uint64_t rep = static_cast<std::uint64_t>(replica.index);
     auto master_market =
         make_market(setting.master, type_seed(setting.master, config.seed, 500 + rep));
     auto slave_market =
@@ -122,9 +143,11 @@ MapReduceOutcome run_mapreduce_experiment(const ec2::MapReduceSetting& setting,
     cluster.master_bid = outcome.plan.master.bid;
     cluster.slave_bid = outcome.plan.slaves.bid;
     cluster.job = job;
-    cluster.seed = numeric::derive_seed(config.seed, 1300 + rep);
+    cluster.seed = replica.seed;
 
-    const auto run = mapreduce::run_mapreduce(master_market, slave_market, cluster);
+    return mapreduce::run_mapreduce(master_market, slave_market, cluster);
+  });
+  for (const auto& run : runs) {
     outcome.avg_cost_usd += run.total_cost().usd();
     outcome.avg_completion_h += run.completion_time.hours();
     outcome.avg_master_cost_usd += run.master_cost.usd();

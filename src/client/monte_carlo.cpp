@@ -1,0 +1,17 @@
+#include "spotbid/client/monte_carlo.hpp"
+
+namespace spotbid::client {
+
+std::uint64_t replica_seed(const MonteCarloConfig& config, int index) {
+  SPOTBID_EXPECT(index >= 0, "replica_seed: negative replica index");
+  return numeric::derive_seed(config.seed,
+                              config.stream_offset + static_cast<std::uint64_t>(index));
+}
+
+int validate_monte_carlo(const MonteCarloConfig& config) {
+  SPOTBID_EXPECT(config.replicas >= 1, "MonteCarloConfig: replicas must be >= 1");
+  SPOTBID_EXPECT(config.threads >= 0, "MonteCarloConfig: threads must be >= 0");
+  return config.threads > 0 ? config.threads : core::default_thread_count();
+}
+
+}  // namespace spotbid::client

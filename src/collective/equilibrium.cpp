@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "spotbid/core/contracts.hpp"
+#include "spotbid/core/parallel.hpp"
 #include "spotbid/dist/empirical.hpp"
 #include "spotbid/numeric/optimize.hpp"
 #include "spotbid/numeric/stats.hpp"
@@ -68,17 +69,17 @@ std::vector<RoundSummary> iterate_best_response(const ec2::InstanceType& type,
   numeric::Rng rng{config.seed};
 
   for (int round = 0; round < config.rounds; ++round) {
-    // 1. Users best-respond to the current price law.
+    // 1. Users best-respond to the current price law. Each user's
+    // Proposition-5 bid is a pure function of (price law, job), so the
+    // population sweep fans out over the parallel layer; results land in
+    // user order, keeping the round bit-identical for any thread count.
     const bidding::SpotPriceModel model{price_law, type.on_demand, trace::kDefaultSlotLength};
-    std::vector<double> bids;
-    bids.reserve(static_cast<std::size_t>(config.users));
-    for (int u = 0; u < config.users; ++u) {
-      const double tr =
-          config.recovery_seconds[u % config.recovery_seconds.size()];
-      const bidding::JobSpec job{config.execution_time, Hours::from_seconds(tr)};
-      const auto decision = bidding::persistent_bid(model, job);
-      bids.push_back(decision.bid.usd());
-    }
+    const std::vector<double> bids = core::parallel_map(
+        static_cast<std::size_t>(config.users), [&](std::size_t u) {
+          const double tr = config.recovery_seconds[u % config.recovery_seconds.size()];
+          const bidding::JobSpec job{config.execution_time, Hours::from_seconds(tr)};
+          return bidding::persistent_bid(model, job).bid.usd();
+        });
     // Users are never bit-identical in practice; a deterministic +-0.1%
     // spread keeps the empirical bid law non-degenerate when every
     // strategy lands on the same price.

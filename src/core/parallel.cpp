@@ -1,0 +1,189 @@
+#include "spotbid/core/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <mutex>
+
+#include "spotbid/core/contracts.hpp"
+
+namespace spotbid::core {
+
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+
+/// RAII flag so nested parallel_for calls (directly or through library
+/// code the body happens to call) degrade to serial inline execution.
+class RegionGuard {
+ public:
+  RegionGuard() : previous_(t_in_parallel_region) { t_in_parallel_region = true; }
+  ~RegionGuard() { t_in_parallel_region = previous_; }
+  RegionGuard(const RegionGuard&) = delete;
+  RegionGuard& operator=(const RegionGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+int env_thread_override() {
+  const char* raw = std::getenv("SPOTBID_THREADS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || value < 1 || value > 4096) return 0;
+  return static_cast<int>(value);
+}
+
+/// Shared bookkeeping of one parallel_for call. Workers claim chunks from
+/// an atomic cursor; the first failing chunk (lowest start index) wins the
+/// exception slot so the rethrown error does not depend on scheduling.
+struct ForLoopState {
+  std::atomic<std::size_t> next{0};
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  const std::function<void(std::size_t)>* body = nullptr;
+
+  std::atomic<bool> cancelled{false};
+  std::mutex error_mutex;
+  std::size_t error_chunk = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+
+  void run_chunks() {
+    RegionGuard guard;
+    for (;;) {
+      const std::size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n || cancelled.load(std::memory_order_relaxed)) return;
+      const std::size_t end = std::min(begin + grain, n);
+      try {
+        for (std::size_t i = begin; i < end; ++i) (*body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock{error_mutex};
+        if (begin < error_chunk) {
+          error_chunk = begin;
+          error = std::current_exception();
+        }
+        cancelled.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+int default_thread_count() {
+  if (const int env = env_thread_override(); env > 0) return env;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+bool in_parallel_region() { return t_in_parallel_region; }
+
+struct ThreadPool::State {
+  std::mutex mutex;
+  std::condition_variable wake;
+  std::deque<std::function<void()>> queue;
+  bool stopping = false;
+};
+
+ThreadPool::ThreadPool(int threads) : state_(std::make_unique<State>()) {
+  const int count = threads > 0 ? threads : default_thread_count();
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock{state_->mutex};
+    state_->stopping = true;
+  }
+  state_->wake.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  SPOTBID_EXPECT(task != nullptr, "ThreadPool::submit: null task");
+  {
+    std::lock_guard<std::mutex> lock{state_->mutex};
+    SPOTBID_EXPECT(!state_->stopping, "ThreadPool::submit: pool is shutting down");
+    state_->queue.push_back(std::move(task));
+  }
+  state_->wake.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock{state_->mutex};
+      state_->wake.wait(lock, [&] { return state_->stopping || !state_->queue.empty(); });
+      if (state_->queue.empty()) return;  // stopping and drained
+      task = std::move(state_->queue.front());
+      state_->queue.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;  // sized from SPOTBID_THREADS / hardware_concurrency
+  return pool;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body, int threads) {
+  SPOTBID_EXPECT(body != nullptr, "parallel_for: null body");
+  SPOTBID_EXPECT(threads >= 0, "parallel_for: negative thread count");
+  if (n == 0) return;
+
+  const int requested = threads > 0 ? threads : default_thread_count();
+  // Serial fast path: trivial ranges, an explicit single thread, or a call
+  // from inside another parallel region (re-entering the pool from a pool
+  // worker could otherwise deadlock on a full queue of blocked parents).
+  if (n == 1 || requested == 1 || t_in_parallel_region) {
+    RegionGuard guard;
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForLoopState>();
+  state->n = n;
+  state->body = &body;
+  // Chunked dynamic scheduling: a few chunks per worker balances uneven
+  // replica costs without per-index queue traffic.
+  const std::size_t workers = static_cast<std::size_t>(requested);
+  state->grain = std::max<std::size_t>(1, n / (workers * 4));
+
+  // The calling thread is worker #0; helpers come from the shared pool.
+  // Helpers that find the range already drained exit immediately, so a
+  // busy pool only costs latency, never correctness.
+  const std::size_t helpers =
+      std::min<std::size_t>(workers - 1, (n + state->grain - 1) / state->grain - 1);
+
+  auto remaining = std::make_shared<std::atomic<std::size_t>>(helpers);
+  auto done_mutex = std::make_shared<std::mutex>();
+  auto done_cv = std::make_shared<std::condition_variable>();
+  for (std::size_t h = 0; h < helpers; ++h) {
+    ThreadPool::global().submit([state, remaining, done_mutex, done_cv] {
+      state->run_chunks();
+      if (remaining->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock{*done_mutex};
+        done_cv->notify_all();
+      }
+    });
+  }
+
+  state->run_chunks();
+
+  if (helpers > 0) {
+    std::unique_lock<std::mutex> lock{*done_mutex};
+    done_cv->wait(lock, [&] { return remaining->load(std::memory_order_acquire) == 0; });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace spotbid::core

@@ -54,14 +54,24 @@ double Empirical::pdf(double x) const {
 }
 
 double Empirical::quantile(double q) const {
+  // Generalized inverse Q(q) = inf{x : F(x) >= q} of the interpolated
+  // ECDF. F is continuous and strictly increasing on [x_0, x_k] with
+  // F(x_0) = cum_[0] > 0, so:
+  //  - q <= cum_[0] maps to x_0 (the atom at the minimum absorbs the
+  //    whole lower tail: F(x_0) = cum_[0] >= q already);
+  //  - otherwise Q is the exact piecewise-linear inverse, giving the
+  //    round-trip contracts cdf(quantile(q)) >= q and
+  //    quantile(cdf(x)) <= x (with equality away from the atom).
   SPOTBID_REQUIRE_PROB(q, "Empirical::quantile: q");
   if (q <= cum_.front()) return x_.front();
   if (q >= 1.0) return x_.back();
   const auto it = std::lower_bound(cum_.begin(), cum_.end(), q);
   const std::size_t j = static_cast<std::size_t>(it - cum_.begin());
-  const std::size_t i = j - 1;  // cum_[i] < q <= cum_[j]
+  const std::size_t i = j - 1;  // cum_[i] < q <= cum_[j], j >= 1
   const double span = cum_[j] - cum_[i];
-  if (span <= 0.0) return x_[j];
+  // The constructor collapses duplicate sample values, so the knot CDF is
+  // strictly increasing and the segment has positive probability mass.
+  SPOTBID_EXPECT(span > 0.0, "Empirical::quantile: ECDF knots not strictly increasing");
   const double t = (q - cum_[i]) / span;
   return x_[i] + t * (x_[j] - x_[i]);
 }

@@ -58,7 +58,16 @@ double Rng::uniform() {
   return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
 }
 
-double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+double Rng::uniform(double lo, double hi) {
+  // lo + u*(hi - lo) can round up to hi (or even past it) when u is close
+  // to 1 and the product rounds unfavorably — e.g. (0.1, 0.3) can produce
+  // 0.30000000000000004, and for (1, 1 + 2^-52) half of all draws round to
+  // hi. Clamp to the largest double below hi to honor the [lo, hi)
+  // contract.
+  const double x = lo + (hi - lo) * uniform();
+  if (x < hi) return x;
+  return std::nextafter(hi, lo);
+}
 
 std::uint64_t Rng::uniform_index(std::uint64_t n) {
   // Rejection sampling to remove modulo bias.

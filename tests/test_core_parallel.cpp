@@ -1,0 +1,169 @@
+// Tests for the deterministic parallel execution layer: index coverage,
+// thread-count invariance, nested-call degradation, exception propagation,
+// and thread-count resolution via SPOTBID_THREADS.
+
+#include "spotbid/core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "spotbid/core/types.hpp"
+#include "spotbid/numeric/rng.hpp"
+
+namespace spotbid::core {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> visits(kN);
+  parallel_for(kN, [&](std::size_t i) { visits[i].fetch_add(1); }, 4);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, HandlesEmptyAndSingletonRanges) {
+  int calls = 0;
+  parallel_for(0, [&](std::size_t) { ++calls; }, 4);
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, [&](std::size_t i) { calls += static_cast<int>(i) + 1; }, 4);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, ExplicitSingleThreadRunsInline) {
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(8);
+  parallel_for(8, [&](std::size_t i) { ran[i] = std::this_thread::get_id(); }, 1);
+  for (const auto& id : ran) EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelFor, RejectsNegativeThreadCountAndNullBody) {
+  EXPECT_THROW(parallel_for(4, [](std::size_t) {}, -1), InvalidArgument);
+  EXPECT_THROW(parallel_for(4, std::function<void(std::size_t)>{}, 2), InvalidArgument);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  try {
+    parallel_for(
+        100,
+        [](std::size_t i) {
+          if (i == 37) throw std::runtime_error{"replica 37 failed"};
+        },
+        4);
+    FAIL() << "expected the body exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "replica 37 failed");
+  }
+}
+
+TEST(ParallelFor, ExceptionDoesNotPoisonSubsequentCalls) {
+  EXPECT_THROW(parallel_for(
+                   16, [](std::size_t) { throw std::runtime_error{"boom"}; }, 4),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  parallel_for(16, [&](std::size_t) { count.fetch_add(1); }, 4);
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ParallelFor, NestedCallsDegradeToSerialWithoutDeadlock) {
+  std::vector<std::atomic<int>> visits(64);
+  parallel_for(
+      8,
+      [&](std::size_t outer) {
+        EXPECT_TRUE(in_parallel_region());
+        parallel_for(
+            8, [&](std::size_t inner) { visits[outer * 8 + inner].fetch_add(1); }, 4);
+      },
+      4);
+  for (std::size_t i = 0; i < visits.size(); ++i) EXPECT_EQ(visits[i].load(), 1);
+  EXPECT_FALSE(in_parallel_region());
+}
+
+TEST(ParallelMap, ResultsLandInIndexOrder) {
+  const auto squares = parallel_map(100, [](std::size_t i) { return i * i; }, 4);
+  ASSERT_EQ(squares.size(), 100u);
+  for (std::size_t i = 0; i < squares.size(); ++i) EXPECT_EQ(squares[i], i * i);
+}
+
+// The determinism contract: a stochastic body seeded from its index gives
+// bit-identical output for every thread count, including 1.
+TEST(ParallelMap, ThreadCountInvariantForSeededBodies) {
+  const auto sweep = [](int threads) {
+    return parallel_map(
+        64,
+        [](std::size_t i) {
+          numeric::Rng rng{numeric::derive_seed(2015, i)};
+          double sum = 0.0;
+          for (int k = 0; k < 1000; ++k) sum += rng.uniform();
+          return sum;
+        },
+        threads);
+  };
+  const auto one = sweep(1);
+  const auto two = sweep(2);
+  const auto many = sweep(static_cast<int>(std::thread::hardware_concurrency()));
+  ASSERT_EQ(one.size(), two.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i], two[i]) << "thread count changed replica " << i;
+    EXPECT_EQ(one[i], many[i]) << "thread count changed replica " << i;
+  }
+}
+
+// Ordered serial reduction over parallel results is bit-identical too
+// (floating-point addition is not associative, so this would fail for any
+// scheme that reduced in completion order).
+TEST(ParallelMap, OrderedReductionIsBitIdentical) {
+  const auto reduce_with = [](int threads) {
+    const auto parts = parallel_map(
+        257,
+        [](std::size_t i) {
+          numeric::Rng rng{numeric::derive_seed(7, i)};
+          return (rng.uniform() - 0.5) * std::pow(10.0, static_cast<double>(i % 17) - 8.0);
+        },
+        threads);
+    return std::accumulate(parts.begin(), parts.end(), 0.0);
+  };
+  const double serial = reduce_with(1);
+  EXPECT_EQ(serial, reduce_with(2));
+  EXPECT_EQ(serial, reduce_with(8));
+}
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool{2};
+  EXPECT_EQ(pool.size(), 2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&] { count.fetch_add(1); });
+  // The destructor drains the queue before joining.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (count.load() < 50 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::yield();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, GlobalPoolIsReusedAcrossSweeps) {
+  ThreadPool& a = ThreadPool::global();
+  ThreadPool& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1);
+}
+
+TEST(DefaultThreadCount, RespectsEnvironmentOverride) {
+  ASSERT_EQ(setenv("SPOTBID_THREADS", "3", 1), 0);
+  EXPECT_EQ(default_thread_count(), 3);
+  ASSERT_EQ(setenv("SPOTBID_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(default_thread_count(), 1);  // malformed values fall through
+  ASSERT_EQ(setenv("SPOTBID_THREADS", "0", 1), 0);
+  EXPECT_GE(default_thread_count(), 1);
+  ASSERT_EQ(unsetenv("SPOTBID_THREADS"), 0);
+  EXPECT_GE(default_thread_count(), 1);
+}
+
+}  // namespace
+}  // namespace spotbid::core

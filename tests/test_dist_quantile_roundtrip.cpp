@@ -1,0 +1,129 @@
+// Property tests for the quantile/CDF round-trip contract across every
+// distribution family. quantile is the generalized inverse
+//   Q(q) = inf{x : F(x) >= q},
+// so for any family (continuous, atom-carrying, or interpolated ECDF):
+//   (i)  F(Q(q)) >= q          for q in (0, 1), and
+//   (ii) Q(F(x)) <= x          for x in the support.
+// For strictly increasing F both hold with equality up to rounding; the
+// inequalities are what survive atoms (Empirical's mass at its minimum)
+// and flat stretches.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spotbid/dist/empirical.hpp"
+#include "spotbid/dist/exponential.hpp"
+#include "spotbid/dist/lognormal.hpp"
+#include "spotbid/dist/pareto.hpp"
+#include "spotbid/dist/uniform.hpp"
+#include "spotbid/numeric/rng.hpp"
+
+namespace spotbid::dist {
+namespace {
+
+struct Family {
+  std::string label;
+  std::shared_ptr<const Distribution> dist;
+};
+
+std::vector<Family> families() {
+  // Spot-price-shaped samples with deliberate duplicates so the ECDF has
+  // an atom at the minimum and collapsed knots.
+  const std::vector<double> samples = {0.0131, 0.0131, 0.0131, 0.015, 0.021, 0.021,
+                                       0.034,  0.055,  0.081,  0.12,  0.12,  0.3};
+  return {
+      {"Pareto", std::make_shared<Pareto>(2.5, 0.0131)},
+      {"BoundedPareto", std::make_shared<BoundedPareto>(1.8, 0.0131, 0.35)},
+      {"Exponential", std::make_shared<Exponential>(12.0, 0.0131)},
+      {"LogNormal", std::make_shared<LogNormal>(-3.6, 0.8)},
+      {"Uniform", std::make_shared<Uniform>(0.0131, 0.35)},
+      {"Empirical", std::make_shared<Empirical>(samples)},
+  };
+}
+
+/// Probe grid: a dense sweep plus the exact edge neighbourhoods where
+/// generalized-inverse bugs live.
+std::vector<double> probe_quantiles() {
+  std::vector<double> qs;
+  for (int i = 1; i < 200; ++i) qs.push_back(i / 200.0);
+  qs.insert(qs.end(), {1e-12, 1e-6, 0.5 + 1e-15, 1.0 - 1e-12, 1.0 - 1e-6});
+  return qs;
+}
+
+TEST(QuantileRoundTrip, CdfOfQuantileDominatesQ) {
+  for (const auto& family : families()) {
+    for (const double q : probe_quantiles()) {
+      const double x = family.dist->quantile(q);
+      EXPECT_GE(family.dist->cdf(x) + 1e-9, q)
+          << family.label << ": cdf(quantile(" << q << ")) = " << family.dist->cdf(x);
+    }
+  }
+}
+
+TEST(QuantileRoundTrip, QuantileOfCdfNeverOvershootsX) {
+  numeric::Rng rng{2015};
+  for (const auto& family : families()) {
+    const double lo = family.dist->support_lo();
+    const double hi = std::isfinite(family.dist->support_hi())
+                          ? family.dist->support_hi()
+                          : family.dist->quantile(0.999);
+    for (int i = 0; i <= 400; ++i) {
+      const double x = lo + (hi - lo) * (i / 400.0);
+      const double q = family.dist->cdf(x);
+      if (q <= 0.0 || q >= 1.0) continue;  // outside the invertible range
+      const double back = family.dist->quantile(q);
+      EXPECT_LE(back, x + 1e-9 * (1.0 + std::abs(x)))
+          << family.label << ": quantile(cdf(" << x << ")) = " << back;
+    }
+    // Random interior probes, too — grid points can hide off-knot bugs.
+    for (int i = 0; i < 200; ++i) {
+      const double x = family.dist->sample(rng);
+      const double q = family.dist->cdf(x);
+      if (q <= 0.0 || q >= 1.0) continue;
+      EXPECT_LE(family.dist->quantile(q), x + 1e-9 * (1.0 + std::abs(x))) << family.label;
+    }
+  }
+}
+
+TEST(QuantileRoundTrip, EmpiricalKnotBoundariesRoundTripExactly) {
+  const std::vector<double> samples = {0.0131, 0.0131, 0.0131, 0.015, 0.021, 0.021,
+                                       0.034,  0.055,  0.081,  0.12,  0.12,  0.3};
+  const Empirical empirical{samples};
+  // q exactly at each knot's cumulative probability must come back to the
+  // knot itself (inf of a closed set containing the knot).
+  for (const double knot : empirical.knots()) {
+    const double q = empirical.cdf(knot);
+    if (q >= 1.0) continue;
+    EXPECT_NEAR(empirical.quantile(q), knot, 1e-12) << "knot " << knot;
+    EXPECT_GE(empirical.cdf(empirical.quantile(q)) + 1e-12, q);
+  }
+  // The atom at the minimum: every q at or below the atom's mass maps to
+  // the minimum sample, and the round trip clamps there instead of
+  // extrapolating below the support.
+  const double atom = empirical.cdf(empirical.knots().front());
+  ASSERT_GT(atom, 0.0);
+  EXPECT_DOUBLE_EQ(empirical.quantile(atom), empirical.knots().front());
+  EXPECT_DOUBLE_EQ(empirical.quantile(atom / 2.0), empirical.knots().front());
+  EXPECT_DOUBLE_EQ(empirical.quantile(1e-15), empirical.knots().front());
+  // And the top knot is the q -> 1 limit.
+  EXPECT_NEAR(empirical.quantile(1.0), empirical.knots().back(), 1e-12);
+}
+
+TEST(QuantileRoundTrip, ContinuousFamiliesInvertToMachinePrecision) {
+  // Where F is strictly increasing the generalized inverse is the plain
+  // inverse: round trips should be tight, not just one-sided.
+  for (const auto& family : families()) {
+    if (family.label == "Empirical") continue;
+    for (const double q : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+      const double x = family.dist->quantile(q);
+      EXPECT_NEAR(family.dist->cdf(x), q, 1e-9) << family.label << " q=" << q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spotbid::dist

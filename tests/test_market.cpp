@@ -125,6 +125,41 @@ TEST(SpotMarket, CloseStopsBillingAndIsIdempotent) {
   EXPECT_THROW((void)m.close(777), InvalidArgument);
 }
 
+TEST(SpotMarket, CloseWhileStillSubmittedNeverEntersTheAuction) {
+  // Regression for the submit-then-immediately-close path: a request
+  // cancelled before the next slot opens must never launch, never bill,
+  // and must record its closure at the submission slot.
+  auto m = make_market({0.01, 0.01, 0.01});
+  m.advance();  // open slot 0 so the submission slot is non-trivial
+  const auto id = m.submit({Money{0.99}, BidKind::kPersistent});
+  ASSERT_EQ(m.status(id).state, RequestState::kSubmitted);
+  m.close(id);
+
+  const auto& s = m.status(id);
+  EXPECT_EQ(s.state, RequestState::kClosed);
+  EXPECT_TRUE(m.is_final(id));
+  EXPECT_EQ(s.closed_slot, s.submitted_slot);
+  EXPECT_DOUBLE_EQ(s.accrued_cost.usd(), 0.0);
+  EXPECT_EQ(s.launches, 0);
+  EXPECT_EQ(s.running_slots, 0);
+
+  // The would-be winning price in later slots must not resurrect it.
+  m.advance();
+  m.advance();
+  EXPECT_EQ(m.status(id).state, RequestState::kClosed);
+  EXPECT_DOUBLE_EQ(m.status(id).accrued_cost.usd(), 0.0);
+  EXPECT_EQ(m.status(id).launches, 0);
+
+  // Event log: exactly one event for this request, and it is the closure.
+  int events_for_id = 0;
+  for (const auto& event : m.event_log())
+    if (event.request == id) {
+      ++events_for_id;
+      EXPECT_EQ(event.kind, EventKind::kClosed);
+    }
+  EXPECT_EQ(events_for_id, 1);
+}
+
 TEST(SpotMarket, EventLogRecordsLifecycle) {
   auto m = make_market({0.04, 0.08, 0.04});
   const auto id = m.submit({Money{0.05}, BidKind::kPersistent});

@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <set>
+#include <utility>
 #include <vector>
 
 namespace spotbid::numeric {
@@ -58,6 +59,39 @@ TEST(Rng, UniformRangeRespectsBounds) {
     EXPECT_GE(x, 2.0);
     EXPECT_LT(x, 5.0);
   }
+}
+
+TEST(Rng, UniformRangeNeverReturnsUpperBound) {
+  // Regression: lo + u * (hi - lo) can round exactly to hi (or past it)
+  // even though u < 1, e.g. for (0.1, 0.3) where 0.1 + u * 0.2 rounds to
+  // 0.30000000000000004 for u near 1, or for ranges one ulp wide where
+  // about half of all draws used to land on hi. The contract is [lo, hi).
+  const std::pair<double, double> ranges[] = {
+      {0.1, 0.3},                                    // classic decimal rounding
+      {1.0, 1.0 + std::pow(2.0, -52.0)},             // one-ulp range
+      {-0.3, -0.1},                                  // negative mirror
+      {-1e-300, 1e-300},                             // subnormal-adjacent span
+      {1e15, 1e15 + 0.25},                           // large magnitude, coarse ulp
+      {0.02, 0.35},                                  // spot-price-shaped range
+  };
+  int seed = 41;
+  for (const auto& [lo, hi] : ranges) {
+    Rng rng{static_cast<std::uint64_t>(++seed)};
+    for (int i = 0; i < 20000; ++i) {
+      const double x = rng.uniform(lo, hi);
+      EXPECT_GE(x, lo) << "range [" << lo << ", " << hi << ")";
+      EXPECT_LT(x, hi) << "range [" << lo << ", " << hi << ")";
+    }
+  }
+}
+
+TEST(Rng, UniformRangeClampHitsLargestRepresentable) {
+  // In a one-ulp range the clamp maps every would-be hi to the only other
+  // representable value: lo. The draw degenerates but stays in contract.
+  const double lo = 2.0;
+  const double hi = std::nextafter(lo, 3.0);
+  Rng rng{43};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.uniform(lo, hi), lo);
 }
 
 TEST(Rng, UniformIndexCoversAllValues) {
