@@ -149,5 +149,6 @@ int main(int argc, char** argv) {
   recovery_time_ablation();
   calibration_ablation();
   node_count_ablation();
+  spotbid::bench::metrics_report("ablation_sensitivity");
   return spotbid::bench::run_benchmarks(argc, argv);
 }

@@ -8,11 +8,15 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "spotbid/core/metrics.hpp"
 
 namespace spotbid::bench {
 
@@ -71,6 +75,28 @@ inline std::string percent(double fraction) { return fmt("%+.1f%%", 100.0 * frac
 
 inline void banner(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n\n";
+}
+
+/// Print the run's metrics (everything the driver's simulations recorded in
+/// the global registry) as a human-readable table, and optionally export
+/// the snapshot to the files named by SPOTBID_METRICS_JSON /
+/// SPOTBID_METRICS_CSV. Call once at the end of a driver, after the
+/// reproduction tables.
+inline void metrics_report(const std::string& title) {
+  const metrics::Snapshot snapshot = metrics::Registry::global().snapshot();
+  if (snapshot.metrics.empty()) return;
+  banner(title + ": run metrics");
+  metrics::write_summary(std::cout, snapshot);
+  if (const char* path = std::getenv("SPOTBID_METRICS_JSON"); path != nullptr && *path != '\0') {
+    std::ofstream os{path};
+    metrics::write_json(os, snapshot);
+    std::cout << "metrics json -> " << path << "\n";
+  }
+  if (const char* path = std::getenv("SPOTBID_METRICS_CSV"); path != nullptr && *path != '\0') {
+    std::ofstream os{path};
+    metrics::write_csv(os, snapshot);
+    std::cout << "metrics csv -> " << path << "\n";
+  }
 }
 
 /// Run the reproduction (already printed by the caller) and then the

@@ -1,13 +1,23 @@
-// Perf harness for the deterministic parallel Monte-Carlo engine: a
-// Figure-5-style one-time-bid sweep (r3.xlarge, 1000 market replicas) run
-// once serially (1 thread) and once on the full pool, verifying the
-// reduction is bit-identical and emitting BENCH_spotbid.json with wall
-// times, speedup, and replica throughput so the perf trajectory is
-// trackable across commits.
+// Perf harness for the deterministic parallel Monte-Carlo engine and the
+// observability layer on top of it. Stages:
+//
+//   1. metrics OFF:  Figure-5-style one-time-bid sweep (r3.xlarge, 1000
+//      market replicas) run serially (1 thread) and on the full pool,
+//      verifying the reduction is bit-identical — the engine's raw perf.
+//   2. metrics ON:   the same two sweeps; the deterministic subset of the
+//      registry (no timers/gauges/"parallel." telemetry) must be identical
+//      between the serial and pooled runs, and the wall-time delta vs
+//      stage 1 is the instrumentation overhead (target: < 3%).
+//   3. provider queue stage: a 17280-slot (60-day) QueueSimulator run, so
+//      the provider-layer metrics (eq. 3/4) appear in the report.
+//
+// BENCH_spotbid.json gets wall times, speedup, replica throughput, the
+// metrics overhead, and the full metrics snapshot.
 //
 //   ./bench_parallel [output.json]          (default: BENCH_spotbid.json)
 //   SPOTBID_BENCH_REPLICAS=N overrides the replica count (default 1000).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -19,9 +29,11 @@
 #include "spotbid/client/experiment.hpp"
 #include "spotbid/client/job_runner.hpp"
 #include "spotbid/client/monte_carlo.hpp"
+#include "spotbid/core/metrics.hpp"
 #include "spotbid/core/parallel.hpp"
 #include "spotbid/market/price_source.hpp"
 #include "spotbid/provider/calibration.hpp"
+#include "spotbid/provider/queue.hpp"
 
 namespace {
 
@@ -89,10 +101,55 @@ SweepResult run_sweep(int replicas, int threads) {
   return result;
 }
 
+/// Best of three measured runs: the sweep is only a few milliseconds, so a
+/// single run is at the mercy of scheduler noise. Every run must also fold
+/// to the same bits.
+SweepResult best_of_three(int replicas, int threads) {
+  SweepResult best = run_sweep(replicas, threads);
+  for (int i = 0; i < 2; ++i) {
+    const SweepResult again = run_sweep(replicas, threads);
+    if (!(again == best)) {
+      std::cerr << "FATAL: repeated sweep produced different bits\n";
+      std::exit(1);
+    }
+    if (again.wall_seconds < best.wall_seconds) best = again;
+  }
+  return best;
+}
+
+/// Stage 3: drive the provider's eq. 3/4 queue recursion for 60 simulated
+/// days so the provider.* metrics show up in the report.
+struct QueueStage {
+  int slots = 17280;  // 60 days of 5-minute slots
+  double wall_seconds = 0.0;
+  double mean_demand = 0.0;
+};
+
+QueueStage run_queue_stage() {
+  QueueStage stage;
+  const auto& type = ec2::require_type("r3.xlarge");
+  const auto model = provider::calibrated_model(type);
+  const auto arrivals = provider::calibrated_arrivals(type);
+  numeric::Rng rng{77};
+  provider::QueueSimulator queue{model, model.equilibrium_demand(arrivals->mean())};
+  const auto start = std::chrono::steady_clock::now();
+  queue.run(*arrivals, stage.slots, rng);
+  stage.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                           .count();
+  stage.mean_demand = queue.average_demand();
+  return stage;
+}
+
 void write_json(const std::string& path, int replicas, int threads, const SweepResult& serial,
-                const SweepResult& parallel, bool identical) {
+                const SweepResult& parallel, bool identical, const SweepResult& serial_on,
+                const SweepResult& parallel_on, bool metrics_deterministic,
+                const QueueStage& queue, const metrics::Snapshot& snapshot) {
   const double speedup =
       parallel.wall_seconds > 0.0 ? serial.wall_seconds / parallel.wall_seconds : 0.0;
+  const double overhead_pct =
+      parallel.wall_seconds > 0.0
+          ? 100.0 * (parallel_on.wall_seconds - parallel.wall_seconds) / parallel.wall_seconds
+          : 0.0;
   std::ofstream os{path};
   os.precision(17);
   os << "{\n"
@@ -107,8 +164,22 @@ void write_json(const std::string& path, int replicas, int threads, const SweepR
      << "  \"parallel_replicas_per_s\": " << replicas / parallel.wall_seconds << ",\n"
      << "  \"bit_identical\": " << (identical ? "true" : "false") << ",\n"
      << "  \"mean_cost_usd\": " << parallel.total_cost_usd / replicas << ",\n"
-     << "  \"fallbacks\": " << parallel.fallbacks << "\n"
-     << "}\n";
+     << "  \"fallbacks\": " << parallel.fallbacks << ",\n"
+     << "  \"metrics_overhead\": {\n"
+     << "    \"disabled_wall_s\": " << parallel.wall_seconds << ",\n"
+     << "    \"enabled_wall_s\": " << parallel_on.wall_seconds << ",\n"
+     << "    \"serial_enabled_wall_s\": " << serial_on.wall_seconds << ",\n"
+     << "    \"overhead_pct\": " << overhead_pct << "\n"
+     << "  },\n"
+     << "  \"metrics_deterministic\": " << (metrics_deterministic ? "true" : "false") << ",\n"
+     << "  \"queue_stage\": {\n"
+     << "    \"slots\": " << queue.slots << ",\n"
+     << "    \"wall_s\": " << queue.wall_seconds << ",\n"
+     << "    \"mean_demand\": " << queue.mean_demand << "\n"
+     << "  },\n"
+     << "  \"metrics\": ";
+  metrics::write_json(os, snapshot, 2);
+  os << "\n}\n";
 }
 
 }  // namespace
@@ -121,24 +192,32 @@ int main(int argc, char** argv) {
   bench::banner("Parallel Monte-Carlo engine: serial vs pooled fig5 sweep");
   std::cout << "replicas " << replicas << ", pool threads " << threads << "\n";
 
-  // Best of three measured runs per path: the sweep is only a few
-  // milliseconds, so a single run is at the mercy of scheduler noise.
-  // Every run must also fold to the same bits.
-  const auto best_of = [replicas](int threads) {
-    SweepResult best = run_sweep(replicas, threads);
-    for (int i = 0; i < 2; ++i) {
-      const SweepResult again = run_sweep(replicas, threads);
-      if (!(again == best)) {
-        std::cerr << "FATAL: repeated sweep produced different bits\n";
-        std::exit(1);
-      }
-      if (again.wall_seconds < best.wall_seconds) best = again;
-    }
-    return best;
-  };
-  const SweepResult serial = best_of(/*threads=*/1);
-  const SweepResult parallel = best_of(/*threads=*/0);
-  const bool identical = serial == parallel;
+  // Stage 1: raw engine perf, metrics disabled.
+  metrics::set_enabled(false);
+  const SweepResult serial = best_of_three(replicas, /*threads=*/1);
+  const SweepResult parallel = best_of_three(replicas, /*threads=*/0);
+  const bool engine_identical = serial == parallel;
+
+  // Stage 2: the same sweeps with metrics on. Both sides run exactly three
+  // sweeps (best-of-three), so their deterministic registry subsets must
+  // match metric for metric, bucket for bucket.
+  metrics::set_enabled(true);
+  metrics::Registry::global().reset();
+  const SweepResult serial_on = best_of_three(replicas, /*threads=*/1);
+  const metrics::Snapshot serial_snapshot =
+      metrics::Registry::global().snapshot().deterministic();
+  metrics::Registry::global().reset();
+  const SweepResult parallel_on = best_of_three(replicas, /*threads=*/0);
+  const metrics::Snapshot parallel_snapshot =
+      metrics::Registry::global().snapshot().deterministic();
+  const bool metrics_deterministic = serial_snapshot == parallel_snapshot;
+  const bool identical =
+      engine_identical && serial == serial_on && serial_on == parallel_on;
+
+  // Stage 3: provider queue recursion (metrics stay on; its counts join the
+  // parallel sweep's in the final snapshot).
+  const QueueStage queue = run_queue_stage();
+  const metrics::Snapshot snapshot = metrics::Registry::global().snapshot();
 
   bench::Table table{{"path", "wall time", "replicas/s", "mean cost", "fallbacks"}};
   table.row({"serial (1 thread)", bench::fmt("%.3f s", serial.wall_seconds),
@@ -149,15 +228,37 @@ int main(int argc, char** argv) {
              bench::fmt("%.1f", replicas / parallel.wall_seconds),
              bench::usd(parallel.total_cost_usd / replicas),
              std::to_string(parallel.fallbacks)});
+  table.row({"serial + metrics", bench::fmt("%.3f s", serial_on.wall_seconds),
+             bench::fmt("%.1f", replicas / serial_on.wall_seconds),
+             bench::usd(serial_on.total_cost_usd / replicas),
+             std::to_string(serial_on.fallbacks)});
+  table.row({"parallel + metrics", bench::fmt("%.3f s", parallel_on.wall_seconds),
+             bench::fmt("%.1f", replicas / parallel_on.wall_seconds),
+             bench::usd(parallel_on.total_cost_usd / replicas),
+             std::to_string(parallel_on.fallbacks)});
   table.print();
+  const double overhead_pct =
+      100.0 * (parallel_on.wall_seconds - parallel.wall_seconds) / parallel.wall_seconds;
   std::cout << "speedup " << bench::fmt("%.2fx", serial.wall_seconds / parallel.wall_seconds)
-            << ", reductions bit-identical: " << (identical ? "yes" : "NO") << "\n";
+            << ", reductions bit-identical: " << (identical ? "yes" : "NO")
+            << ", metrics snapshots identical: " << (metrics_deterministic ? "yes" : "NO")
+            << "\nmetrics overhead " << bench::fmt("%+.2f%%", overhead_pct) << " (target < 3%)\n";
+  std::cout << "queue stage: " << queue.slots << " slots in "
+            << bench::fmt("%.3f s", queue.wall_seconds) << ", mean demand "
+            << bench::fmt("%.2f", queue.mean_demand) << "\n";
 
-  write_json(out, replicas, threads, serial, parallel, identical);
+  bench::metrics_report("bench_parallel");
+
+  write_json(out, replicas, threads, serial, parallel, identical, serial_on, parallel_on,
+             metrics_deterministic, queue, snapshot);
   std::cout << "wrote " << out << "\n";
 
   if (!identical) {
     std::cerr << "FATAL: serial and parallel reductions differ\n";
+    return 1;
+  }
+  if (!metrics_deterministic) {
+    std::cerr << "FATAL: metrics snapshots differ between thread counts\n";
     return 1;
   }
   return 0;

@@ -188,5 +188,6 @@ int main(int argc, char** argv) {
   sticky_comparison();
   collective_iteration();
   workflow_pipeline();
+  spotbid::bench::metrics_report("ext_section8");
   return spotbid::bench::run_benchmarks(argc, argv);
 }

@@ -144,5 +144,6 @@ BENCHMARK(benchmark_fit)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   reproduce_figure3();
+  spotbid::bench::metrics_report("fig3_pdf_fit");
   return spotbid::bench::run_benchmarks(argc, argv);
 }

@@ -127,5 +127,6 @@ BENCHMARK(benchmark_replay_day)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
   reproduce_figure4();
+  spotbid::bench::metrics_report("fig4_running_time");
   return spotbid::bench::run_benchmarks(argc, argv);
 }

@@ -70,5 +70,6 @@ BENCHMARK(benchmark_experiment_cell)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   reproduce_figure5();
+  spotbid::bench::metrics_report("fig5_onetime_cost");
   return spotbid::bench::run_benchmarks(argc, argv);
 }

@@ -102,5 +102,6 @@ BENCHMARK(benchmark_persistent_run)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   reproduce_figure6();
+  spotbid::bench::metrics_report("fig6_persistent_vs_onetime");
   return spotbid::bench::run_benchmarks(argc, argv);
 }

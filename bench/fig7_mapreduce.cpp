@@ -80,5 +80,6 @@ BENCHMARK(benchmark_cluster_run)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   reproduce_figure7();
+  spotbid::bench::metrics_report("fig7_mapreduce");
   return spotbid::bench::run_benchmarks(argc, argv);
 }

@@ -94,5 +94,6 @@ BENCHMARK(benchmark_queue_slot);
 int main(int argc, char** argv) {
   closed_form_check();
   stability_check();
+  spotbid::bench::metrics_report("provider_model");
   return spotbid::bench::run_benchmarks(argc, argv);
 }

@@ -100,5 +100,6 @@ BENCHMARK(benchmark_model_from_history)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   print_table2();
   reproduce_table3();
+  spotbid::bench::metrics_report("table3_optimal_bids");
   return spotbid::bench::run_benchmarks(argc, argv);
 }

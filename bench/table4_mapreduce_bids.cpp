@@ -63,5 +63,6 @@ BENCHMARK(benchmark_mapreduce_plan)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   reproduce_table4();
+  spotbid::bench::metrics_report("table4_mapreduce_bids");
   return spotbid::bench::run_benchmarks(argc, argv);
 }

@@ -26,10 +26,21 @@
 #include <vector>
 
 #include "spotbid/core/contracts.hpp"
+#include "spotbid/core/metrics.hpp"
 #include "spotbid/core/parallel.hpp"
 #include "spotbid/numeric/rng.hpp"
 
 namespace spotbid::client {
+
+namespace detail {
+/// Observability hooks for the header-only engine (defined out of line so
+/// the metric registrations live in one translation unit): `mc.runs`,
+/// `mc.replicas_requested`, `mc.replicas_completed`, and the
+/// `mc.replica_seconds` wall-time histogram.
+void note_run_started(int replicas);
+void note_replica_finished();
+[[nodiscard]] metrics::Histogram& replica_timer();
+}  // namespace detail
 
 /// One replica's identity, handed to the replication body.
 struct Replica {
@@ -63,12 +74,19 @@ template <typename Body>
 [[nodiscard]] auto run_replicas(const MonteCarloConfig& config, Body&& body)
     -> std::vector<std::decay_t<std::invoke_result_t<Body&, const Replica&>>> {
   validate_monte_carlo(config);
+  detail::note_run_started(config.replicas);
   return core::parallel_map(
       static_cast<std::size_t>(config.replicas),
       [&](std::size_t i) {
         const Replica replica{static_cast<int>(i),
                               replica_seed(config, static_cast<int>(i))};
-        return body(replica);
+        // mc.replica_seconds samples 1 replica in 16 (by index, so the
+        // choice is thread-independent): two clock reads on every replica
+        // would dominate the instrumentation budget of short sweeps.
+        metrics::ScopedTimer timer{i % 16 == 0 ? &detail::replica_timer() : nullptr};
+        auto result = body(replica);
+        detail::note_replica_finished();
+        return result;
       },
       config.threads);
 }

@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "spotbid/core/metrics.hpp"
 #include "spotbid/market/price_source.hpp"
 
 namespace spotbid::market {
@@ -86,9 +87,25 @@ struct SlotReport {
   std::vector<Event> events;
 };
 
+/// Observability: each market batches its per-slot metrics locally
+/// (`market.slots`, `market.spot_price_usd`) and merges them into
+/// metrics::Registry::global() when it is destroyed; request-lifecycle
+/// metrics (`market.launches`, `market.interruptions`,
+/// `market.terminations`, `market.closes`, `market.revenue_usd`, ...) are
+/// recorded once per request when it reaches a final state (or at market
+/// teardown for requests still open). All of them are integers or
+/// fixed-point sums, so parallel replicas merge deterministically — see
+/// docs/METRICS.md for the full catalogue.
 class SpotMarket {
  public:
   explicit SpotMarket(std::unique_ptr<PriceSource> source);
+
+  SpotMarket(SpotMarket&&) noexcept;
+  SpotMarket& operator=(SpotMarket&&) noexcept;
+
+  /// Flushes the metric batches and records requests still open (their
+  /// lifecycle tallies would otherwise be lost with the market).
+  ~SpotMarket();
 
   /// Slot length t_k of the underlying price source.
   [[nodiscard]] Hours slot_length() const { return source_->slot_length(); }
@@ -128,12 +145,27 @@ class SpotMarket {
  private:
   RequestStatus& status_mutable(RequestId id);
 
+  /// Merge a request's lifecycle tallies into the global registry; called
+  /// exactly once per request, when it reaches a final state (or from the
+  /// destructor when it never does).
+  void record_request_metrics(const RequestStatus& request, bool resolved);
+
   std::unique_ptr<PriceSource> source_;
   std::vector<RequestStatus> requests_;
   std::vector<Event> events_;
   SlotIndex next_slot_ = 0;
   Money current_price_{};
   bool has_price_ = false;
+  // Local shard of the slot-weighted price histogram. Spot prices are
+  // sticky, so instead of per-slot observations the market records one
+  // "spell" (price, run length) whenever the price changes — the hot loop
+  // pays a single compare against current_price_, which advance() loads
+  // anyway. spell_start_ is the slot the current spell began at; the
+  // destructor flushes the open spell and derives market.slots from the
+  // batch. Moved-from markets are left with an empty batch, so a slot is
+  // never counted twice.
+  metrics::HistogramBatch price_batch_;
+  SlotIndex spell_start_ = 0;
 };
 
 }  // namespace spotbid::market

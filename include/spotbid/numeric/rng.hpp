@@ -30,7 +30,7 @@ namespace spotbid::numeric {
 [[nodiscard]] std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t stream);
 
 /// xoshiro256** 1.0 (Blackman & Vigna). Satisfies
-/// std::uniform_random_bit_generator, so it plugs into <random> if needed.
+/// std::uniform_random_bit_generator, so it plugs into `<random>` if needed.
 class Rng {
  public:
   using result_type = std::uint64_t;

@@ -3,6 +3,7 @@
 /// \file spotbid.hpp
 /// Umbrella header: the full public API of the spotbid library.
 
+#include "spotbid/core/metrics.hpp"
 #include "spotbid/core/parallel.hpp"
 #include "spotbid/core/types.hpp"
 #include "spotbid/core/version.hpp"

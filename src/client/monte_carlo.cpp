@@ -1,6 +1,43 @@
 #include "spotbid/client/monte_carlo.hpp"
 
+#include "spotbid/core/metrics.hpp"
+
 namespace spotbid::client {
+
+namespace detail {
+
+namespace {
+
+struct McMetrics {
+  metrics::Counter& runs;
+  metrics::Counter& replicas_requested;
+  metrics::Counter& replicas_completed;
+  metrics::Histogram& replica_seconds;
+};
+
+McMetrics& mcm() {
+  static McMetrics m{
+      metrics::Registry::global().counter("mc.runs"),
+      metrics::Registry::global().counter("mc.replicas_requested"),
+      metrics::Registry::global().counter("mc.replicas_completed"),
+      metrics::Registry::global().timer("mc.replica_seconds"),
+  };
+  return m;
+}
+
+}  // namespace
+
+void note_run_started(int replicas) {
+  auto& m = mcm();
+  m.runs.increment();
+  m.replicas_requested.add(static_cast<std::uint64_t>(replicas));
+}
+
+void note_replica_finished() { mcm().replicas_completed.increment(); }
+
+metrics::Histogram& replica_timer() { return mcm().replica_seconds; }
+
+}  // namespace detail
 
 std::uint64_t replica_seed(const MonteCarloConfig& config, int index) {
   SPOTBID_EXPECT(index >= 0, "replica_seed: negative replica index");

@@ -10,12 +10,33 @@
 #include <mutex>
 
 #include "spotbid/core/contracts.hpp"
+#include "spotbid/core/metrics.hpp"
 
 namespace spotbid::core {
 
 namespace {
 
 thread_local bool t_in_parallel_region = false;
+
+/// Scheduler telemetry. Everything here carries the "parallel." prefix,
+/// which Snapshot::deterministic() drops: chunk counts and latencies vary
+/// with the thread count by design (see core/metrics.hpp).
+struct ParallelMetrics {
+  metrics::Counter& invocations;
+  metrics::Counter& serial_invocations;
+  metrics::Counter& chunks;
+  metrics::Histogram& chunk_seconds;
+};
+
+ParallelMetrics& pm() {
+  static ParallelMetrics m{
+      metrics::Registry::global().counter("parallel.invocations"),
+      metrics::Registry::global().counter("parallel.serial_invocations"),
+      metrics::Registry::global().counter("parallel.chunks"),
+      metrics::Registry::global().timer("parallel.chunk_seconds"),
+  };
+  return m;
+}
 
 /// RAII flag so nested parallel_for calls (directly or through library
 /// code the body happens to call) degrade to serial inline execution.
@@ -59,7 +80,9 @@ struct ForLoopState {
       const std::size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
       if (begin >= n || cancelled.load(std::memory_order_relaxed)) return;
       const std::size_t end = std::min(begin + grain, n);
+      pm().chunks.increment();
       try {
+        metrics::ScopedTimer chunk_timer{pm().chunk_seconds};
         for (std::size_t i = begin; i < end; ++i) (*body)(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock{error_mutex};
@@ -139,12 +162,14 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body, i
   SPOTBID_EXPECT(body != nullptr, "parallel_for: null body");
   SPOTBID_EXPECT(threads >= 0, "parallel_for: negative thread count");
   if (n == 0) return;
+  pm().invocations.increment();
 
   const int requested = threads > 0 ? threads : default_thread_count();
   // Serial fast path: trivial ranges, an explicit single thread, or a call
   // from inside another parallel region (re-entering the pool from a pool
   // worker could otherwise deadlock on a full queue of blocked parents).
   if (n == 1 || requested == 1 || t_in_parallel_region) {
+    pm().serial_invocations.increment();
     RegionGuard guard;
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;

@@ -1,11 +1,30 @@
 #include "spotbid/market/checkpoint.hpp"
 
 #include "spotbid/core/contracts.hpp"
+#include "spotbid/core/metrics.hpp"
 
 namespace spotbid::market {
 
+namespace {
+
+struct CheckpointMetrics {
+  metrics::Counter& launches;
+  metrics::Counter& progress;
+};
+
+CheckpointMetrics& cpm() {
+  static CheckpointMetrics m{
+      metrics::Registry::global().counter("market.checkpoint_launches"),
+      metrics::Registry::global().counter("market.checkpoint_progress"),
+  };
+  return m;
+}
+
+}  // namespace
+
 void CheckpointStore::record_launch(const std::string& key, SlotIndex slot) {
   journals_[key].push_back({slot, CheckpointRecord::Kind::kLaunch, Hours{0.0}});
+  cpm().launches.increment();
 }
 
 void CheckpointStore::record_progress(const std::string& key, SlotIndex slot,
@@ -13,6 +32,7 @@ void CheckpointStore::record_progress(const std::string& key, SlotIndex slot,
   SPOTBID_REQUIRE_FINITE(completed_work.hours(), "CheckpointStore: completed work");
   SPOTBID_EXPECT(completed_work.hours() >= 0.0, "CheckpointStore: negative completed work");
   journals_[key].push_back({slot, CheckpointRecord::Kind::kProgress, completed_work});
+  cpm().progress.increment();
 }
 
 int CheckpointStore::launch_count(const std::string& key) const {

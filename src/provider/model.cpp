@@ -4,9 +4,20 @@
 #include <cmath>
 
 #include "spotbid/core/contracts.hpp"
+#include "spotbid/core/metrics.hpp"
 #include "spotbid/numeric/optimize.hpp"
 
 namespace spotbid::provider {
+
+namespace {
+
+metrics::Counter& eq3_evaluations() {
+  static metrics::Counter& c =
+      metrics::Registry::global().counter("provider.eq3_evaluations");
+  return c;
+}
+
+}  // namespace
 
 ProviderModel::ProviderModel(Money pi_bar, Money pi_min, double beta, double theta)
     : pi_bar_(pi_bar), pi_min_(pi_min), beta_(beta), theta_(theta) {
@@ -36,6 +47,7 @@ double ProviderModel::objective(Money pi, double demand) const {
 Money ProviderModel::optimal_price(double demand) const {
   SPOTBID_REQUIRE_FINITE(demand, "optimal_price: demand");
   SPOTBID_EXPECT(demand > 0.0, "optimal_price: demand must be > 0");
+  eq3_evaluations().increment();
   const double w = spread();
   const double pb = pi_bar_.usd();
   const double inv_l = 1.0 / demand;

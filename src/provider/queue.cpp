@@ -4,9 +4,33 @@
 #include <cmath>
 
 #include "spotbid/core/contracts.hpp"
+#include "spotbid/core/metrics.hpp"
 #include "spotbid/numeric/roots.hpp"
 
 namespace spotbid::provider {
+
+namespace {
+
+struct QueueMetrics {
+  metrics::Counter& steps;
+  metrics::Histogram& demand;
+  metrics::Histogram& clearing_price_usd;
+  metrics::Gauge& demand_last;
+};
+
+QueueMetrics& qm() {
+  static QueueMetrics m{
+      metrics::Registry::global().counter("provider.queue_steps"),
+      metrics::Registry::global().histogram("provider.queue_demand",
+                                            metrics::kDemandBounds),
+      metrics::Registry::global().histogram("provider.clearing_price_usd",
+                                            metrics::kPriceBoundsUsd),
+      metrics::Registry::global().gauge("provider.queue_demand_last"),
+  };
+  return m;
+}
+
+}  // namespace
 
 QueueSimulator::QueueSimulator(ProviderModel model, double initial_demand)
     : model_(model), demand_(initial_demand) {
@@ -28,6 +52,11 @@ QueueSlot QueueSimulator::step(double arrivals) {
   // N <= L and theta <= 1; a negative queue means the recursion is broken.
   SPOTBID_EXPECT(demand_ >= 0.0, "QueueSimulator::step: eq. 4 queue went negative");
   history_.push_back(slot);
+  auto& m = qm();
+  m.steps.increment();
+  m.demand.observe(slot.demand);
+  m.clearing_price_usd.observe(slot.price.usd());
+  m.demand_last.set(demand_);
   return slot;
 }
 

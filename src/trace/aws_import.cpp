@@ -7,9 +7,26 @@
 #include <map>
 #include <sstream>
 
+#include "spotbid/core/metrics.hpp"
+
 namespace spotbid::trace {
 
 namespace {
+
+struct ImportMetrics {
+  metrics::Counter& records_parsed;
+  metrics::Counter& parse_failures;
+  metrics::Counter& slots_resampled;
+};
+
+ImportMetrics& im() {
+  static ImportMetrics m{
+      metrics::Registry::global().counter("trace.records_parsed"),
+      metrics::Registry::global().counter("trace.parse_failures"),
+      metrics::Registry::global().counter("trace.slots_resampled"),
+  };
+  return m;
+}
 
 /// Minimal recursive-descent reader for the JSON subset the AWS CLI emits.
 /// Values are returned as strings (callers convert); nested structure
@@ -284,7 +301,14 @@ std::int64_t parse_iso8601_utc(std::string_view text) {
 }
 
 std::vector<SpotPriceRecord> parse_spot_price_history(std::string_view json) {
-  return JsonReader{json}.parse_history();
+  try {
+    auto records = JsonReader{json}.parse_history();
+    im().records_parsed.add(records.size());
+    return records;
+  } catch (...) {
+    im().parse_failures.increment();
+    throw;
+  }
 }
 
 std::vector<SpotPriceRecord> parse_spot_price_history(std::istream& is) {
@@ -349,6 +373,7 @@ PriceTrace resample_to_trace(std::vector<SpotPriceRecord> records,
     prices.push_back(cheapest);
   }
   if (prices.size() < 1) throw InvalidArgument{"resample_to_trace: empty resample"};
+  im().slots_resampled.add(prices.size());
   return PriceTrace{type, start, options.slot_length, std::move(prices)};
 }
 

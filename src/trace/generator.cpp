@@ -2,10 +2,21 @@
 
 #include <algorithm>
 
+#include "spotbid/core/metrics.hpp"
 #include "spotbid/provider/calibration.hpp"
 #include "spotbid/provider/queue.hpp"
 
 namespace spotbid::trace {
+
+namespace {
+
+metrics::Counter& slots_generated() {
+  static metrics::Counter& c =
+      metrics::Registry::global().counter("trace.slots_generated");
+  return c;
+}
+
+}  // namespace
 
 PriceTrace generate_equilibrium_trace(const provider::ProviderModel& model,
                                       const dist::Distribution& arrivals,
@@ -26,6 +37,7 @@ PriceTrace generate_equilibrium_trace(const provider::ProviderModel& model,
     }
     prices.push_back(current);
   }
+  slots_generated().add(prices.size());
   return PriceTrace{instance_type, config.start_epoch_s, config.slot_length, std::move(prices)};
 }
 
@@ -43,6 +55,7 @@ PriceTrace generate_queue_trace(const provider::ProviderModel& model,
     const auto slot = queue.step(std::max(arrivals.sample(rng), 0.0));
     prices.push_back(slot.price.usd());
   }
+  slots_generated().add(prices.size());
   return PriceTrace{instance_type, config.start_epoch_s, config.slot_length, std::move(prices)};
 }
 

@@ -4,7 +4,19 @@
 #include <ostream>
 #include <sstream>
 
+#include "spotbid/core/metrics.hpp"
+
 namespace spotbid::trace {
+
+namespace {
+
+metrics::Counter& csv_records_parsed() {
+  static metrics::Counter& c =
+      metrics::Registry::global().counter("trace.csv_records_parsed");
+  return c;
+}
+
+}  // namespace
 
 PriceTrace::PriceTrace(std::string instance_type, std::int64_t start_epoch_s, Hours slot_length,
                        std::vector<double> prices)
@@ -77,6 +89,7 @@ PriceTrace PriceTrace::read_csv(std::istream& is) {
     if (line.empty()) continue;
     prices.push_back(std::stod(line));
   }
+  csv_records_parsed().add(prices.size());
   return PriceTrace{type, std::stoll(epoch_str), Hours::from_seconds(std::stod(slot_str)),
                     std::move(prices)};
 }

@@ -1,0 +1,400 @@
+// Tests for the metrics registry: fixed-point tick rounding, histogram
+// bucket-boundary semantics, counter/sum/gauge behavior, batch shards and
+// their move/flush rules, the enable toggle, registry get-or-create
+// contracts, snapshots (and their deterministic subset), and the JSON /
+// CSV / summary / time-series exporters.
+
+#include "spotbid/core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "spotbid/core/types.hpp"
+
+namespace spotbid::metrics {
+namespace {
+
+/// Restores the process-wide toggle no matter how a test exits.
+class EnabledGuard {
+ public:
+  EnabledGuard() : previous_(enabled()) { set_enabled(true); }
+  ~EnabledGuard() { set_enabled(previous_); }
+
+ private:
+  bool previous_;
+};
+
+TEST(Ticks, RoundsToNearestAwayFromZero) {
+  EXPECT_EQ(to_ticks(0.0), 0);
+  EXPECT_EQ(to_ticks(1.0), 1000000000);
+  EXPECT_EQ(to_ticks(-1.0), -1000000000);
+  // Sub-tick quantities round to the nearest tick, symmetrically in sign.
+  EXPECT_EQ(to_ticks(0.6e-9), 1);
+  EXPECT_EQ(to_ticks(0.4e-9), 0);
+  EXPECT_EQ(to_ticks(-0.6e-9), -1);
+  EXPECT_EQ(to_ticks(-0.4e-9), 0);
+  EXPECT_EQ(to_ticks(1.8e-9), 2);
+}
+
+TEST(Ticks, ExactForTypicalPrices) {
+  // Common spot prices must round-trip through ticks without drift.
+  for (const double usd : {0.01, 0.035, 0.350, 1.28, 2.56}) {
+    const auto ticks = to_ticks(usd);
+    EXPECT_NEAR(static_cast<double>(ticks) * kTickResolution, usd, 1e-12) << usd;
+  }
+}
+
+TEST(Counter, AddsAndIncrements) {
+  EnabledGuard guard;
+  Registry registry;
+  Counter& c = registry.counter("c");
+  c.increment();
+  c.add(41);
+  c.add(0);  // no-op by value, must not disturb the total
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, DisabledRecordsNothing) {
+  EnabledGuard guard;
+  Registry registry;
+  Counter& c = registry.counter("c");
+  set_enabled(false);
+  c.add(5);
+  EXPECT_EQ(c.value(), 0u);
+  set_enabled(true);
+  c.add(5);
+  EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(Sum, AccumulatesInFixedPoint) {
+  EnabledGuard guard;
+  Registry registry;
+  Sum& s = registry.sum("s");
+  s.add(0.1);
+  s.add(0.2);
+  // 0.1 + 0.2 != 0.3 in doubles, but in ticks it is exact.
+  EXPECT_EQ(s.ticks(), 300000000);
+  EXPECT_NEAR(s.value(), 0.3, kTickResolution);
+}
+
+TEST(Sum, DropsNonFinite) {
+  EnabledGuard guard;
+  Registry registry;
+  Sum& s = registry.sum("s");
+  s.add(std::numeric_limits<double>::quiet_NaN());
+  s.add(std::numeric_limits<double>::infinity());
+  s.add(1.0);
+  EXPECT_EQ(s.ticks(), 1000000000);
+}
+
+TEST(Gauge, LastWriteWins) {
+  EnabledGuard guard;
+  Registry registry;
+  Gauge& g = registry.gauge("g");
+  g.set(1.5);
+  g.set(-2.5);
+  EXPECT_DOUBLE_EQ(g.value(), -2.5);
+}
+
+TEST(Histogram, BucketBoundariesAreHalfOpen) {
+  EnabledGuard guard;
+  Registry registry;
+  const std::vector<double> bounds{1.0, 2.0, 4.0};
+  Histogram& h = registry.histogram("h", bounds);
+  ASSERT_EQ(h.bucket_count(), 4u);
+
+  // Bucket i is [bounds[i-1], bounds[i]); a value exactly on a bound
+  // belongs to the bucket above it.
+  EXPECT_EQ(h.bucket_index(-5.0), 0u);
+  EXPECT_EQ(h.bucket_index(0.999), 0u);
+  EXPECT_EQ(h.bucket_index(1.0), 1u);
+  EXPECT_EQ(h.bucket_index(std::nextafter(1.0, 0.0)), 0u);
+  EXPECT_EQ(h.bucket_index(std::nextafter(2.0, 0.0)), 1u);
+  EXPECT_EQ(h.bucket_index(2.0), 2u);
+  EXPECT_EQ(h.bucket_index(4.0), 3u);  // overflow bucket [4, inf)
+  EXPECT_EQ(h.bucket_index(1e18), 3u);
+}
+
+TEST(Histogram, ObserveCountsAndSums) {
+  EnabledGuard guard;
+  Registry registry;
+  Histogram& h = registry.histogram("h", std::vector<double>{1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.0);
+  h.observe(3.0);
+  h.observe(std::numeric_limits<double>::quiet_NaN());  // dropped
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_NEAR(h.sum(), 4.5, kTickResolution);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  Registry registry;
+  EXPECT_THROW(registry.histogram("a", std::vector<double>{}), InvalidArgument);
+  EXPECT_THROW(registry.histogram("b", std::vector<double>{1.0, 1.0}), InvalidArgument);
+  EXPECT_THROW(registry.histogram("c", std::vector<double>{2.0, 1.0}), InvalidArgument);
+  EXPECT_THROW(
+      registry.histogram("d", std::vector<double>{1.0, std::numeric_limits<double>::infinity()}),
+      InvalidArgument);
+}
+
+TEST(CounterBatch, FlushesOnceOnDestruction) {
+  EnabledGuard guard;
+  Registry registry;
+  Counter& c = registry.counter("c");
+  {
+    CounterBatch batch{c};
+    batch.add();
+    batch.add(9);
+    EXPECT_EQ(c.value(), 0u) << "batched increments must stay local until flush";
+  }
+  EXPECT_EQ(c.value(), 10u);
+}
+
+TEST(CounterBatch, MoveTransfersPendingExactlyOnce) {
+  EnabledGuard guard;
+  Registry registry;
+  Counter& c = registry.counter("c");
+  {
+    CounterBatch a{c};
+    a.add(3);
+    CounterBatch b{std::move(a)};
+    b.add(4);
+    a.flush();  // moved-from: nothing pending
+    EXPECT_EQ(c.value(), 0u);
+  }
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(CounterBatch, SamplesEnabledAtConstruction) {
+  EnabledGuard guard;
+  Registry registry;
+  Counter& c = registry.counter("c");
+  set_enabled(false);
+  CounterBatch batch{c};
+  set_enabled(true);
+  batch.add(5);
+  batch.flush();
+  EXPECT_EQ(c.value(), 0u) << "a batch armed while disabled must record nothing";
+}
+
+TEST(HistogramBatch, MergesBucketsAndSumOnFlush) {
+  EnabledGuard guard;
+  Registry registry;
+  Histogram& h = registry.histogram("h", std::vector<double>{1.0, 2.0});
+  {
+    HistogramBatch batch{h};
+    batch.observe(0.5);
+    batch.observe(0.5);
+    batch.observe(1.5);
+    batch.observe(std::numeric_limits<double>::quiet_NaN());  // dropped
+    batch.observe(5.0);
+    EXPECT_EQ(batch.pending_count(), 4u);
+    EXPECT_EQ(h.count(), 0u);
+  }
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_NEAR(h.sum(), 7.5, kTickResolution);
+}
+
+TEST(HistogramBatch, ObserveRunMatchesRepeatedObserve) {
+  EnabledGuard guard;
+  Registry registry;
+  Histogram& direct = registry.histogram("direct", std::vector<double>{1.0, 2.0});
+  Histogram& batched = registry.histogram("batched", std::vector<double>{1.0, 2.0});
+  {
+    HistogramBatch batch{batched};
+    batch.observe_run(0.5, 3);
+    batch.observe_run(0.5, 2);  // extends the same run
+    batch.observe_run(1.5, 4);
+    batch.observe_run(1.5, 0);  // zero-length runs are no-ops
+  }
+  for (int i = 0; i < 5; ++i) direct.observe(0.5);
+  for (int i = 0; i < 4; ++i) direct.observe(1.5);
+  EXPECT_EQ(batched.count(), direct.count());
+  for (std::size_t i = 0; i < direct.bucket_count(); ++i)
+    EXPECT_EQ(batched.bucket(i), direct.bucket(i)) << "bucket " << i;
+  EXPECT_DOUBLE_EQ(batched.sum(), direct.sum());
+}
+
+TEST(HistogramBatch, MoveTransfersPendingExactlyOnce) {
+  EnabledGuard guard;
+  Registry registry;
+  Histogram& h = registry.histogram("h", std::vector<double>{1.0});
+  {
+    HistogramBatch a{h};
+    a.observe(0.5);
+    HistogramBatch b{std::move(a)};
+    b.observe(0.5);
+    a.flush();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(a.pending_count(), 0u);
+    EXPECT_EQ(b.pending_count(), 2u);
+  }
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(ScopedTimer, RecordsOneObservation) {
+  EnabledGuard guard;
+  Registry registry;
+  Histogram& t = registry.timer("t");
+  { ScopedTimer timer{t}; }
+  EXPECT_EQ(t.count(), 1u);
+  EXPECT_GE(t.sum(), 0.0);
+}
+
+TEST(ScopedTimer, NullableAndDisabledFormsRecordNothing) {
+  EnabledGuard guard;
+  Registry registry;
+  Histogram& t = registry.timer("t");
+  { ScopedTimer timer{static_cast<Histogram*>(nullptr)}; }
+  set_enabled(false);
+  { ScopedTimer timer{t}; }
+  set_enabled(true);
+  EXPECT_EQ(t.count(), 0u);
+}
+
+TEST(Registry, GetOrCreateReturnsSameInstance) {
+  Registry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(Registry, RejectsEmptyNamesAndKindMismatches) {
+  Registry registry;
+  EXPECT_THROW(registry.counter(""), InvalidArgument);
+  registry.counter("n");
+  EXPECT_THROW(registry.sum("n"), InvalidArgument);
+  EXPECT_THROW(registry.gauge("n"), InvalidArgument);
+  EXPECT_THROW(registry.histogram("n", std::vector<double>{1.0}), InvalidArgument);
+  registry.histogram("h", std::vector<double>{1.0, 2.0});
+  EXPECT_THROW(registry.histogram("h", std::vector<double>{1.0, 3.0}), InvalidArgument)
+      << "re-registration with different bounds must be rejected";
+  EXPECT_NO_THROW(registry.histogram("h", std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Registry, ResetZeroesValuesButKeepsReferences) {
+  EnabledGuard guard;
+  Registry registry;
+  Counter& c = registry.counter("c");
+  Histogram& h = registry.histogram("h", std::vector<double>{1.0});
+  c.add(3);
+  h.observe(0.5);
+  registry.reset();
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  c.add(1);
+  EXPECT_EQ(c.value(), 1u) << "references must stay live across reset";
+}
+
+TEST(Snapshot, SortedFindAndEquality) {
+  EnabledGuard guard;
+  Registry registry;
+  registry.counter("b").add(2);
+  registry.counter("a").add(1);
+  const Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 2u);
+  EXPECT_EQ(snap.metrics[0].name, "a");
+  EXPECT_EQ(snap.metrics[1].name, "b");
+  ASSERT_NE(snap.find("a"), nullptr);
+  EXPECT_EQ(snap.find("a")->count, 1u);
+  EXPECT_EQ(snap.find("missing"), nullptr);
+  EXPECT_TRUE(snap == registry.snapshot());
+  registry.counter("a").add(1);
+  EXPECT_FALSE(snap == registry.snapshot());
+}
+
+TEST(Snapshot, DeterministicDropsTimersGaugesAndParallelPrefix) {
+  EnabledGuard guard;
+  Registry registry;
+  registry.counter("market.slots").add(1);
+  registry.sum("market.revenue_usd").add(1.0);
+  registry.gauge("provider.queue_demand_last").set(2.0);
+  registry.timer("mc.replica_seconds");
+  registry.counter("parallel.chunks").add(7);
+  const Snapshot det = registry.snapshot().deterministic();
+  ASSERT_EQ(det.metrics.size(), 2u);
+  EXPECT_EQ(det.metrics[0].name, "market.revenue_usd");
+  EXPECT_EQ(det.metrics[1].name, "market.slots");
+}
+
+TEST(Exporters, JsonContainsEveryMetricAndBalancedBraces) {
+  EnabledGuard guard;
+  Registry registry;
+  registry.counter("c").add(3);
+  registry.sum("s").add(1.25);
+  registry.histogram("h", std::vector<double>{1.0}).observe(0.5);
+  std::ostringstream os;
+  write_json(os, registry.snapshot());
+  const std::string json = os.str();
+  for (const char* needle : {"\"c\"", "\"s\"", "\"h\"", "\"counter\"", "\"sum\"",
+                             "\"histogram\"", "\"buckets\"", "\"lt\""})
+    EXPECT_NE(json.find(needle), std::string::npos) << needle << "\n" << json;
+  long depth = 0;
+  for (const char ch : json) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0) << json;
+}
+
+TEST(Exporters, CsvHasHeaderAndBucketRows) {
+  EnabledGuard guard;
+  Registry registry;
+  registry.counter("c").add(3);
+  registry.histogram("h", std::vector<double>{1.0}).observe(2.0);
+  std::ostringstream os;
+  write_csv(os, registry.snapshot());
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("metric,kind,field,value"), std::string::npos);
+  EXPECT_NE(csv.find("c,counter,count,3"), std::string::npos);
+  EXPECT_NE(csv.find("lt_inf"), std::string::npos);
+}
+
+TEST(Exporters, SummaryListsEveryMetric) {
+  EnabledGuard guard;
+  Registry registry;
+  registry.counter("first").add(1);
+  registry.gauge("second").set(4.0);
+  std::ostringstream os;
+  write_summary(os, registry.snapshot());
+  EXPECT_NE(os.str().find("first"), std::string::npos);
+  EXPECT_NE(os.str().find("second"), std::string::npos);
+}
+
+TEST(SeriesRecorder, RecordsScalarsPerSample) {
+  EnabledGuard guard;
+  Registry registry;
+  Counter& c = registry.counter("c");
+  registry.gauge("g").set(1.0);
+  registry.histogram("h", std::vector<double>{1.0});  // not a scalar: excluded
+  SeriesRecorder recorder{registry};
+  recorder.sample(0.0);
+  c.add(5);
+  recorder.sample(1.0);
+  EXPECT_EQ(recorder.samples(), 2u);
+  std::ostringstream os;
+  recorder.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("time,metric,value"), std::string::npos);
+  EXPECT_NE(csv.find("0,c,0"), std::string::npos);
+  EXPECT_NE(csv.find("1,c,5"), std::string::npos);
+  EXPECT_EQ(csv.find("h"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spotbid::metrics

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Validate BENCH_spotbid.json against tools/bench_schema.json.
+
+Stdlib only (CI installs no Python packages), so this implements the small
+JSON-Schema subset the schema file actually uses:
+
+    type ("integer"/"number"/"string"/"boolean"/"object"/"array"/"null",
+    or a list of those), enum, const, required, properties,
+    additionalProperties (bool or schema), items, minimum, maximum, anyOf,
+    and $ref into #/$defs.
+
+On top of the structural schema it cross-checks invariants a per-key schema
+cannot express: histogram bucket counts must add up to the histogram count,
+and the slot-weighted price histogram must cover exactly the simulated
+slots.
+
+Usage:
+    python3 tools/check_bench_json.py BENCH_spotbid.json [schema.json]
+
+Exit code 0 when the document validates, 1 with one line per violation
+otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "boolean": lambda v: isinstance(v, bool),
+    # bool is an int subclass in Python; a JSON true is not an integer.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _resolve_ref(ref: str, root: dict) -> dict:
+    if not ref.startswith("#/"):
+        raise ValueError(f"unsupported $ref: {ref}")
+    node = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def validate(value, schema: dict, root: dict, path: str, errors: list[str]) -> None:
+    if "$ref" in schema:
+        validate(value, _resolve_ref(schema["$ref"], root), root, path, errors)
+        return
+
+    if "anyOf" in schema:
+        candidates = []
+        for option in schema["anyOf"]:
+            attempt: list[str] = []
+            validate(value, option, root, path, attempt)
+            if not attempt:
+                return
+            candidates.append(attempt)
+        # None matched: report the closest option (fewest violations).
+        closest = min(candidates, key=len)
+        errors.append(f"{path}: matched no anyOf option; closest option failed with:")
+        errors.extend("  " + e for e in closest)
+        return
+
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not one of {schema['enum']}")
+        return
+
+    if "type" in schema:
+        allowed = schema["type"]
+        if isinstance(allowed, str):
+            allowed = [allowed]
+        if not any(_TYPE_CHECKS[t](value) for t in allowed):
+            errors.append(f"{path}: expected type {'/'.join(allowed)}, got {type(value).__name__}")
+            return
+
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value} below minimum {schema['minimum']}")
+        if "maximum" in schema and value > schema["maximum"]:
+            errors.append(f"{path}: {value} above maximum {schema['maximum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties", True)
+        for key, child in value.items():
+            child_path = f"{path}.{key}" if path else key
+            if key in properties:
+                validate(child, properties[key], root, child_path, errors)
+            elif additional is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+            elif isinstance(additional, dict):
+                validate(child, additional, root, child_path, errors)
+
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], root, f"{path}[{i}]", errors)
+
+
+def cross_checks(doc: dict, errors: list[str]) -> None:
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        return
+    for name, metric in metrics.items():
+        if not isinstance(metric, dict) or "buckets" not in metric:
+            continue
+        bucket_total = sum(
+            b.get("count", 0) for b in metric["buckets"] if isinstance(b, dict)
+        )
+        if bucket_total != metric.get("count"):
+            errors.append(
+                f"metrics.{name}: bucket counts sum to {bucket_total}, "
+                f"count says {metric.get('count')}"
+            )
+
+    price = metrics.get("market.spot_price_usd", {})
+    slots = metrics.get("market.slots", {})
+    if price.get("count") != slots.get("count"):
+        errors.append(
+            "metrics: market.spot_price_usd count "
+            f"({price.get('count')}) != market.slots count ({slots.get('count')}); "
+            "every simulated slot must contribute exactly one price observation"
+        )
+
+    mc = metrics.get("mc.replicas_completed", {})
+    requested = metrics.get("mc.replicas_requested", {})
+    if mc.get("count") != requested.get("count"):
+        errors.append(
+            "metrics: mc.replicas_completed "
+            f"({mc.get('count')}) != mc.replicas_requested ({requested.get('count')})"
+        )
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        return 2
+    document_path = argv[1]
+    schema_path = argv[2] if len(argv) == 3 else "tools/bench_schema.json"
+
+    with open(document_path, encoding="utf-8") as f:
+        doc = json.load(f)
+    with open(schema_path, encoding="utf-8") as f:
+        schema = json.load(f)
+
+    errors: list[str] = []
+    validate(doc, schema, schema, "", errors)
+    cross_checks(doc, errors)
+
+    if errors:
+        for error in errors:
+            print(f"FAIL {document_path}: {error}")
+        return 1
+    metric_count = len(doc.get("metrics", {}))
+    print(f"OK {document_path}: schema valid, {metric_count} metrics present")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
