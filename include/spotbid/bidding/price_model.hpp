@@ -20,6 +20,12 @@
 
 namespace spotbid::bidding {
 
+/// Smallest per-slot acceptance probability a recommended bid may have
+/// (the strategies' degenerate-input floor; see strategies.hpp). Defined
+/// here so the model can cache its quantile alongside the other hot
+/// scalars; strategies.hpp re-exports the name through this include.
+inline constexpr double kMinAcceptance = 0.01;
+
 class SpotPriceModel {
  public:
   /// \param prices      distribution of per-slot spot prices
@@ -51,17 +57,35 @@ class SpotPriceModel {
   /// A(p) = integral_{lo}^{p} x f(x) dx.
   [[nodiscard]] double partial_expectation(Money p) const;
 
-  [[nodiscard]] Money support_lo() const;
-  [[nodiscard]] Money support_hi() const;
+  [[nodiscard]] Money support_lo() const { return Money{support_lo_usd_}; }
+  [[nodiscard]] Money support_hi() const { return Money{support_hi_usd_}; }
   [[nodiscard]] Money on_demand() const { return on_demand_; }
   [[nodiscard]] Hours slot_length() const { return slot_length_; }
   [[nodiscard]] const dist::Distribution& distribution() const { return *prices_; }
   [[nodiscard]] dist::DistributionPtr distribution_ptr() const { return prices_; }
 
+  /// Cached F(on_demand): the acceptance probability at the cost ceiling.
+  [[nodiscard]] double acceptance_at_cap() const { return acceptance_at_cap_; }
+  /// Cached lower end of the bid range the optimizers search: the
+  /// kMinAcceptance quantile (bids below it almost never win a slot).
+  [[nodiscard]] Money min_bid() const { return min_bid_; }
+  /// Cached upper end of the same range: the support supremum (finite-ized
+  /// at the 1 - 1e-9 quantile for unbounded laws), capped at the on-demand
+  /// price — bidding above pi_bar never helps, the charge is the spot
+  /// price and spot <= pi_bar by construction — and floored at min_bid().
+  [[nodiscard]] Money max_bid() const { return max_bid_; }
+
  private:
   dist::DistributionPtr prices_;
   Money on_demand_;
   Hours slot_length_;
+  // Hot scalars, computed once at construction: every bid decision used to
+  // re-derive these (a quantile search + support queries) per call.
+  double support_lo_usd_ = 0.0;
+  double support_hi_usd_ = 0.0;
+  double acceptance_at_cap_ = 0.0;
+  Money min_bid_{};
+  Money max_bid_{};
 };
 
 }  // namespace spotbid::bidding

@@ -31,8 +31,8 @@
 
 namespace spotbid::bidding {
 
-/// Smallest per-slot acceptance probability a recommended bid may have.
-inline constexpr double kMinAcceptance = 0.01;
+// kMinAcceptance (the degenerate-input bid floor described above) lives in
+// price_model.hpp, next to the SpotPriceModel scalars cached from it.
 
 /// A bid recommendation with its analytic predictions.
 struct BidDecision {

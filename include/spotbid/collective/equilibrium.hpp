@@ -29,7 +29,12 @@
 #include "spotbid/ec2/instance_types.hpp"
 #include "spotbid/provider/model.hpp"
 
-namespace spotbid::collective {
+namespace spotbid {
+namespace dist {
+class Empirical;
+}  // namespace dist
+
+namespace collective {
 
 /// Provider pricing against an arbitrary bid distribution (generalizes the
 /// uniform-bid closed form of eq. 3; solved numerically).
@@ -40,19 +45,29 @@ class GeneralizedPricer {
 
   [[nodiscard]] Money pi_bar() const { return pi_bar_; }
   [[nodiscard]] Money pi_min() const { return pi_min_; }
+  [[nodiscard]] double beta() const { return beta_; }
   [[nodiscard]] double theta() const { return theta_; }
 
-  /// Accepted bids N(pi) = demand * (1 - F_bids(pi)).
+  /// Accepted bids N(pi) = demand * (1 - F_bids(pi-)), using the CDF left
+  /// limit so bids exactly at the price count as accepted (the market's
+  /// bid >= price rule; exact at atoms, where an epsilon offset is not).
   [[nodiscard]] double accepted_bids(const dist::Distribution& bids, Money pi,
                                      double demand) const;
 
   /// eq.-1 objective against the given bid distribution.
   [[nodiscard]] double objective(const dist::Distribution& bids, Money pi, double demand) const;
 
-  /// Numeric argmax of the objective on [pi_min, pi_bar].
+  /// Argmax of the objective on [pi_min, pi_bar]. For an Empirical bid law
+  /// the maximum is found EXACTLY by an O(K) sweep over the ECDF knots plus
+  /// each segment's closed-form stationary point (docs/PERF.md derives why
+  /// those candidates are exhaustive); other families fall back to the
+  /// dense grid + golden refinement.
   [[nodiscard]] Money optimal_price(const dist::Distribution& bids, double demand) const;
 
  private:
+  /// The exact knot sweep behind optimal_price (Empirical laws only).
+  [[nodiscard]] Money knot_sweep_price(const dist::Empirical& bids, double demand) const;
+
   Money pi_bar_;
   Money pi_min_;
   double beta_;
@@ -84,4 +99,5 @@ struct RoundSummary {
 [[nodiscard]] std::vector<RoundSummary> iterate_best_response(const ec2::InstanceType& type,
                                                               const PopulationConfig& config = {});
 
-}  // namespace spotbid::collective
+}  // namespace collective
+}  // namespace spotbid

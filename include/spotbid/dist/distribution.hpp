@@ -33,6 +33,13 @@ class Distribution {
   /// Cumulative distribution F(x) = P(X <= x).
   [[nodiscard]] virtual double cdf(double x) const = 0;
 
+  /// Left limit F(x-) = P(X < x). Equal to cdf(x) for atomless laws (the
+  /// default); families with atoms — Empirical's minimum knot, the
+  /// equilibrium price law's floor — override it. First-class left limits
+  /// replace epsilon hacks like cdf(x - 1e-12), which break when the atom
+  /// location is within an ulp of x or when x - 1e-12 rounds back to x.
+  [[nodiscard]] virtual double cdf_left(double x) const;
+
   /// Quantile F^{-1}(q) for q in [0, 1]. Implementations throw
   /// spotbid::InvalidArgument for q outside [0, 1].
   [[nodiscard]] virtual double quantile(double q) const = 0;

@@ -9,7 +9,17 @@
 /// CDF/quantile/partial-expectation. The CDF is the linearly-interpolated
 /// ECDF (so it is continuous and strictly increasing between distinct
 /// sample values, making F^{-1} well defined); the density is the
-/// corresponding piecewise-constant derivative.
+/// corresponding piecewise-constant derivative on half-open segments
+/// [x_i, x_{i+1}).
+///
+/// Query plane (docs/PERF.md): the constructor precomputes, per knot, the
+/// cumulative mass F(x_i) and the cumulative first-moment integral
+/// A(x_i) = integral_{lo}^{x_i} x f(x) dx, so every point query — cdf,
+/// quantile, partial_expectation, and everything built on them
+/// (expected_payment, eq. 8/9 costs, psi) — is one O(log K) binary search
+/// instead of an O(K) scan. Batch variants (cdf_many,
+/// partial_expectation_many) sort the queries once and answer them in a
+/// single merge-style sweep over the knots: O(Q log Q + K) for Q queries.
 
 #include <span>
 #include <vector>
@@ -23,8 +33,17 @@ class Empirical final : public Distribution {
   /// Builds from samples (need not be sorted; at least two distinct values).
   explicit Empirical(std::span<const double> samples);
 
+  /// Density of the interpolated ECDF. Piecewise constant on the half-open
+  /// segments [x_i, x_{i+1}): exactly on a knot it returns the slope of the
+  /// segment to the knot's RIGHT (the right-derivative of cdf), and it is 0
+  /// at and above x_.back(), where no segment remains — consistent with
+  /// cdf(x_.back()) == 1 (all mass already accumulated).
   [[nodiscard]] double pdf(double x) const override;
   [[nodiscard]] double cdf(double x) const override;
+  /// P(X < x): 0 at and below the minimum knot (whose atom cdf() includes),
+  /// identical to cdf() everywhere else (the interpolated ECDF is
+  /// continuous above the minimum).
+  [[nodiscard]] double cdf_left(double x) const override;
   /// Generalized inverse inf{x : cdf(x) >= q}; satisfies
   /// cdf(quantile(q)) >= q and quantile(cdf(x)) <= x for x in the support.
   [[nodiscard]] double quantile(double q) const override;
@@ -35,16 +54,35 @@ class Empirical final : public Distribution {
   [[nodiscard]] double variance() const override;
   [[nodiscard]] double support_lo() const override;
   [[nodiscard]] double support_hi() const override;
+  /// A(p) in O(log K) off the precomputed per-knot prefix integrals;
+  /// bit-identical to the naive left-to-right segment scan (the prefix
+  /// array is accumulated with exactly that scan's expressions).
   [[nodiscard]] double partial_expectation(double p) const override;
   [[nodiscard]] std::string name() const override;
+
+  /// Batch CDF: out[i] = cdf(xs[i]), bit-identical to the scalar call.
+  /// Sorts the query indices and advances one knot cursor across them, so
+  /// Q queries cost one sort plus a single O(Q + K) sweep instead of Q
+  /// binary searches. xs and out must have equal sizes (out may alias xs).
+  void cdf_many(std::span<const double> xs, std::span<double> out) const;
+  /// Batch partial expectation: out[i] = partial_expectation(ps[i]),
+  /// bit-identical to the scalar call; same sweep strategy as cdf_many.
+  void partial_expectation_many(std::span<const double> ps, std::span<double> out) const;
 
   [[nodiscard]] std::size_t sample_count() const { return n_; }
   /// Distinct sorted sample values (ECDF knots).
   [[nodiscard]] const std::vector<double>& knots() const { return x_; }
+  /// F(x_i) per knot (cum_ in the implementation; cum.front() is the atom
+  /// at the minimum, cum.back() == 1). Exposed for exact-sweep consumers
+  /// like the collective GeneralizedPricer.
+  [[nodiscard]] const std::vector<double>& knot_cdf() const { return cum_; }
+  /// A(x_i) per knot: the partial-expectation prefix integrals.
+  [[nodiscard]] const std::vector<double>& knot_partial_expectation() const { return pe_; }
 
  private:
   std::vector<double> x_;    ///< distinct sorted values
   std::vector<double> cum_;  ///< cumulative probability at each knot
+  std::vector<double> pe_;   ///< cumulative integral of x f(x) up to each knot
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double var_ = 0.0;

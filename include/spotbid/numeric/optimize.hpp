@@ -12,8 +12,12 @@
 ///  - Nelder-Mead simplex for the multi-parameter least-squares fits of
 ///    Figure 3 (fitting (alpha | eta, beta, theta) to a price histogram).
 
+#include <algorithm>
 #include <functional>
+#include <type_traits>
 #include <vector>
+
+#include "spotbid/core/types.hpp"
 
 namespace spotbid::numeric {
 
@@ -31,10 +35,91 @@ struct MinimizeResult {
   bool converged = false;
 };
 
+namespace detail {
+
+inline constexpr double kGoldenRatio = 0.6180339887498948482;  // (sqrt(5) - 1) / 2
+
+/// Shared body of the golden_section overloads: templated on the callable
+/// so optimizer inner loops (512-1024 objective evaluations per bid
+/// decision) invoke the objective directly instead of through
+/// std::function's type-erased dispatch.
+template <class F>
+MinimizeResult golden_section_impl(F& f, double lo, double hi, const MinimizeOptions& options) {
+  if (!(lo <= hi)) throw InvalidArgument{"golden_section: lo > hi"};
+  double a = lo;
+  double b = hi;
+  double x1 = b - kGoldenRatio * (b - a);
+  double x2 = a + kGoldenRatio * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+
+  MinimizeResult result;
+  int i = 0;
+  for (; i < options.max_iterations && (b - a) > options.x_tolerance; ++i) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kGoldenRatio * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kGoldenRatio * (b - a);
+      f2 = f(x2);
+    }
+  }
+  result.x = (f1 < f2) ? x1 : x2;
+  result.f = std::min(f1, f2);
+  result.iterations = i;
+  result.converged = (b - a) <= options.x_tolerance;
+  return result;
+}
+
+/// Shared body of the grid_then_golden overloads (see golden_section_impl).
+template <class F>
+MinimizeResult grid_then_golden_impl(F& f, double lo, double hi, int n_grid,
+                                     const MinimizeOptions& options) {
+  if (!(lo <= hi)) throw InvalidArgument{"grid_then_golden: lo > hi"};
+  n_grid = std::max(n_grid, 2);
+  int best = 0;
+  double best_f = f(lo);
+  for (int i = 1; i <= n_grid; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / n_grid;
+    const double fx = f(x);
+    if (fx < best_f) {
+      best_f = fx;
+      best = i;
+    }
+  }
+  const double cell = (hi - lo) / n_grid;
+  const double a = std::max(lo, lo + (best - 1) * cell);
+  const double b = std::min(hi, lo + (best + 1) * cell);
+  MinimizeResult refined = golden_section_impl(f, a, b, options);
+  if (best_f < refined.f) {
+    refined.x = lo + best * cell;
+    refined.f = best_f;
+  }
+  refined.iterations += n_grid + 1;
+  return refined;
+}
+
+}  // namespace detail
+
 /// Golden-section search on [lo, hi]. Converges to a local minimum; exact
 /// for unimodal f. Throws spotbid::InvalidArgument if lo > hi.
 [[nodiscard]] MinimizeResult golden_section(const std::function<double(double)>& f, double lo,
                                             double hi, const MinimizeOptions& options = {});
+
+/// Templated overload: identical algorithm, no std::function dispatch.
+/// (Callers passing a std::function lvalue still get the non-template
+/// overload — overload resolution prefers the exact non-template match.)
+template <class F, std::enable_if_t<std::is_invocable_r_v<double, F&, double>, int> = 0>
+[[nodiscard]] MinimizeResult golden_section(F&& f, double lo, double hi,
+                                            const MinimizeOptions& options = {}) {
+  return detail::golden_section_impl(f, lo, hi, options);
+}
 
 /// Brent's parabolic-interpolation minimizer on [lo, hi]; same contract as
 /// golden_section but usually far fewer evaluations on smooth objectives.
@@ -48,6 +133,13 @@ struct MinimizeResult {
 [[nodiscard]] MinimizeResult grid_then_golden(const std::function<double(double)>& f, double lo,
                                               double hi, int n_grid = 256,
                                               const MinimizeOptions& options = {});
+
+/// Templated overload of grid_then_golden (see the golden_section one).
+template <class F, std::enable_if_t<std::is_invocable_r_v<double, F&, double>, int> = 0>
+[[nodiscard]] MinimizeResult grid_then_golden(F&& f, double lo, double hi, int n_grid = 256,
+                                              const MinimizeOptions& options = {}) {
+  return detail::grid_then_golden_impl(f, lo, hi, n_grid, options);
+}
 
 /// Options for Nelder-Mead.
 struct SimplexOptions {

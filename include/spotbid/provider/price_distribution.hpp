@@ -31,6 +31,9 @@ class EquilibriumPriceDistribution final : public dist::Distribution {
 
   [[nodiscard]] double pdf(double x) const override;
   [[nodiscard]] double cdf(double x) const override;
+  /// P(X < x): 0 at and below the floor atom at lo_, cdf(x) elsewhere (the
+  /// continuous part has no further atoms).
+  [[nodiscard]] double cdf_left(double x) const override;
   [[nodiscard]] double quantile(double q) const override;
   [[nodiscard]] double sample(numeric::Rng& rng) const override;
   [[nodiscard]] double mean() const override;

@@ -1,5 +1,8 @@
 #include "spotbid/bidding/price_model.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "spotbid/core/contracts.hpp"
 #include "spotbid/dist/empirical.hpp"
 #include "spotbid/provider/calibration.hpp"
@@ -13,6 +16,18 @@ SpotPriceModel::SpotPriceModel(dist::DistributionPtr prices, Money on_demand, Ho
   SPOTBID_EXPECT(on_demand.usd() > 0.0, "SpotPriceModel: on-demand price must be > 0");
   SPOTBID_REQUIRE_FINITE(slot_length.hours(), "SpotPriceModel: slot length");
   SPOTBID_EXPECT(slot_length.hours() > 0.0, "SpotPriceModel: slot length must be > 0");
+
+  // Hot scalars, cached once: models are built per trace/round (cheap, low
+  // frequency) while these values are read on every bid decision.
+  support_lo_usd_ = prices_->support_lo();
+  support_hi_usd_ = prices_->support_hi();
+  acceptance_at_cap_ = prices_->cdf(on_demand_.usd());
+  const double lo = prices_->quantile(kMinAcceptance);
+  double hi = support_hi_usd_;
+  if (!std::isfinite(hi)) hi = prices_->quantile(1.0 - 1e-9);
+  hi = std::min(hi, on_demand_.usd());
+  min_bid_ = Money{lo};
+  max_bid_ = Money{std::max(hi, lo)};
 }
 
 SpotPriceModel SpotPriceModel::from_trace(const trace::PriceTrace& trace, Money on_demand) {
@@ -51,9 +66,5 @@ Money SpotPriceModel::expected_payment(Money p) const {
 double SpotPriceModel::partial_expectation(Money p) const {
   return prices_->partial_expectation(p.usd());
 }
-
-Money SpotPriceModel::support_lo() const { return Money{prices_->support_lo()}; }
-
-Money SpotPriceModel::support_hi() const { return Money{prices_->support_hi()}; }
 
 }  // namespace spotbid::bidding

@@ -63,11 +63,11 @@ BidDecision variance_constrained_bid(const SpotPriceModel& model, const JobSpec&
   }
 
   // Search the feasible set directly: minimize cost with an infinite
-  // penalty outside the variance bound.
-  const double lo = model.quantile(kMinAcceptance).usd();
-  double hi = model.support_hi().usd();
-  if (!std::isfinite(hi)) hi = model.quantile(1.0 - 1e-9).usd();
-  hi = std::min(hi, model.on_demand().usd());
+  // penalty outside the variance bound. Bounds come precomputed from the
+  // model (the same [kMinAcceptance quantile, capped support] range the
+  // strategies search).
+  const double lo = model.min_bid().usd();
+  const double hi = model.max_bid().usd();
   const auto objective = [&](double p) {
     const double variance = persistent_cost_variance(model, Money{p}, job);
     if (!(variance <= max_variance_usd2)) return 1e30;
@@ -141,10 +141,8 @@ std::optional<BidDecision> deadline_constrained_bid(const SpotPriceModel& model,
   SPOTBID_EXPECT(epsilon > 0.0 && epsilon < 1.0,
                  "deadline_constrained_bid: epsilon must be in the open interval (0, 1)");
 
-  const double lo = model.quantile(kMinAcceptance).usd();
-  double hi = model.support_hi().usd();
-  if (!std::isfinite(hi)) hi = model.quantile(1.0 - 1e-9).usd();
-  hi = std::min(hi, model.on_demand().usd());
+  const double lo = model.min_bid().usd();
+  const double hi = model.max_bid().usd();
 
   const auto miss = [&](double p) {
     return deadline_miss_probability(model, Money{p}, job, deadline);

@@ -73,10 +73,8 @@ BidDecision sticky_persistent_bid(const SpotPriceModel& model, const JobSpec& jo
     closed_form = psi_inverse(model, target);
   }
 
-  const double lo = model.quantile(kMinAcceptance).usd();
-  double hi = model.support_hi().usd();
-  if (!std::isfinite(hi)) hi = model.quantile(1.0 - 1e-9).usd();
-  hi = std::min(hi, model.on_demand().usd());
+  const double lo = model.min_bid().usd();
+  const double hi = model.max_bid().usd();
   const auto objective = [&](double p) {
     const auto m = sticky_persistent_metrics(model, Money{p}, job, rho);
     return m.feasible ? m.expected_cost.usd() : 1e30;

@@ -11,15 +11,11 @@ namespace spotbid::bidding {
 
 namespace {
 
-/// Bid bounds the optimizers search: [kMinAcceptance quantile, support hi],
-/// additionally capped at the on-demand price (bidding above pi_bar never
-/// helps: the charge is the spot price, and spot <= pi_bar by construction).
+/// Bid bounds the optimizers search: [kMinAcceptance quantile, support hi
+/// capped at the on-demand price]. The model caches both ends at
+/// construction (they used to cost a quantile search per decision).
 std::pair<double, double> bid_bounds(const SpotPriceModel& model) {
-  const double lo = model.quantile(kMinAcceptance).usd();
-  double hi = model.support_hi().usd();
-  if (!std::isfinite(hi)) hi = model.quantile(1.0 - 1e-9).usd();
-  hi = std::min(hi, model.on_demand().usd());
-  return {lo, std::max(hi, lo)};
+  return {model.min_bid().usd(), model.max_bid().usd()};
 }
 
 /// Fill the analytic diagnostics of a persistent-style decision.

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "spotbid/core/contracts.hpp"
+#include "spotbid/core/metrics.hpp"
 #include "spotbid/core/parallel.hpp"
 #include "spotbid/dist/empirical.hpp"
 #include "spotbid/numeric/optimize.hpp"
@@ -11,6 +14,29 @@
 #include "spotbid/provider/calibration.hpp"
 
 namespace spotbid::collective {
+
+namespace {
+
+/// Pricing-kernel telemetry (docs/METRICS.md, `pricer.*`): which path
+/// optimal_price took per slot and how many candidate prices the exact
+/// sweep scored. Counts are pure functions of the work — inside the
+/// metrics determinism contract.
+struct PricerCounters {
+  metrics::Counter& knot_sweep_slots;
+  metrics::Counter& knot_sweep_candidates;
+  metrics::Counter& grid_slots;
+};
+
+PricerCounters& pricer_counters() {
+  static PricerCounters counters{
+      metrics::Registry::global().counter("pricer.knot_sweep.slots"),
+      metrics::Registry::global().counter("pricer.knot_sweep.candidates"),
+      metrics::Registry::global().counter("pricer.grid.slots"),
+  };
+  return counters;
+}
+
+}  // namespace
 
 GeneralizedPricer::GeneralizedPricer(Money pi_bar, Money pi_min, double beta, double theta)
     : pi_bar_(pi_bar), pi_min_(pi_min), beta_(beta), theta_(theta) {
@@ -26,11 +52,11 @@ GeneralizedPricer::GeneralizedPricer(Money pi_bar, Money pi_min, double beta, do
 
 double GeneralizedPricer::accepted_bids(const dist::Distribution& bids, Money pi,
                                         double demand) const {
-  // Bids at or above the spot price are accepted: N = L * P(bid >= pi).
-  // The ECDF's cdf is P(bid <= pi); use the left limit so ties count as
-  // accepted, matching the market's bid >= price rule (the difference only
-  // matters at atoms; we evaluate just below pi).
-  const double below = bids.cdf(pi.usd() - 1e-12);
+  // Bids at or above the spot price are accepted: N = L * P(bid >= pi)
+  // = L * (1 - P(bid < pi)). cdf_left is the first-class left limit — the
+  // former cdf(pi - 1e-12) epsilon hack undercounted ties whenever the
+  // atom sat within an ulp of pi (or pi - 1e-12 rounded back to pi).
+  const double below = bids.cdf_left(pi.usd());
   return demand * std::clamp(1.0 - below, 0.0, 1.0);
 }
 
@@ -43,10 +69,88 @@ double GeneralizedPricer::objective(const dist::Distribution& bids, Money pi,
 Money GeneralizedPricer::optimal_price(const dist::Distribution& bids, double demand) const {
   SPOTBID_REQUIRE_FINITE(demand, "GeneralizedPricer: demand");
   SPOTBID_EXPECT(demand > 0.0, "GeneralizedPricer: demand must be > 0");
+  // Empirical bid laws (the collective iteration's case, re-solved per
+  // slot) get the exact knot sweep; other families keep the dense grid.
+  if (const auto* ecdf = dynamic_cast<const dist::Empirical*>(&bids)) {
+    return knot_sweep_price(*ecdf, demand);
+  }
+  pricer_counters().grid_slots.increment();
   const auto negated = [&](double pi) { return -objective(bids, Money{pi}, demand); };
-  // The objective is piecewise against an ECDF, so rely on the dense grid.
   const auto best = numeric::grid_then_golden(negated, pi_min_.usd(), pi_bar_.usd(), 1024);
   return Money{std::clamp(best.x, pi_min_.usd(), pi_bar_.usd())};
+}
+
+Money GeneralizedPricer::knot_sweep_price(const dist::Empirical& bids, double demand) const {
+  // Exact maximization of g(pi) = beta log(1 + N(pi)) + pi N(pi) over
+  // [pi_min, pi_bar] against the interpolated ECDF, where
+  // N(pi) = demand * (1 - F(pi-)) is piecewise LINEAR between knots
+  // (N = a - b pi on each segment). On a segment's interior g is smooth
+  // with derivative g'(pi) = -beta b / (1 + a - b pi) + a - 2 b pi, so
+  // g' = 0 reduces to the quadratic
+  //     2 b^2 pi^2 - b (3a + 2) pi + (a (1 + a) - beta b) = 0.
+  // The global maximum is therefore attained at a knot, a band endpoint,
+  // or one of these closed-form stationary points — the candidate set
+  // below is exhaustive (optimality argument in docs/PERF.md), which makes
+  // the sweep provably no worse than any grid. Each candidate's F(pi-) is
+  // known from its segment, so it is computed in O(1) with the EXACT
+  // expressions Empirical::cdf/cdf_left would use (knot i: cum_[i], with
+  // cum_.back() == 1.0 by construction and 0 at the atom-bearing minimum;
+  // segment interior: the same t-interpolation) — the score is therefore
+  // bit-identical to what a grid evaluation of objective() at that price
+  // would produce, and no per-candidate binary search is paid.
+  const std::vector<double>& x = bids.knots();
+  const std::vector<double>& cum = bids.knot_cdf();
+  const double lo = pi_min_.usd();
+  const double hi = pi_bar_.usd();
+
+  double best_pi = lo;
+  double best_g = -std::numeric_limits<double>::infinity();
+  std::uint64_t evaluated = 0;
+  const auto consider = [&](double pi, double f_left) {
+    if (!(pi >= lo && pi <= hi)) return;
+    const double n = demand * std::clamp(1.0 - f_left, 0.0, 1.0);
+    const double g = beta_ * std::log1p(n) + pi * n;
+    ++evaluated;
+    if (g > best_g) {
+      best_g = g;
+      best_pi = pi;
+    }
+  };
+
+  consider(lo, bids.cdf_left(lo));
+  consider(hi, bids.cdf_left(hi));
+  for (std::size_t i = 0; i < x.size(); ++i) consider(x[i], i == 0 ? 0.0 : cum[i]);
+
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    const double seg_lo = std::max(x[i], lo);
+    const double seg_hi = std::min(x[i + 1], hi);
+    if (!(seg_hi > seg_lo)) continue;  // segment outside the price band
+    const double s = (cum[i + 1] - cum[i]) / (x[i + 1] - x[i]);
+    const double b = demand * s;
+    if (!(b > 0.0)) continue;
+    const double a = demand * ((1.0 - cum[i]) + s * x[i]);
+    const double qa = 2.0 * b * b;
+    const double qb = -b * (3.0 * a + 2.0);
+    const double qc = a * (1.0 + a) - beta_ * b;
+    const double disc = qb * qb - 4.0 * qa * qc;
+    if (!(disc >= 0.0)) continue;  // no interior stationary point
+    const double sq = std::sqrt(disc);
+    const double root1 = (-qb - sq) / (2.0 * qa);
+    const double root2 = (-qb + sq) / (2.0 * qa);
+    // Strictly inside (x_i, x_{i+1}): F(pi-) = F(pi), interpolated with
+    // Empirical::cdf's own expression.
+    const auto interior_f = [&](double pi) {
+      const double t = (pi - x[i]) / (x[i + 1] - x[i]);
+      return cum[i] + t * (cum[i + 1] - cum[i]);
+    };
+    if (root1 > seg_lo && root1 < seg_hi) consider(root1, interior_f(root1));
+    if (root2 > seg_lo && root2 < seg_hi) consider(root2, interior_f(root2));
+  }
+
+  auto& counters = pricer_counters();
+  counters.knot_sweep_slots.increment();
+  counters.knot_sweep_candidates.add(evaluated);
+  return Money{best_pi};
 }
 
 std::vector<RoundSummary> iterate_best_response(const ec2::InstanceType& type,

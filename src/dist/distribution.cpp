@@ -8,6 +8,8 @@
 
 namespace spotbid::dist {
 
+double Distribution::cdf_left(double x) const { return cdf(x); }
+
 double Distribution::partial_expectation(double p) const {
   SPOTBID_REQUIRE_NOT_NAN(p, "Distribution::partial_expectation: p");
   const double lo = support_lo();

@@ -2,12 +2,41 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <numeric>
 #include <sstream>
 
 #include "spotbid/core/contracts.hpp"
+#include "spotbid/core/metrics.hpp"
 #include "spotbid/numeric/stats.hpp"
 
 namespace spotbid::dist {
+
+namespace {
+
+/// Query-plane telemetry (docs/METRICS.md, `dist.query.*`): counts are a
+/// pure function of the simulated work, so they stay inside the metrics
+/// determinism contract. References cached once per process.
+struct QueryCounters {
+  metrics::Counter& cdf;
+  metrics::Counter& quantile;
+  metrics::Counter& partial_expectation;
+  metrics::Counter& batch_sweeps;
+  metrics::Counter& batch_queries;
+};
+
+QueryCounters& query_counters() {
+  static QueryCounters counters{
+      metrics::Registry::global().counter("dist.query.cdf"),
+      metrics::Registry::global().counter("dist.query.quantile"),
+      metrics::Registry::global().counter("dist.query.partial_expectation"),
+      metrics::Registry::global().counter("dist.query.batch_sweeps"),
+      metrics::Registry::global().counter("dist.query.batch_queries"),
+  };
+  return counters;
+}
+
+}  // namespace
 
 Empirical::Empirical(std::span<const double> samples) : n_(samples.size()) {
   SPOTBID_EXPECT(n_ >= 2, "Empirical: need at least two samples");
@@ -32,10 +61,25 @@ Empirical::Empirical(std::span<const double> samples) : n_(samples.size()) {
     i = j;
   }
   if (x_.size() < 2) throw InvalidArgument{"Empirical: need at least two distinct values"};
+
+  // Prefix partial expectations A(x_i): accumulated with the exact
+  // expressions of the former left-to-right segment scan, so the O(log K)
+  // partial_expectation below reproduces the naive O(K) reference bit for
+  // bit (the property suite in tests/test_query_plane.cpp enforces this).
+  pe_.reserve(x_.size());
+  double total = x_.front() * cum_.front();  // atom at the minimum
+  pe_.push_back(total);
+  for (std::size_t i = 0; i + 1 < x_.size(); ++i) {
+    const double hi = x_[i + 1];
+    const double slope = (cum_[i + 1] - cum_[i]) / (x_[i + 1] - x_[i]);
+    total += slope * 0.5 * (hi * hi - x_[i] * x_[i]);
+    pe_.push_back(total);
+  }
 }
 
 double Empirical::cdf(double x) const {
   SPOTBID_REQUIRE_NOT_NAN(x, "Empirical::cdf: x");
+  query_counters().cdf.increment();
   if (x < x_.front()) return 0.0;
   if (x >= x_.back()) return 1.0;
   const auto it = std::upper_bound(x_.begin(), x_.end(), x);
@@ -44,12 +88,22 @@ double Empirical::cdf(double x) const {
   return cum_[i] + t * (cum_[i + 1] - cum_[i]);
 }
 
+double Empirical::cdf_left(double x) const {
+  SPOTBID_REQUIRE_NOT_NAN(x, "Empirical::cdf_left: x");
+  // Continuous except for the atom at the minimum knot:
+  // P(X < x_0) = 0 while cdf(x_0) = cum_[0].
+  if (x <= x_.front()) return 0.0;
+  return cdf(x);
+}
+
 double Empirical::pdf(double x) const {
   SPOTBID_REQUIRE_NOT_NAN(x, "Empirical::pdf: x");
-  if (x < x_.front() || x > x_.back()) return 0.0;
-  auto it = std::upper_bound(x_.begin(), x_.end(), x);
-  std::size_t i = (it == x_.begin()) ? 0 : static_cast<std::size_t>(it - x_.begin()) - 1;
-  i = std::min(i, x_.size() - 2);
+  // Half-open segments [x_i, x_{i+1}): a knot takes the density of the
+  // segment to its right (the right-derivative of cdf), and x_.back()
+  // belongs to no segment — density 0, consistent with cdf(x_.back()) == 1.
+  if (x < x_.front() || x >= x_.back()) return 0.0;
+  const auto it = std::upper_bound(x_.begin(), x_.end(), x);
+  const std::size_t i = static_cast<std::size_t>(it - x_.begin()) - 1;
   return (cum_[i + 1] - cum_[i]) / (x_[i + 1] - x_[i]);
 }
 
@@ -63,6 +117,7 @@ double Empirical::quantile(double q) const {
   //    round-trip contracts cdf(quantile(q)) >= q and
   //    quantile(cdf(x)) <= x (with equality away from the atom).
   SPOTBID_REQUIRE_PROB(q, "Empirical::quantile: q");
+  query_counters().quantile.increment();
   if (q <= cum_.front()) return x_.front();
   if (q >= 1.0) return x_.back();
   const auto it = std::lower_bound(cum_.begin(), cum_.end(), q);
@@ -88,17 +143,77 @@ double Empirical::support_hi() const { return x_.back(); }
 
 double Empirical::partial_expectation(double p) const {
   SPOTBID_REQUIRE_NOT_NAN(p, "Empirical::partial_expectation: p");
+  query_counters().partial_expectation.increment();
   if (p < x_.front()) return 0.0;
-  // Atom at the minimum (probability cum_[0]) plus the piecewise-linear
-  // segments of the interpolated ECDF.
-  double total = x_.front() * cum_.front();
-  for (std::size_t i = 0; i + 1 < x_.size(); ++i) {
-    if (p <= x_[i]) break;
-    const double hi = std::min(p, x_[i + 1]);
-    const double slope = (cum_[i + 1] - cum_[i]) / (x_[i + 1] - x_[i]);
-    total += slope * 0.5 * (hi * hi - x_[i] * x_[i]);
+  if (p >= x_.back()) return pe_.back();
+  // p lands in segment [x_i, x_{i+1}): everything up to x_i is the prefix
+  // integral A(x_i); add the partial segment with the same expression the
+  // prefix array was accumulated with (bit-identical to the naive scan).
+  const auto it = std::upper_bound(x_.begin(), x_.end(), p);
+  const std::size_t i = static_cast<std::size_t>(it - x_.begin()) - 1;
+  const double slope = (cum_[i + 1] - cum_[i]) / (x_[i + 1] - x_[i]);
+  return pe_[i] + slope * 0.5 * (p * p - x_[i] * x_[i]);
+}
+
+void Empirical::cdf_many(std::span<const double> xs, std::span<double> out) const {
+  SPOTBID_EXPECT(xs.size() == out.size(), "Empirical::cdf_many: size mismatch");
+  for (double x : xs) SPOTBID_REQUIRE_NOT_NAN(x, "Empirical::cdf_many: x");
+  auto& counters = query_counters();
+  counters.batch_sweeps.increment();
+  counters.batch_queries.add(xs.size());
+
+  std::vector<std::uint32_t> order(xs.size());
+  std::iota(order.begin(), order.end(), std::uint32_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) { return xs[a] < xs[b]; });
+
+  // One knot cursor advances monotonically across the sorted queries:
+  // after the sort the whole batch costs O(Q + K) comparisons.
+  std::size_t seg = 0;
+  for (const std::uint32_t idx : order) {
+    const double x = xs[idx];
+    if (x < x_.front()) {
+      out[idx] = 0.0;
+      continue;
+    }
+    if (x >= x_.back()) {
+      out[idx] = 1.0;
+      continue;
+    }
+    while (x_[seg + 1] <= x) ++seg;  // terminates: x < x_.back()
+    const double t = (x - x_[seg]) / (x_[seg + 1] - x_[seg]);
+    out[idx] = cum_[seg] + t * (cum_[seg + 1] - cum_[seg]);
   }
-  return total;
+}
+
+void Empirical::partial_expectation_many(std::span<const double> ps,
+                                         std::span<double> out) const {
+  SPOTBID_EXPECT(ps.size() == out.size(), "Empirical::partial_expectation_many: size mismatch");
+  for (double p : ps) SPOTBID_REQUIRE_NOT_NAN(p, "Empirical::partial_expectation_many: p");
+  auto& counters = query_counters();
+  counters.batch_sweeps.increment();
+  counters.batch_queries.add(ps.size());
+
+  std::vector<std::uint32_t> order(ps.size());
+  std::iota(order.begin(), order.end(), std::uint32_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) { return ps[a] < ps[b]; });
+
+  std::size_t seg = 0;
+  for (const std::uint32_t idx : order) {
+    const double p = ps[idx];
+    if (p < x_.front()) {
+      out[idx] = 0.0;
+      continue;
+    }
+    if (p >= x_.back()) {
+      out[idx] = pe_.back();
+      continue;
+    }
+    while (x_[seg + 1] <= p) ++seg;  // terminates: p < x_.back()
+    const double slope = (cum_[seg + 1] - cum_[seg]) / (x_[seg + 1] - x_[seg]);
+    out[idx] = pe_[seg] + slope * 0.5 * (p * p - x_[seg] * x_[seg]);
+  }
 }
 
 std::string Empirical::name() const {

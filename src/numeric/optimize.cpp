@@ -10,42 +10,13 @@ namespace spotbid::numeric {
 
 namespace {
 
-constexpr double kGolden = 0.6180339887498948482;  // (sqrt(5) - 1) / 2
+constexpr double kGolden = detail::kGoldenRatio;
 
 }  // namespace
 
 MinimizeResult golden_section(const std::function<double(double)>& f, double lo, double hi,
                               const MinimizeOptions& options) {
-  if (!(lo <= hi)) throw InvalidArgument{"golden_section: lo > hi"};
-  double a = lo;
-  double b = hi;
-  double x1 = b - kGolden * (b - a);
-  double x2 = a + kGolden * (b - a);
-  double f1 = f(x1);
-  double f2 = f(x2);
-
-  MinimizeResult result;
-  int i = 0;
-  for (; i < options.max_iterations && (b - a) > options.x_tolerance; ++i) {
-    if (f1 < f2) {
-      b = x2;
-      x2 = x1;
-      f2 = f1;
-      x1 = b - kGolden * (b - a);
-      f1 = f(x1);
-    } else {
-      a = x1;
-      x1 = x2;
-      f1 = f2;
-      x2 = a + kGolden * (b - a);
-      f2 = f(x2);
-    }
-  }
-  result.x = (f1 < f2) ? x1 : x2;
-  result.f = std::min(f1, f2);
-  result.iterations = i;
-  result.converged = (b - a) <= options.x_tolerance;
-  return result;
+  return detail::golden_section_impl(f, lo, hi, options);
 }
 
 MinimizeResult brent_minimize(const std::function<double(double)>& f, double lo, double hi,
@@ -118,28 +89,7 @@ MinimizeResult brent_minimize(const std::function<double(double)>& f, double lo,
 
 MinimizeResult grid_then_golden(const std::function<double(double)>& f, double lo, double hi,
                                 int n_grid, const MinimizeOptions& options) {
-  if (!(lo <= hi)) throw InvalidArgument{"grid_then_golden: lo > hi"};
-  n_grid = std::max(n_grid, 2);
-  int best = 0;
-  double best_f = f(lo);
-  for (int i = 1; i <= n_grid; ++i) {
-    const double x = lo + (hi - lo) * static_cast<double>(i) / n_grid;
-    const double fx = f(x);
-    if (fx < best_f) {
-      best_f = fx;
-      best = i;
-    }
-  }
-  const double cell = (hi - lo) / n_grid;
-  const double a = std::max(lo, lo + (best - 1) * cell);
-  const double b = std::min(hi, lo + (best + 1) * cell);
-  MinimizeResult refined = golden_section(f, a, b, options);
-  if (best_f < refined.f) {
-    refined.x = lo + best * cell;
-    refined.f = best_f;
-  }
-  refined.iterations += n_grid + 1;
-  return refined;
+  return detail::grid_then_golden_impl(f, lo, hi, n_grid, options);
 }
 
 SimplexResult nelder_mead(const std::function<double(const std::vector<double>&)>& f,

@@ -57,6 +57,12 @@ double EquilibriumPriceDistribution::cdf(double x) const {
   return std::max(atom_, arrivals_->cdf(model_.equilibrium_arrivals(Money{x})));
 }
 
+double EquilibriumPriceDistribution::cdf_left(double x) const {
+  SPOTBID_REQUIRE_NOT_NAN(x, "EquilibriumPriceDistribution::cdf_left: x");
+  if (x <= lo_) return 0.0;
+  return cdf(x);
+}
+
 double EquilibriumPriceDistribution::quantile(double q) const {
   SPOTBID_REQUIRE_PROB(q, "EquilibriumPriceDistribution::quantile: q");
   if (q <= atom_) return lo_;

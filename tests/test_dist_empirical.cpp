@@ -71,6 +71,35 @@ TEST(Empirical, PdfIsPiecewiseConstantSlope) {
   EXPECT_DOUBLE_EQ(d.pdf(2.0), 0.0);
 }
 
+TEST(Empirical, PdfUsesHalfOpenSegmentsAtKnots) {
+  // Segments are [x_i, x_{i+1}): at a knot the pdf is the RIGHT-segment
+  // slope, and the density is 0 at and above the last knot. This pins the
+  // convention the cdf already used (upper_bound ==> right segment), which
+  // the pdf previously disagreed with at knot boundaries.
+  const Empirical d{std::vector<double>{0.0, 1.0, 1.0, 2.0}};
+  // Masses: 1/4 atom at 0... cdf knots (0, 0.25), (1, 0.75), (2, 1.0).
+  EXPECT_DOUBLE_EQ(d.pdf(0.0), 0.5);   // first segment slope (0.75-0.25)/1
+  EXPECT_DOUBLE_EQ(d.pdf(1.0), 0.25);  // right segment's slope, not left's
+  EXPECT_DOUBLE_EQ(d.pdf(2.0), 0.0);   // at the last knot: no mass above
+  EXPECT_DOUBLE_EQ(d.pdf(2.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(2.0), 1.0);
+}
+
+TEST(Empirical, PdfAndCdfAgreeOnSegmentAssignmentAtKnots) {
+  // The regression this guards: pdf at an interior knot must equal the
+  // derivative the cdf uses just above it.
+  const Empirical d{std::vector<double>{0.0, 0.5, 0.5, 0.5, 2.0}};
+  for (const double knot : d.knots()) {
+    const double eps = 1e-9;
+    if (knot >= d.knots().back()) {
+      EXPECT_DOUBLE_EQ(d.pdf(knot), 0.0);
+      continue;
+    }
+    const double forward = (d.cdf(knot + eps) - d.cdf(knot)) / eps;
+    EXPECT_NEAR(d.pdf(knot), forward, 1e-5) << "knot " << knot;
+  }
+}
+
 TEST(Empirical, PartialExpectationIncludesAtom) {
   const std::vector<double> xs{1.0, 1.0, 3.0, 3.0};
   const Empirical d{xs};

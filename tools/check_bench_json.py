@@ -1,5 +1,10 @@
 #!/usr/bin/env python3
-"""Validate BENCH_spotbid.json against tools/bench_schema.json.
+"""Validate a bench JSON artifact against tools/bench_schema.json.
+
+The schema is an anyOf over the known bench documents, discriminated by
+the top-level "benchmark" const: "fig5_onetime_sweep" (bench_parallel's
+BENCH_spotbid.json) and "query_plane" (bench_query_plane's
+BENCH_query_plane.json).
 
 Stdlib only (CI installs no Python packages), so this implements the small
 JSON-Schema subset the schema file actually uses:
@@ -14,8 +19,12 @@ cannot express: histogram bucket counts must add up to the histogram count,
 and the slot-weighted price histogram must cover exactly the simulated
 slots.
 
+The cross-checks that reference market/Monte-Carlo metrics use .get and
+skip silently when those metrics are absent (the query_plane document
+does not simulate a market).
+
 Usage:
-    python3 tools/check_bench_json.py BENCH_spotbid.json [schema.json]
+    python3 tools/check_bench_json.py BENCH_file.json [schema.json]
 
 Exit code 0 when the document validates, 1 with one line per violation
 otherwise.
