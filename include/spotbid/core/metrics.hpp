@@ -22,7 +22,10 @@
 ///   - gauges: "last value written" depends on scheduling when several
 ///     threads write the same gauge;
 ///   - anything under the "parallel." prefix: scheduler telemetry (chunk
-///     counts and latencies) legitimately varies with the thread count.
+///     counts and latencies) legitimately varies with the thread count;
+///   - any name containing a ".sched." segment (e.g. "serve.sched.*"):
+///     queue depths, micro-batch shapes, and admission decisions depend on
+///     worker scheduling by nature.
 ///
 /// Cost model: every recording site first checks enabled() (one relaxed
 /// atomic load). Disabled, that is the entire cost. Enabled, low-rate sites
@@ -360,8 +363,9 @@ struct Snapshot {
 
   [[nodiscard]] bool operator==(const Snapshot&) const = default;
   [[nodiscard]] const MetricSnapshot* find(std::string_view name) const;
-  /// The thread-count-invariant subset: drops timers, gauges, and the
-  /// "parallel." scheduler-telemetry prefix (see the file comment).
+  /// The thread-count-invariant subset: drops timers, gauges, the
+  /// "parallel." prefix, and any name containing ".sched." (scheduler
+  /// telemetry; see the file comment).
   [[nodiscard]] Snapshot deterministic() const;
 };
 

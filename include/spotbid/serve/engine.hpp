@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file engine.hpp
+/// Pure request-execution engine: (snapshot, request) -> response.
+///
+/// Two paths answer the same questions:
+///
+///  - execute_one: the scalar reference path — per-point CDF / partial-
+///    expectation queries (O(log K) each on empirical laws, PR 4's prefix
+///    arrays) feeding the eq. 8/10/13/14/15 closed forms;
+///  - execute_batch: the micro-batcher's path for a group of SAME-KEY
+///    requests — it gathers every query point the group needs, answers
+///    them through Empirical::cdf_many / partial_expectation_many in one
+///    sorted knot sweep, and feeds the identical closed-form arithmetic.
+///
+/// Contract: execute_batch is BIT-identical to calling execute_one per
+/// request (enforced by tests and bench_serve). This holds because the
+/// batch query plane is bit-identical to the scalar one (PR 4's contract)
+/// and both paths share the same downstream arithmetic helpers. Requests
+/// whose kind has no batchable query point (kOptimalBid runs an optimizer,
+/// kProviderPrice a closed form) fall through to the scalar path inside
+/// the batch.
+///
+/// The engine never throws for malformed requests: parameter violations
+/// yield Status::kInvalid, unknown snapshots Status::kNotFound, and any
+/// unexpected model error Status::kError. This keeps worker threads alive
+/// no matter what a client submits.
+
+#include <span>
+
+#include "spotbid/serve/model_snapshot.hpp"
+#include "spotbid/serve/request.hpp"
+
+namespace spotbid::serve {
+
+/// Answer one request against a snapshot (nullptr snapshot -> kNotFound).
+[[nodiscard]] Response execute_one(const ModelSnapshot* snapshot, const Request& request);
+
+/// Answer a group of requests that share one key against its snapshot.
+/// requests[i] is answered into responses[i]; the spans must have equal
+/// sizes. Bit-identical to execute_one per request (see file comment).
+void execute_batch(const ModelSnapshot* snapshot, std::span<const Request* const> requests,
+                   std::span<Response> responses);
+
+}  // namespace spotbid::serve

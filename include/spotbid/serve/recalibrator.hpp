@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file recalibrator.hpp
+/// Background model refresh: rebuild snapshots off the request path.
+///
+/// A live advisory service must track the market: fresh price history
+/// arrives continuously and the calibrated models go stale. The
+/// Recalibrator owns that control plane — a single background thread that,
+/// every `interval`, invokes each registered builder (typically
+/// ModelSnapshot::from_trace over a trace that grew since the last round)
+/// and publishes the result to the SnapshotStore. Because publication is
+/// an epoch swap, in-flight queries keep the snapshot they already
+/// resolved and subsequent queries see the new epoch; request latency is
+/// never coupled to model-build time.
+///
+/// Builders run on the recalibration thread and may be arbitrarily slow.
+/// A builder returning nullptr skips that key for the round (e.g. "no new
+/// data"). stop() (and the destructor) completes the in-flight round and
+/// joins.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "spotbid/serve/snapshot_store.hpp"
+
+namespace spotbid::serve {
+
+class Recalibrator {
+ public:
+  /// Builds the next snapshot for one key; nullptr skips the round.
+  using Builder = std::function<std::shared_ptr<ModelSnapshot>()>;
+
+  Recalibrator(SnapshotStore& store, std::chrono::milliseconds interval);
+  ~Recalibrator();
+
+  Recalibrator(const Recalibrator&) = delete;
+  Recalibrator& operator=(const Recalibrator&) = delete;
+
+  /// Register a refresh source. Must be called before start().
+  void add_source(Builder builder);
+
+  /// Run every source once, synchronously, on the calling thread (used to
+  /// seed the store before serving and by tests).
+  void refresh_now();
+
+  /// Launch the background thread (no-op when already running).
+  void start();
+
+  /// Finish the in-flight round, then join. Idempotent.
+  void stop();
+
+  /// Completed refresh rounds (each round runs every source once).
+  [[nodiscard]] std::uint64_t rounds() const {
+    return rounds_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+
+  SnapshotStore* store_;
+  std::chrono::milliseconds interval_;
+  std::vector<Builder> builders_;
+  std::atomic<std::uint64_t> rounds_{0};
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace spotbid::serve

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file snapshot_store.hpp
+/// Sharded, epoch-swapped registry of published ModelSnapshots.
+///
+/// The store is the synchronization boundary between the request plane
+/// (many worker threads resolving keys per micro-batch) and the control
+/// plane (a recalibration thread publishing fresh snapshots). The design
+/// goal is that *readers never wait on recalibration*:
+///
+///  - each shard holds an atomic shared_ptr to an immutable key -> slot
+///    map; a lookup is one atomic load of the map plus one atomic load of
+///    the slot's snapshot pointer — no shard mutex is ever taken on the
+///    read path, so a reader cannot block behind a writer rebuilding a
+///    model (which can take milliseconds per trace);
+///  - publishing to an EXISTING key is an epoch swap: the slot's atomic
+///    pointer is exchanged for the new snapshot, readers that already
+///    loaded the old one keep a valid reference (shared_ptr ownership),
+///    readers that load after see the new epoch;
+///  - publishing a NEW key copies the shard's map (copy-on-write, slots
+///    shared), inserts, and swaps the map pointer. Key insertion is rare
+///    (topology changes), so the O(keys/shard) copy is irrelevant;
+///  - writers serialize per shard on a small mutex that readers never
+///    touch.
+///
+/// Epochs are store-wide and strictly monotone: every publish stamps the
+/// snapshot with the next epoch before it becomes visible, so a response's
+/// epoch field totally orders the model versions that answered a key.
+///
+/// (Pedantry: libstdc++'s atomic<shared_ptr> serializes concurrent loads
+/// of the SAME pointer internally, so "wait-free" here means readers never
+/// wait for model construction or map rebuilds — the only cross-thread
+/// hand-off is the pointer swap itself.)
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "spotbid/serve/model_snapshot.hpp"
+
+namespace spotbid::serve {
+
+class SnapshotStore {
+ public:
+  /// \param shards  shard count, rounded up to a power of two (>= 1).
+  explicit SnapshotStore(std::size_t shards = 16);
+  ~SnapshotStore();
+
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  /// Resolve a key to its current snapshot; nullptr when the key has never
+  /// been published. Lock-free on the shard (see file comment).
+  [[nodiscard]] std::shared_ptr<const ModelSnapshot> find(std::string_view key) const;
+
+  /// Publish a snapshot under its key: stamps the next store-wide epoch on
+  /// it, then swaps it in (epoch swap for existing keys, copy-on-write map
+  /// insert for new ones). Returns the epoch assigned. The snapshot must
+  /// not be null and must not have been published before.
+  std::uint64_t publish(std::shared_ptr<ModelSnapshot> snapshot);
+
+  /// Number of published keys.
+  [[nodiscard]] std::size_t size() const;
+
+  /// All published keys (sorted; a consistent per-shard view, not a global
+  /// atomic snapshot).
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  /// Epoch of the most recent publish (0 when nothing was published).
+  [[nodiscard]] std::uint64_t current_epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+  /// Shard count actually in use (power of two).
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard;
+  [[nodiscard]] Shard& shard_for(std::string_view key) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+}  // namespace spotbid::serve

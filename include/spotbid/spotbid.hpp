@@ -54,6 +54,13 @@
 
 #include "spotbid/workflow/dag.hpp"
 
+#include "spotbid/serve/engine.hpp"
+#include "spotbid/serve/model_snapshot.hpp"
+#include "spotbid/serve/recalibrator.hpp"
+#include "spotbid/serve/request.hpp"
+#include "spotbid/serve/service.hpp"
+#include "spotbid/serve/snapshot_store.hpp"
+
 #include "spotbid/client/experiment.hpp"
 #include "spotbid/client/job_runner.hpp"
 #include "spotbid/client/monte_carlo.hpp"

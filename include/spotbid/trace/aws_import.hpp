@@ -19,7 +19,11 @@
 ///
 /// The parser is a minimal, dependency-free reader for this specific JSON
 /// shape (strings, objects, arrays; no unicode escapes beyond pass-through)
-/// and rejects malformed input loudly rather than guessing.
+/// and rejects malformed input loudly rather than guessing. Real-world
+/// grime is tolerated: CRLF line endings, blank lines, and lines whose
+/// first non-blank characters are '#' or "//" (hand-annotated fixtures)
+/// are stripped before parsing — safe because raw newlines cannot occur
+/// inside JSON strings, so a line-leading comment marker is never data.
 
 #include <cstdint>
 #include <iosfwd>
@@ -38,6 +42,8 @@ struct SpotPriceRecord {
   std::string product_description;
   double spot_price = 0.0;
   std::int64_t timestamp_epoch_s = 0;
+
+  [[nodiscard]] bool operator==(const SpotPriceRecord&) const = default;
 };
 
 /// Parse an ISO-8601 UTC timestamp ("2014-09-09T12:34:56Z", fractional
@@ -66,7 +72,15 @@ struct ResampleOptions {
 };
 
 /// Build a regular PriceTrace from irregular price-change records by
-/// last-observation-carried-forward. Records may arrive in any order.
+/// last-observation-carried-forward.
+///
+/// Ordering contract: records may arrive in any order (the CLI emits
+/// newest-first). They are STABLE-sorted by timestamp, so records sharing
+/// a timestamp apply in input order and the later input record wins the
+/// carry-forward — deterministically. Exact duplicates (every field equal,
+/// e.g. from concatenated or re-downloaded histories) are dropped before
+/// resampling and counted in the trace.duplicates_dropped metric.
+///
 /// Throws InvalidArgument when no record survives the filters.
 [[nodiscard]] PriceTrace resample_to_trace(std::vector<SpotPriceRecord> records,
                                            const ResampleOptions& options = {});

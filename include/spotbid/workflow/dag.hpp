@@ -40,7 +40,8 @@ struct Workflow {
 };
 
 /// Validate the workflow and return a topological order of task indices.
-/// Throws InvalidArgument on cycles, self-references or bad indices.
+/// An empty workflow yields an empty order. Throws InvalidArgument on
+/// cycles, self-references or bad indices.
 [[nodiscard]] std::vector<std::size_t> topological_order(const Workflow& workflow);
 
 /// Fill every task's bid with the Proposition-5 persistent optimum for its

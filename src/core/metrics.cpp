@@ -301,6 +301,10 @@ Snapshot Snapshot::deterministic() const {
   for (const auto& metric : metrics) {
     if (metric.kind == Kind::kTimer || metric.kind == Kind::kGauge) continue;
     if (metric.name.starts_with("parallel.")) continue;
+    // Scheduler-telemetry carve-out: any ".sched." segment (e.g. the serve
+    // layer's queue depths, batch shapes, and admission counts) varies with
+    // worker count and timing by nature.
+    if (metric.name.find(".sched.") != std::string::npos) continue;
     out.metrics.push_back(metric);
   }
   return out;

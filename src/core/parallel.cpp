@@ -193,8 +193,15 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body, i
   auto done_mutex = std::make_shared<std::mutex>();
   auto done_cv = std::make_shared<std::condition_variable>();
   for (std::size_t h = 0; h < helpers; ++h) {
-    ThreadPool::global().submit([state, remaining, done_mutex, done_cv] {
+    ThreadPool::global().submit([state, remaining, done_mutex, done_cv]() mutable {
       state->run_chunks();
+      // Drop the loop-state reference (and any captured exception_ptr)
+      // BEFORE the completion signal, so everything this helper releases is
+      // ordered ahead of the caller's wake-up and never overlaps the
+      // caller's rethrow. exception_ptr refcounting lives in libstdc++.so,
+      // which ThreadSanitizer cannot instrument — an unordered late release
+      // here shows up as a (false-positive) race on the exception object.
+      state.reset();
       if (remaining->fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lock{*done_mutex};
         done_cv->notify_all();

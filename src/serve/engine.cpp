@@ -1,0 +1,328 @@
+#include "spotbid/serve/engine.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <exception>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "spotbid/bidding/cost.hpp"
+#include "spotbid/bidding/strategies.hpp"
+#include "spotbid/core/contracts.hpp"
+#include "spotbid/core/metrics.hpp"
+#include "spotbid/dist/empirical.hpp"
+
+namespace spotbid::serve {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+constexpr std::size_t kKindCount = 5;
+constexpr std::size_t kStatusCount = 6;
+
+/// Deterministic per-kind / per-status tallies: counts depend only on the
+/// executed request set, never on worker count or batch boundaries.
+metrics::Counter& request_counter(Kind kind) {
+  static const std::array<metrics::Counter*, kKindCount> counters = [] {
+    std::array<metrics::Counter*, kKindCount> c{};
+    for (std::size_t i = 0; i < kKindCount; ++i)
+      c[i] = &metrics::Registry::global().counter(
+          "serve.requests." + std::string{kind_name(static_cast<Kind>(i))});
+    return c;
+  }();
+  return *counters[static_cast<std::size_t>(kind)];
+}
+
+metrics::Counter& status_counter(Status status) {
+  static const std::array<metrics::Counter*, kStatusCount> counters = [] {
+    std::array<metrics::Counter*, kStatusCount> c{};
+    for (std::size_t i = 0; i < kStatusCount; ++i)
+      c[i] = &metrics::Registry::global().counter(
+          "serve.responses." + std::string{status_name(static_cast<Status>(i))});
+    return c;
+  }();
+  return *counters[static_cast<std::size_t>(status)];
+}
+
+Response base_response(const ModelSnapshot& snapshot, const Request& request) {
+  Response r;
+  r.kind = request.kind;
+  r.epoch = snapshot.epoch();
+  return r;
+}
+
+Response invalid_response(const ModelSnapshot& snapshot, const Request& request) {
+  Response r = base_response(snapshot, request);
+  r.status = Status::kInvalid;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Per-kind validation. Shared by the scalar and batch paths so both classify
+// a request identically, and run BEFORE any model query so malformed
+// parameters (NaN bids, negative times) surface as kInvalid instead of
+// tripping the model-layer contracts.
+
+bool run_length_valid(const Request& q) { return std::isfinite(q.bid.usd()); }
+
+bool persistent_job_valid(const bidding::JobSpec& job) {
+  return std::isfinite(job.execution_time.hours()) &&
+         std::isfinite(job.recovery_time.hours()) && job.recovery_time.hours() >= 0.0 &&
+         job.execution_time >= job.recovery_time;
+}
+
+bool expected_cost_valid(const Request& q) {
+  if (!std::isfinite(q.bid.usd())) return false;
+  if (!(std::isfinite(q.job.execution_time.hours()) && q.job.execution_time.hours() >= 0.0))
+    return false;
+  return q.mode == BidMode::kOneTime || persistent_job_valid(q.job);
+}
+
+bool feasibility_valid(const Request& q) {
+  return std::isfinite(q.bid.usd()) && persistent_job_valid(q.job);
+}
+
+bool optimal_bid_valid(const Request& q) {
+  if (!(std::isfinite(q.job.execution_time.hours()) &&
+        std::isfinite(q.job.recovery_time.hours())))
+    return false;
+  if (q.mode == BidMode::kOneTime) return q.job.execution_time.hours() > 0.0;
+  // persistent_bid's eq.-13 precondition: t_s > t_r >= 0.
+  return q.job.recovery_time.hours() >= 0.0 && q.job.execution_time > q.job.recovery_time;
+}
+
+bool provider_price_valid(const Request& q) {
+  return std::isfinite(q.demand) && q.demand > 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// Closed-form arithmetic shared by BOTH execution paths. Each helper takes
+// the model queries (f = F(bid), a = A(bid)) as inputs; the scalar path
+// computes them per request, the batch path through the one-sweep batch
+// query plane — which is bit-identical by PR 4's contract, so routing both
+// paths through these helpers is what makes execute_batch bit-identical to
+// execute_one. The expressions mirror src/bidding/cost.cpp term for term.
+
+Response answer_run_length(const ModelSnapshot& snapshot, const Request& q, double f) {
+  Response r = base_response(snapshot, q);
+  r.acceptance = f;
+  // eq. 8: t_k / (1 - F(p)); never interrupted at F(p) = 1.
+  r.expected_hours = f >= 1.0
+                         ? Hours{kInf}
+                         : Hours{snapshot.model().slot_length().hours() / (1.0 - f)};
+  r.status = Status::kOk;
+  return r;
+}
+
+/// eq. 13 busy time off precomputed F(p); +infinity when infeasible.
+Hours busy_time(const ModelSnapshot& snapshot, const bidding::JobSpec& job, double f) {
+  const double r = job.recovery_time / snapshot.model().slot_length();
+  const double denom = 1.0 - r * (1.0 - f);
+  if (!(denom > 0.0)) return Hours{kInf};
+  return Hours{(job.execution_time - job.recovery_time).hours() / denom};
+}
+
+Response answer_expected_cost(const ModelSnapshot& snapshot, const Request& q, double f,
+                              double a) {
+  Response r = base_response(snapshot, q);
+  r.acceptance = f;
+  r.bid = q.bid;
+  if (q.mode == BidMode::kOneTime) {
+    // eq. 10: t_s * A(p)/F(p); the job occupies exactly t_s when it runs.
+    r.expected_cost =
+        !(f > 0.0) ? Money{kInf} : Money{a / f} * q.job.execution_time;
+    r.expected_hours = q.job.execution_time;
+  } else {
+    // eq. 15: busy * A(p)/F(p); completion = busy / F(p).
+    const Hours busy = busy_time(snapshot, q.job, f);
+    if (!(f > 0.0)) {
+      r.expected_cost = Money{kInf};
+      r.expected_hours = Hours{kInf};
+    } else if (!std::isfinite(busy.hours())) {
+      r.expected_cost = Money{kInf};
+      r.expected_hours = busy;
+    } else {
+      r.expected_cost = Money{a / f} * busy;
+      r.expected_hours = Hours{busy.hours() / f};
+    }
+  }
+  r.status = Status::kOk;
+  return r;
+}
+
+Response answer_feasibility(const ModelSnapshot& snapshot, const Request& q, double f) {
+  Response r = base_response(snapshot, q);
+  r.acceptance = f;
+  r.bid = q.bid;
+  const Hours busy = busy_time(snapshot, q.job, f);
+  // eq. 14 is exactly "the eq.-13 denominator is positive".
+  r.feasible = std::isfinite(busy.hours());
+  r.expected_hours = busy;
+  r.status = Status::kOk;
+  return r;
+}
+
+Response answer_optimal_bid(const ModelSnapshot& snapshot, const Request& q) {
+  Response r = base_response(snapshot, q);
+  const bidding::BidDecision d = q.mode == BidMode::kOneTime
+                                     ? bidding::one_time_bid(snapshot.model(), q.job)
+                                     : bidding::persistent_bid(snapshot.model(), q.job);
+  r.bid = d.bid;
+  r.expected_cost = d.expected_cost;
+  r.expected_hours = d.expected_completion;
+  r.acceptance = d.acceptance;
+  r.use_on_demand = d.use_on_demand;
+  r.status = Status::kOk;
+  return r;
+}
+
+Response answer_provider_price(const ModelSnapshot& snapshot, const Request& q) {
+  Response r = base_response(snapshot, q);
+  r.price = snapshot.provider().optimal_price(q.demand);
+  r.status = Status::kOk;
+  return r;
+}
+
+/// Scalar dispatch without metrics (the public entry points tally).
+Response run_scalar(const ModelSnapshot& snapshot, const Request& q) {
+  try {
+    switch (q.kind) {
+      case Kind::kRunLength:
+        if (!run_length_valid(q)) return invalid_response(snapshot, q);
+        return answer_run_length(snapshot, q, snapshot.model().acceptance(q.bid));
+      case Kind::kExpectedCost:
+        if (!expected_cost_valid(q)) return invalid_response(snapshot, q);
+        return answer_expected_cost(snapshot, q, snapshot.model().acceptance(q.bid),
+                                    snapshot.model().partial_expectation(q.bid));
+      case Kind::kPersistentFeasibility:
+        if (!feasibility_valid(q)) return invalid_response(snapshot, q);
+        return answer_feasibility(snapshot, q, snapshot.model().acceptance(q.bid));
+      case Kind::kOptimalBid:
+        if (!optimal_bid_valid(q)) return invalid_response(snapshot, q);
+        return answer_optimal_bid(snapshot, q);
+      case Kind::kProviderPrice:
+        if (!provider_price_valid(q)) return invalid_response(snapshot, q);
+        return answer_provider_price(snapshot, q);
+    }
+    return invalid_response(snapshot, q);  // unknown kind byte
+  } catch (const std::exception&) {
+    // The never-throws policy: an unexpected model error (degenerate law,
+    // violated model invariant) must not kill a worker thread.
+    Response r = base_response(snapshot, q);
+    r.status = Status::kError;
+    return r;
+  }
+}
+
+Response not_found_response(const Request& q) {
+  Response r;
+  r.kind = q.kind;
+  r.status = Status::kNotFound;
+  return r;
+}
+
+/// Whether the batch path can gather this request's model queries into the
+/// one-sweep batch query plane (validity checked separately).
+bool batchable(Kind kind) {
+  return kind == Kind::kRunLength || kind == Kind::kExpectedCost ||
+         kind == Kind::kPersistentFeasibility;
+}
+
+}  // namespace
+
+Response execute_one(const ModelSnapshot* snapshot, const Request& request) {
+  request_counter(request.kind).increment();
+  Response r = snapshot == nullptr ? not_found_response(request) : run_scalar(*snapshot, request);
+  status_counter(r.status).increment();
+  return r;
+}
+
+void execute_batch(const ModelSnapshot* snapshot, std::span<const Request* const> requests,
+                   std::span<Response> responses) {
+  SPOTBID_EXPECT(requests.size() == responses.size(),
+                 "execute_batch: requests/responses size mismatch");
+  if (snapshot == nullptr) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      request_counter(requests[i]->kind).increment();
+      responses[i] = not_found_response(*requests[i]);
+      status_counter(responses[i].status).increment();
+    }
+    return;
+  }
+
+  const dist::Empirical* empirical = snapshot->empirical();
+
+  // Pass 1: route. Valid batchable requests against an empirical law gather
+  // their query points; everything else (optimizer kinds, analytic laws,
+  // invalid parameters) takes the scalar path immediately.
+  struct Gathered {
+    std::size_t index;
+    double f = 0.0;
+    double a = 0.0;
+  };
+  std::vector<Gathered> gathered;
+  gathered.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Request& q = *requests[i];
+    request_counter(q.kind).increment();
+    const bool gather =
+        empirical != nullptr && batchable(q.kind) &&
+        (q.kind == Kind::kRunLength              ? run_length_valid(q)
+         : q.kind == Kind::kExpectedCost         ? expected_cost_valid(q)
+                                                 : feasibility_valid(q));
+    if (gather) {
+      gathered.push_back(Gathered{i});
+    } else {
+      responses[i] = run_scalar(*snapshot, q);
+    }
+  }
+
+  if (!gathered.empty()) {
+    // Pass 2: answer every F(bid) — and, for cost queries, A(bid) — in one
+    // sorted knot sweep each (bit-identical to the scalar queries).
+    std::vector<double> xs(gathered.size());
+    std::vector<double> fs(gathered.size());
+    for (std::size_t j = 0; j < gathered.size(); ++j)
+      xs[j] = requests[gathered[j].index]->bid.usd();
+    empirical->cdf_many(xs, fs);
+    for (std::size_t j = 0; j < gathered.size(); ++j) gathered[j].f = fs[j];
+
+    std::vector<double> pe_xs;
+    std::vector<std::size_t> pe_pos;
+    for (std::size_t j = 0; j < gathered.size(); ++j) {
+      if (requests[gathered[j].index]->kind == Kind::kExpectedCost) {
+        pe_xs.push_back(xs[j]);
+        pe_pos.push_back(j);
+      }
+    }
+    if (!pe_xs.empty()) {
+      std::vector<double> as(pe_xs.size());
+      empirical->partial_expectation_many(pe_xs, as);
+      for (std::size_t j = 0; j < pe_pos.size(); ++j) gathered[pe_pos[j]].a = as[j];
+    }
+
+    // Pass 3: the same closed-form helpers the scalar path uses.
+    for (const Gathered& g : gathered) {
+      const Request& q = *requests[g.index];
+      switch (q.kind) {
+        case Kind::kRunLength:
+          responses[g.index] = answer_run_length(*snapshot, q, g.f);
+          break;
+        case Kind::kExpectedCost:
+          responses[g.index] = answer_expected_cost(*snapshot, q, g.f, g.a);
+          break;
+        default:
+          responses[g.index] = answer_feasibility(*snapshot, q, g.f);
+          break;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < responses.size(); ++i)
+    status_counter(responses[i].status).increment();
+}
+
+}  // namespace spotbid::serve

@@ -1,0 +1,75 @@
+#include "spotbid/serve/recalibrator.hpp"
+
+#include <utility>
+
+#include "spotbid/core/contracts.hpp"
+#include "spotbid/core/metrics.hpp"
+
+namespace spotbid::serve {
+
+namespace {
+
+metrics::Counter& refreshes() {
+  static metrics::Counter& c = metrics::Registry::global().counter("serve.store.refreshes");
+  return c;
+}
+
+}  // namespace
+
+Recalibrator::Recalibrator(SnapshotStore& store, std::chrono::milliseconds interval)
+    : store_(&store), interval_(interval) {
+  SPOTBID_EXPECT(interval.count() > 0, "Recalibrator: interval must be positive");
+}
+
+Recalibrator::~Recalibrator() { stop(); }
+
+void Recalibrator::add_source(Builder builder) {
+  SPOTBID_EXPECT(builder != nullptr, "Recalibrator::add_source: builder must be callable");
+  SPOTBID_EXPECT(!thread_.joinable(), "Recalibrator::add_source: must precede start()");
+  builders_.push_back(std::move(builder));
+}
+
+void Recalibrator::refresh_now() {
+  for (const Builder& build : builders_) {
+    if (std::shared_ptr<ModelSnapshot> snapshot = build()) {
+      store_->publish(std::move(snapshot));
+      refreshes().increment();
+    }
+  }
+  rounds_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Recalibrator::start() {
+  if (thread_.joinable()) return;
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    stopping_ = false;
+  }
+  thread_ = std::thread{[this] { loop(); }};
+}
+
+void Recalibrator::stop() {
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Recalibrator::loop() {
+  std::unique_lock<std::mutex> lock{mutex_};
+  while (!stopping_) {
+    // Wait first: the caller seeds synchronously via refresh_now(), so the
+    // background cadence starts one interval after start().
+    if (wake_.wait_for(lock, interval_, [&] { return stopping_; })) return;
+    // Builders run unlocked: they may rebuild models over large traces, and
+    // stop() must be able to set the flag meanwhile (it is checked again at
+    // the top of the loop).
+    lock.unlock();
+    refresh_now();
+    lock.lock();
+  }
+}
+
+}  // namespace spotbid::serve

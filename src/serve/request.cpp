@@ -1,0 +1,48 @@
+#include "spotbid/serve/request.hpp"
+
+namespace spotbid::serve {
+
+std::string_view kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kOptimalBid:
+      return "optimal_bid";
+    case Kind::kExpectedCost:
+      return "expected_cost";
+    case Kind::kRunLength:
+      return "run_length";
+    case Kind::kPersistentFeasibility:
+      return "persistent_feasibility";
+    case Kind::kProviderPrice:
+      return "provider_price";
+  }
+  return "unknown";
+}
+
+std::string_view status_name(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return "ok";
+    case Status::kNotFound:
+      return "not_found";
+    case Status::kInvalid:
+      return "invalid";
+    case Status::kOverloaded:
+      return "overloaded";
+    case Status::kShutdown:
+      return "shutdown";
+    case Status::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string make_key(std::string_view region, std::string_view instance_type) {
+  std::string key;
+  key.reserve(region.size() + 1 + instance_type.size());
+  key.append(region);
+  key.push_back('/');
+  key.append(instance_type);
+  return key;
+}
+
+}  // namespace spotbid::serve

@@ -1,0 +1,176 @@
+#include "spotbid/serve/snapshot_store.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+
+#include "spotbid/core/contracts.hpp"
+#include "spotbid/core/metrics.hpp"
+
+namespace spotbid::serve {
+
+namespace {
+
+struct StoreMetrics {
+  metrics::Counter& publishes;
+  metrics::Counter& lookups;
+  metrics::Counter& misses;
+};
+
+StoreMetrics& sm() {
+  static StoreMetrics m{
+      metrics::Registry::global().counter("serve.store.publishes"),
+      // Lookup tallies live under .sched.: through the service they count
+      // one find() per key-group per tick, which depends on micro-batch
+      // grouping and hence on worker scheduling.
+      metrics::Registry::global().counter("serve.store.sched.lookups"),
+      metrics::Registry::global().counter("serve.store.sched.misses"),
+  };
+  return m;
+}
+
+/// Heterogeneous string hashing so find(string_view) never allocates.
+struct StringHash {
+  using is_transparent = void;
+  [[nodiscard]] std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// Spin-locked shared_ptr cell — the same design as libstdc++'s
+/// std::atomic<std::shared_ptr> (a lock bit guarding a pointer + refcount
+/// pair), except the reader path unlocks with release. libstdc++ 12's
+/// _Sp_atomic::load unlocks with memory_order_relaxed, which leaves the
+/// reader's critical-section read formally unordered against the next
+/// writer's swap — a data race under the ISO model that ThreadSanitizer
+/// reports. Critical sections are a pointer copy or swap, never a model
+/// rebuild, so the lock is held for a few instructions at most.
+template <typename T>
+class AtomicPtr {
+ public:
+  AtomicPtr() = default;
+  explicit AtomicPtr(std::shared_ptr<T> initial) : value_(std::move(initial)) {}
+
+  [[nodiscard]] std::shared_ptr<T> load() const {
+    lock();
+    std::shared_ptr<T> copy = value_;
+    unlock();
+    return copy;
+  }
+
+  void store(std::shared_ptr<T> next) {
+    lock();
+    value_.swap(next);
+    unlock();
+    // The displaced value (now in `next`) is released outside the lock, so
+    // a snapshot's destructor never runs inside a reader's spin window.
+  }
+
+ private:
+  void lock() const {
+    while (flag_.test_and_set(std::memory_order_acquire))
+      while (flag_.test(std::memory_order_relaxed)) {
+      }
+  }
+  void unlock() const { flag_.clear(std::memory_order_release); }
+
+  mutable std::atomic_flag flag_;
+  std::shared_ptr<T> value_;
+};
+
+}  // namespace
+
+/// One shard: an atomic pointer to an immutable key -> slot map. Slots are
+/// stable across map rebuilds (shared_ptr members of every map version), so
+/// an epoch swap for an existing key touches one atomic, not the map.
+struct SnapshotStore::Shard {
+  struct Slot {
+    AtomicPtr<const ModelSnapshot> snapshot;
+  };
+  using Map =
+      std::unordered_map<std::string, std::shared_ptr<Slot>, StringHash, std::equal_to<>>;
+
+  AtomicPtr<const Map> map{std::make_shared<const Map>()};
+  /// Serializes writers only; the read path never touches it.
+  std::mutex writer;
+};
+
+SnapshotStore::SnapshotStore(std::size_t shards) {
+  const std::size_t count = std::bit_ceil(std::max<std::size_t>(shards, 1));
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+SnapshotStore::~SnapshotStore() = default;
+
+SnapshotStore::Shard& SnapshotStore::shard_for(std::string_view key) const {
+  // shard count is a power of two, so masking the hash is a uniform pick.
+  const std::size_t h = std::hash<std::string_view>{}(key);
+  return *shards_[h & (shards_.size() - 1)];
+}
+
+std::shared_ptr<const ModelSnapshot> SnapshotStore::find(std::string_view key) const {
+  sm().lookups.increment();
+  const Shard& shard = shard_for(key);
+  const std::shared_ptr<const Shard::Map> map = shard.map.load();
+  const auto it = map->find(key);
+  if (it == map->end()) {
+    sm().misses.increment();
+    return nullptr;
+  }
+  return it->second->snapshot.load();
+}
+
+std::uint64_t SnapshotStore::publish(std::shared_ptr<ModelSnapshot> snapshot) {
+  SPOTBID_EXPECT(snapshot != nullptr, "SnapshotStore::publish: snapshot must not be null");
+  SPOTBID_EXPECT(snapshot->epoch() == 0,
+                 "SnapshotStore::publish: snapshot was already published");
+
+  Shard& shard = shard_for(snapshot->key());
+  const std::lock_guard<std::mutex> lock{shard.writer};
+
+  // Stamp the store-wide epoch before the snapshot becomes visible, so no
+  // reader can ever observe a published snapshot with epoch 0.
+  const std::uint64_t epoch = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  snapshot->epoch_.store(epoch, std::memory_order_relaxed);
+
+  std::string key = snapshot->key();
+  const std::shared_ptr<const Shard::Map> current = shard.map.load();
+  if (const auto it = current->find(key); it != current->end()) {
+    // Existing key: epoch swap on the stable slot. Readers holding the old
+    // snapshot keep it alive through their own shared_ptr.
+    it->second->snapshot.store(std::move(snapshot));
+  } else {
+    // New key: copy-on-write map rebuild (slots shared, so concurrent epoch
+    // swaps on other keys remain visible through both map versions).
+    auto next = std::make_shared<Shard::Map>(*current);
+    auto slot = std::make_shared<Shard::Slot>();
+    slot->snapshot.store(std::move(snapshot));
+    next->emplace(std::move(key), std::move(slot));
+    shard.map.store(std::shared_ptr<const Shard::Map>{std::move(next)});
+  }
+  sm().publishes.increment();
+  return epoch;
+}
+
+std::size_t SnapshotStore::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_)
+    total += shard->map.load()->size();
+  return total;
+}
+
+std::vector<std::string> SnapshotStore::keys() const {
+  std::vector<std::string> out;
+  for (const auto& shard : shards_) {
+    const auto map = shard->map.load();
+    for (const auto& [key, slot] : *map) out.push_back(key);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace spotbid::serve

@@ -17,6 +17,7 @@ struct ImportMetrics {
   metrics::Counter& records_parsed;
   metrics::Counter& parse_failures;
   metrics::Counter& slots_resampled;
+  metrics::Counter& duplicates_dropped;
 };
 
 ImportMetrics& im() {
@@ -24,6 +25,7 @@ ImportMetrics& im() {
       metrics::Registry::global().counter("trace.records_parsed"),
       metrics::Registry::global().counter("trace.parse_failures"),
       metrics::Registry::global().counter("trace.slots_resampled"),
+      metrics::Registry::global().counter("trace.duplicates_dropped"),
   };
   return m;
 }
@@ -234,6 +236,50 @@ class JsonReader {
   std::size_t pos_ = 0;
 };
 
+/// True when the document needs a cleaning pass before JSON parsing:
+/// CRLF line endings, or lines whose first non-blank characters open a
+/// comment ('#' or "//"). Raw newlines cannot occur inside JSON strings,
+/// so a line-leading comment marker is never part of legitimate data.
+bool needs_cleaning(std::string_view text) {
+  bool at_line_start = true;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\r') return true;
+    if (at_line_start && (c == '#' || (c == '/' && i + 1 < text.size() && text[i + 1] == '/')))
+      return true;
+    if (c == '\n')
+      at_line_start = true;
+    else if (c != ' ' && c != '\t')
+      at_line_start = false;
+  }
+  return false;
+}
+
+/// Strip '\r' and drop blank-prefixed comment lines ('#' / "//"). Blank
+/// lines themselves are plain whitespace and need no special handling.
+std::string strip_comment_lines(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    const std::size_t first = line.find_first_not_of(" \t");
+    const bool comment =
+        first != std::string_view::npos &&
+        (line[first] == '#' || (line[first] == '/' && first + 1 < line.size() &&
+                                line[first + 1] == '/'));
+    if (!comment) {
+      out.append(line);
+      out.push_back('\n');
+    }
+    pos = eol + 1;
+  }
+  return out;
+}
+
 constexpr bool is_leap(int year) {
   return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
 }
@@ -302,7 +348,15 @@ std::int64_t parse_iso8601_utc(std::string_view text) {
 
 std::vector<SpotPriceRecord> parse_spot_price_history(std::string_view json) {
   try {
-    auto records = JsonReader{json}.parse_history();
+    std::vector<SpotPriceRecord> records;
+    if (needs_cleaning(json)) {
+      // CRLF endings or line comments (hand-annotated fixtures, files
+      // round-tripped through Windows tooling): clean once, then parse.
+      const std::string cleaned = strip_comment_lines(json);
+      records = JsonReader{cleaned}.parse_history();
+    } else {
+      records = JsonReader{json}.parse_history();
+    }
     im().records_parsed.add(records.size());
     return records;
   } catch (...) {
@@ -332,18 +386,45 @@ PriceTrace resample_to_trace(std::vector<SpotPriceRecord> records,
   });
   if (records.empty()) throw InvalidArgument{"resample_to_trace: no records after filtering"};
 
-  // Homogeneity check when no explicit type filter was given.
-  const std::string& type = records.front().instance_type;
+  // Homogeneity check when no explicit type filter was given. Copy, not a
+  // reference: the dedup pass below rebuilds `records`.
+  const std::string type = records.front().instance_type;
   for (const auto& r : records) {
     if (r.instance_type != type)
       throw InvalidArgument{
           "resample_to_trace: mixed instance types; set options.instance_type"};
   }
 
-  std::sort(records.begin(), records.end(),
-            [](const SpotPriceRecord& a, const SpotPriceRecord& b) {
-              return a.timestamp_epoch_s < b.timestamp_epoch_s;
-            });
+  // Out-of-order input is normal (the CLI emits newest-first; merged files
+  // interleave zones). Stable-sort by timestamp so records sharing a
+  // timestamp apply in input order — the later input record wins LOCF,
+  // deterministically.
+  std::stable_sort(records.begin(), records.end(),
+                   [](const SpotPriceRecord& a, const SpotPriceRecord& b) {
+                     return a.timestamp_epoch_s < b.timestamp_epoch_s;
+                   });
+
+  // Drop exact duplicates (every field equal): re-downloaded or
+  // concatenated histories repeat records, which must not perturb the
+  // resample. Each record is compared within its same-timestamp run only,
+  // so non-adjacent repeats are caught too; runs are tiny in practice.
+  {
+    std::vector<SpotPriceRecord> unique;
+    unique.reserve(records.size());
+    std::size_t run_start = 0;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      if (i > 0 && records[i].timestamp_epoch_s != records[i - 1].timestamp_epoch_s)
+        run_start = unique.size();
+      bool duplicate = false;
+      for (std::size_t j = run_start; j < unique.size() && !duplicate; ++j)
+        duplicate = unique[j] == records[i];
+      if (duplicate)
+        im().duplicates_dropped.increment();
+      else
+        unique.push_back(std::move(records[i]));
+    }
+    records = std::move(unique);
+  }
 
   const auto slot_s = static_cast<std::int64_t>(std::llround(options.slot_length.seconds()));
   const std::int64_t start = records.front().timestamp_epoch_s / slot_s * slot_s;

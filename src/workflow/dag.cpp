@@ -8,8 +8,9 @@
 namespace spotbid::workflow {
 
 std::vector<std::size_t> topological_order(const Workflow& workflow) {
+  // An empty workflow is trivially ordered (and trivially complete in
+  // run_workflow) — not an error.
   const std::size_t n = workflow.tasks.size();
-  if (n == 0) throw InvalidArgument{"topological_order: empty workflow"};
 
   std::vector<std::size_t> indegree(n, 0);
   for (std::size_t i = 0; i < n; ++i) {

@@ -280,6 +280,44 @@ TEST(WorkTrackerTest, FirstLaunchPaysNoRecovery) {
   EXPECT_DOUBLE_EQ(tracker.recovery_spent().hours(), 0.0);
 }
 
+TEST(WorkTrackerTest, RecoveryDebtRollsOverSlotBoundaries) {
+  // Recovery of 1.5 slots cannot be paid inside one slot: the relaunch
+  // slot is fully consumed, and the debt rolls into the next.
+  auto m = make_market({0.04, 0.08, 0.04, 0.04, 0.04, 0.04});
+  const auto id = m.submit({Money{0.05}, BidKind::kPersistent});
+  WorkTracker tracker{Hours{3.0 * kTk}, Hours{1.5 * kTk}, Hours{kTk}};
+  for (int i = 0; i < 6; ++i) {
+    m.advance();
+    tracker.on_slot(m.status(id));
+  }
+  // Running slots 0, 2, 3, 4, 5. Slot 2 is all recovery, slot 3 pays the
+  // remaining half slot: progress 1 + 0 + 0.5 + 1 + 1 = 3.5 slots.
+  EXPECT_EQ(tracker.interruptions_observed(), 1);
+  EXPECT_NEAR(tracker.recovery_spent().hours(), 1.5 * kTk, 1e-12);
+  EXPECT_NEAR(tracker.progress().hours(), 3.5 * kTk, 1e-12);
+  EXPECT_TRUE(tracker.done());
+  EXPECT_EQ(tracker.slots_elapsed(), 6);
+}
+
+TEST(WorkTrackerTest, BackToBackInterruptionsAccumulateDebt) {
+  // A second interruption lands before the first recovery is paid off: the
+  // debts add up, and no progress leaks through in between.
+  auto m = make_market({0.04, 0.08, 0.04, 0.08, 0.04, 0.04, 0.04, 0.04});
+  const auto id = m.submit({Money{0.05}, BidKind::kPersistent});
+  WorkTracker tracker{Hours{2.0 * kTk}, Hours{2.0 * kTk}, Hours{kTk}};
+  for (int i = 0; i < 8; ++i) {
+    m.advance();
+    tracker.on_slot(m.status(id));
+  }
+  // Slot 0: 1 slot of progress. Slot 2 pays 1 of the first 2-slot debt;
+  // slot 3 interrupts again (debt back to 3); slots 4-6 pay it off; slot 7
+  // completes the remaining work.
+  EXPECT_EQ(tracker.interruptions_observed(), 2);
+  EXPECT_NEAR(tracker.recovery_spent().hours(), 4.0 * kTk, 1e-12);
+  EXPECT_NEAR(tracker.progress().hours(), 2.0 * kTk, 1e-12);
+  EXPECT_TRUE(tracker.done());
+}
+
 TEST(WorkTrackerTest, RejectsBadConstruction) {
   EXPECT_THROW((WorkTracker{Hours{0.0}, Hours{0.0}, Hours{1.0}}), InvalidArgument);
   EXPECT_THROW((WorkTracker{Hours{1.0}, Hours{-1.0}, Hours{1.0}}), InvalidArgument);

@@ -1,0 +1,214 @@
+// Tests for BidService: submission/response plumbing, worker-count
+// determinism, deterministic backpressure hysteresis (manual dispatch), and
+// drain-on-stop semantics.
+
+#include "spotbid/serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spotbid/ec2/instance_types.hpp"
+#include "spotbid/serve/engine.hpp"
+#include "spotbid/trace/generator.hpp"
+
+namespace spotbid::serve {
+namespace {
+
+const std::string kKeyEast = make_key("us-east-1", "r3.xlarge");
+const std::string kKeyWest = make_key("us-west-2", "m3.xlarge");
+
+const SnapshotStore& shared_store() {
+  static const SnapshotStore& store = []() -> SnapshotStore& {
+    static SnapshotStore s;
+    const auto& east = ec2::require_type("r3.xlarge");
+    trace::GeneratorConfig config;
+    config.slots = 12 * 24 * 7;
+    s.publish(ModelSnapshot::from_trace(kKeyEast, trace::generate_for_type(east, config), east));
+    s.publish(ModelSnapshot::from_type(kKeyWest, ec2::require_type("m3.xlarge")));
+    return s;
+  }();
+  return store;
+}
+
+/// A deterministic mixed request trace touching both keys and every kind.
+std::vector<Request> request_trace(std::size_t n) {
+  std::vector<Request> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Request q;
+    q.key = i % 3 == 0 ? kKeyWest : kKeyEast;
+    q.kind = static_cast<Kind>(i % 5);
+    q.mode = i % 2 == 0 ? BidMode::kPersistent : BidMode::kOneTime;
+    q.bid = Money{0.02 + 0.002 * static_cast<double>(i % 40)};
+    q.job = bidding::JobSpec{Hours{1.0 + static_cast<double>(i % 4)},
+                             Hours::from_seconds(30.0)};
+    q.demand = 1.0 + static_cast<double>(i % 16);
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::vector<Response> run_through_service(const std::vector<Request>& requests,
+                                          ServiceConfig config) {
+  config.queue_capacity = requests.size() + 1;  // no backpressure in this path
+  BidService service{shared_store(), config};
+  std::vector<std::future<Response>> futures;
+  futures.reserve(requests.size());
+  for (const Request& q : requests) futures.push_back(service.submit(q));
+  std::vector<Response> out;
+  out.reserve(requests.size());
+  for (auto& f : futures) out.push_back(f.get());
+  return out;
+}
+
+TEST(BidService, AskAnswersAgainstTheStore) {
+  BidService service{shared_store(), ServiceConfig{.workers = 2}};
+  Request q;
+  q.key = kKeyEast;
+  q.kind = Kind::kOptimalBid;
+  q.mode = BidMode::kPersistent;
+  q.job = bidding::JobSpec{Hours{2.0}, Hours::from_seconds(30.0)};
+
+  const Response r = service.ask(q);
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_GT(r.bid.usd(), 0.0);
+  EXPECT_GT(r.epoch, 0u);
+
+  // The response must be exactly the engine's answer for the same snapshot.
+  const auto snapshot = shared_store().find(kKeyEast);
+  EXPECT_EQ(r, execute_one(snapshot.get(), q));
+}
+
+TEST(BidService, UnknownKeyResolvesNotFound) {
+  BidService service{shared_store(), ServiceConfig{.workers = 1}};
+  Request q;
+  q.key = "nowhere/none";
+  q.kind = Kind::kRunLength;
+  q.bid = Money{0.05};
+  EXPECT_EQ(service.ask(q).status, Status::kNotFound);
+}
+
+TEST(BidService, ResponsesAreBitIdenticalAcrossWorkerCounts) {
+  // The tentpole determinism contract at the service level: the same
+  // request trace through 1 worker and through 8 workers (arbitrary
+  // batch boundaries, arbitrary interleaving) yields bit-identical
+  // responses in submission order.
+  const std::vector<Request> requests = request_trace(512);
+  const std::vector<Response> one = run_through_service(requests, ServiceConfig{.workers = 1});
+  const std::vector<Response> many =
+      run_through_service(requests, ServiceConfig{.workers = 8, .max_batch = 7});
+  ASSERT_EQ(one.size(), many.size());
+  for (std::size_t i = 0; i < one.size(); ++i)
+    EXPECT_EQ(one[i], many[i]) << "response " << i << " depends on worker count";
+}
+
+TEST(BidService, BackpressureHysteresisIsExact) {
+  // Manual dispatch makes the queue state machine fully deterministic:
+  // admission closes when depth reaches the high watermark and reopens only
+  // once a drain reaches the low watermark.
+  ServiceConfig config;
+  config.start_workers = false;
+  config.queue_capacity = 8;
+  config.high_watermark = 6;
+  config.low_watermark = 2;
+  config.max_batch = 4;
+  BidService service{shared_store(), config};
+
+  Request q;
+  q.key = kKeyEast;
+  q.kind = Kind::kRunLength;
+  q.bid = Money{0.05};
+
+  std::vector<std::future<Response>> accepted;
+  for (int i = 0; i < 6; ++i) {
+    auto f = service.submit(q);
+    EXPECT_FALSE(service.overloaded() && i < 5);
+    accepted.push_back(std::move(f));
+  }
+  EXPECT_TRUE(service.overloaded()) << "depth reached the high watermark";
+  EXPECT_EQ(service.queue_depth(), 6u);
+
+  // Every submission while overloaded is rejected immediately, future ready.
+  for (int i = 0; i < 4; ++i) {
+    auto f = service.submit(q);
+    ASSERT_EQ(f.wait_for(std::chrono::seconds{0}), std::future_status::ready);
+    EXPECT_EQ(f.get().status, Status::kOverloaded);
+  }
+  EXPECT_EQ(service.accepted(), 6u);
+  EXPECT_EQ(service.rejected(), 4u);
+
+  // One tick drains max_batch = 4, leaving depth 2 == low watermark:
+  // admission reopens (hysteresis: not at 5, not at 3, exactly at <= 2).
+  EXPECT_TRUE(service.poll_once());
+  EXPECT_EQ(service.queue_depth(), 2u);
+  EXPECT_FALSE(service.overloaded());
+
+  // Re-closing works the same way on the second cycle.
+  for (int i = 0; i < 4; ++i) accepted.push_back(service.submit(q));
+  EXPECT_TRUE(service.overloaded());
+  EXPECT_EQ(service.submit(q).get().status, Status::kOverloaded);
+
+  while (service.poll_once()) {
+  }
+  EXPECT_EQ(service.queue_depth(), 0u);
+  EXPECT_FALSE(service.overloaded());
+
+  // Conservation: every accepted request resolves OK, exactly once.
+  for (auto& f : accepted) EXPECT_EQ(f.get().status, Status::kOk);
+  EXPECT_EQ(service.accepted(), 10u);
+  EXPECT_EQ(service.rejected(), 5u);
+}
+
+TEST(BidService, StopDrainsAcceptedRequests) {
+  // Requests still queued at stop() must be answered (not dropped, not
+  // broken promises) — here under manual dispatch, where stop() itself
+  // drains inline.
+  ServiceConfig config;
+  config.start_workers = false;
+  config.queue_capacity = 64;
+  BidService service{shared_store(), config};
+
+  std::vector<std::future<Response>> futures;
+  for (const Request& q : request_trace(32)) futures.push_back(service.submit(q));
+  service.stop();
+  for (auto& f : futures) {
+    const Response r = f.get();
+    EXPECT_TRUE(r.status == Status::kOk || r.status == Status::kInvalid) << status_name(r.status);
+  }
+
+  // After stop(), submissions are refused with kShutdown.
+  Request q;
+  q.key = kKeyEast;
+  q.kind = Kind::kRunLength;
+  q.bid = Money{0.05};
+  EXPECT_EQ(service.submit(q).get().status, Status::kShutdown);
+  service.stop();  // idempotent
+}
+
+TEST(BidService, WatermarkDefaultsAreApplied) {
+  ServiceConfig config;
+  config.start_workers = false;
+  config.queue_capacity = 4;  // high defaults to capacity, low to capacity/2
+  BidService service{shared_store(), config};
+
+  Request q;
+  q.key = kKeyEast;
+  q.kind = Kind::kRunLength;
+  q.bid = Money{0.05};
+
+  std::vector<std::future<Response>> accepted;
+  for (int i = 0; i < 4; ++i) accepted.push_back(service.submit(q));
+  EXPECT_TRUE(service.overloaded());
+  EXPECT_EQ(service.submit(q).get().status, Status::kOverloaded);
+  while (service.poll_once()) {
+  }
+  for (auto& f : accepted) EXPECT_EQ(f.get().status, Status::kOk);
+}
+
+}  // namespace
+}  // namespace spotbid::serve

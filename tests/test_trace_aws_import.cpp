@@ -174,6 +174,95 @@ TEST(Resample, EmptyAfterFilterThrows) {
   EXPECT_THROW((void)resample_to_trace({}, ResampleOptions{}), InvalidArgument);
 }
 
+TEST(ParseHistory, ToleratesCrlfLineEndings) {
+  // A file round-tripped through Windows tooling: every '\n' becomes
+  // "\r\n". Must parse identically to the clean document.
+  std::string crlf{kSample};
+  std::size_t pos = 0;
+  while ((pos = crlf.find('\n', pos)) != std::string::npos) {
+    crlf.replace(pos, 1, "\r\n");
+    pos += 2;
+  }
+  const auto records = parse_spot_price_history(crlf);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records, parse_spot_price_history(kSample));
+}
+
+TEST(ParseHistory, ToleratesBlankAndCommentLines) {
+  const char* annotated =
+      "# downloaded 2014-09-10, us-east-1\n"
+      "\n"
+      "{\n"
+      "  // the wrapper member\n"
+      "  \"SpotPriceHistory\": [\n"
+      "\n"
+      "    {\"InstanceType\": \"r3.xlarge\", \"SpotPrice\": \"0.0315\",\n"
+      "     # mid-record annotation\n"
+      "     \"Timestamp\": \"2014-09-09T00:00:00Z\", \"AvailabilityZone\": \"us-east-1a\"}\n"
+      "  ]\n"
+      "}\n";
+  const auto records = parse_spot_price_history(annotated);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_DOUBLE_EQ(records[0].spot_price, 0.0315);
+  EXPECT_EQ(records[0].availability_zone, "us-east-1a");
+}
+
+TEST(ParseHistory, CommentMarkersInsideStringsAreData) {
+  // '#' and "//" only open a comment at the start of a line; inside a JSON
+  // string (which cannot span lines) they are ordinary characters.
+  const auto records = parse_spot_price_history(
+      R"([{"InstanceType": "t", "AvailabilityZone": "rack#3//b", "SpotPrice": "0.05",
+           "Timestamp": "2014-09-09T00:00:00Z"}])");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].availability_zone, "rack#3//b");
+}
+
+TEST(Resample, OutOfOrderTimestampsAreStableSorted) {
+  // Newest-first (the CLI's order) plus a same-timestamp pair: the LATER
+  // input record for the shared timestamp must win the carry-forward.
+  const auto records = parse_spot_price_history(R"([
+    {"InstanceType": "t", "AvailabilityZone": "a", "SpotPrice": "0.09",
+     "Timestamp": "2014-09-09T01:00:00Z"},
+    {"InstanceType": "t", "AvailabilityZone": "a", "SpotPrice": "0.05",
+     "Timestamp": "2014-09-09T00:00:00Z"},
+    {"InstanceType": "t", "AvailabilityZone": "a", "SpotPrice": "0.03",
+     "Timestamp": "2014-09-09T00:00:00Z"}
+  ])");
+  const auto trace = resample_to_trace(records);
+  ASSERT_GE(trace.size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.prices().front(), 0.03) << "later input record wins at equal time";
+  EXPECT_DOUBLE_EQ(trace.prices().back(), 0.09);
+}
+
+TEST(Resample, ExactDuplicateRecordsAreDropped) {
+  // A concatenation of two downloads repeats every record; a same-timestamp
+  // record that differs in any field is NOT a duplicate and still applies.
+  const auto once = parse_spot_price_history(R"([
+    {"InstanceType": "t", "AvailabilityZone": "a", "SpotPrice": "0.05",
+     "Timestamp": "2014-09-09T00:00:00Z"},
+    {"InstanceType": "t", "AvailabilityZone": "a", "SpotPrice": "0.04",
+     "Timestamp": "2014-09-09T00:30:00Z"}
+  ])");
+  std::vector<SpotPriceRecord> doubled = once;
+  doubled.insert(doubled.end(), once.begin(), once.end());
+  const auto clean = resample_to_trace(once);
+  const auto deduped = resample_to_trace(doubled);
+  ASSERT_EQ(deduped.size(), clean.size());
+  for (std::size_t i = 0; i < clean.size(); ++i)
+    EXPECT_DOUBLE_EQ(deduped.prices()[i], clean.prices()[i]) << "slot " << i;
+
+  // Interleaved non-duplicate at the same timestamp (different zone): both
+  // survive, so the cheapest-zone rule still sees zone b.
+  auto interleaved = once;
+  SpotPriceRecord other = once[0];
+  other.availability_zone = "b";
+  other.spot_price = 0.02;
+  interleaved.insert(interleaved.begin() + 1, other);
+  interleaved.push_back(once[0]);  // non-adjacent exact duplicate
+  const auto mixed = resample_to_trace(interleaved);
+  EXPECT_DOUBLE_EQ(mixed.prices().front(), 0.02) << "distinct same-time record must survive";
+}
+
 TEST(Resample, EndToEndBiddingOnImportedHistory) {
   // A realistic mini-history drives the full bidding pipeline.
   std::ostringstream json;

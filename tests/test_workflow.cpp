@@ -58,8 +58,35 @@ TEST(Topological, DetectsCyclesAndBadIndices) {
   Workflow bad_index;
   bad_index.tasks.push_back({"a", Hours{0.1}, Hours{0.0}, {7}, Money{0.05}});
   EXPECT_THROW((void)topological_order(bad_index), InvalidArgument);
+}
 
-  EXPECT_THROW((void)topological_order(Workflow{}), InvalidArgument);
+TEST(Topological, EmptyWorkflowIsTriviallyOrdered) {
+  EXPECT_TRUE(topological_order(Workflow{}).empty());
+}
+
+TEST(RunWorkflow, EmptyWorkflowCompletesImmediately) {
+  auto m = flat_market(0.04);
+  const auto outcome = run_workflow(m, Workflow{});
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_TRUE(outcome.tasks.empty());
+  EXPECT_DOUBLE_EQ(outcome.makespan.hours(), 0.0);
+  EXPECT_DOUBLE_EQ(outcome.total_cost.usd(), 0.0);
+  EXPECT_EQ(m.current_slot(), 0) << "an empty workflow must not advance the market";
+}
+
+TEST(RunWorkflow, SingleNodeWorkflow) {
+  auto m = flat_market(0.04);
+  Workflow w;
+  w.tasks.push_back({"only", Hours{2.0 * kTk}, Hours{0.0}, {}, Money{0.05}});
+  const auto outcome = run_workflow(m, w);
+  ASSERT_TRUE(outcome.completed);
+  ASSERT_EQ(outcome.tasks.size(), 1u);
+  EXPECT_TRUE(outcome.tasks[0].completed);
+  EXPECT_EQ(outcome.tasks[0].ready_slot, 0);
+  EXPECT_EQ(outcome.tasks[0].interruptions, 0);
+  // Two slots of work at $0.04/h, charged per slot.
+  EXPECT_NEAR(outcome.total_cost.usd(), 0.04 * 2.0 * kTk, 1e-12);
+  EXPECT_NEAR(outcome.makespan.hours(), 2.0 * kTk, 1e-12);
 }
 
 TEST(RunWorkflow, DiamondCompletesInStages) {
