@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
+#include <vector>
 
 #include "spotbid/core/contracts.hpp"
 #include "spotbid/numeric/optimize.hpp"
@@ -23,13 +23,19 @@ double estimate_persistence(const trace::PriceTrace& trace) {
   // Redraws collide when the redraw equals the current value; under the
   // marginal law that happens with probability sum_i q_i^2 over atoms
   // (continuous values never collide). Estimate from value frequencies.
-  std::unordered_map<double, std::size_t> counts;
-  for (double p : prices) ++counts[p];
+  // Atom counts come from a sorted copy, not a hash map: summing q_i^2 in
+  // hash-bucket order would make the floating-point total depend on
+  // iteration order, which is outside the determinism contract.
+  std::vector<double> sorted(prices.begin(), prices.end());
+  std::sort(sorted.begin(), sorted.end());
   double collision = 0.0;
-  for (const auto& [value, count] : counts) {
-    (void)value;
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t j = i + 1;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    const std::size_t count = j - i;
     const double q = static_cast<double>(count) / static_cast<double>(prices.size());
     if (count > 1) collision += q * q;
+    i = j;
   }
   collision = std::min(collision, 0.999);
 

@@ -15,7 +15,9 @@ namespace spotbid::metrics {
 namespace detail {
 
 bool env_enabled() {
-  const char* raw = std::getenv("SPOTBID_METRICS");
+  // Read once at startup, before any worker thread exists, and nothing in
+  // the process calls setenv.
+  const char* raw = std::getenv("SPOTBID_METRICS");  // NOLINT(concurrency-mt-unsafe)
   if (raw == nullptr || *raw == '\0') return true;
   const std::string_view value{raw};
   return !(value == "off" || value == "0" || value == "false" || value == "no");

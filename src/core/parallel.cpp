@@ -52,7 +52,9 @@ class RegionGuard {
 };
 
 int env_thread_override() {
-  const char* raw = std::getenv("SPOTBID_THREADS");
+  // Read once at startup, before any worker thread exists, and nothing in
+  // the process calls setenv.
+  const char* raw = std::getenv("SPOTBID_THREADS");  // NOLINT(concurrency-mt-unsafe)
   if (raw == nullptr || *raw == '\0') return 0;
   char* end = nullptr;
   const long value = std::strtol(raw, &end, 10);

@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
-#include "spotbid/core/types.hpp"
+#include "spotbid/core/contracts.hpp"
 
 namespace spotbid::numeric {
 
 double trapezoid(const std::function<double(double)>& f, double lo, double hi, int n) {
-  if (n < 1) throw InvalidArgument{"trapezoid: n < 1"};
+  SPOTBID_EXPECT(n >= 1, "trapezoid: n < 1");
   if (lo == hi) return 0.0;
   const double h = (hi - lo) / n;
   double sum = 0.5 * (f(lo) + f(hi));
@@ -17,7 +17,7 @@ double trapezoid(const std::function<double(double)>& f, double lo, double hi, i
 }
 
 double simpson(const std::function<double(double)>& f, double lo, double hi, int n) {
-  if (n < 2) throw InvalidArgument{"simpson: n < 2"};
+  SPOTBID_EXPECT(n >= 2, "simpson: n < 2");
   if (lo == hi) return 0.0;
   if (n % 2 != 0) ++n;
   const double h = (hi - lo) / n;

@@ -3,18 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
-#include "spotbid/core/types.hpp"
+#include "spotbid/core/contracts.hpp"
 
 namespace spotbid::numeric {
 
 namespace {
 
-void validate_grid(const std::vector<double>& x, const std::vector<double>& y,
-                   const char* who) {
-  if (x.size() != y.size()) throw InvalidArgument{std::string{who} + ": size mismatch"};
-  if (x.size() < 2) throw InvalidArgument{std::string{who} + ": need at least two knots"};
+void validate_grid(const std::vector<double>& x, const std::vector<double>& y) {
+  SPOTBID_EXPECT(x.size() == y.size(), "interpolant: size mismatch");
+  SPOTBID_EXPECT(x.size() >= 2, "interpolant: need at least two knots");
   for (std::size_t i = 1; i < x.size(); ++i)
-    if (!(x[i - 1] < x[i])) throw InvalidArgument{std::string{who} + ": x not strictly increasing"};
+    SPOTBID_EXPECT(x[i - 1] < x[i], "interpolant: x not strictly increasing");
 }
 
 /// Index of the segment containing q: largest i with x[i] <= q, clamped to
@@ -30,7 +29,7 @@ std::size_t segment_of(const std::vector<double>& x, double q) {
 
 LinearInterpolant::LinearInterpolant(std::vector<double> x, std::vector<double> y)
     : x_(std::move(x)), y_(std::move(y)) {
-  validate_grid(x_, y_, "LinearInterpolant");
+  validate_grid(x_, y_);
 }
 
 double LinearInterpolant::operator()(double q) const {
@@ -51,7 +50,7 @@ double LinearInterpolant::derivative(double q) const {
 
 MonotoneCubicInterpolant::MonotoneCubicInterpolant(std::vector<double> x, std::vector<double> y)
     : x_(std::move(x)), y_(std::move(y)) {
-  validate_grid(x_, y_, "MonotoneCubicInterpolant");
+  validate_grid(x_, y_);
   const std::size_t n = x_.size();
   std::vector<double> d(n - 1);  // secant slopes
   for (std::size_t i = 0; i + 1 < n; ++i) d[i] = (y_[i + 1] - y_[i]) / (x_[i + 1] - x_[i]);

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <numeric>
 
-#include "spotbid/core/types.hpp"
+#include "spotbid/core/contracts.hpp"
 
 namespace spotbid::numeric {
 
@@ -21,7 +21,7 @@ MinimizeResult golden_section(const std::function<double(double)>& f, double lo,
 
 MinimizeResult brent_minimize(const std::function<double(double)>& f, double lo, double hi,
                               const MinimizeOptions& options) {
-  if (!(lo <= hi)) throw InvalidArgument{"brent_minimize: lo > hi"};
+  SPOTBID_EXPECT(lo <= hi, "brent_minimize: lo > hi");
   // Brent (1973) localmin, as in Numerical Recipes.
   const double cgold = 1.0 - kGolden;
   double a = lo;
@@ -95,7 +95,7 @@ MinimizeResult grid_then_golden(const std::function<double(double)>& f, double l
 SimplexResult nelder_mead(const std::function<double(const std::vector<double>&)>& f,
                           std::vector<double> x0, const SimplexOptions& options) {
   const std::size_t n = x0.size();
-  if (n == 0) throw InvalidArgument{"nelder_mead: empty start point"};
+  SPOTBID_EXPECT(n != 0, "nelder_mead: empty start point");
 
   // Build initial simplex: x0 plus n points perturbed along each axis.
   std::vector<std::vector<double>> simplex(n + 1, x0);

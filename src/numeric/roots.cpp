@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "spotbid/core/types.hpp"
+#include "spotbid/core/contracts.hpp"
 
 namespace spotbid::numeric {
 
@@ -17,12 +17,12 @@ bool opposite_signs(double a, double b) {
 
 RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
                   const RootOptions& options) {
-  if (!(lo <= hi)) throw InvalidArgument{"bisect: lo > hi"};
+  SPOTBID_EXPECT(lo <= hi, "bisect: lo > hi");
   double flo = f(lo);
   double fhi = f(hi);
   if (flo == 0.0) return {lo, 0.0, 0, true};
   if (fhi == 0.0) return {hi, 0.0, 0, true};
-  if (!opposite_signs(flo, fhi)) throw InvalidArgument{"bisect: f(lo) and f(hi) have the same sign"};
+  SPOTBID_EXPECT(opposite_signs(flo, fhi), "bisect: f(lo) and f(hi) have the same sign");
 
   RootResult result;
   for (int i = 0; i < options.max_iterations; ++i) {
@@ -47,14 +47,14 @@ RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
 
 RootResult brent(const std::function<double(double)>& f, double lo, double hi,
                  const RootOptions& options) {
-  if (!(lo <= hi)) throw InvalidArgument{"brent: lo > hi"};
+  SPOTBID_EXPECT(lo <= hi, "brent: lo > hi");
   double a = lo;
   double b = hi;
   double fa = f(a);
   double fb = f(b);
   if (fa == 0.0) return {a, 0.0, 0, true};
   if (fb == 0.0) return {b, 0.0, 0, true};
-  if (!opposite_signs(fa, fb)) throw InvalidArgument{"brent: f(lo) and f(hi) have the same sign"};
+  SPOTBID_EXPECT(opposite_signs(fa, fb), "brent: f(lo) and f(hi) have the same sign");
 
   // Classic Brent-Dekker as in Numerical Recipes / Brent (1973).
   double c = a;

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "spotbid/core/types.hpp"
+#include "spotbid/core/contracts.hpp"
 
 namespace spotbid::numeric {
 
@@ -45,7 +45,7 @@ double kahan_sum(std::span<const double> xs) {
 }
 
 double mean(std::span<const double> xs) {
-  if (xs.empty()) throw InvalidArgument{"mean: empty"};
+  SPOTBID_EXPECT(!xs.empty(), "mean: empty");
   return kahan_sum(xs) / static_cast<double>(xs.size());
 }
 
@@ -60,8 +60,8 @@ double variance(std::span<const double> xs) {
 double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
 
 double quantile(std::span<const double> xs, double q) {
-  if (xs.empty()) throw InvalidArgument{"quantile: empty"};
-  if (q < 0.0 || q > 1.0) throw InvalidArgument{"quantile: q outside [0, 1]"};
+  SPOTBID_EXPECT(!xs.empty(), "quantile: empty");
+  SPOTBID_REQUIRE_PROB(q, "quantile: q");
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
   const double pos = q * static_cast<double>(sorted.size() - 1);
@@ -73,7 +73,7 @@ double quantile(std::span<const double> xs, double q) {
 
 double autocorrelation(std::span<const double> xs, std::size_t lag) {
   const std::size_t n = xs.size();
-  if (lag >= n) throw InvalidArgument{"autocorrelation: lag >= n"};
+  SPOTBID_EXPECT(lag < n, "autocorrelation: lag >= n");
   if (lag == 0) return 1.0;
   const double m = mean(xs);
   double num = 0.0;
@@ -85,8 +85,8 @@ double autocorrelation(std::span<const double> xs, std::size_t lag) {
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
-  if (!(lo < hi)) throw InvalidArgument{"Histogram: lo >= hi"};
-  if (bins == 0) throw InvalidArgument{"Histogram: zero bins"};
+  SPOTBID_EXPECT(lo < hi, "Histogram: lo >= hi");
+  SPOTBID_EXPECT(bins != 0, "Histogram: zero bins");
   counts_.assign(bins, 0);
 }
 
@@ -121,8 +121,8 @@ std::vector<double> Histogram::densities() const {
 }
 
 double mean_squared_error(std::span<const double> a, std::span<const double> b) {
-  if (a.size() != b.size()) throw InvalidArgument{"mean_squared_error: size mismatch"};
-  if (a.empty()) throw InvalidArgument{"mean_squared_error: empty"};
+  SPOTBID_EXPECT(a.size() == b.size(), "mean_squared_error: size mismatch");
+  SPOTBID_EXPECT(!a.empty(), "mean_squared_error: empty");
   double sum = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) sum += (a[i] - b[i]) * (a[i] - b[i]);
   return sum / static_cast<double>(a.size());

@@ -95,6 +95,7 @@ struct SnapshotStore::Shard {
 
   AtomicPtr<const Map> map{std::make_shared<const Map>()};
   /// Serializes writers only; the read path never touches it.
+  // spotbid-lint: allow(S-mutex) writer-side publication lock; find() never takes it
   std::mutex writer;
 };
 

@@ -1,0 +1,13 @@
+// Known-bad fixture for the C (contract coverage) rule family: a public
+// floating-point function with no SPOTBID_EXPECT/REQUIRE_* check anywhere,
+// in a tree whose baseline demands full coverage. Never compiled.
+#pragma once
+
+namespace spotbid::numeric {
+
+/// Public, takes doubles, and neither this declaration nor any out-of-line
+/// definition reaches a contract check: C-uncovered, and the 0/1 coverage
+/// sits below the 1/1 baseline: C-regression.
+double lerp_unchecked(double a, double b, double t);
+
+}  // namespace spotbid::numeric

@@ -1,0 +1,12 @@
+// Known-good fixture for the C (contract coverage) rule family: the public
+// floating-point function validates its inputs inline. Never compiled.
+#pragma once
+
+namespace spotbid::numeric {
+
+inline double lerp_checked(double a, double b, double t) {
+  SPOTBID_EXPECT(t >= 0.0 && t <= 1.0, "lerp_checked: t outside [0, 1]");
+  return a + (b - a) * t;
+}
+
+}  // namespace spotbid::numeric

@@ -1,0 +1,38 @@
+// Known-bad fixture for the D (determinism) rule family: every construct
+// below is banned on a deterministic path. Never compiled — lexed only.
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+namespace spotbid::market {
+
+// D-rand: libc PRNG instead of numeric::Rng with a derived seed.
+double jitter() { return static_cast<double>(std::rand()) / 100.0; }
+
+// D-clock: wall time on a deterministic path.
+long stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+// D-getenv: environment-dependent behavior outside the core toggles.
+const char* tag() { return getenv("SPOTBID_TAG"); }
+
+// D-unordered: hash-order fold feeding a return value.
+double total(const std::unordered_map<int, double>& weights) {
+  double sum = 0.0;
+  for (const auto& [key, w] : weights) sum += w;
+  return sum;
+}
+
+// D-par-reduce: unspecified fold order outside core/parallel.
+double fold(const std::vector<double>& xs) {
+  return std::reduce(xs.begin(), xs.end(), 0.0);
+}
+
+// X-suppression: an allow() with no reason is itself a finding.
+// spotbid-lint: allow(D-unordered)
+int unrelated() { return 7; }
+
+}  // namespace spotbid::market

@@ -1,0 +1,26 @@
+// Known-good fixture for the D (determinism) rule family: deterministic
+// idioms, plus one deliberate, annotated exception. Never compiled.
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+namespace spotbid::market {
+
+// Ordered fold: std::accumulate runs left-to-right, so the result is a pure
+// function of the input sequence.
+double total(const std::vector<double>& weights) {
+  return std::accumulate(weights.begin(), weights.end(), 0.0);
+}
+
+// Hash-order iteration is fine when the result is order-insensitive; the
+// exception is deliberate and annotated.
+std::vector<int> sorted_keys(const std::unordered_map<int, double>& index) {
+  std::vector<int> out;
+  // spotbid-lint: allow(D-unordered) keys are sorted before returning
+  for (const auto& [key, value] : index) out.push_back(key);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace spotbid::market

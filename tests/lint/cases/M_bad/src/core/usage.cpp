@@ -1,0 +1,16 @@
+// Known-bad fixture for the M (metrics consistency) rule family. Never
+// compiled — the linter only needs the registration token patterns.
+#include "spotbid/core/metrics.hpp"
+
+namespace spotbid {
+
+void touch() {
+  // Documented with the same kind: clean.
+  metrics::Registry::global().counter("market.good");
+  // Documented as a gauge: M-misclassified.
+  metrics::Registry::global().counter("market.kindful");
+  // Missing from docs/METRICS.md: M-undocumented.
+  metrics::Registry::global().counter("market.undocumented");
+}
+
+}  // namespace spotbid

@@ -1,0 +1,16 @@
+// Known-good fixture for the M (metrics consistency) rule family. Never
+// compiled — the linter only needs the registration token patterns.
+#include "spotbid/core/metrics.hpp"
+
+#include <string>
+
+namespace spotbid {
+
+void touch(const std::string& kind) {
+  metrics::Registry::global().counter("market.good");
+  // Dynamic registration from a literal prefix: matches the catalogue's
+  // `serve.req.<kind>` placeholder row.
+  metrics::Registry::global().counter("serve.req." + kind);
+}
+
+}  // namespace spotbid

@@ -1,0 +1,24 @@
+// Known-bad fixture for the S (serve concurrency) rule family. The file is
+// named snapshot_store.cpp because S-mutex only fires on reader-path files.
+// Never compiled — lexed only.
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+namespace spotbid::serve {
+
+struct Store {
+  AtomicPtr<int> cell;
+  // S-stdatomic: the repo hand-rolls AtomicPtr precisely because this type's
+  // libstdc++-12 reader unlock is a formal data race.
+  std::atomic<std::shared_ptr<int>> raw;
+  // S-mutex: a lock primitive on the reader path, with no annotation.
+  std::mutex reader_lock;
+};
+
+int peek(Store& s) {
+  // S-atomicptr: reaching around the load()/store() API.
+  return *s.cell.get();
+}
+
+}  // namespace spotbid::serve

@@ -1,0 +1,20 @@
+// Known-good fixture for the S (serve concurrency) rule family: cells only
+// touched through load()/store(), and the writer-side mutex carries an
+// annotated suppression. Never compiled — lexed only.
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace spotbid::serve {
+
+struct Store {
+  AtomicPtr<int> cell;
+  // spotbid-lint: allow(S-mutex) writer-side publication lock; readers never take it
+  std::mutex writer;
+};
+
+std::shared_ptr<int> peek(const Store& s) { return s.cell.load(); }
+
+void put(Store& s, std::shared_ptr<int> next) { s.cell.store(std::move(next)); }
+
+}  // namespace spotbid::serve

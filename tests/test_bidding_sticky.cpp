@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <map>
 #include <memory>
+#include <vector>
 
 #include "spotbid/client/job_runner.hpp"
 #include "spotbid/ec2/instance_types.hpp"
@@ -33,6 +36,47 @@ TEST(EstimatePersistence, RecoversGeneratorParameter) {
 TEST(EstimatePersistence, ThrowsOnShortTrace) {
   trace::PriceTrace t{"x", 0, Hours{1.0}, {0.1}};
   EXPECT_THROW((void)estimate_persistence(t), InvalidArgument);
+}
+
+TEST(EstimatePersistence, CollisionTermIsAFunctionOfThePriceMultiset) {
+  // Regression: the collision estimate used to accumulate q_i^2 in
+  // unordered_map iteration order, so the floating-point total could depend
+  // on hash-bucket layout (and hence on insertion order). The three traces
+  // below share the same price multiset and the same number of carried
+  // slots, so estimate_persistence must return bit-identical values, and
+  // must equal a reference that sums q_i^2 in ascending-value order.
+  const std::vector<double> atoms{0.11, 0.13, 0.17, 0.19, 0.23};
+  const std::vector<std::size_t> counts{1000, 900, 800, 700, 600};
+
+  const auto block_trace = [&](const std::vector<std::size_t>& order) {
+    std::vector<double> prices;
+    for (const std::size_t k : order)
+      prices.insert(prices.end(), counts[k], atoms[k]);
+    return trace::PriceTrace{"x", 0, Hours{1.0}, std::move(prices)};
+  };
+  // Each ordering keeps every run intact (adjacent blocks hold distinct
+  // values), so the carry fraction is identical; only the insertion order —
+  // which the old implementation leaked through the hash map — changes.
+  const double a = estimate_persistence(block_trace({0, 1, 2, 3, 4}));
+  const double b = estimate_persistence(block_trace({4, 3, 2, 1, 0}));
+  const double c = estimate_persistence(block_trace({2, 0, 4, 1, 3}));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+
+  // Ascending-value reference for the same formula.
+  const double total = 4000.0;
+  std::map<double, std::size_t> by_value;
+  for (std::size_t k = 0; k < atoms.size(); ++k) by_value[atoms[k]] = counts[k];
+  double collision = 0.0;
+  for (const auto& [value, count] : by_value) {
+    (void)value;
+    const double q = static_cast<double>(count) / total;
+    collision += q * q;
+  }
+  const double carried = total - static_cast<double>(atoms.size());
+  const double carry = carried / (total - 1.0);
+  const double rho = (carry - collision) / (1.0 - collision);
+  EXPECT_EQ(a, std::clamp(rho, 0.0, 1.0 - 1e-9));
 }
 
 TEST(StickyMetrics, RhoZeroReducesToSection5) {

@@ -23,6 +23,11 @@ The cross-checks that reference market/Monte-Carlo metrics use .get and
 skip silently when those metrics are absent (the query_plane document
 does not simulate a market).
 
+Additionally, every key in the document's "metrics" object must appear in
+the docs/METRICS.md catalogue (placeholder rows like `serve.requests.<kind>`
+match by prefix) — the same tri-directional code/docs/schema consistency
+spotbid-lint enforces (rule M), extended here to the emitted artifacts.
+
 Usage:
     python3 tools/check_bench_json.py BENCH_file.json [schema.json]
 
@@ -33,6 +38,8 @@ otherwise.
 from __future__ import annotations
 
 import json
+import os
+import re
 import sys
 
 _TYPE_CHECKS = {
@@ -150,6 +157,47 @@ def cross_checks(doc: dict, errors: list[str]) -> None:
         )
 
 
+# Catalogue rows are `| `name` | kind | ...`; placeholder rows use
+# `serve.requests.<kind>` and match any metric sharing the literal prefix.
+_DOC_ROW_RE = re.compile(r"^\|\s*`([A-Za-z0-9_.<>]+)`\s*\|")
+
+
+def catalogue_names(doc_md_path: str) -> tuple[set[str], list[str]]:
+    exact: set[str] = set()
+    prefixes: list[str] = []
+    with open(doc_md_path, encoding="utf-8") as f:
+        for line in f:
+            m = _DOC_ROW_RE.match(line.strip())
+            if m is None:
+                continue
+            name = m.group(1)
+            if "<" in name:
+                prefixes.append(name.split("<", 1)[0])
+            else:
+                exact.add(name)
+    return exact, prefixes
+
+
+def catalogue_check(doc: dict, errors: list[str]) -> None:
+    """Every emitted metric key must be documented in docs/METRICS.md."""
+    doc_md = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          os.pardir, "docs", "METRICS.md")
+    if not os.path.isfile(doc_md):
+        print("note: docs/METRICS.md not found; catalogue check skipped",
+              file=sys.stderr)
+        return
+    exact, prefixes = catalogue_names(doc_md)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        return
+    for name in sorted(metrics):
+        if name not in exact and not any(name.startswith(p) for p in prefixes):
+            errors.append(
+                f"metrics.{name}: emitted by the bench but not documented in "
+                "docs/METRICS.md — add a catalogue row (see docs/LINT.md rule M)"
+            )
+
+
 def main(argv: list[str]) -> int:
     if len(argv) not in (2, 3):
         print(__doc__, file=sys.stderr)
@@ -165,6 +213,7 @@ def main(argv: list[str]) -> int:
     errors: list[str] = []
     validate(doc, schema, schema, "", errors)
     cross_checks(doc, errors)
+    catalogue_check(doc, errors)
 
     if errors:
         for error in errors:

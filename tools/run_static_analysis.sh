@@ -2,9 +2,17 @@
 # Static-analysis driver for the spotbid library.
 #
 # Runs over src/ and include/ and exits non-zero on any finding:
-#   1. clang-tidy with the repo's .clang-tidy config, when clang-tidy is
+#   1. spotbid-lint (tools/spotbid_lint/spotbid_lint.py): the project-rule
+#      analyzer for the determinism / contract / metrics / serve invariants
+#      (see docs/LINT.md) — libclang mode when available, token fallback
+#      otherwise, never skipped;
+#   2. header hygiene: every src/<layer>/<name>.cpp must include its own
+#      header first (the include-what-you-use discipline GCC can check
+#      without a plugin: compiling with the own header first proves the
+#      header is self-contained in its real usage context);
+#   3. clang-tidy with the repo's .clang-tidy config, when clang-tidy is
 #      installed (uses compile_commands.json from the `tidy` CMake preset);
-#   2. otherwise a GCC fallback: a header self-containment pass (every
+#   4. otherwise a GCC fallback: a header self-containment pass (every
 #      public header must compile standalone) plus a strict-warning
 #      -fsyntax-only sweep of every translation unit with -Werror.
 #
@@ -23,6 +31,44 @@ fi
 SOURCES=$(find src -name '*.cpp' | sort)
 HEADERS=$(find include -name '*.hpp' | sort)
 FAILURES=0
+
+run_spotbid_lint() {
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "spotbid-lint SKIPPED: python3 not found" >&2
+    return 0
+  fi
+  echo "== spotbid-lint (project rules; docs/LINT.md)"
+  python3 tools/spotbid_lint/spotbid_lint.py --root "$ROOT" --quiet
+}
+
+run_header_hygiene() {
+  # Own-header-first: src/<layer>/<name>.cpp must open with
+  # #include "spotbid/<layer>/<name>.hpp" when that header exists. This is
+  # the cheap include-hygiene guarantee: the header compiles before any
+  # other include can paper over a missing dependency.
+  echo "== header hygiene (own header first)"
+  local file rel expected first failed=0
+  for file in $SOURCES; do
+    rel="${file#src/}"
+    expected="spotbid/${rel%.cpp}.hpp"
+    [[ -f "include/$expected" ]] || continue
+    first=$(grep -m1 '^[[:space:]]*#include' "$file")
+    if [[ "$first" != "#include \"$expected\"" ]]; then
+      echo "header hygiene: $file must include \"$expected\" first (found: ${first:-nothing})"
+      failed=1
+    fi
+  done
+  return $failed
+}
+
+if ! run_spotbid_lint; then
+  echo "static analysis FAILED (spotbid-lint)"
+  exit 1
+fi
+if ! run_header_hygiene; then
+  echo "static analysis FAILED (header hygiene)"
+  exit 1
+fi
 
 run_clang_tidy() {
   local build_dir="build/tidy"
