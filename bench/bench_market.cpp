@@ -1,0 +1,283 @@
+// Perf + equivalence harness for the structure-of-arrays market engine.
+//
+// Drives a fig5-style spot market — calibrated r3.xlarge prices, a large
+// bid book with ties and mid-run churn — through BOTH engines:
+//
+//   * market::ReferenceMarket  — the per-object oracle (every bid visited
+//     every slot, obviously correct),
+//   * market::SpotMarket       — the banded SoA engine on the hot path,
+//
+// using the exact same deterministic submit/advance/close schedule, and
+// asserts bit-for-bit equivalence of every per-request status field
+// (accrued cost included), the full event log, and the deterministic
+// metrics snapshot (with the SoA-only `market.band.*` telemetry filtered
+// out — the oracle never records it, see docs/METRICS.md).
+//
+// BENCH_market.json gets both wall times, the throughput speedup, and the
+// SoA run's metrics snapshot. The process exits 1 on any equivalence
+// failure or if the speedup falls below the CI floor — the design target
+// is >= 5x at the default 1M-bid book (see docs/PERF.md); the gate is
+// deliberately looser to tolerate shared-runner noise, not regressions.
+//
+//   ./bench_market [output.json]             (default: BENCH_market.json)
+//   SPOTBID_BENCH_MARKET_BIDS=N  overrides the bid count   (default 1000000)
+//   SPOTBID_BENCH_MARKET_SLOTS=N overrides the slot count  (default 576,
+//     two days of 5-minute slots — long enough that the oracle's
+//     O(bids x slots) scan dominates its shared per-bid bookkeeping)
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "spotbid/core/metrics.hpp"
+#include "spotbid/ec2/instance_types.hpp"
+#include "spotbid/market/price_source.hpp"
+#include "spotbid/market/reference_market.hpp"
+#include "spotbid/market/spot_market.hpp"
+#include "spotbid/numeric/rng.hpp"
+#include "spotbid/provider/calibration.hpp"
+#include "spotbid/trace/generator.hpp"
+
+namespace {
+
+using namespace spotbid;
+
+/// The CI floor on SoA-vs-oracle throughput. Design target is >= 5x on a
+/// quiet machine; the gate catches the fast path collapsing back to
+/// per-object scans, not scheduler jitter.
+constexpr double kSpeedupFloor = 3.0;
+
+int env_count(const char* name, int fallback) {
+  if (const char* raw = std::getenv(name)) {
+    const int value = std::atoi(raw);
+    if (value > 0) return value;
+  }
+  return fallback;
+}
+
+/// One deterministic run plan, generated once and applied verbatim to both
+/// engines: an initial bid book, per-slot submission waves (mid-run churn
+/// exercises the staged-merge path), and per-slot closes. Request ids are
+/// assigned by submission order, so the same plan addresses the same bids
+/// in both engines.
+struct Schedule {
+  int slots = 0;
+  std::vector<market::BidRequest> initial;
+  std::vector<std::vector<market::BidRequest>> waves;   // indexed by slot
+  std::vector<std::vector<market::RequestId>> closes;   // indexed by slot
+};
+
+Schedule make_schedule(int bids, int slots) {
+  const auto& type = ec2::require_type("r3.xlarge");
+  const double lo = 0.5 * type.min_price().usd();
+  const double hi = 1.2 * type.on_demand.usd();
+
+  Schedule plan;
+  plan.slots = slots;
+  plan.waves.resize(static_cast<std::size_t>(slots));
+  plan.closes.resize(static_cast<std::size_t>(slots));
+
+  numeric::Rng rng{9876};
+  const int initial = bids * 3 / 5;
+  double last_bid = lo;
+  for (int i = 0; i < bids; ++i) {
+    market::BidRequest request;
+    // Every 5th bid repeats the previous price exactly: equal-bid clusters
+    // are where band boundaries are most delicate.
+    const double bid = (i % 5 == 4) ? last_bid : lo + rng.uniform() * (hi - lo);
+    last_bid = bid;
+    request.bid_price = Money{bid};
+    request.kind = rng.uniform() < 0.25 ? market::BidKind::kOneTime : market::BidKind::kPersistent;
+    if (i < initial) {
+      plan.initial.push_back(request);
+    } else {
+      // Stagger late arrivals over the first half of the horizon.
+      const auto slot = static_cast<std::size_t>(1 + (i - initial) % (slots / 2));
+      plan.waves[slot].push_back(request);
+    }
+  }
+  // Close a slice of the initial book mid-run, spread across the horizon.
+  for (market::RequestId id = 7; id < static_cast<market::RequestId>(initial); id += 16) {
+    const auto slot = static_cast<std::size_t>(1 + id % static_cast<market::RequestId>(slots - 2));
+    plan.closes[slot].push_back(id);
+  }
+  return plan;
+}
+
+std::unique_ptr<market::PriceSource> make_source() {
+  const auto& type = ec2::require_type("r3.xlarge");
+  auto prices = provider::calibrated_price_distribution(type);
+  return std::make_unique<market::ModelPriceSource>(prices, trace::kDefaultSlotLength,
+                                                    /*seed=*/2015, type.market.persistence);
+}
+
+/// Everything observable from one engine run, copied out so the market can
+/// be destroyed (flushing its metric batches) before the snapshot is read.
+struct DriveOutcome {
+  std::vector<market::RequestStatus> statuses;
+  std::vector<market::Event> events;
+  double final_price_usd = 0.0;
+  double wall_seconds = 0.0;
+  metrics::Snapshot deterministic;
+};
+
+template <typename Market>
+DriveOutcome drive(const Schedule& plan) {
+  DriveOutcome out;
+  metrics::Registry::global().reset();
+  const auto start = std::chrono::steady_clock::now();
+  {
+    Market mkt{make_source()};
+    for (const auto& request : plan.initial) (void)mkt.submit(request);
+    for (int slot = 0; slot < plan.slots; ++slot) {
+      (void)mkt.advance();
+      for (const auto& request : plan.waves[static_cast<std::size_t>(slot)])
+        (void)mkt.submit(request);
+      for (const market::RequestId id : plan.closes[static_cast<std::size_t>(slot)])
+        mkt.close(id);
+    }
+    const auto total =
+        plan.initial.size() + [&] {
+          std::size_t n = 0;
+          for (const auto& wave : plan.waves) n += wave.size();
+          return n;
+        }();
+    out.statuses.reserve(total);
+    for (market::RequestId id = 0; id < total; ++id) out.statuses.push_back(mkt.status(id));
+    out.events = mkt.event_log();
+    out.final_price_usd = mkt.current_price().usd();
+  }  // destructor settles stragglers and flushes the metric batches
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  out.deterministic = metrics::Registry::global().snapshot().deterministic();
+  // The oracle never records the SoA band telemetry; drop it so the two
+  // snapshots are comparable (docs/METRICS.md "market.band.*").
+  auto& ms = out.deterministic.metrics;
+  std::erase_if(ms, [](const auto& m) { return m.name.rfind("market.band.", 0) == 0; });
+  return out;
+}
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+bool statuses_equal(const std::vector<market::RequestStatus>& a,
+                    const std::vector<market::RequestStatus>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& x = a[i];
+    const auto& y = b[i];
+    if (x.state != y.state || x.kind != y.kind || !bits_equal(x.bid_price.usd(), y.bid_price.usd()) ||
+        !bits_equal(x.accrued_cost.usd(), y.accrued_cost.usd()) ||
+        x.running_slots != y.running_slots || x.pending_slots != y.pending_slots ||
+        x.launches != y.launches || x.interruptions != y.interruptions ||
+        x.submitted_slot != y.submitted_slot || x.closed_slot != y.closed_slot) {
+      std::cerr << "status mismatch at request " << i << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+void write_json(const std::string& path, int bids, int slots, const DriveOutcome& oracle,
+                const DriveOutcome& soa, bool statuses_ok, bool events_ok, bool metrics_ok,
+                double total_cost, long interruptions, const metrics::Snapshot& snapshot) {
+  const double speedup = soa.wall_seconds > 0.0 ? oracle.wall_seconds / soa.wall_seconds : 0.0;
+  std::ofstream os{path};
+  os.precision(17);
+  os << "{\n"
+     << "  \"benchmark\": \"market_soa\",\n"
+     << "  \"instance_type\": \"r3.xlarge\",\n"
+     << "  \"bids\": " << bids << ",\n"
+     << "  \"slots\": " << slots << ",\n"
+     << "  \"oracle_wall_s\": " << oracle.wall_seconds << ",\n"
+     << "  \"soa_wall_s\": " << soa.wall_seconds << ",\n"
+     << "  \"speedup\": " << speedup << ",\n"
+     << "  \"oracle_bids_per_s\": " << bids / oracle.wall_seconds << ",\n"
+     << "  \"soa_bids_per_s\": " << bids / soa.wall_seconds << ",\n"
+     << "  \"statuses_bit_identical\": " << (statuses_ok ? "true" : "false") << ",\n"
+     << "  \"events_identical\": " << (events_ok ? "true" : "false") << ",\n"
+     << "  \"metrics_deterministic\": " << (metrics_ok ? "true" : "false") << ",\n"
+     << "  \"total_cost_usd\": " << total_cost << ",\n"
+     << "  \"interruptions\": " << interruptions << ",\n"
+     << "  \"metrics\": ";
+  metrics::write_json(os, snapshot, 2);
+  os << "\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out = argc > 1 ? argv[1] : "BENCH_market.json";
+  const int bids = env_count("SPOTBID_BENCH_MARKET_BIDS", 1'000'000);
+  const int slots = env_count("SPOTBID_BENCH_MARKET_SLOTS", 576);
+  if (slots < 4) {
+    std::cerr << "FATAL: need at least 4 slots\n";
+    return 1;
+  }
+
+  bench::banner("Market engine: banded SoA vs per-object oracle");
+  std::cout << bids << " bids, " << slots << " slots, r3.xlarge calibrated prices\n";
+
+  const Schedule plan = make_schedule(bids, slots);
+  metrics::set_enabled(true);
+
+  const DriveOutcome oracle = drive<market::ReferenceMarket>(plan);
+  const DriveOutcome soa = drive<market::SpotMarket>(plan);
+  // Keep the full SoA snapshot (band telemetry included) for the report;
+  // drive() already reset + repopulated the registry for the SoA run.
+  const metrics::Snapshot snapshot = metrics::Registry::global().snapshot();
+
+  const bool statuses_ok = statuses_equal(oracle.statuses, soa.statuses);
+  const bool events_ok =
+      oracle.events == soa.events && bits_equal(oracle.final_price_usd, soa.final_price_usd);
+  const bool metrics_ok = oracle.deterministic == soa.deterministic;
+
+  double total_cost = 0.0;
+  long interruptions = 0;
+  long launches = 0;
+  for (const auto& status : soa.statuses) {
+    total_cost += status.accrued_cost.usd();
+    interruptions += status.interruptions;
+    launches += status.launches;
+  }
+
+  const double speedup = oracle.wall_seconds / soa.wall_seconds;
+  bench::Table table{{"engine", "wall time", "bids/s", "events", "interruptions"}};
+  table.row({"oracle (per-object)", bench::fmt("%.3f s", oracle.wall_seconds),
+             bench::fmt("%.0f", bids / oracle.wall_seconds),
+             std::to_string(oracle.events.size()), std::to_string(interruptions)});
+  table.row({"SoA (banded)", bench::fmt("%.3f s", soa.wall_seconds),
+             bench::fmt("%.0f", bids / soa.wall_seconds), std::to_string(soa.events.size()),
+             std::to_string(interruptions)});
+  table.print();
+  std::cout << "speedup " << bench::fmt("%.2fx", speedup)
+            << " (design target >= 5x, CI floor " << bench::fmt("%.1fx", kSpeedupFloor) << ")\n"
+            << "statuses bit-identical: " << (statuses_ok ? "yes" : "NO")
+            << ", event logs identical: " << (events_ok ? "yes" : "NO")
+            << ", metrics snapshots identical: " << (metrics_ok ? "yes" : "NO") << "\n"
+            << "total cost " << bench::usd(total_cost) << ", launches " << launches << "\n";
+
+  bench::metrics_report("bench_market");
+
+  write_json(out, bids, slots, oracle, soa, statuses_ok, events_ok, metrics_ok, total_cost,
+             interruptions, snapshot);
+  std::cout << "wrote " << out << "\n";
+
+  if (!statuses_ok || !events_ok || !metrics_ok) {
+    std::cerr << "FATAL: SoA engine diverged from the oracle\n";
+    return 1;
+  }
+  if (speedup < kSpeedupFloor) {
+    std::cerr << "FATAL: SoA speedup " << speedup << " below floor " << kSpeedupFloor << "\n";
+    return 1;
+  }
+  return 0;
+}

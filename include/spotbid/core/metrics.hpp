@@ -151,6 +151,7 @@ class Sum {
 
  private:
   friend class Registry;
+  friend class SumBatch;
   Sum() = default;
   void reset() { ticks_.store(0, std::memory_order_relaxed); }
 
@@ -247,6 +248,33 @@ class CounterBatch {
  private:
   Counter* target_;
   std::uint64_t pending_ = 0;
+  bool armed_;
+};
+
+/// Unsynchronized local shard of a Sum (see CounterBatch). Each add()
+/// converts to fixed-point ticks with the same rounding Sum::add uses and
+/// accumulates the ticks in a plain integer; flush() merges the raw ticks.
+/// Because the conversion happens per add — not on the flushed total — a
+/// batched producer yields bit-identical totals to one calling Sum::add
+/// per amount, in any order.
+class SumBatch {
+ public:
+  explicit SumBatch(Sum& target) : target_(&target), armed_(enabled()) {}
+  SumBatch(SumBatch&& other) noexcept;
+  SumBatch& operator=(SumBatch&& other) noexcept;
+  SumBatch(const SumBatch&) = delete;
+  SumBatch& operator=(const SumBatch&) = delete;
+  ~SumBatch() { flush(); }
+
+  void add(double amount) {
+    if (armed_ && std::isfinite(amount)) pending_ticks_ += to_ticks(amount);
+  }
+  /// Merge pending ticks into the shared sum and clear them.
+  void flush();
+
+ private:
+  Sum* target_;
+  std::int64_t pending_ticks_ = 0;
   bool armed_;
 };
 

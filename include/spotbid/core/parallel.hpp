@@ -24,6 +24,16 @@
 /// std::thread::hardware_concurrency(). parallel_for called from inside a
 /// parallel_for body degrades to serial inline execution (no pool
 /// re-entry, no deadlock), so nested parallel code is safe by default.
+///
+/// Adaptive serial cutover: the resolved thread count is a *ceiling*, not
+/// a promise. parallel_for times a short inline probe of the range to
+/// estimate the per-item cost, finishes inline when the remaining work is
+/// cheaper than a pool dispatch (so a pooled sweep can never lose to the
+/// serial loop), and otherwise sizes the worker crew and chunk grain from
+/// the measurement. Because the determinism contract above never depends
+/// on worker placement, the cutover is observationally invisible: results
+/// stay bit-identical at any thread count, including when the policy
+/// decides to use fewer workers than requested.
 
 #include <cstddef>
 #include <functional>

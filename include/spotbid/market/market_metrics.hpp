@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file market_metrics.hpp
+/// Shared `market.*` registry references for the two market engines.
+///
+/// The SoA engine (spot_market.cpp) and the per-object oracle
+/// (reference_market.cpp) must record into the *same* metric entries so a
+/// deterministic snapshot taken after an oracle run is bit-comparable to
+/// one taken after an SoA run. Factoring the cached references here — one
+/// function-local static shared by both translation units — also keeps the
+/// name/kind pairs from drifting apart.
+///
+/// The `market.band.*` counters are SoA-engine telemetry (how much work the
+/// banded layout actually did); the oracle never touches them, so
+/// equality checks between the engines filter that prefix out. They are
+/// still inside the determinism contract: each is a pure function of the
+/// simulated work and the status()-query sequence, never of thread count.
+
+#include "spotbid/core/metrics.hpp"
+
+namespace spotbid::market::detail {
+
+/// Registry references resolved once per process (registration takes a
+/// mutex; recording through the cached references is lock-free).
+struct MarketMetrics {
+  metrics::Counter& slots;
+  metrics::Histogram& spot_price_usd;
+  metrics::Counter& bids_submitted;
+  metrics::Counter& launches;
+  metrics::Counter& interruptions;
+  metrics::Counter& terminations;
+  metrics::Counter& closes;
+  metrics::Counter& requests_unresolved;
+  metrics::Counter& running_slot_total;
+  metrics::Counter& pending_slot_total;
+  metrics::Sum& revenue_usd;
+  // SoA band telemetry (docs/METRICS.md "market.band.*").
+  metrics::Counter& band_price_moves;
+  metrics::Counter& band_scanned;
+  metrics::Counter& band_settlements;
+  metrics::Counter& band_compactions;
+};
+
+inline MarketMetrics& mm() {
+  static MarketMetrics m{
+      metrics::Registry::global().counter("market.slots"),
+      metrics::Registry::global().histogram("market.spot_price_usd",
+                                            metrics::kPriceBoundsUsd),
+      metrics::Registry::global().counter("market.bids_submitted"),
+      metrics::Registry::global().counter("market.launches"),
+      metrics::Registry::global().counter("market.interruptions"),
+      metrics::Registry::global().counter("market.terminations"),
+      metrics::Registry::global().counter("market.closes"),
+      metrics::Registry::global().counter("market.requests_unresolved"),
+      metrics::Registry::global().counter("market.running_slot_total"),
+      metrics::Registry::global().counter("market.pending_slot_total"),
+      metrics::Registry::global().sum("market.revenue_usd"),
+      metrics::Registry::global().counter("market.band.price_moves"),
+      metrics::Registry::global().counter("market.band.scanned"),
+      metrics::Registry::global().counter("market.band.settlements"),
+      metrics::Registry::global().counter("market.band.compactions"),
+  };
+  return m;
+}
+
+}  // namespace spotbid::market::detail

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file reference_market.hpp
+/// The per-object reference implementation of the Section 3.2 market.
+///
+/// This is the original SpotMarket engine, kept verbatim as the
+/// bit-identity oracle for the structure-of-arrays engine that replaced it
+/// on the hot path (spot_market.hpp). It walks every request once per slot
+/// with the obviously-correct state machine; `bench_market` and
+/// `tests/test_market_soa.cpp` pin the SoA engine against it bit-for-bit —
+/// per-bid accrued cost, event ordering, and the deterministic metrics
+/// snapshot — the same oracle-vs-fast pattern `bench_query_plane` uses for
+/// the knot sweep (DESIGN.md §5).
+///
+/// Both engines share the public vocabulary types (BidRequest, Event,
+/// RequestStatus, SlotReport, ...) declared in spot_market.hpp and record
+/// the same `market.*` metrics, so a snapshot taken after an oracle run is
+/// directly comparable to one taken after an SoA run.
+
+#include <memory>
+#include <vector>
+
+#include "spotbid/core/metrics.hpp"
+#include "spotbid/market/price_source.hpp"
+#include "spotbid/market/spot_market.hpp"
+
+namespace spotbid::market {
+
+/// Per-object oracle engine: one RequestStatus per bid, every bid visited
+/// every slot. O(n) per slot, O(1) per price move amortization — correct,
+/// slow, and simple enough to trust.
+class ReferenceMarket {
+ public:
+  explicit ReferenceMarket(std::unique_ptr<PriceSource> source);
+
+  ReferenceMarket(ReferenceMarket&&) noexcept;
+  ReferenceMarket& operator=(ReferenceMarket&&) noexcept;
+
+  /// Flushes the metric batches and records requests still open (their
+  /// lifecycle tallies would otherwise be lost with the market).
+  ~ReferenceMarket();
+
+  /// Slot length t_k of the underlying price source.
+  [[nodiscard]] Hours slot_length() const { return source_->slot_length(); }
+
+  /// Index of the next slot advance() will simulate.
+  [[nodiscard]] SlotIndex current_slot() const { return next_slot_; }
+
+  /// Spot price of the most recently simulated slot. Throws ModelError
+  /// before the first advance().
+  [[nodiscard]] Money current_price() const;
+
+  /// Submit a bid; it participates in the auction from the next advance().
+  /// The bid must be positive.
+  RequestId submit(const BidRequest& request);
+
+  /// Close a request (see SpotMarket::close for the exact semantics — the
+  /// two engines are contractually identical).
+  void close(RequestId id);
+
+  /// Simulate one slot and return what happened.
+  SlotReport advance();
+
+  /// Simulate `n` slots, discarding per-slot reports.
+  void advance_many(int n);
+
+  [[nodiscard]] const RequestStatus& status(RequestId id) const;
+  [[nodiscard]] const std::vector<Event>& event_log() const { return events_; }
+
+  /// True if the request is in a final state (terminated/closed).
+  [[nodiscard]] bool is_final(RequestId id) const;
+
+ private:
+  RequestStatus& status_mutable(RequestId id);
+
+  /// Merge a request's lifecycle tallies into the global registry; called
+  /// exactly once per request, when it reaches a final state (or from the
+  /// destructor when it never does).
+  void record_request_metrics(const RequestStatus& request, bool resolved);
+
+  std::unique_ptr<PriceSource> source_;
+  std::vector<RequestStatus> requests_;
+  std::vector<Event> events_;
+  SlotIndex next_slot_ = 0;
+  Money current_price_{};
+  bool has_price_ = false;
+  // Local shard of the slot-weighted price histogram, recorded as price
+  // "spells" exactly like the SoA engine (see spot_market.hpp).
+  metrics::HistogramBatch price_batch_;
+  SlotIndex spell_start_ = 0;
+};
+
+}  // namespace spotbid::market

@@ -95,6 +95,31 @@ void CounterBatch::flush() {
   pending_ = 0;
 }
 
+SumBatch::SumBatch(SumBatch&& other) noexcept
+    : target_(other.target_), pending_ticks_(other.pending_ticks_), armed_(other.armed_) {
+  other.pending_ticks_ = 0;
+  other.armed_ = false;
+}
+
+SumBatch& SumBatch::operator=(SumBatch&& other) noexcept {
+  if (this != &other) {
+    flush();
+    target_ = other.target_;
+    pending_ticks_ = other.pending_ticks_;
+    armed_ = other.armed_;
+    other.pending_ticks_ = 0;
+    other.armed_ = false;
+  }
+  return *this;
+}
+
+void SumBatch::flush() {
+  if (pending_ticks_ == 0) return;
+  // Like CounterBatch::flush: the armed batch already committed to record.
+  target_->ticks_.fetch_add(pending_ticks_, std::memory_order_relaxed);
+  pending_ticks_ = 0;
+}
+
 HistogramBatch::HistogramBatch(Histogram& target)
     // counts_ stays empty until the first commit_run(): most owners are
     // short-lived (one market per Monte-Carlo replica) and the lazy vector

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -24,6 +25,7 @@ thread_local bool t_in_parallel_region = false;
 struct ParallelMetrics {
   metrics::Counter& invocations;
   metrics::Counter& serial_invocations;
+  metrics::Counter& cutover_serial;
   metrics::Counter& chunks;
   metrics::Histogram& chunk_seconds;
 };
@@ -32,11 +34,27 @@ ParallelMetrics& pm() {
   static ParallelMetrics m{
       metrics::Registry::global().counter("parallel.invocations"),
       metrics::Registry::global().counter("parallel.serial_invocations"),
+      metrics::Registry::global().counter("parallel.cutover_serial"),
       metrics::Registry::global().counter("parallel.chunks"),
       metrics::Registry::global().timer("parallel.chunk_seconds"),
   };
   return m;
 }
+
+/// Adaptive serial-cutover policy. Recruiting pool helpers costs queue
+/// locking, condition-variable wake-ups, and cache-cold starts — tens of
+/// microseconds end to end before the first helper touches an index. A
+/// range whose total work is below that budget loses by going parallel
+/// (the regression bench_parallel once recorded speedup 0.65 on exactly
+/// such a configuration). parallel_for therefore times a small inline
+/// probe of the range on the calling thread, estimates the per-item cost,
+/// and finishes inline unless the remaining work can pay for the dispatch.
+/// The probe runs real indices — every index still executes exactly once,
+/// in a schedule the determinism contract already permits — so the
+/// observable result is unchanged; only the worker placement adapts.
+constexpr double kMinProbeSeconds = 2e-6;         ///< probe until this much is measured
+constexpr double kSerialCutoverSeconds = 120e-6;  ///< est. remaining below this: stay inline
+constexpr double kTargetChunkSeconds = 40e-6;     ///< size chunks to at least this much work
 
 /// RAII flag so nested parallel_for calls (directly or through library
 /// code the body happens to call) degrade to serial inline execution.
@@ -177,19 +195,59 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body, i
     return;
   }
 
+  // Inline probe: run a geometrically growing prefix of the range on the
+  // calling thread until enough wall time accumulates to estimate the
+  // per-item cost. A probe exception propagates directly — consistent with
+  // the lowest-faulting-chunk contract, since the probe is chunk zero.
+  std::size_t done = 0;
+  double probe_seconds = 0.0;
+  {
+    RegionGuard guard;
+    std::size_t batch = 1;
+    while (done < n && probe_seconds < kMinProbeSeconds) {
+      const std::size_t end = std::min(n, done + batch);
+      const auto start = std::chrono::steady_clock::now();
+      for (; done < end; ++done) body(done);
+      probe_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      batch *= 8;
+    }
+  }
+
+  const std::size_t remaining_items = n - done;
+  const double per_item = probe_seconds / static_cast<double>(done);
+  const double remaining_seconds = per_item * static_cast<double>(remaining_items);
+  if (remaining_items == 0 || remaining_seconds < kSerialCutoverSeconds) {
+    // Too cheap for the pool to beat the calling thread: finish inline.
+    pm().serial_invocations.increment();
+    pm().cutover_serial.increment();
+    RegionGuard guard;
+    for (std::size_t i = done; i < n; ++i) body(i);
+    return;
+  }
+
   auto state = std::make_shared<ForLoopState>();
   state->n = n;
   state->body = &body;
-  // Chunked dynamic scheduling: a few chunks per worker balances uneven
-  // replica costs without per-index queue traffic.
-  const std::size_t workers = static_cast<std::size_t>(requested);
-  state->grain = std::max<std::size_t>(1, n / (workers * 4));
+  state->next.store(done, std::memory_order_relaxed);
+
+  // Size the crew so every worker has at least one chunk's worth of
+  // measured work, and the grain so chunks are big enough to amortize
+  // dispatch (kTargetChunkSeconds) yet small enough to balance uneven
+  // item costs (a few chunks per worker) without per-index queue traffic.
+  const auto chunk_budget = static_cast<std::size_t>(remaining_seconds / kTargetChunkSeconds);
+  const std::size_t workers = std::min<std::size_t>(static_cast<std::size_t>(requested),
+                                                    std::max<std::size_t>(2, chunk_budget));
+  const std::size_t balance_grain = std::max<std::size_t>(1, remaining_items / (workers * 4));
+  const std::size_t cost_grain =
+      static_cast<std::size_t>(kTargetChunkSeconds / per_item) + 1;
+  state->grain = std::max(balance_grain, std::min(cost_grain, remaining_items));
 
   // The calling thread is worker #0; helpers come from the shared pool.
   // Helpers that find the range already drained exit immediately, so a
   // busy pool only costs latency, never correctness.
-  const std::size_t helpers =
-      std::min<std::size_t>(workers - 1, (n + state->grain - 1) / state->grain - 1);
+  const std::size_t helpers = std::min<std::size_t>(
+      workers - 1, (remaining_items + state->grain - 1) / state->grain - 1);
 
   auto remaining = std::make_shared<std::atomic<std::size_t>>(helpers);
   auto done_mutex = std::make_shared<std::mutex>();

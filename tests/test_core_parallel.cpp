@@ -135,6 +135,67 @@ TEST(ParallelMap, OrderedReductionIsBitIdentical) {
   EXPECT_EQ(serial, reduce_with(8));
 }
 
+// Regression suite for the adaptive serial cutover: parallel_for times an
+// inline probe and may finish serially or recruit fewer workers than
+// requested, and none of that may be observable in the results.
+
+// A body cheap enough that the cutover always demotes the call to the
+// inline path still visits every index exactly once.
+TEST(AdaptiveCutover, CheapBodyStillVisitsEveryIndexOnce) {
+  constexpr std::size_t kN = 513;  // not a multiple of any probe batch size
+  std::vector<std::atomic<int>> visits(kN);
+  for (int round = 0; round < 3; ++round) {
+    for (auto& v : visits) v.store(0);
+    parallel_for(kN, [&](std::size_t i) { visits[i].fetch_add(1); }, 8);
+    for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+// The headline contract the cutover must preserve: an ordered fold over a
+// heavy stochastic sweep — expensive enough that the probe measurement
+// actually dispatches helpers when threads are available — is bit-identical
+// between 1 thread and 8 threads under the new chunking.
+TEST(AdaptiveCutover, OneVersusEightThreadFoldIsBitIdentical) {
+  const auto fold_with = [](int threads) {
+    const auto parts = parallel_map(
+        96,
+        [](std::size_t i) {
+          numeric::Rng rng{numeric::derive_seed(2026, i)};
+          double sum = 0.0;
+          // ~50k draws per item: well past the serial-cutover threshold, so
+          // the multi-thread run exercises probe + worker dispatch.
+          for (int k = 0; k < 50'000; ++k)
+            sum += (rng.uniform() - 0.5) * std::pow(10.0, static_cast<double>(k % 13) - 6.0);
+          return sum;
+        },
+        threads);
+    return std::accumulate(parts.begin(), parts.end(), 0.0);
+  };
+  const double one = fold_with(1);
+  const double eight = fold_with(8);
+  EXPECT_EQ(one, eight);
+}
+
+// The probe runs real indices on the calling thread before any helper is
+// recruited; an exception thrown there must propagate exactly like a chunk
+// failure, and must not poison later calls.
+TEST(AdaptiveCutover, ExceptionInsideProbePropagates) {
+  try {
+    parallel_for(
+        64,
+        [](std::size_t i) {
+          if (i == 0) throw std::runtime_error{"probe item failed"};
+        },
+        8);
+    FAIL() << "expected the probe exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "probe item failed");
+  }
+  std::atomic<int> count{0};
+  parallel_for(64, [&](std::size_t) { count.fetch_add(1); }, 8);
+  EXPECT_EQ(count.load(), 64);
+}
+
 TEST(ThreadPool, ExecutesSubmittedTasks) {
   ThreadPool pool{2};
   EXPECT_EQ(pool.size(), 2);

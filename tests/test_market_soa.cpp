@@ -1,0 +1,346 @@
+// Property suites pinning the structure-of-arrays SpotMarket engine
+// against the per-object ReferenceMarket oracle, bit for bit: per-bid
+// accrued cost, interruption ordering (full event logs), band boundaries
+// at exact price-tie knots, and the deterministic metrics snapshot.
+// DESIGN.md §5 records this oracle-vs-fast pairing as the standing rule
+// for hot-path rewrites.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "spotbid/core/metrics.hpp"
+#include "spotbid/ec2/instance_types.hpp"
+#include "spotbid/market/price_source.hpp"
+#include "spotbid/market/reference_market.hpp"
+#include "spotbid/market/spot_market.hpp"
+#include "spotbid/trace/generator.hpp"
+#include "spotbid/trace/price_trace.hpp"
+
+namespace spotbid::market {
+namespace {
+
+constexpr double kTk = 1.0 / 12.0;  // five-minute slots
+
+trace::PriceTrace make_trace(std::vector<double> prices) {
+  return trace::PriceTrace{"soa-test", 0, Hours{kTk}, std::move(prices)};
+}
+
+std::unique_ptr<TracePriceSource> make_source(const std::vector<double>& prices) {
+  return std::make_unique<TracePriceSource>(make_trace(prices), /*wrap=*/false);
+}
+
+/// Bitwise equality for doubles: the SoA engine must replay the oracle's
+/// exact fold, so even a last-ulp deviation is a failure.
+::testing::AssertionResult BitsEqual(double a, double b) {
+  if (std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b))
+    return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " and " << b << " differ ("
+         << std::bit_cast<std::uint64_t>(a) << " vs " << std::bit_cast<std::uint64_t>(b)
+         << ")";
+}
+
+void ExpectStatusEqual(const RequestStatus& soa, const RequestStatus& oracle,
+                       RequestId id) {
+  EXPECT_EQ(soa.state, oracle.state) << "request " << id;
+  EXPECT_TRUE(BitsEqual(soa.bid_price.usd(), oracle.bid_price.usd())) << "request " << id;
+  EXPECT_EQ(soa.kind, oracle.kind) << "request " << id;
+  EXPECT_TRUE(BitsEqual(soa.accrued_cost.usd(), oracle.accrued_cost.usd()))
+      << "accrued cost of request " << id;
+  EXPECT_EQ(soa.running_slots, oracle.running_slots) << "request " << id;
+  EXPECT_EQ(soa.pending_slots, oracle.pending_slots) << "request " << id;
+  EXPECT_EQ(soa.launches, oracle.launches) << "request " << id;
+  EXPECT_EQ(soa.interruptions, oracle.interruptions) << "request " << id;
+  EXPECT_EQ(soa.submitted_slot, oracle.submitted_slot) << "request " << id;
+  EXPECT_EQ(soa.closed_slot, oracle.closed_slot) << "request " << id;
+}
+
+void ExpectEventsEqual(const std::vector<Event>& soa, const std::vector<Event>& oracle) {
+  ASSERT_EQ(soa.size(), oracle.size());
+  for (std::size_t i = 0; i < soa.size(); ++i) {
+    EXPECT_EQ(soa[i].slot, oracle[i].slot) << "event " << i;
+    EXPECT_EQ(soa[i].request, oracle[i].request) << "event " << i;
+    EXPECT_EQ(soa[i].kind, oracle[i].kind) << "event " << i;
+  }
+}
+
+/// Drive both engines through an identical randomized schedule of
+/// submits / closes / status queries over `prices`, comparing each slot
+/// report and every final status. Returns the number of interruptions
+/// observed so callers can assert the scenario was not vacuous.
+int run_paired(const std::vector<double>& prices, std::uint64_t schedule_seed,
+               int initial_bids, double bid_lo, double bid_hi) {
+  SpotMarket soa{make_source(prices)};
+  ReferenceMarket oracle{make_source(prices)};
+  std::mt19937_64 rng{schedule_seed};
+  std::uniform_real_distribution<double> bid_dist{bid_lo, bid_hi};
+
+  std::vector<RequestId> ids;
+  double last_bid = 0.0;
+  auto submit_one = [&] {
+    // Every 5th bid duplicates the previous bid price exactly, building
+    // the equal-bid clusters the band split has to keep in id order.
+    double bid = bid_dist(rng);
+    if (!ids.empty() && ids.size() % 5 == 0) bid = last_bid;
+    last_bid = bid;
+    const BidKind kind = (rng() % 4 == 0) ? BidKind::kOneTime : BidKind::kPersistent;
+    const BidRequest request{Money{bid}, kind};
+    const RequestId a = soa.submit(request);
+    const RequestId b = oracle.submit(request);
+    EXPECT_EQ(a, b);
+    ids.push_back(a);
+  };
+  for (int i = 0; i < initial_bids; ++i) submit_one();
+
+  int interruptions = 0;
+  for (std::size_t slot = 0; slot < prices.size(); ++slot) {
+    const SlotReport rs = soa.advance();
+    const SlotReport ro = oracle.advance();
+    EXPECT_EQ(rs.slot, ro.slot);
+    EXPECT_TRUE(BitsEqual(rs.price.usd(), ro.price.usd()));
+    ExpectEventsEqual(rs.events, ro.events);
+    for (const Event& e : rs.events)
+      if (e.kind == EventKind::kInterrupted) ++interruptions;
+
+    // Mid-run churn, identical on both engines.
+    if (rng() % 7 == 0) submit_one();
+    if (rng() % 11 == 0 && !ids.empty()) {
+      const RequestId victim = ids[rng() % ids.size()];
+      soa.close(victim);
+      oracle.close(victim);
+    }
+    if (rng() % 3 == 0 && !ids.empty()) {
+      const RequestId probe = ids[rng() % ids.size()];
+      ExpectStatusEqual(soa.status(probe), oracle.status(probe), probe);
+    }
+  }
+
+  for (const RequestId id : ids) {
+    ExpectStatusEqual(soa.status(id), oracle.status(id), id);
+    EXPECT_EQ(soa.is_final(id), oracle.is_final(id));
+  }
+  ExpectEventsEqual(soa.event_log(), oracle.event_log());
+  EXPECT_TRUE(BitsEqual(soa.current_price().usd(), oracle.current_price().usd()));
+  return interruptions;
+}
+
+TEST(MarketSoA, RandomizedGeneratedTracesMatchOracleBitForBit) {
+  const auto& type = ec2::require_type("r3.xlarge");
+  int total_interruptions = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    trace::GeneratorConfig config;
+    config.slots = 400;
+    config.slot_length = Hours{kTk};
+    config.seed = seed;
+    const trace::PriceTrace trace = trace::generate_for_type(type, config);
+    const std::vector<double> prices{trace.prices().begin(), trace.prices().end()};
+    total_interruptions +=
+        run_paired(prices, /*schedule_seed=*/1000 + seed, /*initial_bids=*/120,
+                   /*bid_lo=*/0.5 * type.min_price().usd(), /*bid_hi=*/type.on_demand.usd());
+  }
+  // The property would hold vacuously on a flat trace; make sure the
+  // sweeps actually interrupted someone.
+  EXPECT_GT(total_interruptions, 0);
+}
+
+TEST(MarketSoA, RegimeSwitchSplicedTracesMatchOracle) {
+  // Splice calm (high persistence) and volatile (i.i.d.) regimes of two
+  // different instance types into one trace: the regime boundary is a
+  // price jump that sweeps a wide band range at once.
+  const auto& calm_type = ec2::require_type("r3.xlarge");
+  const auto& volatile_type = ec2::require_type("c3.xlarge");
+  trace::GeneratorConfig calm;
+  calm.slots = 150;
+  calm.slot_length = Hours{kTk};
+  calm.seed = 7;
+  trace::GeneratorConfig wild = calm;
+  wild.seed = 8;
+  wild.persistence = 0.0;  // redraw every slot
+
+  // PriceTrace::prices() is a span into the trace, so each segment must
+  // outlive its copy loop — no iterating a temporary's span.
+  std::vector<double> prices;
+  for (const trace::PriceTrace& segment : {trace::generate_for_type(calm_type, calm),
+                                          trace::generate_for_type(volatile_type, wild),
+                                          trace::generate_for_type(calm_type, wild)})
+    prices.insert(prices.end(), segment.prices().begin(), segment.prices().end());
+
+  const int interruptions =
+      run_paired(prices, /*schedule_seed=*/99, /*initial_bids=*/200,
+                 /*bid_lo=*/0.01, /*bid_hi=*/0.5);
+  EXPECT_GT(interruptions, 0);
+}
+
+TEST(MarketSoA, EqualBidPricesStraddlingABandSplit) {
+  // A cluster of identical bids sits exactly on the price knots the trace
+  // visits: ties must launch (bid >= price wins, Section 3.2), interrupt
+  // in id order, and never split inconsistently between the engines.
+  const std::vector<double> prices = {0.05, 0.04, 0.05, 0.06, 0.05, 0.04, 0.07, 0.05};
+  SpotMarket soa{make_source(prices)};
+  ReferenceMarket oracle{make_source(prices)};
+
+  std::vector<RequestId> ids;
+  for (int i = 0; i < 24; ++i) {
+    // Bids straddle the 0.05 knot: below, exactly on it, above.
+    const double bid = (i % 3 == 0) ? 0.05 - 1e-9 : (i % 3 == 1) ? 0.05 : 0.05 + 1e-9;
+    const BidKind kind = (i % 4 == 0) ? BidKind::kOneTime : BidKind::kPersistent;
+    const RequestId a = soa.submit({Money{bid}, kind});
+    const RequestId b = oracle.submit({Money{bid}, kind});
+    ASSERT_EQ(a, b);
+    ids.push_back(a);
+  }
+
+  for (std::size_t slot = 0; slot < prices.size(); ++slot) {
+    const SlotReport rs = soa.advance();
+    const SlotReport ro = oracle.advance();
+    ExpectEventsEqual(rs.events, ro.events);
+  }
+  for (const RequestId id : ids)
+    ExpectStatusEqual(soa.status(id), oracle.status(id), id);
+  ExpectEventsEqual(soa.event_log(), oracle.event_log());
+
+  // Spot-check the tie semantics directly: a bid exactly on the final
+  // price (0.05) must be running, one epsilon below must not.
+  EXPECT_EQ(soa.status(1).state, RequestState::kRunning);   // bid == 0.05
+  EXPECT_NE(soa.status(0).state, RequestState::kRunning);   // bid just below
+}
+
+TEST(MarketSoA, StatusQueryFrequencyIsObservationallyIrrelevant) {
+  // Lazy settlement must be idempotent: querying every slot and querying
+  // only at the end yield identical tallies (both matching the oracle).
+  const auto& type = ec2::require_type("r3.xlarge");
+  trace::GeneratorConfig config;
+  config.slots = 300;
+  config.slot_length = Hours{kTk};
+  config.seed = 21;
+  const trace::PriceTrace trace = trace::generate_for_type(type, config);
+  const std::vector<double> prices{trace.prices().begin(), trace.prices().end()};
+
+  SpotMarket chatty{make_source(prices)};
+  SpotMarket quiet{make_source(prices)};
+  ReferenceMarket oracle{make_source(prices)};
+  std::vector<RequestId> ids;
+  for (int i = 0; i < 60; ++i) {
+    const BidRequest request{Money{0.02 + 0.004 * i},
+                             i % 2 == 0 ? BidKind::kPersistent : BidKind::kOneTime};
+    ids.push_back(chatty.submit(request));
+    (void)quiet.submit(request);
+    (void)oracle.submit(request);
+  }
+  for (std::size_t slot = 0; slot < prices.size(); ++slot) {
+    chatty.advance();
+    quiet.advance();
+    oracle.advance();
+    for (const RequestId id : ids) (void)chatty.status(id);  // settle every slot
+  }
+  for (const RequestId id : ids) {
+    ExpectStatusEqual(chatty.status(id), oracle.status(id), id);
+    ExpectStatusEqual(quiet.status(id), oracle.status(id), id);
+  }
+}
+
+TEST(MarketSoA, MoveMidRunKeepsAccounting) {
+  const std::vector<double> prices = {0.05, 0.08, 0.03, 0.06, 0.02, 0.09, 0.04};
+  SpotMarket soa{make_source(prices)};
+  ReferenceMarket oracle{make_source(prices)};
+  std::vector<RequestId> ids;
+  for (int i = 0; i < 12; ++i) {
+    const BidRequest request{Money{0.02 + 0.007 * i},
+                             i % 3 == 0 ? BidKind::kOneTime : BidKind::kPersistent};
+    ids.push_back(soa.submit(request));
+    (void)oracle.submit(request);
+  }
+  for (int s = 0; s < 3; ++s) {
+    soa.advance();
+    oracle.advance();
+  }
+  SpotMarket moved{std::move(soa)};
+  for (std::size_t s = 3; s < prices.size(); ++s) {
+    moved.advance();
+    oracle.advance();
+  }
+  for (const RequestId id : ids)
+    ExpectStatusEqual(moved.status(id), oracle.status(id), id);
+  ExpectEventsEqual(moved.event_log(), oracle.event_log());
+}
+
+/// Deterministic snapshots after an SoA run and an oracle run of the same
+/// scenario must agree on every `market.*` metric — minus the
+/// `market.band.*` telemetry only the SoA engine records.
+metrics::Snapshot scrub_band(const metrics::Snapshot& snapshot) {
+  metrics::Snapshot out;
+  for (const auto& metric : snapshot.metrics)
+    if (metric.name.rfind("market.band.", 0) != 0) out.metrics.push_back(metric);
+  return out;
+}
+
+template <typename Market>
+void run_metrics_scenario(const std::vector<double>& prices) {
+  Market market{make_source(prices)};
+  std::vector<RequestId> ids;
+  for (int i = 0; i < 40; ++i)
+    ids.push_back(market.submit({Money{0.02 + 0.003 * i},
+                                 i % 3 == 0 ? BidKind::kOneTime : BidKind::kPersistent}));
+  for (std::size_t s = 0; s < prices.size(); ++s) {
+    market.advance();
+    if (s == 4) market.close(ids[7]);
+    if (s == 9) market.close(ids[8]);
+  }
+  // Market destroyed here: batches flush, unresolved requests recorded.
+}
+
+TEST(MarketSoA, DeterministicMetricsSnapshotMatchesOracle) {
+  const bool was_enabled = metrics::enabled();
+  metrics::set_enabled(true);
+  const std::vector<double> prices = {0.05, 0.08, 0.03, 0.06, 0.02, 0.09, 0.04,
+                                      0.05, 0.05, 0.10, 0.01, 0.06};
+
+  metrics::Registry::global().reset();
+  run_metrics_scenario<SpotMarket>(prices);
+  const metrics::Snapshot soa = scrub_band(
+      metrics::Registry::global().snapshot().deterministic());
+
+  metrics::Registry::global().reset();
+  run_metrics_scenario<ReferenceMarket>(prices);
+  const metrics::Snapshot oracle = scrub_band(
+      metrics::Registry::global().snapshot().deterministic());
+  metrics::set_enabled(was_enabled);
+
+  EXPECT_TRUE(soa == oracle);
+  // And the scenario exercised the instrumented paths.
+  const auto* revenue = soa.find("market.revenue_usd");
+  ASSERT_NE(revenue, nullptr);
+  EXPECT_GT(revenue->value, 0.0);
+  const auto* interruptions = soa.find("market.interruptions");
+  ASSERT_NE(interruptions, nullptr);
+  EXPECT_GT(interruptions->count, 0u);
+}
+
+TEST(MarketSoA, BandTelemetryIsRecorded) {
+  const bool was_enabled = metrics::enabled();
+  metrics::set_enabled(true);
+  metrics::Registry::global().reset();
+  run_metrics_scenario<SpotMarket>({0.05, 0.08, 0.03, 0.06, 0.02, 0.09});
+  const metrics::Snapshot snap = metrics::Registry::global().snapshot();
+  metrics::set_enabled(was_enabled);
+
+  const auto* moves = snap.find("market.band.price_moves");
+  ASSERT_NE(moves, nullptr);
+  EXPECT_EQ(moves->count, 5u);  // every consecutive pair differs
+  const auto* scanned = snap.find("market.band.scanned");
+  ASSERT_NE(scanned, nullptr);
+  EXPECT_GT(scanned->count, 0u);
+  const auto* settlements = snap.find("market.band.settlements");
+  ASSERT_NE(settlements, nullptr);
+  EXPECT_GT(settlements->count, 0u);
+}
+
+}  // namespace
+}  // namespace spotbid::market

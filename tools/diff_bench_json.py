@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Diff a committed bench JSON artifact against a freshly regenerated one.
+
+CI regenerates every BENCH_*.json on each run and checks it against the
+copy committed at the repo root. The comparison is deliberately a *shape*
+diff, not a value diff:
+
+  * the top-level "benchmark" discriminator must match,
+  * the top-level key sets must match,
+  * the "metrics" key sets must match, and
+  * every metric must keep its kind (counter/sum/histogram/...).
+
+Values are excluded on purpose. Wall times, speedups, and throughput vary
+with the runner; so do scheduler-dependent counters (e.g. the serve
+layer's store/refresh tallies, which depend on how requests happened to
+batch). What must NOT drift silently is the artifact's surface: a metric
+disappearing, changing kind, or a bench stage vanishing from the document
+means the code and the committed artifact no longer describe the same
+program — that is the regression this tool catches. Value-level floors
+(speedup >= 1.0, bit-identity consts) are enforced separately by
+tools/check_bench_json.py against tools/bench_schema.json, on BOTH copies.
+
+Usage:
+    python3 tools/diff_bench_json.py committed.json regenerated.json
+
+Exit code 0 when the shapes match, 1 with one line per difference.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        raise SystemExit(f"{path}: expected a JSON object at the top level")
+    return doc
+
+
+def diff_key_sets(label: str, a: dict, b: dict, errors: list[str]) -> None:
+    only_a = sorted(set(a) - set(b))
+    only_b = sorted(set(b) - set(a))
+    for key in only_a:
+        errors.append(f"{label}: '{key}' present in committed artifact, missing from regenerated")
+    for key in only_b:
+        errors.append(f"{label}: '{key}' present in regenerated artifact, missing from committed")
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    committed_path, regenerated_path = sys.argv[1], sys.argv[2]
+    committed = load(committed_path)
+    regenerated = load(regenerated_path)
+
+    errors: list[str] = []
+    if committed.get("benchmark") != regenerated.get("benchmark"):
+        errors.append(
+            f"benchmark discriminator: committed '{committed.get('benchmark')}' "
+            f"!= regenerated '{regenerated.get('benchmark')}'"
+        )
+
+    diff_key_sets("top-level", committed, regenerated, errors)
+
+    cm = committed.get("metrics")
+    rm = regenerated.get("metrics")
+    if isinstance(cm, dict) and isinstance(rm, dict):
+        diff_key_sets("metrics", cm, rm, errors)
+        for name in sorted(set(cm) & set(rm)):
+            ck = cm[name].get("kind") if isinstance(cm[name], dict) else None
+            rk = rm[name].get("kind") if isinstance(rm[name], dict) else None
+            if ck != rk:
+                errors.append(f"metrics.{name}: kind changed from '{ck}' to '{rk}'")
+
+    if errors:
+        for error in errors:
+            print(f"DIFF {committed_path} vs {regenerated_path}: {error}")
+        return 1
+    print(f"OK {committed_path} vs {regenerated_path}: shapes match")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
