@@ -1,0 +1,633 @@
+// bench_loadgen — multi-threaded simulated-user driver speaking the
+// docs/PROTOCOL.md wire protocol against a live spotbidd (docs/SERVE.md
+// "Load generation"). Stages:
+//
+//   1. closed loop: N logical users (default 2^20), each an independent
+//      splitmix64 stream drawing Zipf-skewed keys, a mixed query workload
+//      (cheap kinds dominate; kOptimalBid ~1/1024), and exponential virtual
+//      thinking times. Users are sharded across C connections; each shard
+//      interleaves its users by virtual clock (a min-heap) and keeps at
+//      most W requests in flight per connection — a user's next request is
+//      only armed after its previous reply (true closed loop). Reply
+//      matching is positional: the server guarantees submission order per
+//      connection (docs/PROTOCOL.md §5), so the oldest outstanding request
+//      owns the next reply frame.
+//   2. open loop: Poisson arrivals at a fixed target rate, senders never
+//      waiting for replies (a separate receiver thread drains), so the
+//      daemon's admission control — not the client — decides what happens
+//      when the rate exceeds capacity.
+//
+// Both stages record wall-clock latency per request (send to reply) and
+// enforce CONSERVATION: every submitted request must come back as exactly
+// one of ok / not-found / overloaded — nothing lost, nothing duplicated,
+// no unexpected error frames. Any violation exits 1; CI treats this bench
+// as a test.
+//
+//   ./bench_loadgen [output.json]        (default: BENCH_loadgen.json)
+//   SPOTBID_LOADGEN_USERS=N        logical users, default 1048576 (2^20)
+//   SPOTBID_LOADGEN_ROUNDS=R       requests per user, default 1
+//   SPOTBID_LOADGEN_CONNECTIONS=C  connections (= client threads), default 8
+//   SPOTBID_LOADGEN_WINDOW=W       max in-flight per connection, default 128
+//   SPOTBID_LOADGEN_OPEN_REQUESTS=N  open-loop arrivals, default 65536
+//   SPOTBID_LOADGEN_OPEN_RATE=R      open-loop target arrivals/s, default 100000
+//   SPOTBID_LOADGEN_CONNECT=HOST:PORT  drive an external daemon (CI mode);
+//   SPOTBID_LOADGEN_KEYS=K[,K...]      keys to query in connect mode.
+//
+// Without SPOTBID_LOADGEN_CONNECT the bench self-hosts: it calibrates a
+// small in-process store, starts a real net::Server on an ephemeral
+// loopback port, and drives it over actual TCP — the full wire path, no
+// shortcuts. The self-hosted queue is sized above C*W so the closed loop
+// cannot overload itself; the open-loop stage is where rejections appear.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "spotbid/core/metrics.hpp"
+#include "spotbid/ec2/instance_types.hpp"
+#include "spotbid/net/client.hpp"
+#include "spotbid/net/server.hpp"
+#include "spotbid/net/wire.hpp"
+#include "spotbid/serve/service.hpp"
+#include "spotbid/trace/generator.hpp"
+
+namespace {
+
+using namespace spotbid;
+using Clock = std::chrono::steady_clock;
+
+int env_int(const char* name, int fallback) {
+  if (const char* raw = std::getenv(name)) {
+    const int value = std::atoi(raw);
+    if (value > 0) return value;
+  }
+  return fallback;
+}
+
+std::string env_str(const char* name) {
+  const char* raw = std::getenv(name);
+  return raw != nullptr ? std::string{raw} : std::string{};
+}
+
+// ------------------------------------------------------------- user model
+
+/// Per-user deterministic random stream: one u64 of state per user, so a
+/// million users cost 8 MB of RNG, not 2.5 GB of mt19937_64.
+struct SplitMix64 {
+  std::uint64_t state = 0;
+
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in (0, 1]: never 0, so log() below is safe.
+  double uniform() {
+    return (static_cast<double>(next() >> 11) + 1.0) * 0x1.0p-53;
+  }
+  /// Exponential with the given mean (virtual thinking time).
+  double exponential(double mean) { return -mean * std::log(uniform()); }
+};
+
+/// Zipf(s=1) CDF over the key list: key k gets weight 1/(k+1).
+std::vector<double> zipf_cdf(std::size_t keys) {
+  std::vector<double> cdf(keys);
+  double total = 0.0;
+  for (std::size_t k = 0; k < keys; ++k) {
+    total += 1.0 / static_cast<double>(k + 1);
+    cdf[k] = total;
+  }
+  for (double& c : cdf) c /= total;
+  cdf.back() = 1.0;  // guard against rounding
+  return cdf;
+}
+
+std::size_t zipf_pick(const std::vector<double>& cdf, double u) {
+  return static_cast<std::size_t>(
+      std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+}
+
+/// One simulated user's next request. Cheap kinds dominate; the optimizer
+/// query (golden-section search per call) appears once per ~1024 requests.
+serve::Request next_request(SplitMix64& rng, const std::vector<std::string>& keys,
+                            const std::vector<double>& cdf) {
+  static constexpr serve::Kind kCheap[] = {
+      serve::Kind::kRunLength, serve::Kind::kExpectedCost,
+      serve::Kind::kPersistentFeasibility, serve::Kind::kProviderPrice};
+  const std::uint64_t r = rng.next();
+  serve::Request q;
+  q.key = keys[zipf_pick(cdf, rng.uniform())];
+  q.kind = r % 1024 == 0 ? serve::Kind::kOptimalBid : kCheap[(r >> 10) % 4];
+  q.mode = (r >> 12) % 2 == 0 ? serve::BidMode::kOneTime : serve::BidMode::kPersistent;
+  q.bid = Money{0.01 + 0.99 * rng.uniform()};
+  q.job = bidding::JobSpec{Hours{0.5 + 4.0 * rng.uniform()}, Hours::from_seconds(30.0)};
+  q.demand = 0.5 + rng.uniform();
+  return q;
+}
+
+// -------------------------------------------------------------- counting
+
+struct ReplyCounts {
+  std::uint64_t submitted = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t not_found = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t unexpected = 0;  ///< any other status or error frame
+
+  ReplyCounts& operator+=(const ReplyCounts& other) {
+    submitted += other.submitted;
+    ok += other.ok;
+    not_found += other.not_found;
+    overloaded += other.overloaded;
+    unexpected += other.unexpected;
+    return *this;
+  }
+  /// Every submitted request came back exactly once, as an expected kind.
+  [[nodiscard]] bool conserved() const {
+    return unexpected == 0 && ok + not_found + overloaded == submitted;
+  }
+};
+
+void count_reply(const net::BidClient::Reply& reply, ReplyCounts& counts) {
+  if (reply.type == net::FrameType::kResponse) {
+    switch (reply.response.status) {
+      case serve::Status::kOk: ++counts.ok; break;
+      case serve::Status::kNotFound: ++counts.not_found; break;
+      default: ++counts.unexpected; break;
+    }
+  } else if (reply.error.code == net::ErrorCode::kOverloaded) {
+    ++counts.overloaded;
+  } else {
+    ++counts.unexpected;
+  }
+}
+
+struct LatencyStats {
+  std::uint64_t samples = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double max_us = 0.0;
+};
+
+LatencyStats summarize(std::vector<double>& latencies_us) {
+  LatencyStats stats;
+  stats.samples = latencies_us.size();
+  if (latencies_us.empty()) return stats;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const auto at = [&](double q) {
+    const auto index = static_cast<std::size_t>(
+        q * static_cast<double>(latencies_us.size() - 1));
+    return latencies_us[index];
+  };
+  double total = 0.0;
+  for (const double v : latencies_us) total += v;
+  stats.mean_us = total / static_cast<double>(latencies_us.size());
+  stats.p50_us = at(0.50);
+  stats.p90_us = at(0.90);
+  stats.p99_us = at(0.99);
+  stats.p999_us = at(0.999);
+  stats.max_us = latencies_us.back();
+  return stats;
+}
+
+// ------------------------------------------------------------ the daemon
+
+/// Either a self-hosted in-process daemon (still driven over real TCP) or
+/// an external one named by SPOTBID_LOADGEN_CONNECT.
+struct Target {
+  std::string host;
+  std::uint16_t port = 0;
+  std::vector<std::string> keys;
+  bool self_hosted = false;
+
+  // Self-hosting only:
+  std::unique_ptr<serve::SnapshotStore> store;
+  std::unique_ptr<serve::BidService> service;
+  std::unique_ptr<net::Server> server;
+
+  void stop() {
+    if (server) server->stop();
+    if (service) service->stop();
+  }
+};
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string item = csv.substr(start, comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+Target make_target(std::size_t queue_floor) {
+  Target target;
+  const std::string connect = env_str("SPOTBID_LOADGEN_CONNECT");
+  if (!connect.empty()) {
+    const std::size_t colon = connect.rfind(':');
+    if (colon == std::string::npos) throw std::runtime_error{"SPOTBID_LOADGEN_CONNECT must be HOST:PORT"};
+    target.host = connect.substr(0, colon);
+    target.port = static_cast<std::uint16_t>(std::stoul(connect.substr(colon + 1)));
+    target.keys = split_csv(env_str("SPOTBID_LOADGEN_KEYS"));
+    if (target.keys.empty())
+      throw std::runtime_error{"connect mode needs SPOTBID_LOADGEN_KEYS"};
+    return target;
+  }
+
+  target.self_hosted = true;
+  target.host = "127.0.0.1";
+  target.keys = {"us-east-1/r3.xlarge", "us-west-2/m3.xlarge", "eu-west-1/c3.4xlarge"};
+  target.store = std::make_unique<serve::SnapshotStore>();
+  const auto& r3 = ec2::require_type("r3.xlarge");
+  const auto& m3 = ec2::require_type("m3.xlarge");
+  trace::GeneratorConfig config;
+  config.slots = 12 * 24 * 7;
+  target.store->publish(serve::ModelSnapshot::from_trace(
+      target.keys[0], trace::generate_for_type(r3, config), r3));
+  config.seed += 1;
+  target.store->publish(serve::ModelSnapshot::from_trace(
+      target.keys[1], trace::generate_for_type(m3, config), m3));
+  target.store->publish(
+      serve::ModelSnapshot::from_type(target.keys[2], ec2::require_type("c3.4xlarge")));
+
+  serve::ServiceConfig service_config;
+  service_config.queue_capacity = std::max<std::size_t>(4096, 2 * queue_floor);
+  target.service = std::make_unique<serve::BidService>(*target.store, service_config);
+  target.server = std::make_unique<net::Server>(*target.service);
+  target.server->start();
+  target.port = target.server->port();
+  return target;
+}
+
+// ------------------------------------------------------------- stage 1
+
+struct ClosedLoopResult {
+  std::uint64_t users = 0;
+  int rounds = 0;
+  int connections = 0;
+  int window = 0;
+  double wall_s = 0.0;
+  ReplyCounts counts;
+  LatencyStats latency;
+  [[nodiscard]] double requests_per_s() const {
+    return wall_s > 0.0 ? static_cast<double>(counts.submitted) / wall_s : 0.0;
+  }
+};
+
+/// One connection's shard of the user population. Users are interleaved by
+/// virtual clock; at most `window` requests ride the wire at once, and the
+/// in-order reply guarantee makes matching positional (FIFO).
+void run_shard(const Target& target, const std::vector<double>& cdf,
+               std::uint64_t first_user, std::uint64_t users, int rounds, int window,
+               ReplyCounts* counts_out, std::vector<double>* latencies_out) {
+  net::BidClient client{target.host, target.port};
+
+  std::vector<double> clock_v(users);          // virtual next-request time
+  std::vector<SplitMix64> rng(users);
+  std::vector<std::uint16_t> remaining(users);
+  for (std::uint64_t u = 0; u < users; ++u) {
+    rng[u].state = 0x5350'4f54'4249'4400ull ^ (first_user + u);  // "SPOTBID\0"
+    clock_v[u] = rng[u].exponential(1.0);
+    remaining[u] = static_cast<std::uint16_t>(rounds);
+  }
+
+  // Min-heap of (virtual time, user) — the user whose turn is next.
+  using Entry = std::pair<double, std::uint32_t>;
+  std::vector<Entry> heap;
+  heap.reserve(users);
+  for (std::uint32_t u = 0; u < users; ++u) heap.emplace_back(clock_v[u], u);
+  std::make_heap(heap.begin(), heap.end(), std::greater<>{});
+
+  struct InFlight {
+    std::uint32_t user;
+    Clock::time_point sent_at;
+  };
+  std::deque<InFlight> outstanding;
+  ReplyCounts counts;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(users * static_cast<std::uint64_t>(rounds));
+
+  while (!heap.empty() || !outstanding.empty()) {
+    // Fill the window from the virtual-time frontier.
+    while (!heap.empty() && outstanding.size() < static_cast<std::size_t>(window)) {
+      std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+      const std::uint32_t user = heap.back().second;
+      heap.pop_back();
+      (void)client.send(next_request(rng[user], target.keys, cdf));
+      outstanding.push_back({user, Clock::now()});
+      ++counts.submitted;
+    }
+    // Drain one reply; it belongs to the oldest outstanding request.
+    const net::BidClient::Reply reply = client.receive();
+    const InFlight done = outstanding.front();
+    outstanding.pop_front();
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(Clock::now() - done.sent_at).count());
+    count_reply(reply, counts);
+    // Closed loop: only now may this user think and then go again.
+    if (--remaining[done.user] > 0) {
+      clock_v[done.user] += reply.type == net::FrameType::kResponse
+                                ? rng[done.user].exponential(1.0)
+                                : rng[done.user].exponential(4.0);  // back off
+      heap.emplace_back(clock_v[done.user], done.user);
+      std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+    }
+  }
+  *counts_out = counts;
+  *latencies_out = std::move(latencies_us);
+}
+
+ClosedLoopResult run_closed_loop(const Target& target, std::uint64_t users, int rounds,
+                                 int connections, int window) {
+  ClosedLoopResult result;
+  result.users = users;
+  result.rounds = rounds;
+  result.connections = connections;
+  result.window = window;
+  const std::vector<double> cdf = zipf_cdf(target.keys.size());
+
+  std::vector<ReplyCounts> shard_counts(static_cast<std::size_t>(connections));
+  std::vector<std::vector<double>> shard_latencies(static_cast<std::size_t>(connections));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(connections));
+  const auto start = Clock::now();
+  std::uint64_t assigned = 0;
+  for (int c = 0; c < connections; ++c) {
+    const std::uint64_t share =
+        users / static_cast<std::uint64_t>(connections) +
+        (static_cast<std::uint64_t>(c) < users % static_cast<std::uint64_t>(connections) ? 1 : 0);
+    threads.emplace_back(run_shard, std::cref(target), std::cref(cdf), assigned, share,
+                         rounds, window, &shard_counts[static_cast<std::size_t>(c)],
+                         &shard_latencies[static_cast<std::size_t>(c)]);
+    assigned += share;
+  }
+  for (auto& t : threads) t.join();
+  result.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> all;
+  for (int c = 0; c < connections; ++c) {
+    result.counts += shard_counts[static_cast<std::size_t>(c)];
+    all.insert(all.end(), shard_latencies[static_cast<std::size_t>(c)].begin(),
+               shard_latencies[static_cast<std::size_t>(c)].end());
+  }
+  result.latency = summarize(all);
+  return result;
+}
+
+// ------------------------------------------------------------- stage 2
+
+struct OpenLoopResult {
+  std::uint64_t requests = 0;
+  double target_rate = 0.0;
+  int connections = 0;
+  double wall_s = 0.0;
+  ReplyCounts counts;
+  LatencyStats latency;
+  [[nodiscard]] double achieved_rate() const {
+    return wall_s > 0.0 ? static_cast<double>(counts.submitted) / wall_s : 0.0;
+  }
+};
+
+/// One open-loop connection: the sender fires at Poisson arrival times and
+/// never waits; the receiver drains replies (matched FIFO by the ordering
+/// guarantee) until every send is answered.
+void run_open_connection(const Target& target, const std::vector<double>& cdf,
+                         std::uint64_t seed, std::uint64_t requests, double rate,
+                         ReplyCounts* counts_out, std::vector<double>* latencies_out) {
+  net::BidClient client{target.host, target.port};
+  std::mutex mutex;
+  std::deque<Clock::time_point> sent_at;
+  ReplyCounts counts;
+  counts.submitted = requests;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(requests);
+
+  std::thread receiver{[&] {
+    for (std::uint64_t i = 0; i < requests; ++i) {
+      const net::BidClient::Reply reply = client.receive();
+      const auto now = Clock::now();
+      Clock::time_point sent;
+      {
+        const std::lock_guard<std::mutex> lock{mutex};
+        sent = sent_at.front();
+        sent_at.pop_front();
+      }
+      latencies_us.push_back(std::chrono::duration<double, std::micro>(now - sent).count());
+      count_reply(reply, counts);
+    }
+  }};
+
+  SplitMix64 rng{seed};
+  auto due = Clock::now();
+  for (std::uint64_t i = 0; i < requests; ++i) {
+    due += std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(rng.exponential(1.0 / rate)));
+    std::this_thread::sleep_until(due);  // open loop: arrivals don't wait
+    const serve::Request q = next_request(rng, target.keys, cdf);
+    {
+      const std::lock_guard<std::mutex> lock{mutex};
+      sent_at.push_back(Clock::now());
+    }
+    (void)client.send(q);
+  }
+  receiver.join();
+  *counts_out = counts;
+  *latencies_out = std::move(latencies_us);
+}
+
+OpenLoopResult run_open_loop(const Target& target, std::uint64_t requests, double rate,
+                             int connections) {
+  OpenLoopResult result;
+  result.requests = requests;
+  result.target_rate = rate;
+  result.connections = connections;
+  const std::vector<double> cdf = zipf_cdf(target.keys.size());
+
+  std::vector<ReplyCounts> shard_counts(static_cast<std::size_t>(connections));
+  std::vector<std::vector<double>> shard_latencies(static_cast<std::size_t>(connections));
+  std::vector<std::thread> threads;
+  const auto start = Clock::now();
+  for (int c = 0; c < connections; ++c) {
+    const std::uint64_t share =
+        requests / static_cast<std::uint64_t>(connections) +
+        (static_cast<std::uint64_t>(c) <
+                 requests % static_cast<std::uint64_t>(connections)
+             ? 1
+             : 0);
+    threads.emplace_back(run_open_connection, std::cref(target), std::cref(cdf),
+                         0xfeed'0000ull + static_cast<std::uint64_t>(c), share,
+                         rate / connections, &shard_counts[static_cast<std::size_t>(c)],
+                         &shard_latencies[static_cast<std::size_t>(c)]);
+  }
+  for (auto& t : threads) t.join();
+  result.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> all;
+  for (int c = 0; c < connections; ++c) {
+    result.counts += shard_counts[static_cast<std::size_t>(c)];
+    all.insert(all.end(), shard_latencies[static_cast<std::size_t>(c)].begin(),
+               shard_latencies[static_cast<std::size_t>(c)].end());
+  }
+  result.latency = summarize(all);
+  return result;
+}
+
+// ------------------------------------------------------------------ JSON
+
+void write_latency(std::ostream& os, const char* indent, const LatencyStats& l) {
+  os << indent << "\"latency_us\": {\n"
+     << indent << "  \"samples\": " << l.samples << ",\n"
+     << indent << "  \"mean\": " << l.mean_us << ",\n"
+     << indent << "  \"p50\": " << l.p50_us << ",\n"
+     << indent << "  \"p90\": " << l.p90_us << ",\n"
+     << indent << "  \"p99\": " << l.p99_us << ",\n"
+     << indent << "  \"p999\": " << l.p999_us << ",\n"
+     << indent << "  \"max\": " << l.max_us << "\n"
+     << indent << "}";
+}
+
+void write_counts(std::ostream& os, const char* indent, const ReplyCounts& c) {
+  os << indent << "\"submitted\": " << c.submitted << ",\n"
+     << indent << "\"ok\": " << c.ok << ",\n"
+     << indent << "\"not_found\": " << c.not_found << ",\n"
+     << indent << "\"overloaded\": " << c.overloaded << ",\n"
+     << indent << "\"unexpected\": " << c.unexpected << ",\n"
+     << indent << "\"conservation_ok\": " << (c.conserved() ? "true" : "false");
+}
+
+void write_json(const std::string& path, const Target& target, const ClosedLoopResult& c,
+                const OpenLoopResult& o, const metrics::Snapshot& snapshot) {
+  std::ofstream os{path};
+  os.precision(17);
+  os << "{\n"
+     << "  \"benchmark\": \"loadgen\",\n"
+     << "  \"mode\": \"" << (target.self_hosted ? "self-hosted" : "connected") << "\",\n"
+     << "  \"keys\": " << target.keys.size() << ",\n"
+     << "  \"closed_loop_stage\": {\n"
+     << "    \"users\": " << c.users << ",\n"
+     << "    \"rounds_per_user\": " << c.rounds << ",\n"
+     << "    \"connections\": " << c.connections << ",\n"
+     << "    \"window\": " << c.window << ",\n"
+     << "    \"wall_s\": " << c.wall_s << ",\n"
+     << "    \"requests_per_s\": " << c.requests_per_s() << ",\n";
+  write_counts(os, "    ", c.counts);
+  os << ",\n";
+  write_latency(os, "    ", c.latency);
+  os << "\n  },\n"
+     << "  \"open_loop_stage\": {\n"
+     << "    \"requests\": " << o.requests << ",\n"
+     << "    \"connections\": " << o.connections << ",\n"
+     << "    \"target_rate_per_s\": " << o.target_rate << ",\n"
+     << "    \"achieved_rate_per_s\": " << o.achieved_rate() << ",\n"
+     << "    \"wall_s\": " << o.wall_s << ",\n";
+  write_counts(os, "    ", o.counts);
+  os << ",\n";
+  write_latency(os, "    ", o.latency);
+  os << "\n  },\n"
+     << "  \"metrics\": ";
+  metrics::write_json(os, snapshot, 2);
+  os << "\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out = argc > 1 ? argv[1] : "BENCH_loadgen.json";
+  const auto users = static_cast<std::uint64_t>(env_int("SPOTBID_LOADGEN_USERS", 1 << 20));
+  const int rounds = env_int("SPOTBID_LOADGEN_ROUNDS", 1);
+  const int connections = env_int("SPOTBID_LOADGEN_CONNECTIONS", 8);
+  const int window = env_int("SPOTBID_LOADGEN_WINDOW", 128);
+  const auto open_requests =
+      static_cast<std::uint64_t>(env_int("SPOTBID_LOADGEN_OPEN_REQUESTS", 65536));
+  const double open_rate = env_int("SPOTBID_LOADGEN_OPEN_RATE", 100000);
+
+  metrics::set_enabled(true);
+  metrics::Registry::global().reset();
+
+  bench::banner("Load harness: simulated users over the wire protocol");
+  int exit_code = 0;
+  try {
+    Target target = make_target(static_cast<std::size_t>(connections) *
+                                static_cast<std::size_t>(window));
+    std::cout << (target.self_hosted
+                      ? "self-hosted daemon on 127.0.0.1:" + std::to_string(target.port)
+                      : "connected to " + target.host + ":" + std::to_string(target.port))
+              << ", " << target.keys.size() << " key(s)\n"
+              << users << " users x " << rounds << " round(s) over " << connections
+              << " connection(s), window " << window << "\n";
+
+    const ClosedLoopResult closed = run_closed_loop(target, users, rounds, connections, window);
+    const OpenLoopResult open = run_open_loop(target, open_requests, open_rate, connections);
+    target.stop();
+
+    // The deterministic population counters; reply splits are
+    // scheduling-dependent (admission raced the arrival order), hence .sched.
+    metrics::Registry::global().counter("loadgen.users").add(users);
+    metrics::Registry::global().counter("loadgen.connections").add(
+        static_cast<std::uint64_t>(connections));
+    metrics::Registry::global().counter("loadgen.submitted").add(closed.counts.submitted +
+                                                                 open.counts.submitted);
+    metrics::Registry::global().counter("loadgen.sched.ok").add(closed.counts.ok +
+                                                                open.counts.ok);
+    metrics::Registry::global().counter("loadgen.sched.overloaded")
+        .add(closed.counts.overloaded + open.counts.overloaded);
+
+    bench::Table table{{"stage", "requests", "wall", "rate", "p50", "p99", "gate"}};
+    table.row({"closed loop (" + std::to_string(users) + " users)",
+               std::to_string(closed.counts.submitted), bench::fmt("%.2f s", closed.wall_s),
+               bench::fmt("%.0f req/s", closed.requests_per_s()),
+               bench::fmt("%.0f us", closed.latency.p50_us),
+               bench::fmt("%.0f us", closed.latency.p99_us),
+               closed.counts.conserved() ? "conserved" : "VIOLATED"});
+    table.row({"open loop (Poisson)", std::to_string(open.counts.submitted),
+               bench::fmt("%.2f s", open.wall_s),
+               bench::fmt("%.0f req/s", open.achieved_rate()),
+               bench::fmt("%.0f us", open.latency.p50_us),
+               bench::fmt("%.0f us", open.latency.p99_us),
+               open.counts.conserved() ? "conserved" : "VIOLATED"});
+    table.print();
+    std::cout << "closed loop: ok " << closed.counts.ok << ", overloaded "
+              << closed.counts.overloaded << ", not-found " << closed.counts.not_found
+              << "\nopen loop:   ok " << open.counts.ok << ", overloaded "
+              << open.counts.overloaded << ", not-found " << open.counts.not_found << "\n";
+
+    if (!closed.counts.conserved() || !open.counts.conserved()) {
+      std::cerr << "FATAL: conservation violated (lost or duplicated replies)\n";
+      exit_code = 1;
+    }
+    if (closed.counts.submitted < users * static_cast<std::uint64_t>(rounds)) {
+      std::cerr << "FATAL: closed loop under-submitted\n";
+      exit_code = 1;
+    }
+
+    write_json(out, target, closed, open, metrics::Registry::global().snapshot());
+    std::cout << "\nwrote " << out << "\n";
+    bench::metrics_report("loadgen");
+  } catch (const std::exception& e) {
+    std::cerr << "FATAL: " << e.what() << "\n";
+    return 1;
+  }
+  return exit_code;
+}

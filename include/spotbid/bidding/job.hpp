@@ -15,6 +15,8 @@ struct JobSpec {
   /// re-load their checkpoint; Section 5's "writing and transferring this
   /// data introduces a delay of t_r seconds per interruption").
   Hours recovery_time = Hours::from_seconds(30.0);
+
+  [[nodiscard]] friend bool operator==(const JobSpec&, const JobSpec&) = default;
 };
 
 /// A parallelizable job split into M equal sub-jobs (Section 6.1).

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file server.hpp
+/// The spotbid TCP front-end: one acceptor, length-prefixed binary frames,
+/// one REQUEST frame mapped 1:1 onto one serve::Request whose reply comes
+/// back on the same connection IN SUBMISSION ORDER (docs/PROTOCOL.md §5).
+///
+/// Threading model: a single acceptor thread plus two threads per
+/// connection — a reader that decodes frames and submits them to the
+/// BidService, and a writer that resolves the service futures strictly
+/// FIFO and encodes the replies. Blocking on the oldest future is exactly
+/// what serializes replies into submission order; rejected requests
+/// (kOverloaded / kShutdown) carry ready futures, so they flow through the
+/// same FIFO and stay ordered relative to accepted neighbours while being
+/// surfaced as typed ERROR frames.
+///
+/// The server owns no model state: it is a codec shim over a BidService,
+/// which owns admission control, batching, and determinism (docs/SERVE.md).
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "spotbid/net/socket.hpp"
+#include "spotbid/serve/service.hpp"
+
+namespace spotbid::net {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read back with Server::port()).
+  std::uint16_t port = 0;
+  /// Acceptor poll granularity — the latency bound on stop().
+  int accept_poll_ms = 50;
+};
+
+class Server {
+ public:
+  /// Binds and listens immediately (so port() is valid and a client can
+  /// connect as soon as the constructor returns); start() begins accepting.
+  /// The service must outlive the server.
+  Server(serve::BidService& service, ServerConfig config = {});
+
+  /// stop()s if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Launch the acceptor thread. Call once.
+  void start();
+
+  /// Stop accepting, shut down every connection, and join all threads.
+  /// Replies already queued are flushed before their connections close.
+  /// Idempotent.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+
+  /// Connections accepted over the server's lifetime.
+  [[nodiscard]] std::uint64_t connections_accepted() const;
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  /// Join and erase connections whose threads have finished.
+  void reap_finished();
+
+  serve::BidService* service_;
+  ServerConfig config_;
+  TcpListener listener_;
+  std::thread acceptor_;
+  bool started_ = false;
+  std::atomic<bool> stopped_{false};
+
+  mutable std::mutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_;
+  std::uint64_t accepted_count_ = 0;
+};
+
+}  // namespace spotbid::net

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file socket.hpp
+/// Minimal RAII TCP wrappers for the daemon and its clients: a listener
+/// that accepts on an interruptible loop, and a stream with the two
+/// primitives a framed protocol needs — read exactly N bytes, write all of
+/// a buffer. IPv4 only (the daemon binds loopback or a single address; no
+/// name resolution beyond dotted quads and "localhost").
+///
+/// Failure surfaces as SocketError (with errno text). A clean peer close at
+/// a frame boundary is not an error: read_exact returns false.
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+namespace spotbid::net {
+
+class SocketError : public std::runtime_error {
+ public:
+  explicit SocketError(const std::string& what_arg) : std::runtime_error{what_arg} {}
+};
+
+/// One connected TCP stream (either side). Move-only owner of the fd.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(int fd) : fd_(fd) {}
+  TcpStream(TcpStream&& other) noexcept;
+  TcpStream& operator=(TcpStream&& other) noexcept;
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+  ~TcpStream();
+
+  /// Connect to host:port ("127.0.0.1" / "localhost" / dotted quad).
+  [[nodiscard]] static TcpStream connect(const std::string& host, std::uint16_t port);
+
+  /// Read exactly buffer.size() bytes. Returns false on a clean EOF before
+  /// the first byte; throws SocketError on errors or EOF mid-buffer.
+  [[nodiscard]] bool read_exact(std::span<std::uint8_t> buffer);
+
+  /// Write the whole buffer (retrying short writes). Throws SocketError.
+  void write_all(std::span<const std::uint8_t> buffer);
+
+  /// Shut down both directions: wakes a blocked read_exact on another
+  /// thread with EOF. Safe to call concurrently with reads/writes.
+  void shutdown() noexcept;
+
+  void close() noexcept;
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// A bound, listening TCP socket.
+class TcpListener {
+ public:
+  /// Bind and listen on host:port; port 0 picks an ephemeral port (read it
+  /// back with port()).
+  TcpListener(const std::string& host, std::uint16_t port);
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&&) = delete;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+  ~TcpListener();
+
+  /// Wait up to timeout_ms for a connection. Returns an invalid stream on
+  /// timeout or after interrupt(); throws SocketError on hard errors.
+  [[nodiscard]] TcpStream accept(int timeout_ms);
+
+  /// Unblock pending/future accept() calls; they return invalid streams.
+  void interrupt() noexcept;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> interrupted_{false};
+};
+
+}  // namespace spotbid::net

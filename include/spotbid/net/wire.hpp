@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file wire.hpp
+/// The spotbid wire protocol, version 1 (normative spec: docs/PROTOCOL.md).
+///
+/// Every message on a connection is one frame:
+///
+///   u32 LE payload length | payload
+///   payload = u8 version | u8 frame type | u64 LE sequence | body
+///
+/// Frame types: HELLO (version negotiation), REQUEST (one serve::Request),
+/// RESPONSE (one serve::Response), ERROR (typed protocol error — how
+/// kOverloaded / kShutdown and malformed frames surface on the wire).
+/// One REQUEST maps 1:1 onto one RESPONSE or ERROR carrying the same
+/// sequence number, and replies on a connection are returned in submission
+/// order (docs/PROTOCOL.md §5).
+///
+/// These functions are the ONLY place wire bytes are produced or consumed
+/// (spotbid-lint rule S-net-rawwire): everything else moves opaque frames.
+/// Decoders validate bounds on every field and throw WireError — never
+/// crash, never return a partially-decoded message. Doubles travel as their
+/// IEEE-754 bit pattern (u64 LE), so a response round-trips bit-identically
+/// through the protocol.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "spotbid/serve/request.hpp"
+
+namespace spotbid::net {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Hard cap on a frame payload. Requests are bounded by the key (≤ 255
+/// bytes) and a fixed field block; responses and errors are smaller. A
+/// length prefix above this is a malformed stream, not a large message.
+inline constexpr std::uint32_t kMaxFramePayload = 1024;
+
+/// Bytes of payload before the body: version, type, sequence.
+inline constexpr std::size_t kFrameOverhead = 10;
+
+/// Longest request key the protocol can carry.
+inline constexpr std::size_t kMaxKeyBytes = 255;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,     ///< version negotiation; body empty
+  kRequest = 2,   ///< body: one serve::Request
+  kResponse = 3,  ///< body: one serve::Response
+  kError = 4,     ///< body: ErrorCode + message
+};
+
+/// Short name for a FrameType ("hello", "request", ...).
+[[nodiscard]] std::string_view frame_type_name(FrameType type);
+
+/// Typed protocol errors carried by ERROR frames.
+enum class ErrorCode : std::uint8_t {
+  kOverloaded = 1,       ///< admission control rejected the request
+  kShuttingDown = 2,     ///< service is draining; no new work accepted
+  kVersionMismatch = 3,  ///< peer speaks a protocol version we do not
+  kMalformed = 4,        ///< frame violated the wire spec; connection closes
+};
+
+/// Short name for an ErrorCode ("overloaded", "shutting_down", ...).
+[[nodiscard]] std::string_view error_code_name(ErrorCode code);
+
+/// Thrown by every decoder on any spec violation.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& message);
+};
+
+/// A decoded frame envelope; `body` aliases the caller's payload bytes.
+struct Frame {
+  std::uint8_t version = 0;
+  FrameType type = FrameType::kHello;
+  std::uint64_t seq = 0;
+  std::span<const std::uint8_t> body;
+};
+
+/// An ERROR frame's body.
+struct ErrorReply {
+  ErrorCode code = ErrorCode::kMalformed;
+  std::string message;
+
+  [[nodiscard]] friend bool operator==(const ErrorReply&, const ErrorReply&) = default;
+};
+
+// -- encoding (returns the full frame: length prefix + payload) -------------
+
+[[nodiscard]] std::vector<std::uint8_t> encode_hello(std::uint64_t seq);
+[[nodiscard]] std::vector<std::uint8_t> encode_request(std::uint64_t seq,
+                                                       const serve::Request& request);
+[[nodiscard]] std::vector<std::uint8_t> encode_response(std::uint64_t seq,
+                                                        const serve::Response& response);
+[[nodiscard]] std::vector<std::uint8_t> encode_error(std::uint64_t seq, ErrorCode code,
+                                                     std::string_view message);
+
+// -- decoding ---------------------------------------------------------------
+
+/// Decode a length prefix. Throws WireError if it exceeds kMaxFramePayload
+/// or is shorter than the frame overhead.
+[[nodiscard]] std::uint32_t decode_frame_length(std::span<const std::uint8_t, 4> prefix);
+
+/// Decode the payload envelope (version, type, seq). Rejects unknown frame
+/// types and — except for HELLO, which must stay decodable across versions
+/// to negotiate — unknown versions.
+[[nodiscard]] Frame decode_frame(std::span<const std::uint8_t> payload);
+
+/// Body decoders; each rejects a frame of the wrong type, a body of the
+/// wrong length, and any out-of-range enum value.
+[[nodiscard]] serve::Request decode_request_body(const Frame& frame);
+[[nodiscard]] serve::Response decode_response_body(const Frame& frame);
+[[nodiscard]] ErrorReply decode_error_body(const Frame& frame);
+
+/// Render a frame image as the "offset  hex  comment" dump used by
+/// docs/PROTOCOL.md's worked examples and the warm-start bit-identity gate
+/// (tools/spotbidd_probe). Pure function of the bytes.
+[[nodiscard]] std::string hex_dump(std::span<const std::uint8_t> bytes);
+
+}  // namespace spotbid::net

@@ -46,6 +46,10 @@ class EquilibriumPriceDistribution final : public dist::Distribution {
   /// Probability mass clamped onto the price floor (the pi_min atom).
   [[nodiscard]] double floor_atom() const { return atom_; }
   [[nodiscard]] const ProviderModel& model() const { return model_; }
+  /// The arrival law the push-forward was built from (needed to serialize
+  /// an analytic snapshot: serve/snapshot_io re-creates the distribution
+  /// from (model, arrivals) rather than persisting derived state).
+  [[nodiscard]] const dist::DistributionPtr& arrivals() const { return arrivals_; }
 
  private:
   ProviderModel model_;

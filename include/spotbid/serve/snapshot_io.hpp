@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file snapshot_io.hpp
+/// Snapshot persistence: serialize calibrated ModelSnapshots to disk so a
+/// restarted daemon warm-starts from its last published models instead of
+/// recalibrating from scratch on the request path (docs/SERVE.md "Running
+/// the daemon").
+///
+/// Format (version 1, little-endian; full layout in docs/PROTOCOL.md §7):
+///
+///   header   magic "SPBS" | u32 version | u64 payload length | u64 FNV-1a
+///   payload  key | provider params (pi_bar, pi_min, beta, theta) |
+///            model params (on-demand price, slot length) | price-law tag +
+///            law state
+///
+/// Two price laws are serializable — exactly the two the snapshot builders
+/// produce:
+///
+///  - dist::Empirical (from_trace): the ECDF knots with their integer
+///    sample counts, plus the knot CDF and partial-expectation prefix
+///    arrays. The loader re-expands the knots into the sorted sample
+///    multiset and rebuilds through the public Empirical constructor, so
+///    every derived quantity (prefix arrays, cached model scalars) is
+///    recomputed by the exact code that built the original — the rebuilt
+///    snapshot answers every query BIT-identically. The stored prefix
+///    arrays are an integrity cross-check: the loader compares them
+///    bitwise against the recomputation and rejects the file on any
+///    mismatch (a corruption class the whole-payload checksum could miss
+///    only via a writer/reader skew — belt and braces).
+///  - provider::EquilibriumPriceDistribution over Pareto arrivals
+///    (from_type): the analytic law is a pure function of (provider
+///    params, alpha, xm), so those six doubles reconstruct it bit-for-bit.
+///
+/// Durability contract: writes go to a dot-prefixed temp file in the target
+/// directory and are renamed into place only after the full payload and
+/// checksum are on disk (POSIX rename atomicity), and the loader only
+/// considers `*.spbs` files — so a crash mid-write can never publish a
+/// partial snapshot. Loads fail with a typed SnapshotIoError (never a raw
+/// parse crash, never a partially-constructed snapshot) on truncation,
+/// bit flips, bad magic/version, or malformed payloads.
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "spotbid/serve/model_snapshot.hpp"
+#include "spotbid/serve/snapshot_store.hpp"
+
+namespace spotbid::serve {
+
+/// Why a snapshot failed to load (or save).
+enum class SnapshotIoCode : std::uint8_t {
+  kIoError,           ///< open/read/write/rename failed
+  kBadMagic,          ///< not a snapshot file
+  kBadVersion,        ///< format version this build does not speak
+  kTruncated,         ///< file shorter than its header claims
+  kChecksumMismatch,  ///< payload bytes do not hash to the stored checksum
+  kMalformed,         ///< checksum passed but the payload violates the spec
+  kUnsupportedLaw,    ///< snapshot's price law has no serialization (write side)
+};
+
+/// Short name for a SnapshotIoCode ("io_error", "bad_magic", ...).
+[[nodiscard]] std::string_view snapshot_io_code_name(SnapshotIoCode code);
+
+/// The one exception type all snapshot persistence failures surface as.
+class SnapshotIoError : public std::runtime_error {
+ public:
+  SnapshotIoError(SnapshotIoCode code, const std::string& message);
+  [[nodiscard]] SnapshotIoCode code() const { return code_; }
+
+ private:
+  SnapshotIoCode code_;
+};
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x53425053u;  // "SPBS" LE
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::string_view kSnapshotExtension = ".spbs";
+
+/// Filename a key persists under: every byte outside [A-Za-z0-9._-] is
+/// percent-encoded (uppercase hex), then kSnapshotExtension is appended —
+/// "us-east-1/r3.xlarge" -> "us-east-1%2Fr3.xlarge.spbs". Injective, so
+/// two keys can never collide on one file.
+[[nodiscard]] std::string snapshot_filename(std::string_view key);
+
+/// Serialize one snapshot to its on-disk byte image (header + payload).
+/// Throws SnapshotIoError{kUnsupportedLaw} for price laws the format does
+/// not cover.
+[[nodiscard]] std::vector<std::uint8_t> serialize_snapshot(const ModelSnapshot& snapshot);
+
+/// Parse a byte image back into an unpublished snapshot (epoch 0, ready for
+/// SnapshotStore::publish). Throws SnapshotIoError on any defect.
+[[nodiscard]] std::shared_ptr<ModelSnapshot> parse_snapshot(
+    std::span<const std::uint8_t> bytes);
+
+/// Atomically write `snapshot` into `dir` (created if absent) under
+/// snapshot_filename(key): temp file + rename, so readers of the directory
+/// never observe a partial file. Returns the final path.
+std::filesystem::path write_snapshot_file(const std::filesystem::path& dir,
+                                          const ModelSnapshot& snapshot);
+
+/// Read + parse one snapshot file.
+[[nodiscard]] std::shared_ptr<ModelSnapshot> read_snapshot_file(
+    const std::filesystem::path& file);
+
+/// Persist every published snapshot of `store` into `dir`; returns the
+/// number written. Keys whose law is not serializable are skipped (counted
+/// by the serve.snapshot.skipped metric), not fatal: a daemon must be able
+/// to persist what it can.
+std::size_t persist_all(const SnapshotStore& store, const std::filesystem::path& dir);
+
+/// Load every `*.spbs` file in `dir` (sorted by filename, so publication
+/// epochs are reproducible) and publish each into `store`. Returns the
+/// number published. Throws SnapshotIoError on the first defective file —
+/// a warm start must be all-or-nothing per file, never a silently partial
+/// model. A missing directory warm-starts zero snapshots (cold start).
+std::size_t warm_start(SnapshotStore& store, const std::filesystem::path& dir);
+
+}  // namespace spotbid::serve

@@ -1,0 +1,80 @@
+#include "spotbid/net/client.hpp"
+
+namespace spotbid::net {
+
+BidClient::BidClient(const std::string& host, std::uint16_t port)
+    : stream_(TcpStream::connect(host, port)) {
+  stream_.write_all(encode_hello(0));
+  if (!read_payload()) throw SocketError{"server closed during handshake"};
+  const Frame frame = decode_frame(payload_);
+  if (frame.type == FrameType::kError) {
+    const ErrorReply error = decode_error_body(frame);
+    throw WireError{"handshake rejected (" + std::string{error_code_name(error.code)} +
+                    "): " + error.message};
+  }
+  if (frame.type != FrameType::kHello)
+    throw WireError{"expected a hello frame, got " + std::string{frame_type_name(frame.type)}};
+}
+
+std::uint64_t BidClient::send(const serve::Request& request) {
+  const std::uint64_t seq = next_seq_++;
+  stream_.write_all(encode_request(seq, request));
+  ++sent_;
+  return seq;
+}
+
+bool BidClient::read_payload() {
+  std::uint8_t prefix[4];
+  if (!stream_.read_exact(prefix)) return false;
+  const std::uint32_t length = decode_frame_length(std::span<const std::uint8_t, 4>{prefix});
+  payload_.resize(length);
+  if (!stream_.read_exact(payload_))
+    throw SocketError{"server closed mid-frame"};
+  return true;
+}
+
+BidClient::Reply BidClient::receive() {
+  if (!read_payload()) throw SocketError{"server closed the connection"};
+  const Frame frame = decode_frame(payload_);
+  Reply reply;
+  reply.seq = frame.seq;
+  reply.type = frame.type;
+  switch (frame.type) {
+    case FrameType::kResponse:
+      reply.response = decode_response_body(frame);
+      break;
+    case FrameType::kError:
+      reply.error = decode_error_body(frame);
+      break;
+    default:
+      throw WireError{"unexpected " + std::string{frame_type_name(frame.type)} +
+                      " frame mid-stream"};
+  }
+  ++received_;
+  return reply;
+}
+
+serve::Response BidClient::ask(const serve::Request& request) {
+  const serve::Kind kind = request.kind;
+  const std::uint64_t seq = send(request);
+  const Reply reply = receive();
+  if (reply.seq != seq)
+    throw WireError{"reply out of order: expected seq " + std::to_string(seq) + ", got " +
+                    std::to_string(reply.seq)};
+  if (reply.type == FrameType::kResponse) return reply.response;
+  serve::Response response;
+  response.kind = kind;
+  switch (reply.error.code) {
+    case ErrorCode::kOverloaded:
+      response.status = serve::Status::kOverloaded;
+      return response;
+    case ErrorCode::kShuttingDown:
+      response.status = serve::Status::kShutdown;
+      return response;
+    default:
+      throw WireError{"server error (" + std::string{error_code_name(reply.error.code)} +
+                      "): " + reply.error.message};
+  }
+}
+
+}  // namespace spotbid::net

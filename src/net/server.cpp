@@ -1,0 +1,319 @@
+#include "spotbid/net/server.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "spotbid/core/metrics.hpp"
+#include "spotbid/net/wire.hpp"
+
+namespace spotbid::net {
+
+namespace {
+
+struct NetMetrics {
+  metrics::Counter& connections;
+  metrics::Counter& frames_hello;
+  metrics::Counter& frames_request;
+  metrics::Counter& bytes_in;
+  metrics::Counter& decode_errors;
+  metrics::Counter& frames_response;
+  metrics::Counter& frames_error;
+  metrics::Counter& bytes_out;
+};
+
+NetMetrics& nm() {
+  static NetMetrics m{
+      metrics::Registry::global().counter("serve.net.connections"),
+      metrics::Registry::global().counter("serve.net.frames.hello"),
+      metrics::Registry::global().counter("serve.net.frames.request"),
+      metrics::Registry::global().counter("serve.net.bytes_in"),
+      metrics::Registry::global().counter("serve.net.decode_errors"),
+      // Response-vs-error splits and output volume depend on overload
+      // timing, hence the .sched. segment (excluded from deterministic()).
+      metrics::Registry::global().counter("serve.net.sched.frames.response"),
+      metrics::Registry::global().counter("serve.net.sched.frames.error"),
+      metrics::Registry::global().counter("serve.net.sched.bytes_out"),
+  };
+  return m;
+}
+
+}  // namespace
+
+/// One accepted connection: reader thread decoding/submitting, writer
+/// thread flushing replies strictly FIFO.
+struct Server::Connection {
+  /// One queued reply: either an already-encoded frame (hello echoes,
+  /// protocol errors) or a pending service future.
+  struct Pending {
+    std::uint64_t seq = 0;
+    serve::Kind kind = serve::Kind::kOptimalBid;
+    bool is_frame = false;
+    bool is_error = false;  ///< pre-built ERROR (not a HELLO echo); metrics only
+    std::vector<std::uint8_t> frame;
+    std::future<serve::Response> future;
+  };
+
+  TcpStream stream;
+  serve::BidService* service;
+
+  std::mutex mutex;
+  std::condition_variable ready;
+  std::deque<Pending> pending;
+  bool reader_done = false;   ///< no more pushes; writer drains and exits
+  bool close_after_flush = false;
+
+  std::thread reader;
+  std::thread writer;
+  std::atomic<bool> finished{false};  ///< both loops exited (reapable)
+
+  Connection(TcpStream accepted, serve::BidService& svc)
+      : stream(std::move(accepted)), service(&svc) {}
+
+  void start() {
+    reader = std::thread([this] { read_loop(); });
+    writer = std::thread([this] { write_loop(); });
+  }
+
+  /// Wake everything and join. Safe from any thread except the two loops.
+  void shutdown_and_join() {
+    stream.shutdown();
+    {
+      const std::lock_guard<std::mutex> lock{mutex};
+      reader_done = true;
+    }
+    ready.notify_all();
+    if (reader.joinable()) reader.join();
+    if (writer.joinable()) writer.join();
+  }
+
+  void push(Pending item) {
+    {
+      const std::lock_guard<std::mutex> lock{mutex};
+      pending.push_back(std::move(item));
+    }
+    ready.notify_one();
+  }
+
+  void push_frame(std::uint64_t seq, std::vector<std::uint8_t> frame, bool is_error,
+                  bool close_after) {
+    Pending item;
+    item.seq = seq;
+    item.is_frame = true;
+    item.is_error = is_error;
+    item.frame = std::move(frame);
+    {
+      const std::lock_guard<std::mutex> lock{mutex};
+      pending.push_back(std::move(item));
+      if (close_after) {
+        close_after_flush = true;
+        reader_done = true;
+      }
+    }
+    ready.notify_all();
+  }
+
+  void read_loop() {
+    std::vector<std::uint8_t> payload;
+    try {
+      for (;;) {
+        std::uint8_t prefix[4];
+        if (!stream.read_exact(prefix)) break;  // clean close
+        std::uint32_t length = 0;
+        try {
+          length = decode_frame_length(std::span<const std::uint8_t, 4>{prefix});
+        } catch (const WireError& e) {
+          nm().decode_errors.increment();
+          push_frame(0, encode_error(0, ErrorCode::kMalformed, e.what()), true, true);
+          break;  // framing is lost; nothing further can be parsed
+        }
+        payload.resize(length);
+        if (!stream.read_exact(payload)) break;  // peer died mid-close
+        nm().bytes_in.add(4 + length);
+        if (!handle_payload(payload)) break;
+      }
+    } catch (const SocketError&) {
+      // Connection torn down (peer reset, or stop() shut the socket).
+    }
+    {
+      const std::lock_guard<std::mutex> lock{mutex};
+      reader_done = true;
+    }
+    ready.notify_all();
+  }
+
+  /// Dispatch one decoded payload; false ends the read loop.
+  bool handle_payload(std::span<const std::uint8_t> payload) {
+    Frame frame;
+    try {
+      frame = decode_frame(payload);
+    } catch (const WireError& e) {
+      nm().decode_errors.increment();
+      push_frame(0, encode_error(0, ErrorCode::kMalformed, e.what()), true, true);
+      return false;
+    }
+    switch (frame.type) {
+      case FrameType::kHello: {
+        nm().frames_hello.increment();
+        if (frame.version != kProtocolVersion) {
+          push_frame(frame.seq,
+                     encode_error(frame.seq, ErrorCode::kVersionMismatch,
+                                  "server speaks version " +
+                                      std::to_string(int{kProtocolVersion})),
+                     true, true);
+          return false;
+        }
+        push_frame(frame.seq, encode_hello(frame.seq), false, false);
+        return true;
+      }
+      case FrameType::kRequest: {
+        nm().frames_request.increment();
+        serve::Request request;
+        try {
+          request = decode_request_body(frame);
+        } catch (const WireError& e) {
+          nm().decode_errors.increment();
+          push_frame(frame.seq, encode_error(frame.seq, ErrorCode::kMalformed, e.what()),
+                     true, true);
+          return false;
+        }
+        Pending item;
+        item.seq = frame.seq;
+        item.kind = request.kind;
+        item.future = service->submit(std::move(request));
+        push(std::move(item));
+        return true;
+      }
+      case FrameType::kResponse:
+      case FrameType::kError: {
+        // Only servers send these; a client doing so violates the spec.
+        nm().decode_errors.increment();
+        push_frame(frame.seq,
+                   encode_error(frame.seq, ErrorCode::kMalformed,
+                                std::string{frame_type_name(frame.type)} +
+                                    " frames are server-to-client only"),
+                   true, true);
+        return false;
+      }
+    }
+    return false;
+  }
+
+  void write_loop() {
+    try {
+      for (;;) {
+        Pending item;
+        {
+          std::unique_lock<std::mutex> lock{mutex};
+          ready.wait(lock, [this] { return !pending.empty() || reader_done; });
+          if (pending.empty()) break;  // reader done and queue drained
+          item = std::move(pending.front());
+          pending.pop_front();
+        }
+        // Resolving the OLDEST future before touching the next item is the
+        // in-submission-order guarantee; rejected requests hold ready
+        // futures so they cannot overtake anything.
+        std::vector<std::uint8_t> frame;
+        bool is_error = item.is_error;
+        if (item.is_frame) {
+          frame = std::move(item.frame);
+        } else {
+          const serve::Response response = item.future.get();
+          switch (response.status) {
+            case serve::Status::kOverloaded:
+              frame = encode_error(item.seq, ErrorCode::kOverloaded,
+                                   "admission control rejected the request");
+              is_error = true;
+              break;
+            case serve::Status::kShutdown:
+              frame = encode_error(item.seq, ErrorCode::kShuttingDown,
+                                   "service is draining");
+              is_error = true;
+              break;
+            default:
+              frame = encode_response(item.seq, response);
+              break;
+          }
+        }
+        stream.write_all(frame);
+        (is_error ? nm().frames_error : nm().frames_response).increment();
+        nm().bytes_out.add(frame.size());
+      }
+    } catch (const SocketError&) {
+      // Peer stopped reading; undelivered replies are dropped with it.
+    }
+    bool close_now = false;
+    {
+      const std::lock_guard<std::mutex> lock{mutex};
+      close_now = close_after_flush;
+    }
+    if (close_now) stream.shutdown();  // wake the reader; protocol is over
+    finished.store(true, std::memory_order_release);
+  }
+};
+
+Server::Server(serve::BidService& service, ServerConfig config)
+    : service_(&service),
+      config_(std::move(config)),
+      listener_(config_.host, config_.port) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (started_) return;
+  started_ = true;
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    TcpStream accepted = listener_.accept(config_.accept_poll_ms);
+    if (stopped_) break;
+    reap_finished();
+    if (!accepted.valid()) continue;
+    nm().connections.increment();
+    auto connection = std::make_unique<Connection>(std::move(accepted), *service_);
+    connection->start();
+    const std::lock_guard<std::mutex> lock{connections_mutex_};
+    ++accepted_count_;
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void Server::reap_finished() {
+  const std::lock_guard<std::mutex> lock{connections_mutex_};
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->finished.load(std::memory_order_acquire)) {
+      (*it)->shutdown_and_join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::stop() {
+  if (!started_ || stopped_) {
+    stopped_ = true;
+    return;
+  }
+  stopped_ = true;
+  listener_.interrupt();
+  if (acceptor_.joinable()) acceptor_.join();
+  std::list<std::unique_ptr<Connection>> connections;
+  {
+    const std::lock_guard<std::mutex> lock{connections_mutex_};
+    connections.swap(connections_);
+  }
+  for (auto& connection : connections) connection->shutdown_and_join();
+}
+
+std::uint64_t Server::connections_accepted() const {
+  const std::lock_guard<std::mutex> lock{connections_mutex_};
+  return accepted_count_;
+}
+
+}  // namespace spotbid::net

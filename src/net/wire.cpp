@@ -1,0 +1,265 @@
+#include "spotbid/net/wire.hpp"
+
+#include <bit>
+
+namespace spotbid::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) { throw WireError{message}; }
+
+/// Little-endian append-only sink for one frame payload.
+struct Writer {
+  std::vector<std::uint8_t> bytes;
+
+  void u8(std::uint8_t v) { bytes.push_back(v); }
+  void u16(std::uint16_t v) {
+    bytes.push_back(static_cast<std::uint8_t>(v));
+    bytes.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+};
+
+/// Bounds-checked little-endian reader over a frame body.
+struct Reader {
+  std::span<const std::uint8_t> bytes;
+  std::size_t pos = 0;
+
+  void need(std::size_t n) const {
+    if (bytes.size() - pos < n) fail("frame body ends mid-field");
+  }
+  std::uint8_t u8() {
+    need(1);
+    return bytes[pos++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    const auto v = static_cast<std::uint16_t>(std::uint16_t{bytes[pos]} |
+                                              std::uint16_t{bytes[pos + 1]} << 8);
+    pos += 2;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{bytes[pos + i]} << (8 * i);
+    pos += 8;
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+  void done() const {
+    if (pos != bytes.size())
+      fail(std::to_string(bytes.size() - pos) + " trailing byte(s) in frame body");
+  }
+};
+
+/// Prepend the length prefix to a finished payload.
+std::vector<std::uint8_t> seal(Writer payload) {
+  if (payload.bytes.size() > kMaxFramePayload)
+    fail("frame payload exceeds kMaxFramePayload");
+  const auto len = static_cast<std::uint32_t>(payload.bytes.size());
+  std::vector<std::uint8_t> frame;
+  frame.reserve(4 + payload.bytes.size());
+  for (int i = 0; i < 4; ++i) frame.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  frame.insert(frame.end(), payload.bytes.begin(), payload.bytes.end());
+  return frame;
+}
+
+Writer envelope(FrameType type, std::uint64_t seq) {
+  Writer w;
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(seq);
+  return w;
+}
+
+}  // namespace
+
+std::string_view frame_type_name(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kRequest: return "request";
+    case FrameType::kResponse: return "response";
+    case FrameType::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kVersionMismatch: return "version_mismatch";
+    case ErrorCode::kMalformed: return "malformed";
+  }
+  return "unknown";
+}
+
+WireError::WireError(const std::string& message) : std::runtime_error{"wire: " + message} {}
+
+std::vector<std::uint8_t> encode_hello(std::uint64_t seq) {
+  return seal(envelope(FrameType::kHello, seq));
+}
+
+std::vector<std::uint8_t> encode_request(std::uint64_t seq, const serve::Request& request) {
+  if (request.key.size() > kMaxKeyBytes) fail("request key exceeds kMaxKeyBytes");
+  Writer w = envelope(FrameType::kRequest, seq);
+  w.u8(static_cast<std::uint8_t>(request.key.size()));
+  w.bytes.insert(w.bytes.end(), request.key.begin(), request.key.end());
+  w.u8(static_cast<std::uint8_t>(request.kind));
+  w.u8(static_cast<std::uint8_t>(request.mode));
+  w.f64(request.bid.usd());
+  w.f64(request.job.execution_time.hours());
+  w.f64(request.job.recovery_time.hours());
+  w.f64(request.demand);
+  return seal(std::move(w));
+}
+
+std::vector<std::uint8_t> encode_response(std::uint64_t seq, const serve::Response& response) {
+  Writer w = envelope(FrameType::kResponse, seq);
+  w.u8(static_cast<std::uint8_t>(response.status));
+  w.u8(static_cast<std::uint8_t>(response.kind));
+  w.u64(response.epoch);
+  w.f64(response.bid.usd());
+  w.f64(response.expected_cost.usd());
+  w.f64(response.expected_hours.hours());
+  w.f64(response.acceptance);
+  w.u8(response.feasible ? 1 : 0);
+  w.u8(response.use_on_demand ? 1 : 0);
+  w.f64(response.price.usd());
+  return seal(std::move(w));
+}
+
+std::vector<std::uint8_t> encode_error(std::uint64_t seq, ErrorCode code,
+                                       std::string_view message) {
+  // Clamp rather than reject: error paths must always produce a frame.
+  const std::size_t room = kMaxFramePayload - kFrameOverhead - 3;
+  if (message.size() > room) message = message.substr(0, room);
+  Writer w = envelope(FrameType::kError, seq);
+  w.u8(static_cast<std::uint8_t>(code));
+  w.u16(static_cast<std::uint16_t>(message.size()));
+  w.bytes.insert(w.bytes.end(), message.begin(), message.end());
+  return seal(std::move(w));
+}
+
+std::uint32_t decode_frame_length(std::span<const std::uint8_t, 4> prefix) {
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= std::uint32_t{prefix[static_cast<std::size_t>(i)]} << (8 * i);
+  if (len < kFrameOverhead) fail("frame length " + std::to_string(len) + " below frame overhead");
+  if (len > kMaxFramePayload)
+    fail("frame length " + std::to_string(len) + " exceeds kMaxFramePayload");
+  return len;
+}
+
+Frame decode_frame(std::span<const std::uint8_t> payload) {
+  Reader r{payload};
+  Frame frame;
+  frame.version = r.u8();
+  const std::uint8_t type = r.u8();
+  if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
+      type > static_cast<std::uint8_t>(FrameType::kError))
+    fail("unknown frame type " + std::to_string(type));
+  frame.type = static_cast<FrameType>(type);
+  // HELLO must stay decodable whatever version the peer speaks — it is how
+  // a mismatch is discovered and reported instead of dropped on the floor.
+  if (frame.version != kProtocolVersion && frame.type != FrameType::kHello)
+    fail("unsupported protocol version " + std::to_string(frame.version));
+  frame.seq = r.u64();
+  frame.body = payload.subspan(r.pos);
+  return frame;
+}
+
+serve::Request decode_request_body(const Frame& frame) {
+  if (frame.type != FrameType::kRequest)
+    fail(std::string{"expected a request frame, got "} +
+         std::string{frame_type_name(frame.type)});
+  Reader r{frame.body};
+  serve::Request q;
+  const std::uint8_t key_len = r.u8();
+  r.need(key_len);
+  q.key.assign(reinterpret_cast<const char*>(r.bytes.data() + r.pos), key_len);
+  r.pos += key_len;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(serve::Kind::kProviderPrice))
+    fail("unknown request kind " + std::to_string(kind));
+  q.kind = static_cast<serve::Kind>(kind);
+  const std::uint8_t mode = r.u8();
+  if (mode > static_cast<std::uint8_t>(serve::BidMode::kPersistent))
+    fail("unknown bid mode " + std::to_string(mode));
+  q.mode = static_cast<serve::BidMode>(mode);
+  q.bid = Money{r.f64()};
+  q.job.execution_time = Hours{r.f64()};
+  q.job.recovery_time = Hours{r.f64()};
+  q.demand = r.f64();
+  r.done();
+  return q;
+}
+
+serve::Response decode_response_body(const Frame& frame) {
+  if (frame.type != FrameType::kResponse)
+    fail(std::string{"expected a response frame, got "} +
+         std::string{frame_type_name(frame.type)});
+  Reader r{frame.body};
+  serve::Response p;
+  const std::uint8_t status = r.u8();
+  if (status > static_cast<std::uint8_t>(serve::Status::kError))
+    fail("unknown response status " + std::to_string(status));
+  p.status = static_cast<serve::Status>(status);
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(serve::Kind::kProviderPrice))
+    fail("unknown response kind " + std::to_string(kind));
+  p.kind = static_cast<serve::Kind>(kind);
+  p.epoch = r.u64();
+  p.bid = Money{r.f64()};
+  p.expected_cost = Money{r.f64()};
+  p.expected_hours = Hours{r.f64()};
+  p.acceptance = r.f64();
+  const std::uint8_t feasible = r.u8();
+  const std::uint8_t on_demand = r.u8();
+  if (feasible > 1 || on_demand > 1) fail("response flag byte is not 0 or 1");
+  p.feasible = feasible == 1;
+  p.use_on_demand = on_demand == 1;
+  p.price = Money{r.f64()};
+  r.done();
+  return p;
+}
+
+ErrorReply decode_error_body(const Frame& frame) {
+  if (frame.type != FrameType::kError)
+    fail(std::string{"expected an error frame, got "} +
+         std::string{frame_type_name(frame.type)});
+  Reader r{frame.body};
+  ErrorReply e;
+  const std::uint8_t code = r.u8();
+  if (code < static_cast<std::uint8_t>(ErrorCode::kOverloaded) ||
+      code > static_cast<std::uint8_t>(ErrorCode::kMalformed))
+    fail("unknown error code " + std::to_string(code));
+  e.code = static_cast<ErrorCode>(code);
+  const std::uint16_t len = r.u16();
+  r.need(len);
+  e.message.assign(reinterpret_cast<const char*>(r.bytes.data() + r.pos), len);
+  r.pos += len;
+  r.done();
+  return e;
+}
+
+std::string hex_dump(std::span<const std::uint8_t> bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  for (std::size_t row = 0; row < bytes.size(); row += 16) {
+    for (int shift = 12; shift >= 0; shift -= 4) out.push_back(kHex[(row >> shift) & 0xF]);
+    out.append("  ");
+    for (std::size_t i = row; i < row + 16 && i < bytes.size(); ++i) {
+      out.push_back(kHex[bytes[i] >> 4]);
+      out.push_back(kHex[bytes[i] & 0xF]);
+      out.push_back(' ');
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace spotbid::net

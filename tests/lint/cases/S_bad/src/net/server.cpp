@@ -1,0 +1,26 @@
+// Known-bad fixture for the net-layer S rules. Never compiled — lexed only.
+#include <cstring>
+#include <mutex>
+
+namespace spotbid::net {
+
+struct Connection {
+  std::mutex mutex;
+  int fd = 0;
+};
+
+void flush(Connection& c, const unsigned char* data, unsigned long size) {
+  const std::lock_guard<std::mutex> lock{c.mutex};
+  // S-net-blocking: socket write while the lock is held — a stalled peer
+  // would extend the critical section indefinitely.
+  (void)write(c.fd, data, size);
+}
+
+unsigned long peek_length(const unsigned char* prefix) {
+  unsigned long length = 0;
+  // S-net-rawwire: wire bytes touched outside wire.{hpp,cpp}.
+  std::memcpy(&length, prefix, 4);
+  return length;
+}
+
+}  // namespace spotbid::net

@@ -1,0 +1,27 @@
+// Known-good fixture for the net-layer S rules: the lock is released before
+// the socket write, and the one raw cast carries an annotated suppression
+// (kernel ABI, not wire data). Never compiled — lexed only.
+#include <mutex>
+
+namespace spotbid::net {
+
+struct Connection {
+  std::mutex mutex;
+  int fd = 0;
+  bool dirty = false;
+};
+
+void flush(Connection& c, const unsigned char* data, unsigned long size) {
+  {
+    const std::lock_guard<std::mutex> lock{c.mutex};
+    c.dirty = false;
+  }
+  (void)write(c.fd, data, size);  // lock already released
+}
+
+void bind_any(Connection& c, void* addr) {
+  // spotbid-lint: allow(S-net-rawwire) sockaddr is the kernel's ABI, not wire data
+  (void)bind(c.fd, reinterpret_cast<const struct sockaddr*>(addr), 16);
+}
+
+}  // namespace spotbid::net

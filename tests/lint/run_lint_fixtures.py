@@ -36,8 +36,9 @@ CASES = {
     "M_bad": (1, {"M-undocumented", "M-unregistered", "M-misclassified",
                   "M-schema-orphan"}, 0),
     "M_good": (0, set(), 0),
-    "S_bad": (1, {"S-atomicptr", "S-stdatomic", "S-mutex"}, 0),
-    "S_good": (0, set(), 1),
+    "S_bad": (1, {"S-atomicptr", "S-stdatomic", "S-mutex",
+                  "S-net-blocking", "S-net-rawwire"}, 0),
+    "S_good": (0, set(), 2),
 }
 
 _DIAG_RE = re.compile(r"^\S+:\d+: (?:error|note): \[([A-Za-z-]+)\]")

@@ -1,0 +1,299 @@
+// Tests for the wire codec: golden byte images pinning the exact frames
+// documented in docs/PROTOCOL.md's worked examples (so doc and code cannot
+// drift), encode/decode round-trips over every kind/mode/status, and
+// rejection of truncated, oversized, and out-of-range frames — decoders
+// must throw WireError, never crash or return partial messages.
+
+#include "spotbid/net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace spotbid::net {
+namespace {
+
+std::vector<std::uint8_t> from_hex(const std::string& hex) {
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t value = 0;
+  int nibbles = 0;
+  for (const char c : hex) {
+    int digit = -1;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    if (digit < 0) continue;  // whitespace separators
+    value = static_cast<std::uint8_t>((value << 4) | digit);
+    if (++nibbles == 2) {
+      bytes.push_back(value);
+      nibbles = 0;
+      value = 0;
+    }
+  }
+  return bytes;
+}
+
+/// The docs/PROTOCOL.md §6.2 worked request: seq 7, expected-cost query for
+/// us-east-1/r3.xlarge, persistent mode, bid $0.25, t_s 2h, t_r 0.5h.
+serve::Request example_request() {
+  serve::Request q;
+  q.key = "us-east-1/r3.xlarge";
+  q.kind = serve::Kind::kExpectedCost;
+  q.mode = serve::BidMode::kPersistent;
+  q.bid = Money{0.25};
+  q.job = bidding::JobSpec{Hours{2.0}, Hours{0.5}};
+  q.demand = 0.0;
+  return q;
+}
+
+constexpr char kExampleRequestHex[] =
+    "40 00 00 00"                 // length = 64
+    "01 02"                       // version 1, REQUEST
+    "07 00 00 00 00 00 00 00"     // seq 7
+    "13"                          // key length 19
+    "75 73 2d 65 61 73 74 2d 31"  // "us-east-1"
+    "2f 72 33 2e 78 6c 61 72 67 65"  // "/r3.xlarge"
+    "01 01"                       // kind=expected_cost, mode=persistent
+    "00 00 00 00 00 00 d0 3f"     // bid 0.25
+    "00 00 00 00 00 00 00 40"     // t_s 2.0
+    "00 00 00 00 00 00 e0 3f"     // t_r 0.5
+    "00 00 00 00 00 00 00 00";    // demand 0.0
+
+/// The §6.3 worked response: seq 7, ok, epoch 3.
+serve::Response example_response() {
+  serve::Response p;
+  p.status = serve::Status::kOk;
+  p.kind = serve::Kind::kExpectedCost;
+  p.epoch = 3;
+  p.bid = Money{0.25};
+  p.expected_cost = Money{0.75};
+  p.expected_hours = Hours{2.5};
+  p.acceptance = 0.875;
+  p.feasible = false;
+  p.use_on_demand = false;
+  p.price = Money{0.0};
+  return p;
+}
+
+constexpr char kExampleResponseHex[] =
+    "3e 00 00 00"              // length = 62
+    "01 03"                    // version 1, RESPONSE
+    "07 00 00 00 00 00 00 00"  // seq 7
+    "00 01"                    // status=ok, kind=expected_cost
+    "03 00 00 00 00 00 00 00"  // epoch 3
+    "00 00 00 00 00 00 d0 3f"  // bid 0.25
+    "00 00 00 00 00 00 e8 3f"  // expected_cost 0.75
+    "00 00 00 00 00 00 04 40"  // expected_hours 2.5
+    "00 00 00 00 00 00 ec 3f"  // acceptance 0.875
+    "00 00"                    // feasible=0, use_on_demand=0
+    "00 00 00 00 00 00 00 00";  // price 0.0
+
+constexpr char kExampleErrorHex[] =
+    "17 00 00 00"                   // length = 23
+    "01 04"                         // version 1, ERROR
+    "09 00 00 00 00 00 00 00"       // seq 9
+    "01"                            // code=overloaded
+    "0a 00"                         // message length 10
+    "71 75 65 75 65 20 66 75 6c 6c";  // "queue full"
+
+constexpr char kExampleHelloHex[] =
+    "0a 00 00 00"               // length = 10
+    "01 01"                     // version 1, HELLO
+    "00 00 00 00 00 00 00 00";  // seq 0
+
+/// Split a full frame image into (length, payload) through the real prefix
+/// decoder.
+std::span<const std::uint8_t> payload_of(const std::vector<std::uint8_t>& frame) {
+  const auto prefix = std::span<const std::uint8_t, 4>{frame.data(), 4};
+  const std::uint32_t length = decode_frame_length(prefix);
+  EXPECT_EQ(length, frame.size() - 4);
+  return std::span<const std::uint8_t>{frame}.subspan(4);
+}
+
+TEST(NetWire, GoldenRequestFrame) {
+  EXPECT_EQ(encode_request(7, example_request()), from_hex(kExampleRequestHex));
+}
+
+TEST(NetWire, GoldenResponseFrame) {
+  EXPECT_EQ(encode_response(7, example_response()), from_hex(kExampleResponseHex));
+}
+
+TEST(NetWire, GoldenErrorFrame) {
+  EXPECT_EQ(encode_error(9, ErrorCode::kOverloaded, "queue full"),
+            from_hex(kExampleErrorHex));
+}
+
+TEST(NetWire, GoldenHelloFrame) {
+  EXPECT_EQ(encode_hello(0), from_hex(kExampleHelloHex));
+}
+
+TEST(NetWire, RequestRoundTripsEveryKindAndMode) {
+  for (const serve::Kind kind :
+       {serve::Kind::kOptimalBid, serve::Kind::kExpectedCost, serve::Kind::kRunLength,
+        serve::Kind::kPersistentFeasibility, serve::Kind::kProviderPrice}) {
+    for (const serve::BidMode mode : {serve::BidMode::kOneTime, serve::BidMode::kPersistent}) {
+      serve::Request q = example_request();
+      q.kind = kind;
+      q.mode = mode;
+      q.bid = Money{0.123456789};
+      q.demand = 0.7071067811865476;
+      const auto frame = encode_request(42, q);
+      const Frame decoded = decode_frame(payload_of(frame));
+      EXPECT_EQ(decoded.version, kProtocolVersion);
+      EXPECT_EQ(decoded.type, FrameType::kRequest);
+      EXPECT_EQ(decoded.seq, 42u);
+      EXPECT_EQ(decode_request_body(decoded), q);
+    }
+  }
+}
+
+TEST(NetWire, ResponseRoundTripsBitIdentically) {
+  for (const serve::Status status :
+       {serve::Status::kOk, serve::Status::kNotFound, serve::Status::kInvalid,
+        serve::Status::kOverloaded, serve::Status::kShutdown, serve::Status::kError}) {
+    serve::Response p = example_response();
+    p.status = status;
+    p.expected_cost = Money{1.0 / 3.0};  // not exactly representable in fewer bits
+    p.acceptance = 0.1;
+    p.feasible = true;
+    p.use_on_demand = true;
+    const auto frame = encode_response(9000, p);
+    const Frame decoded = decode_frame(payload_of(frame));
+    EXPECT_EQ(decode_response_body(decoded), p);
+  }
+}
+
+TEST(NetWire, NonFiniteDoublesRoundTrip) {
+  // The protocol carries IEEE-754 bit patterns, so +inf (a real
+  // expected-cost value for infeasible persistent bids) must survive.
+  serve::Response p = example_response();
+  p.expected_cost = Money{std::numeric_limits<double>::infinity()};
+  const auto frame = encode_response(1, p);
+  EXPECT_EQ(decode_response_body(decode_frame(payload_of(frame))), p);
+}
+
+TEST(NetWire, ErrorRoundTrips) {
+  for (const ErrorCode code : {ErrorCode::kOverloaded, ErrorCode::kShuttingDown,
+                               ErrorCode::kVersionMismatch, ErrorCode::kMalformed}) {
+    const auto frame = encode_error(5, code, "why it failed");
+    const Frame decoded = decode_frame(payload_of(frame));
+    const ErrorReply reply = decode_error_body(decoded);
+    EXPECT_EQ(reply.code, code);
+    EXPECT_EQ(reply.message, "why it failed");
+  }
+}
+
+TEST(NetWire, EmptyKeyAndLongestKeyRoundTrip) {
+  serve::Request q = example_request();
+  q.key.clear();
+  EXPECT_EQ(decode_request_body(decode_frame(payload_of(encode_request(1, q)))), q);
+  q.key.assign(kMaxKeyBytes, 'k');
+  EXPECT_EQ(decode_request_body(decode_frame(payload_of(encode_request(1, q)))), q);
+  q.key.assign(kMaxKeyBytes + 1, 'k');
+  EXPECT_THROW((void)encode_request(1, q), WireError);
+}
+
+TEST(NetWire, TruncatedPayloadAtEveryLengthIsRejected) {
+  const auto frame = encode_request(7, example_request());
+  const auto payload = payload_of(frame);
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    const auto prefix = payload.subspan(0, len);
+    if (len < kFrameOverhead) {
+      EXPECT_THROW((void)decode_frame(prefix), WireError) << "length " << len;
+    } else {
+      EXPECT_THROW((void)decode_request_body(decode_frame(prefix)), WireError)
+          << "length " << len;
+    }
+  }
+}
+
+TEST(NetWire, TrailingBytesAreRejected) {
+  auto frame = encode_request(7, example_request());
+  frame.push_back(0);
+  const auto payload = std::span<const std::uint8_t>{frame}.subspan(4);
+  EXPECT_THROW((void)decode_request_body(decode_frame(payload)), WireError);
+}
+
+TEST(NetWire, FrameLengthBoundsAreEnforced) {
+  // Below overhead.
+  EXPECT_THROW((void)decode_frame_length(
+                   std::span<const std::uint8_t, 4>{from_hex("09 00 00 00").data(), 4}),
+               WireError);
+  // Above the cap (a desynchronized or hostile stream).
+  EXPECT_THROW((void)decode_frame_length(
+                   std::span<const std::uint8_t, 4>{from_hex("ff ff ff ff").data(), 4}),
+               WireError);
+  // The cap itself is fine.
+  const auto max_ok = from_hex("00 04 00 00");
+  EXPECT_EQ(decode_frame_length(std::span<const std::uint8_t, 4>{max_ok.data(), 4}),
+            kMaxFramePayload);
+}
+
+TEST(NetWire, UnknownEnumValuesAreRejected) {
+  // Unknown frame type.
+  auto hello = from_hex(kExampleHelloHex);
+  hello[5] = 9;
+  EXPECT_THROW((void)decode_frame(std::span<const std::uint8_t>{hello}.subspan(4)),
+               WireError);
+  // Unknown version on a non-hello frame.
+  auto request = from_hex(kExampleRequestHex);
+  request[4] = 2;
+  EXPECT_THROW((void)decode_frame(std::span<const std::uint8_t>{request}.subspan(4)),
+               WireError);
+  // Unknown version on a HELLO decodes (negotiation must see it)...
+  auto future_hello = from_hex(kExampleHelloHex);
+  future_hello[4] = 2;
+  const Frame decoded =
+      decode_frame(std::span<const std::uint8_t>{future_hello}.subspan(4));
+  EXPECT_EQ(decoded.version, 2);
+  // Unknown request kind.
+  auto bad_kind = from_hex(kExampleRequestHex);
+  bad_kind[4 + 10 + 20] = 17;  // kind byte: after envelope, key len, key
+  EXPECT_THROW(
+      (void)decode_request_body(decode_frame(std::span<const std::uint8_t>{bad_kind}.subspan(4))),
+      WireError);
+  // Response flag byte that is not 0/1.
+  auto bad_flag = from_hex(kExampleResponseHex);
+  bad_flag[4 + 10 + 42] = 2;  // feasible byte
+  EXPECT_THROW((void)decode_response_body(
+                   decode_frame(std::span<const std::uint8_t>{bad_flag}.subspan(4))),
+               WireError);
+}
+
+TEST(NetWire, BodyDecodersCheckFrameType) {
+  const auto hello = encode_hello(0);
+  const Frame frame = decode_frame(payload_of(hello));
+  EXPECT_THROW((void)decode_request_body(frame), WireError);
+  EXPECT_THROW((void)decode_response_body(frame), WireError);
+  EXPECT_THROW((void)decode_error_body(frame), WireError);
+}
+
+TEST(NetWire, OversizedErrorMessageIsClamped) {
+  const std::string huge(kMaxFramePayload * 2, 'x');
+  const auto frame = encode_error(1, ErrorCode::kMalformed, huge);
+  EXPECT_LE(frame.size(), kMaxFramePayload + 4);
+  const ErrorReply reply = decode_error_body(decode_frame(payload_of(frame)));
+  EXPECT_EQ(reply.code, ErrorCode::kMalformed);
+  EXPECT_EQ(reply.message.size(), kMaxFramePayload - kFrameOverhead - 3);
+}
+
+TEST(NetWire, HexDumpMatchesProtocolDocFormat) {
+  const std::string dump = hex_dump(from_hex(kExampleHelloHex));
+  EXPECT_EQ(dump, "0000  0a 00 00 00 01 01 00 00 00 00 00 00 00 00 \n");
+}
+
+TEST(NetWire, NameTablesAreStable) {
+  EXPECT_EQ(frame_type_name(FrameType::kHello), "hello");
+  EXPECT_EQ(frame_type_name(FrameType::kRequest), "request");
+  EXPECT_EQ(frame_type_name(FrameType::kResponse), "response");
+  EXPECT_EQ(frame_type_name(FrameType::kError), "error");
+  EXPECT_EQ(error_code_name(ErrorCode::kOverloaded), "overloaded");
+  EXPECT_EQ(error_code_name(ErrorCode::kShuttingDown), "shutting_down");
+  EXPECT_EQ(error_code_name(ErrorCode::kVersionMismatch), "version_mismatch");
+  EXPECT_EQ(error_code_name(ErrorCode::kMalformed), "malformed");
+}
+
+}  // namespace
+}  // namespace spotbid::net

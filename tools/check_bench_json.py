@@ -4,8 +4,9 @@
 The schema is an anyOf over the known bench documents, discriminated by
 the top-level "benchmark" const: "fig5_onetime_sweep" (bench_parallel's
 BENCH_spotbid.json), "query_plane" (bench_query_plane's
-BENCH_query_plane.json), "serve" (bench_serve's BENCH_serve.json), and
-"market_soa" (bench_market's BENCH_market.json).
+BENCH_query_plane.json), "serve" (bench_serve's BENCH_serve.json),
+"market_soa" (bench_market's BENCH_market.json), and "loadgen"
+(bench_loadgen's BENCH_loadgen.json).
 
 Stdlib only (CI installs no Python packages), so this implements the small
 JSON-Schema subset the schema file actually uses:

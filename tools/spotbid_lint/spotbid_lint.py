@@ -57,6 +57,20 @@ rests on, so this tool does:
                       file (snapshot_store, engine, model_snapshot) — the
                       read path must stay lock-free for readers
 
+      The S family extends to the net layer (src/net +
+      include/spotbid/net), where the discipline is "no syscalls under a
+      lock, no wire bytes outside the codec":
+        S-net-blocking  a blocking socket/sleep call while a lock_guard /
+                        unique_lock / scoped_lock is still in scope — a
+                        stalled peer must never extend a critical section
+                        (condition_variable::wait is exempt: it releases
+                        the lock while blocked)
+        S-net-rawwire   memcpy / reinterpret_cast / bit_cast in a net-layer
+                        file other than wire.{hpp,cpp} — the checked
+                        encode/decode helpers are the ONLY place wire
+                        bytes may be produced or consumed (kernel ABI
+                        structs like sockaddr are annotated exceptions)
+
 Suppressions: a deliberate exception is annotated in the source as
 
     // spotbid-lint: allow(D-unordered) keys() sorts before returning
@@ -103,6 +117,8 @@ RULES = {
     "S-atomicptr": "AtomicPtr cell accessed outside its load()/store() API",
     "S-stdatomic": "std::atomic<shared_ptr>/atomic_load in serve (use AtomicPtr)",
     "S-mutex": "lock primitive declared on the serve reader path",
+    "S-net-blocking": "blocking call while a lock is held in the net layer",
+    "S-net-rawwire": "raw wire-byte manipulation outside net/wire.{hpp,cpp}",
     "X-suppression": "malformed spotbid-lint suppression (missing rule or reason)",
 }
 
@@ -166,6 +182,10 @@ def is_deterministic_layer(rel: str) -> bool:
 
 def is_serve_file(rel: str) -> bool:
     return layer_of(rel) == "serve"
+
+
+def is_net_file(rel: str) -> bool:
+    return layer_of(rel) == "net"
 
 
 def contract_module(rel: str) -> str | None:
@@ -665,6 +685,63 @@ def check_serve(scan: FileScan) -> list[Finding]:
     return out
 
 
+# The wire codec is the one sanctioned home for byte-level encoding; every
+# other net file must go through its checked helpers.
+NET_WIRE_FILES = {"src/net/wire.cpp", "include/spotbid/net/wire.hpp"}
+
+# Calls that can block on a peer (socket syscalls, this repo's stream
+# wrappers, sleeps). condition_variable::wait is deliberately absent: it
+# releases the lock while blocked, which is the correct pattern.
+NET_BLOCKING_CALLS = {
+    "read", "write", "send", "recv", "accept", "connect", "poll", "select",
+    "read_exact", "write_all", "receive", "ask", "sleep_for", "sleep_until",
+}
+
+NET_RAWWIRE_TOKENS = {"memcpy", "memmove", "reinterpret_cast", "bit_cast"}
+
+
+def check_net(scan: FileScan) -> list[Finding]:
+    rel = scan.rel
+    if not is_net_file(rel):
+        return []
+    toks = scan.tokens
+    n = len(toks)
+    out: list[Finding] = []
+
+    # A lock_guard/unique_lock/scoped_lock declaration holds its lock until
+    # the enclosing block closes; track declaration depths so a blocking
+    # call is only flagged while some lock is still in scope.
+    depth = 0
+    lock_depths: list[int] = []
+    for i, t in enumerate(toks):
+        if t.kind == "punct":
+            if t.text == "{":
+                depth += 1
+            elif t.text == "}":
+                depth -= 1
+                while lock_depths and lock_depths[-1] > depth:
+                    lock_depths.pop()
+            continue
+        if t.kind != "id":
+            continue
+        nxt = toks[i + 1] if i + 1 < n else None
+        if t.text in ("lock_guard", "unique_lock", "scoped_lock", "shared_lock") \
+                and nxt is not None and nxt.text == "<":
+            lock_depths.append(depth)
+        elif lock_depths and t.text in NET_BLOCKING_CALLS \
+                and nxt is not None and nxt.text == "(":
+            out.append(Finding(rel, t.line, "S-net-blocking",
+                               f"'{t.text}(...)' can block while a lock is held; "
+                               "release the lock before touching the socket"))
+        elif t.text in NET_RAWWIRE_TOKENS and rel not in NET_WIRE_FILES \
+                and nxt is not None and nxt.text in ("(", "<"):
+            out.append(Finding(rel, t.line, "S-net-rawwire",
+                               f"'{t.text}' outside the wire codec; wire bytes are "
+                               "produced/consumed only through wire.{hpp,cpp}'s "
+                               "checked encode/decode helpers"))
+    return out
+
+
 # ---------------------------------------------------------------------------
 # Rule M — metrics consistency.
 
@@ -1115,8 +1192,11 @@ def coverage_table(coverage: dict[str, ModuleCoverage]) -> str:
 # Driver.
 
 def discover_files(root: str) -> list[str]:
+    # bench/ and tools/ are scanned too: they register metrics (rule M needs
+    # the sites) but are outside every deterministic/serve/net layer, so the
+    # D/C/S families skip them by layer classification.
     rels: list[str] = []
-    for base in ("include/spotbid", "src"):
+    for base in ("include/spotbid", "src", "bench", "tools"):
         top = os.path.join(root, base)
         for dirpath, _dirnames, filenames in os.walk(top):
             for fn in sorted(filenames):
@@ -1196,6 +1276,7 @@ def main(argv: list[str]) -> int:
     for rel, scan in scans.items():
         findings.extend(check_determinism(scan, ast_unordered.get(rel)))
         findings.extend(check_serve(scan))
+        findings.extend(check_net(scan))
         for line in scan.bad_suppressions:
             findings.append(Finding(rel, line, "X-suppression",
                                     "suppression must name known rule(s) and give a "

@@ -1,0 +1,242 @@
+// spotbidd — the spotbid network daemon (docs/SERVE.md "Running the daemon").
+//
+// Serves the bid-advisory service over the docs/PROTOCOL.md wire protocol:
+//
+//   spotbidd --keys us-east-1/r3.xlarge,us-east-1/m3.xlarge
+//            [--host 127.0.0.1] [--port 0] [--port-file PATH]
+//            [--snapshot-dir DIR] [--workers N] [--queue-capacity N]
+//            [--recalibrate-ms MS] [--slots N] [--seed S]
+//
+// Startup: if --snapshot-dir holds snapshots, they are warm-started
+// (bit-identical model reload, no calibration on the request path); any
+// --keys not covered are cold-calibrated from generated price history and —
+// when a snapshot dir is configured — persisted immediately. Keys are
+// published in sorted order so cold and warm starts assign the same epochs.
+//
+// With --recalibrate-ms > 0 a background Recalibrator rebuilds every key
+// each interval from fresh history and republishes (epoch swap; in-flight
+// queries keep their snapshot), persisting each rebuilt snapshot before
+// publication so the directory always holds the latest calibration.
+//
+// Shutdown: SIGINT/SIGTERM stops the acceptor, flushes queued replies,
+// drains every admitted request (late submissions get SHUTTING_DOWN error
+// frames), persists a final snapshot set, and exits 0.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "spotbid/ec2/instance_types.hpp"
+#include "spotbid/net/server.hpp"
+#include "spotbid/serve/model_snapshot.hpp"
+#include "spotbid/serve/recalibrator.hpp"
+#include "spotbid/serve/service.hpp"
+#include "spotbid/serve/snapshot_io.hpp"
+#include "spotbid/serve/snapshot_store.hpp"
+#include "spotbid/trace/generator.hpp"
+
+namespace {
+
+using namespace spotbid;
+
+std::atomic<int> g_signal{0};
+
+void handle_signal(int signum) { g_signal.store(signum); }
+
+/// --key value pairs plus boolean switches (same shape as spotbid_cli).
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "spotbidd: unexpected argument '%s'\n", key.c_str());
+        ok_ = false;
+        return;
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool has(const std::string& key) const { return values_.count(key) > 0; }
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] long number(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stol(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: spotbidd --keys REGION/TYPE[,REGION/TYPE...] [--flags]\n"
+      "  --host H            bind address (default 127.0.0.1)\n"
+      "  --port P            TCP port; 0 picks an ephemeral port (default 0)\n"
+      "  --port-file PATH    write the bound port here once listening\n"
+      "  --snapshot-dir DIR  warm-start from DIR and persist snapshots to it\n"
+      "  --workers N         service worker threads (0 = hardware default)\n"
+      "  --queue-capacity N  admission queue bound (default 1024)\n"
+      "  --recalibrate-ms MS background recalibration interval (0 = off)\n"
+      "  --slots N           cold-start calibration trace length (default 2016)\n"
+      "  --seed S            cold-start calibration seed (default 2015)\n");
+  return 2;
+}
+
+std::vector<std::string> split_keys(const std::string& csv) {
+  std::vector<std::string> keys;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string key = csv.substr(start, comma - start);
+    if (!key.empty()) keys.push_back(key);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return keys;
+}
+
+/// "region/type" -> catalogued instance type (the part after the slash).
+const ec2::InstanceType& type_of_key(const std::string& key) {
+  const std::size_t slash = key.find('/');
+  if (slash == std::string::npos || slash + 1 == key.size())
+    throw std::runtime_error{"key '" + key + "' is not REGION/TYPE"};
+  return ec2::require_type(key.substr(slash + 1));
+}
+
+std::shared_ptr<serve::ModelSnapshot> calibrate(const std::string& key, int slots,
+                                                std::uint64_t seed) {
+  const ec2::InstanceType& type = type_of_key(key);
+  trace::GeneratorConfig config;
+  config.slots = slots;
+  config.seed = seed;
+  return serve::ModelSnapshot::from_trace(key, trace::generate_for_type(type, config), type);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args{argc, argv};
+  if (!args.ok() || args.has("help")) return usage();
+
+  std::vector<std::string> keys = split_keys(args.get("keys"));
+  std::sort(keys.begin(), keys.end());
+  const std::string snapshot_dir = args.get("snapshot-dir");
+  const int slots = static_cast<int>(args.number("slots", 12 * 24 * 7));
+  const auto seed = static_cast<std::uint64_t>(args.number("seed", 2015));
+  const long recalibrate_ms = args.number("recalibrate-ms", 0);
+
+  serve::SnapshotStore store;
+  try {
+    // Warm start first: anything already on disk loads bit-identically.
+    if (!snapshot_dir.empty()) {
+      const std::size_t warmed = serve::warm_start(store, snapshot_dir);
+      if (warmed > 0)
+        std::fprintf(stderr, "spotbidd: warm-started %zu snapshot(s) from %s\n", warmed,
+                     snapshot_dir.c_str());
+    }
+    // Cold-calibrate the remaining keys (sorted, so epochs are stable).
+    for (const std::string& key : keys) {
+      if (store.find(key) != nullptr) continue;
+      auto snapshot = calibrate(key, slots, seed);
+      if (!snapshot_dir.empty()) serve::write_snapshot_file(snapshot_dir, *snapshot);
+      store.publish(std::move(snapshot));
+      std::fprintf(stderr, "spotbidd: calibrated %s (%d slots)\n", key.c_str(), slots);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "spotbidd: startup failed: %s\n", e.what());
+    return 1;
+  }
+  if (store.size() == 0) {
+    std::fprintf(stderr, "spotbidd: no snapshots (empty --keys and no warm start)\n");
+    return usage();
+  }
+
+  serve::ServiceConfig service_config;
+  service_config.workers = static_cast<int>(args.number("workers", 0));
+  service_config.queue_capacity =
+      static_cast<std::size_t>(args.number("queue-capacity", 1024));
+  serve::BidService service{store, service_config};
+
+  net::ServerConfig server_config;
+  server_config.host = args.get("host", "127.0.0.1");
+  server_config.port = static_cast<std::uint16_t>(args.number("port", 0));
+  net::Server server{service, server_config};
+  server.start();
+  std::fprintf(stderr, "spotbidd: listening on %s:%u (%zu key(s), %d worker(s))\n",
+               server_config.host.c_str(), unsigned{server.port()}, store.size(),
+               service.workers());
+
+  // The port file is the readiness signal: written only once listening.
+  if (args.has("port-file")) {
+    std::ofstream out{args.get("port-file"), std::ios::trunc};
+    out << server.port() << "\n";
+    if (!out.flush()) {
+      std::fprintf(stderr, "spotbidd: cannot write --port-file %s\n",
+                   args.get("port-file").c_str());
+      return 1;
+    }
+  }
+
+  // Background recalibration: rebuild from fresh history (a new seed every
+  // round), persist, then publish. Builders run on the recalibrator thread.
+  serve::Recalibrator recalibrator{store,
+                                   std::chrono::milliseconds{
+                                       recalibrate_ms > 0 ? recalibrate_ms : 60'000}};
+  if (recalibrate_ms > 0) {
+    for (const std::string& key : keys) {
+      recalibrator.add_source([key, slots, seed, snapshot_dir,
+                               round = std::uint64_t{0}]() mutable {
+        ++round;  // fresh history every round
+        auto snapshot = calibrate(key, slots, seed + round);
+        if (!snapshot_dir.empty()) serve::write_snapshot_file(snapshot_dir, *snapshot);
+        return snapshot;
+      });
+    }
+    recalibrator.start();
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (g_signal.load() == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds{100});
+  std::fprintf(stderr, "spotbidd: signal %d, draining\n", g_signal.load());
+
+  recalibrator.stop();
+  server.stop();
+  service.stop();
+  if (!snapshot_dir.empty()) {
+    try {
+      serve::persist_all(store, snapshot_dir);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "spotbidd: final persist failed: %s\n", e.what());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "spotbidd: drained (accepted %llu, rejected %llu), bye\n",
+               static_cast<unsigned long long>(service.accepted()),
+               static_cast<unsigned long long>(service.rejected()));
+  return 0;
+}

@@ -1,0 +1,181 @@
+// spotbidd_probe — replay a canonical query set against a running spotbidd
+// and dump every reply frame as hex (the wire.hpp hex_dump format).
+//
+//   spotbidd_probe --port P | --port-file PATH
+//                  --keys REGION/TYPE[,REGION/TYPE...]
+//                  [--host 127.0.0.1] [--out dump.txt]
+//
+// The dump is a pure function of the daemon's published models: every query
+// kind x bid mode over a fixed bid grid, issued in sorted-key order with
+// sequence numbers restarting per probe run, response epochs zeroed (the
+// epoch counts publications within one process lifetime — metadata, not
+// model content; docs/PROTOCOL.md §4.3). Two dumps are therefore
+// byte-identical iff the two daemons answer every query bit-identically —
+// this is the CI warm-start gate: probe, kill, restart from the snapshot
+// dir, probe again, diff.
+//
+// Exits 0 on success, 1 on any connection failure or ERROR reply.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "spotbid/net/client.hpp"
+#include "spotbid/net/wire.hpp"
+#include "spotbid/serve/request.hpp"
+
+namespace {
+
+using namespace spotbid;
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "spotbidd_probe: unexpected argument '%s'\n", key.c_str());
+        ok_ = false;
+        return;
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool has(const std::string& key) const { return values_.count(key) > 0; }
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: spotbidd_probe (--port P | --port-file PATH) --keys K[,K...]\n"
+               "                      [--host 127.0.0.1] [--out dump.txt]\n");
+  return 2;
+}
+
+std::vector<std::string> split_keys(const std::string& csv) {
+  std::vector<std::string> keys;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string key = csv.substr(start, comma - start);
+    if (!key.empty()) keys.push_back(key);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return keys;
+}
+
+/// The canonical probe set for one key: fixed parameters only (no model
+/// introspection), so the set is identical across daemon restarts.
+std::vector<serve::Request> probe_set(const std::string& key) {
+  static constexpr double kBids[] = {0.01, 0.05, 0.1, 0.25, 0.5, 1.0};
+  std::vector<serve::Request> probes;
+  for (const serve::Kind kind :
+       {serve::Kind::kRunLength, serve::Kind::kExpectedCost,
+        serve::Kind::kPersistentFeasibility, serve::Kind::kProviderPrice}) {
+    for (const serve::BidMode mode : {serve::BidMode::kOneTime, serve::BidMode::kPersistent}) {
+      for (const double bid : kBids) {
+        serve::Request q;
+        q.key = key;
+        q.kind = kind;
+        q.mode = mode;
+        q.bid = Money{bid};
+        q.job = bidding::JobSpec{Hours{2.0}, Hours::from_seconds(30.0)};
+        q.demand = 0.7;
+        probes.push_back(q);
+      }
+    }
+  }
+  for (const serve::BidMode mode : {serve::BidMode::kOneTime, serve::BidMode::kPersistent}) {
+    serve::Request q;
+    q.key = key;
+    q.kind = serve::Kind::kOptimalBid;
+    q.mode = mode;
+    q.job = bidding::JobSpec{Hours{2.0}, Hours::from_seconds(30.0)};
+    probes.push_back(q);
+  }
+  return probes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args{argc, argv};
+  if (!args.ok() || args.has("help")) return usage();
+
+  std::uint16_t port = 0;
+  if (args.has("port")) {
+    port = static_cast<std::uint16_t>(std::stoul(args.get("port")));
+  } else if (args.has("port-file")) {
+    std::ifstream in{args.get("port-file")};
+    unsigned value = 0;
+    if (!(in >> value)) {
+      std::fprintf(stderr, "spotbidd_probe: cannot read --port-file %s\n",
+                   args.get("port-file").c_str());
+      return 1;
+    }
+    port = static_cast<std::uint16_t>(value);
+  } else {
+    return usage();
+  }
+
+  std::vector<std::string> keys = split_keys(args.get("keys"));
+  if (keys.empty()) return usage();
+  std::sort(keys.begin(), keys.end());
+
+  std::ofstream file;
+  if (args.has("out")) {
+    file.open(args.get("out"), std::ios::trunc);
+    if (!file) {
+      std::fprintf(stderr, "spotbidd_probe: cannot open --out %s\n", args.get("out").c_str());
+      return 1;
+    }
+  }
+  std::ostream& out = args.has("out") ? static_cast<std::ostream&>(file) : std::cout;
+
+  try {
+    net::BidClient client{args.get("host", "127.0.0.1"), port};
+    std::uint64_t probe_seq = 0;
+    out << "spotbidd_probe dump v1 (epochs zeroed)\n";
+    for (const std::string& key : keys) {
+      for (const serve::Request& q : probe_set(key)) {
+        serve::Response response = client.ask(q);
+        if (response.status == serve::Status::kOverloaded ||
+            response.status == serve::Status::kShutdown) {
+          std::fprintf(stderr, "spotbidd_probe: %s for %s\n",
+                       std::string{serve::status_name(response.status)}.c_str(), key.c_str());
+          return 1;
+        }
+        response.epoch = 0;
+        out << "# " << key << " " << serve::kind_name(q.kind) << " mode "
+            << static_cast<int>(q.mode) << " bid " << q.bid.usd() << "\n"
+            << net::hex_dump(net::encode_response(++probe_seq, response));
+      }
+    }
+    out.flush();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "spotbidd_probe: %s\n", e.what());
+    return 1;
+  }
+  return out.good() ? 0 : 1;
+}
