@@ -16,8 +16,16 @@
 //      waiting for replies (a separate receiver thread drains), so the
 //      daemon's admission control — not the client — decides what happens
 //      when the rate exceeds capacity.
+//   3. connection scaling (self-hosted only): for each connection count C
+//      in SPOTBID_LOADGEN_SCALE_CONNS (default 64,512,4096) the identical
+//      pipelined workload is replayed against a fresh thread-per-connection
+//      net::Server and a fresh sharded-epoll net::EpollServer, and the
+//      wall-clock speedup reported. The driver is a poll()-multiplexed
+//      nonblocking client (a handful of threads no matter how large C is),
+//      so the stage scales the SERVER's connection handling, not the
+//      client's thread count.
 //
-// Both stages record wall-clock latency per request (send to reply) and
+// All stages record wall-clock latency per request (send to reply) and
 // enforce CONSERVATION: every submitted request must come back as exactly
 // one of ok / not-found / overloaded — nothing lost, nothing duplicated,
 // no unexpected error frames. Any violation exits 1; CI treats this bench
@@ -30,17 +38,25 @@
 //   SPOTBID_LOADGEN_WINDOW=W       max in-flight per connection, default 128
 //   SPOTBID_LOADGEN_OPEN_REQUESTS=N  open-loop arrivals, default 65536
 //   SPOTBID_LOADGEN_OPEN_RATE=R      open-loop target arrivals/s, default 100000
+//   SPOTBID_LOADGEN_SCALE_CONNS=A,B,..  scaling-stage connection counts
+//                                       (default "64,512,4096"; 0 disables)
+//   SPOTBID_LOADGEN_SCALE_REQUESTS=N    scaling-stage requests per run, default 32768
+//   SPOTBID_LOADGEN_SCALE_WINDOW=W      scaling-stage in-flight per connection, default 4
 //   SPOTBID_LOADGEN_CONNECT=HOST:PORT  drive an external daemon (CI mode);
-//   SPOTBID_LOADGEN_KEYS=K[,K...]      keys to query in connect mode.
+//   SPOTBID_LOADGEN_KEYS=K[,K...]      keys to query in connect mode;
+//   SPOTBID_LOADGEN_BURST_CONNS=C      connect mode: one multiplexed burst of
+//                                      C connections at the daemon (0 = off).
 //
 // Without SPOTBID_LOADGEN_CONNECT the bench self-hosts: it calibrates a
-// small in-process store, starts a real net::Server on an ephemeral
-// loopback port, and drives it over actual TCP — the full wire path, no
-// shortcuts. The self-hosted queue is sized above C*W so the closed loop
-// cannot overload itself; the open-loop stage is where rejections appear.
+// small in-process store, starts the daemon's default sharded-epoll
+// front-end (net::EpollServer) on an ephemeral loopback port, and drives
+// it over actual TCP — the full wire path, no shortcuts. The self-hosted
+// queue is sized above C*W so the closed loop cannot overload itself; the
+// open-loop stage is where rejections appear.
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
@@ -48,6 +64,7 @@
 #include <cstdlib>
 #include <deque>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <mutex>
@@ -56,11 +73,18 @@
 #include <utility>
 #include <vector>
 
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+
 #include "bench_common.hpp"
 #include "spotbid/core/metrics.hpp"
 #include "spotbid/ec2/instance_types.hpp"
 #include "spotbid/net/client.hpp"
+#include "spotbid/net/epoll_server.hpp"
+#include "spotbid/net/frame_assembler.hpp"
 #include "spotbid/net/server.hpp"
+#include "spotbid/net/socket.hpp"
 #include "spotbid/net/wire.hpp"
 #include "spotbid/serve/service.hpp"
 #include "spotbid/trace/generator.hpp"
@@ -218,10 +242,10 @@ struct Target {
   std::vector<std::string> keys;
   bool self_hosted = false;
 
-  // Self-hosting only:
+  // Self-hosting only (the daemon's default front-end: sharded epoll):
   std::unique_ptr<serve::SnapshotStore> store;
   std::unique_ptr<serve::BidService> service;
-  std::unique_ptr<net::Server> server;
+  std::unique_ptr<net::EpollServer> server;
 
   void stop() {
     if (server) server->stop();
@@ -275,7 +299,7 @@ Target make_target(std::size_t queue_floor) {
   serve::ServiceConfig service_config;
   service_config.queue_capacity = std::max<std::size_t>(4096, 2 * queue_floor);
   target.service = std::make_unique<serve::BidService>(*target.store, service_config);
-  target.server = std::make_unique<net::Server>(*target.service);
+  target.server = std::make_unique<net::EpollServer>(*target.service);
   target.server->start();
   target.port = target.server->port();
   return target;
@@ -494,6 +518,278 @@ OpenLoopResult run_open_loop(const Target& target, std::uint64_t requests, doubl
   return result;
 }
 
+// ------------------------------------------- stage 3: connection scaling
+//
+// How many connections can one daemon carry? The threaded front-end pays
+// two threads per connection; the epoll front-end a fixed shard budget.
+// This stage replays the identical pipelined workload against both and
+// reports the wall-clock speedup. The driver below multiplexes every
+// socket through poll() so the client side stays a handful of threads no
+// matter how many connections are open — otherwise the measurement would
+// be dominated by the DRIVER's own thread-per-connection costs.
+
+/// Lift the soft open-file limit to the hard limit: 4096 connections cost
+/// ~8k fds across client and server sides, and stock soft limits (1024)
+/// would starve the stage long before the epoll design point. Best-effort.
+void raise_nofile_limit() {
+  rlimit limit{};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return;
+  if (limit.rlim_cur == limit.rlim_max) return;
+  limit.rlim_cur = limit.rlim_max;
+  (void)::setrlimit(RLIMIT_NOFILE, &limit);
+}
+
+/// One nonblocking connection inside the multiplexed driver. Replies match
+/// requests positionally (docs/PROTOCOL.md §5 submission order), so the
+/// oldest entry of `sent_at` owns the next reply frame.
+struct MuxConn {
+  net::TcpStream stream;
+  net::FrameAssembler assembler;
+  SplitMix64 rng;
+  std::vector<std::uint8_t> out;          ///< encoded-but-unsent request bytes
+  std::size_t out_off = 0;
+  std::deque<Clock::time_point> sent_at;  ///< FIFO send timestamps
+  std::uint64_t quota = 0;     ///< requests this connection still owes
+  std::uint64_t awaiting = 0;  ///< replies outstanding
+  std::uint64_t seq = 0;
+  bool failed = false;
+};
+
+/// Encode requests until the window is full or the quota is spent.
+void mux_arm(MuxConn& conn, const std::vector<std::string>& keys,
+             const std::vector<double>& cdf, int window, ReplyCounts& counts) {
+  while (conn.quota > 0 && conn.awaiting < static_cast<std::uint64_t>(window)) {
+    const std::vector<std::uint8_t> frame =
+        net::encode_request(conn.seq++, next_request(conn.rng, keys, cdf));
+    conn.out.insert(conn.out.end(), frame.begin(), frame.end());
+    conn.sent_at.push_back(Clock::now());
+    --conn.quota;
+    ++conn.awaiting;
+    ++counts.submitted;
+  }
+}
+
+/// Push buffered request bytes until EAGAIN; false on a hard socket error.
+bool mux_flush(MuxConn& conn) {
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t n = ::send(conn.stream.fd(), conn.out.data() + conn.out_off,
+                             conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    return false;
+  }
+  conn.out.clear();
+  conn.out_off = 0;
+  return true;
+}
+
+void mux_count_frame(const std::vector<std::uint8_t>& payload, ReplyCounts& counts) {
+  const net::Frame frame = net::decode_frame(payload);
+  if (frame.type == net::FrameType::kResponse) {
+    switch (net::decode_response_body(frame).status) {
+      case serve::Status::kOk: ++counts.ok; break;
+      case serve::Status::kNotFound: ++counts.not_found; break;
+      default: ++counts.unexpected; break;
+    }
+  } else if (frame.type == net::FrameType::kError &&
+             net::decode_error_body(frame).code == net::ErrorCode::kOverloaded) {
+    ++counts.overloaded;
+  } else {
+    ++counts.unexpected;
+  }
+}
+
+/// Count every complete reply frame buffered in the assembler.
+void mux_drain(MuxConn& conn, ReplyCounts& counts, std::vector<double>& latencies_us) {
+  std::vector<std::uint8_t> payload;
+  while (conn.assembler.next_payload(payload)) {
+    const auto now = Clock::now();
+    if (!conn.sent_at.empty()) {
+      latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(now - conn.sent_at.front()).count());
+      conn.sent_at.pop_front();
+    }
+    if (conn.awaiting > 0) --conn.awaiting;
+    mux_count_frame(payload, counts);
+  }
+}
+
+/// Read until EAGAIN; false on a hard error or an unexpectedly early EOF.
+bool mux_read(MuxConn& conn, ReplyCounts& counts, std::vector<double>& latencies_us) {
+  for (;;) {
+    auto spans = conn.assembler.write_spans();
+    if (spans[0].empty()) {
+      // Ring full: it holds at least one max frame, so a drain must free it.
+      mux_drain(conn, counts, latencies_us);
+      spans = conn.assembler.write_spans();
+      if (spans[0].empty()) return false;  // framing wedged; unreachable
+    }
+    const ssize_t n = ::recv(conn.stream.fd(), spans[0].data(), spans[0].size(), 0);
+    if (n > 0) {
+      conn.assembler.commit(static_cast<std::size_t>(n));
+      mux_drain(conn, counts, latencies_us);
+      continue;
+    }
+    if (n == 0) return conn.awaiting == 0 && conn.quota == 0;  // EOF
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    return false;
+  }
+}
+
+/// Drive one group of connections: arm → flush → poll → read until every
+/// connection has spent its quota and seen every reply. A failed socket
+/// stops participating; its missing replies trip the conservation gate.
+void run_mux_group(std::vector<MuxConn>* conns, const std::vector<std::string>& keys,
+                   const std::vector<double>& cdf, int window, ReplyCounts* counts_out,
+                   std::vector<double>* latencies_out) {
+  ReplyCounts counts;
+  std::vector<double> latencies_us;
+  std::vector<pollfd> pfds(conns->size());
+  for (;;) {
+    bool live = false;
+    for (std::size_t i = 0; i < conns->size(); ++i) {
+      MuxConn& conn = (*conns)[i];
+      pfds[i] = pollfd{-1, 0, 0};
+      if (conn.failed) continue;
+      mux_arm(conn, keys, cdf, window, counts);
+      if (!mux_flush(conn)) {
+        conn.failed = true;
+        continue;
+      }
+      const bool sending = conn.out_off < conn.out.size();
+      if (conn.awaiting == 0 && conn.quota == 0 && !sending) continue;  // done
+      live = true;
+      pfds[i].fd = conn.stream.fd();
+      pfds[i].events = static_cast<short>((conn.awaiting > 0 ? POLLIN : 0) |
+                                          (sending ? POLLOUT : 0));
+    }
+    if (!live) break;
+    if (::poll(pfds.data(), pfds.size(), 1000) < 0 && errno != EINTR) break;
+    for (std::size_t i = 0; i < conns->size(); ++i) {
+      if (pfds[i].fd < 0 || pfds[i].revents == 0) continue;
+      MuxConn& conn = (*conns)[i];
+      if ((pfds[i].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+      try {
+        if (!mux_read(conn, counts, latencies_us)) conn.failed = true;
+      } catch (const net::WireError&) {
+        conn.failed = true;  // un-parsable reply stream
+      }
+    }
+  }
+  *counts_out = counts;
+  *latencies_out = std::move(latencies_us);
+}
+
+struct ScaleRun {
+  std::uint64_t requests = 0;
+  double wall_s = 0.0;
+  ReplyCounts counts;
+  LatencyStats latency;
+  [[nodiscard]] double requests_per_s() const {
+    return wall_s > 0.0 ? static_cast<double>(counts.submitted) / wall_s : 0.0;
+  }
+};
+
+/// Replay `total` pipelined requests over `connections` sockets. When
+/// `accepted` is provided the clock only starts once the server has picked
+/// up every connection: the stage measures steady-state request handling,
+/// not accept throughput. The same `seed_salt` replays the same workload.
+ScaleRun run_mux_load(const std::string& host, std::uint16_t port,
+                      const std::vector<std::string>& keys, int connections,
+                      std::uint64_t total, int window, std::uint64_t seed_salt,
+                      const std::function<std::uint64_t()>& accepted) {
+  const std::vector<double> cdf = zipf_cdf(keys.size());
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const auto groups = static_cast<std::size_t>(
+      std::min({hw, 4u, static_cast<unsigned>(connections)}));
+
+  std::vector<std::vector<MuxConn>> group_conns(groups);
+  for (int c = 0; c < connections; ++c) {
+    MuxConn conn;
+    conn.stream = net::TcpStream::connect(host, port);
+    conn.stream.set_nonblocking();
+    conn.rng.state = 0x5343'414c'4530'3030ull ^ seed_salt ^ static_cast<std::uint64_t>(c);
+    conn.quota = total / static_cast<std::uint64_t>(connections) +
+                 (static_cast<std::uint64_t>(c) < total % static_cast<std::uint64_t>(connections)
+                      ? 1
+                      : 0);
+    group_conns[static_cast<std::size_t>(c) % groups].push_back(std::move(conn));
+  }
+  if (accepted) {
+    while (accepted() < static_cast<std::uint64_t>(connections))
+      std::this_thread::sleep_for(std::chrono::milliseconds{1});
+  }
+
+  std::vector<ReplyCounts> counts(groups);
+  std::vector<std::vector<double>> latencies(groups);
+  std::vector<std::thread> threads;
+  threads.reserve(groups);
+  const auto start = Clock::now();
+  for (std::size_t g = 0; g < groups; ++g)
+    threads.emplace_back(run_mux_group, &group_conns[g], std::cref(keys), std::cref(cdf),
+                         window, &counts[g], &latencies[g]);
+  for (auto& t : threads) t.join();
+
+  ScaleRun run;
+  run.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+  std::vector<double> all;
+  for (std::size_t g = 0; g < groups; ++g) {
+    run.counts += counts[g];
+    all.insert(all.end(), latencies[g].begin(), latencies[g].end());
+  }
+  run.requests = run.counts.submitted;
+  run.latency = summarize(all);
+  return run;
+}
+
+struct ScalePoint {
+  int connections = 0;
+  ScaleRun baseline;  ///< thread-per-connection net::Server
+  ScaleRun epoll;     ///< sharded-epoll net::EpollServer
+  [[nodiscard]] double speedup() const {
+    return baseline.wall_s > 0.0 && epoll.wall_s > 0.0 ? baseline.wall_s / epoll.wall_s
+                                                       : 0.0;
+  }
+};
+
+/// One scaling point: a fresh service + thread-per-connection server, then
+/// a fresh service + epoll server, each fed the byte-identical workload.
+ScalePoint run_scale_point(serve::SnapshotStore& store, const std::vector<std::string>& keys,
+                           int connections, std::uint64_t total, int window) {
+  ScalePoint point;
+  point.connections = connections;
+  serve::ServiceConfig service_config;
+  service_config.queue_capacity = std::max<std::size_t>(
+      4096, 2 * static_cast<std::size_t>(connections) * static_cast<std::size_t>(window));
+  const auto seed_salt = static_cast<std::uint64_t>(connections);
+  {
+    serve::BidService service{store, service_config};
+    net::Server server{service};
+    server.start();
+    point.baseline =
+        run_mux_load("127.0.0.1", server.port(), keys, connections, total, window,
+                     seed_salt, [&server] { return server.connections_accepted(); });
+    server.stop();
+    service.stop();
+  }
+  {
+    serve::BidService service{store, service_config};
+    net::EpollServer server{service};
+    server.start();
+    point.epoll =
+        run_mux_load("127.0.0.1", server.port(), keys, connections, total, window,
+                     seed_salt, [&server] { return server.connections_accepted(); });
+    server.stop();
+    service.stop();
+  }
+  return point;
+}
+
 // ------------------------------------------------------------------ JSON
 
 void write_latency(std::ostream& os, const char* indent, const LatencyStats& l) {
@@ -517,8 +813,22 @@ void write_counts(std::ostream& os, const char* indent, const ReplyCounts& c) {
      << indent << "\"conservation_ok\": " << (c.conserved() ? "true" : "false");
 }
 
+void write_scale_run(std::ostream& os, const char* indent, const ScaleRun& r) {
+  const std::string inner = std::string{indent} + "  ";
+  os << indent << "{\n"
+     << inner << "\"requests\": " << r.requests << ",\n"
+     << inner << "\"wall_s\": " << r.wall_s << ",\n"
+     << inner << "\"requests_per_s\": " << r.requests_per_s() << ",\n";
+  write_counts(os, inner.c_str(), r.counts);
+  os << ",\n";
+  write_latency(os, inner.c_str(), r.latency);
+  os << "\n" << indent << "}";
+}
+
 void write_json(const std::string& path, const Target& target, const ClosedLoopResult& c,
-                const OpenLoopResult& o, const metrics::Snapshot& snapshot) {
+                const OpenLoopResult& o, const std::vector<ScalePoint>& scaling,
+                std::uint64_t scale_requests, int scale_window, const ScaleRun* burst,
+                int burst_connections, const metrics::Snapshot& snapshot) {
   std::ofstream os{path};
   os.precision(17);
   os << "{\n"
@@ -545,8 +855,40 @@ void write_json(const std::string& path, const Target& target, const ClosedLoopR
   write_counts(os, "    ", o.counts);
   os << ",\n";
   write_latency(os, "    ", o.latency);
-  os << "\n  },\n"
-     << "  \"metrics\": ";
+  os << "\n  },\n";
+  if (!scaling.empty()) {
+    const ScalePoint& last = scaling.back();
+    os << "  \"connection_scaling_stage\": {\n"
+       << "    \"requests_per_run\": " << scale_requests << ",\n"
+       << "    \"window\": " << scale_window << ",\n"
+       << "    \"runs\": [\n";
+    for (std::size_t i = 0; i < scaling.size(); ++i) {
+      const ScalePoint& p = scaling[i];
+      os << "      {\n"
+         << "        \"connections\": " << p.connections << ",\n"
+         << "        \"baseline\":\n";
+      write_scale_run(os, "        ", p.baseline);
+      os << ",\n"
+         << "        \"epoll\":\n";
+      write_scale_run(os, "        ", p.epoll);
+      os << ",\n"
+         << "        \"speedup\": " << p.speedup() << "\n"
+         << "      }" << (i + 1 < scaling.size() ? "," : "") << "\n";
+    }
+    os << "    ],\n"
+       << "    \"max_connections\": " << last.connections << ",\n"
+       << "    \"speedup_at_max_connections\": " << last.speedup() << "\n"
+       << "  },\n";
+  }
+  if (burst != nullptr) {
+    os << "  \"burst_stage\": {\n"
+       << "    \"connections\": " << burst_connections << ",\n"
+       << "    \"window\": " << scale_window << ",\n"
+       << "    \"run\":\n";
+    write_scale_run(os, "    ", *burst);
+    os << "\n  },\n";
+  }
+  os << "  \"metrics\": ";
   metrics::write_json(os, snapshot, 2);
   os << "\n}\n";
 }
@@ -562,7 +904,18 @@ int main(int argc, char** argv) {
   const auto open_requests =
       static_cast<std::uint64_t>(env_int("SPOTBID_LOADGEN_OPEN_REQUESTS", 65536));
   const double open_rate = env_int("SPOTBID_LOADGEN_OPEN_RATE", 100000);
+  const auto scale_requests =
+      static_cast<std::uint64_t>(env_int("SPOTBID_LOADGEN_SCALE_REQUESTS", 32768));
+  const int scale_window = env_int("SPOTBID_LOADGEN_SCALE_WINDOW", 4);
+  const std::string scale_csv = env_str("SPOTBID_LOADGEN_SCALE_CONNS");
+  std::vector<int> scale_conns;
+  for (const std::string& item : split_csv(scale_csv.empty() ? "64,512,4096" : scale_csv)) {
+    const int value = std::atoi(item.c_str());
+    if (value > 0) scale_conns.push_back(value);  // "0" disables the stage
+  }
+  const int burst_connections = env_int("SPOTBID_LOADGEN_BURST_CONNS", 0);
 
+  raise_nofile_limit();
   metrics::set_enabled(true);
   metrics::Registry::global().reset();
 
@@ -580,6 +933,25 @@ int main(int argc, char** argv) {
 
     const ClosedLoopResult closed = run_closed_loop(target, users, rounds, connections, window);
     const OpenLoopResult open = run_open_loop(target, open_requests, open_rate, connections);
+
+    std::vector<ScalePoint> scaling;
+    if (target.self_hosted) {
+      for (const int conns : scale_conns) {
+        std::cout << "connection scaling: " << conns
+                  << " connections, threaded baseline vs epoll...\n"
+                  << std::flush;
+        scaling.push_back(
+            run_scale_point(*target.store, target.keys, conns, scale_requests, scale_window));
+      }
+    }
+    ScaleRun burst;
+    const bool have_burst = !target.self_hosted && burst_connections > 0;
+    if (have_burst) {
+      std::cout << "burst: " << burst_connections << " multiplexed connections...\n"
+                << std::flush;
+      burst = run_mux_load(target.host, target.port, target.keys, burst_connections,
+                           scale_requests, scale_window, 0x4255'5253'54ull, nullptr);
+    }
     target.stop();
 
     // The deterministic population counters; reply splits are
@@ -607,6 +979,31 @@ int main(int argc, char** argv) {
                bench::fmt("%.0f us", open.latency.p50_us),
                bench::fmt("%.0f us", open.latency.p99_us),
                open.counts.conserved() ? "conserved" : "VIOLATED"});
+    for (const ScalePoint& p : scaling) {
+      table.row({"scale " + std::to_string(p.connections) + " conns, threaded",
+                 std::to_string(p.baseline.counts.submitted),
+                 bench::fmt("%.2f s", p.baseline.wall_s),
+                 bench::fmt("%.0f req/s", p.baseline.requests_per_s()),
+                 bench::fmt("%.0f us", p.baseline.latency.p50_us),
+                 bench::fmt("%.0f us", p.baseline.latency.p99_us),
+                 p.baseline.counts.conserved() ? "conserved" : "VIOLATED"});
+      table.row({"scale " + std::to_string(p.connections) + " conns, epoll " +
+                     bench::fmt("(%.2fx)", p.speedup()),
+                 std::to_string(p.epoll.counts.submitted),
+                 bench::fmt("%.2f s", p.epoll.wall_s),
+                 bench::fmt("%.0f req/s", p.epoll.requests_per_s()),
+                 bench::fmt("%.0f us", p.epoll.latency.p50_us),
+                 bench::fmt("%.0f us", p.epoll.latency.p99_us),
+                 p.epoll.counts.conserved() ? "conserved" : "VIOLATED"});
+    }
+    if (have_burst) {
+      table.row({"burst " + std::to_string(burst_connections) + " conns",
+                 std::to_string(burst.counts.submitted), bench::fmt("%.2f s", burst.wall_s),
+                 bench::fmt("%.0f req/s", burst.requests_per_s()),
+                 bench::fmt("%.0f us", burst.latency.p50_us),
+                 bench::fmt("%.0f us", burst.latency.p99_us),
+                 burst.counts.conserved() ? "conserved" : "VIOLATED"});
+    }
     table.print();
     std::cout << "closed loop: ok " << closed.counts.ok << ", overloaded "
               << closed.counts.overloaded << ", not-found " << closed.counts.not_found
@@ -621,8 +1018,21 @@ int main(int argc, char** argv) {
       std::cerr << "FATAL: closed loop under-submitted\n";
       exit_code = 1;
     }
+    for (const ScalePoint& p : scaling) {
+      if (!p.baseline.counts.conserved() || !p.epoll.counts.conserved()) {
+        std::cerr << "FATAL: conservation violated in connection-scaling stage ("
+                  << p.connections << " connections)\n";
+        exit_code = 1;
+      }
+    }
+    if (have_burst && !burst.counts.conserved()) {
+      std::cerr << "FATAL: conservation violated in burst stage\n";
+      exit_code = 1;
+    }
 
-    write_json(out, target, closed, open, metrics::Registry::global().snapshot());
+    write_json(out, target, closed, open, scaling, scale_requests, scale_window,
+               have_burst ? &burst : nullptr, burst_connections,
+               metrics::Registry::global().snapshot());
     std::cout << "\nwrote " << out << "\n";
     bench::metrics_report("loadgen");
   } catch (const std::exception& e) {

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file frame_assembler.hpp
+/// Incremental wire-frame reassembly over a fixed-capacity byte ring.
+///
+/// A nonblocking socket delivers bytes in arbitrary chunks: a frame may
+/// arrive one byte at a time, split mid-length-prefix, or glued to the
+/// next frame. FrameAssembler owns that problem for the epoll event loop
+/// (and any other nonblocking reader): raw bytes go in through the ring's
+/// writable spans (sized for readv) or append(); complete frame payloads
+/// come out of next_payload() one at a time, in arrival order.
+///
+/// The ring is bounded because frames are: kMaxFramePayload caps a payload
+/// at 1024 bytes, so a ring a few frames deep can always make progress —
+/// next_payload() drains any complete frame before the ring can fill. A
+/// length prefix that violates the wire spec (too long, too short) throws
+/// WireError through decode_frame_length: framing is lost and the caller
+/// must abandon the connection, exactly like the blocking reader.
+///
+/// Wire bytes are only interpreted through wire.hpp's checked helpers
+/// (spotbid-lint rule S-net-rawwire); this class moves opaque bytes.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace spotbid::net {
+
+class FrameAssembler {
+ public:
+  /// Default ring capacity: a handful of maximum-size frames deep.
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  /// Capacity is clamped up so one maximum-size frame always fits.
+  explicit FrameAssembler(std::size_t capacity = kDefaultCapacity);
+
+  /// Bytes currently buffered (fed but not yet consumed as frames).
+  [[nodiscard]] std::size_t size() const { return size_; }
+  /// Bytes of ring capacity still free.
+  [[nodiscard]] std::size_t free() const { return ring_.size() - size_; }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+
+  /// The free region as up to two contiguous spans (the ring may wrap):
+  /// fill them front-to-back with readv, then commit() what was read.
+  /// Empty spans are size-0 placeholders at the tail of the array.
+  [[nodiscard]] std::array<std::span<std::uint8_t>, 2> write_spans();
+
+  /// Declare that the first n bytes of write_spans() were filled.
+  void commit(std::size_t n);
+
+  /// Copy-in convenience (tests, clients owning their own read buffer).
+  /// The bytes must fit in free().
+  void append(std::span<const std::uint8_t> bytes);
+
+  /// Extract the next complete frame payload (length prefix stripped) into
+  /// `payload`. Returns false when more bytes are needed. Throws WireError
+  /// when the buffered length prefix violates the wire spec — the stream's
+  /// framing is unrecoverable.
+  [[nodiscard]] bool next_payload(std::vector<std::uint8_t>& payload);
+
+ private:
+  /// Copy `count` buffered bytes starting `offset` past the read head.
+  void peek(std::size_t offset, std::span<std::uint8_t> out) const;
+  void consume(std::size_t count);
+
+  std::vector<std::uint8_t> ring_;
+  std::size_t head_ = 0;  ///< read position
+  std::size_t size_ = 0;  ///< buffered bytes
+};
+
+}  // namespace spotbid::net

@@ -34,8 +34,6 @@ struct ServerConfig {
   std::string host = "127.0.0.1";
   /// TCP port; 0 binds an ephemeral port (read back with Server::port()).
   std::uint16_t port = 0;
-  /// Acceptor poll granularity — the latency bound on stop().
-  int accept_poll_ms = 50;
 };
 
 class Server {
@@ -62,7 +60,9 @@ class Server {
   [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
 
   /// Connections accepted over the server's lifetime.
-  [[nodiscard]] std::uint64_t connections_accepted() const;
+  [[nodiscard]] std::uint64_t connections_accepted() const {
+    return accepted_count_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Connection;
@@ -80,7 +80,7 @@ class Server {
 
   mutable std::mutex connections_mutex_;
   std::list<std::unique_ptr<Connection>> connections_;
-  std::uint64_t accepted_count_ = 0;
+  std::atomic<std::uint64_t> accepted_count_{0};
 };
 
 }  // namespace spotbid::net

@@ -48,6 +48,10 @@ class TcpStream {
   /// thread with EOF. Safe to call concurrently with reads/writes.
   void shutdown() noexcept;
 
+  /// Switch the fd to O_NONBLOCK (the epoll event loop's readiness model;
+  /// read_exact/write_all are no longer usable afterwards).
+  void set_nonblocking();
+
   void close() noexcept;
   [[nodiscard]] bool valid() const { return fd_ >= 0; }
   [[nodiscard]] int fd() const { return fd_; }
@@ -68,17 +72,29 @@ class TcpListener {
   TcpListener& operator=(const TcpListener&) = delete;
   ~TcpListener();
 
-  /// Wait up to timeout_ms for a connection. Returns an invalid stream on
-  /// timeout or after interrupt(); throws SocketError on hard errors.
+  /// Wait up to timeout_ms for a connection (timeout_ms < 0 waits forever —
+  /// no polling wakeups; interrupt() still unblocks it through the internal
+  /// eventfd). Returns an invalid stream on timeout or after interrupt();
+  /// throws SocketError on hard errors.
   [[nodiscard]] TcpStream accept(int timeout_ms);
+
+  /// Accept without blocking: an invalid stream when no connection is
+  /// pending (the epoll path, where readiness was already reported).
+  [[nodiscard]] TcpStream try_accept();
 
   /// Unblock pending/future accept() calls; they return invalid streams.
   void interrupt() noexcept;
 
+  /// Switch the listening fd to O_NONBLOCK (before registering it in an
+  /// epoll set; pair with try_accept()).
+  void set_nonblocking();
+
   [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] int fd() const { return fd_; }
 
  private:
   int fd_ = -1;
+  int event_fd_ = -1;  ///< interrupt() wake channel for blocking accept()
   std::uint16_t port_ = 0;
   std::atomic<bool> interrupted_{false};
 };

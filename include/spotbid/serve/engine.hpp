@@ -21,17 +21,29 @@
 /// kProviderPrice a closed form) fall through to the scalar path inside
 /// the batch.
 ///
+/// Adaptive dispatch: the sorted knot sweep pays an O(Q log Q) sort before
+/// it saves anything over Q independent O(log K) binary searches, so below
+/// kSweepMinBatch query points execute_batch answers every request through
+/// the scalar path (plus one batched metrics flush — the tallies, not the
+/// payloads, are where a small batch's overhead lives). Either way the
+/// responses are bit-identical; only the constant factor moves.
+///
 /// The engine never throws for malformed requests: parameter violations
 /// yield Status::kInvalid, unknown snapshots Status::kNotFound, and any
 /// unexpected model error Status::kError. This keeps worker threads alive
 /// no matter what a client submits.
 
+#include <cstddef>
 #include <span>
 
 #include "spotbid/serve/model_snapshot.hpp"
 #include "spotbid/serve/request.hpp"
 
 namespace spotbid::serve {
+
+/// Fewest batchable query points for which execute_batch runs the sorted
+/// knot sweep instead of per-request binary searches (see file comment).
+inline constexpr std::size_t kSweepMinBatch = 4096;
 
 /// Answer one request against a snapshot (nullptr snapshot -> kNotFound).
 [[nodiscard]] Response execute_one(const ModelSnapshot* snapshot, const Request& request);

@@ -36,6 +36,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -82,6 +83,19 @@ class BidService {
   /// admitted.
   [[nodiscard]] std::future<Response> submit(Request request);
 
+  /// A completion handed back instead of a future: invoked exactly once
+  /// with the response. Admitted requests complete on whichever thread
+  /// executes them (a worker, or the poll_once()/stop() caller); rejected
+  /// ones (kOverloaded / kShutdown) complete synchronously inside submit.
+  using Completion = std::function<void(Response)>;
+
+  /// Callback flavour of submit for callers that must never block on a
+  /// future — the epoll event loop's completion channel. No service lock
+  /// is held while `done` runs, so the completion may re-enter the
+  /// service. Same admission and exactly-once guarantees as the future
+  /// overload.
+  void submit(Request request, Completion done);
+
   /// Synchronous convenience: submit and wait.
   [[nodiscard]] Response ask(Request request);
 
@@ -110,6 +124,7 @@ class BidService {
   struct Item {
     Request request;
     std::promise<Response> promise;
+    Completion done;  ///< when set, resolves the item instead of the promise
   };
 
   void worker_loop();

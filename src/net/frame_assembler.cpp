@@ -1,0 +1,68 @@
+#include "spotbid/net/frame_assembler.hpp"
+
+#include <algorithm>
+
+#include "spotbid/core/contracts.hpp"
+#include "spotbid/net/wire.hpp"
+
+namespace spotbid::net {
+
+FrameAssembler::FrameAssembler(std::size_t capacity)
+    : ring_(std::max<std::size_t>(capacity, 4 + kMaxFramePayload)) {}
+
+std::array<std::span<std::uint8_t>, 2> FrameAssembler::write_spans() {
+  const std::size_t tail = (head_ + size_) % ring_.size();
+  const std::size_t free_bytes = free();
+  // The free region runs [tail, tail + free) modulo capacity: one span up
+  // to the physical end of the ring, a second from the start if it wraps.
+  const std::size_t first = std::min(free_bytes, ring_.size() - tail);
+  const std::size_t second = free_bytes - first;
+  return {std::span<std::uint8_t>{ring_.data() + tail, first},
+          std::span<std::uint8_t>{ring_.data(), second}};
+}
+
+void FrameAssembler::commit(std::size_t n) {
+  SPOTBID_EXPECT(n <= free(), "FrameAssembler::commit: more bytes than free space");
+  size_ += n;
+}
+
+void FrameAssembler::append(std::span<const std::uint8_t> bytes) {
+  SPOTBID_EXPECT(bytes.size() <= free(), "FrameAssembler::append: ring overflow");
+  const auto spans = write_spans();
+  const std::size_t first = std::min(bytes.size(), spans[0].size());
+  std::copy_n(bytes.begin(), first, spans[0].begin());
+  std::copy_n(bytes.begin() + static_cast<std::ptrdiff_t>(first), bytes.size() - first,
+              spans[1].begin());
+  size_ += bytes.size();
+}
+
+bool FrameAssembler::next_payload(std::vector<std::uint8_t>& payload) {
+  if (size_ < 4) return false;
+  std::array<std::uint8_t, 4> prefix;
+  peek(0, prefix);
+  // Throws WireError on an out-of-spec length: the caller must abandon the
+  // stream, because the next frame boundary can no longer be found.
+  const std::uint32_t length =
+      decode_frame_length(std::span<const std::uint8_t, 4>{prefix});
+  if (size_ < 4 + static_cast<std::size_t>(length)) return false;
+  payload.resize(length);
+  peek(4, payload);
+  consume(4 + static_cast<std::size_t>(length));
+  return true;
+}
+
+void FrameAssembler::peek(std::size_t offset, std::span<std::uint8_t> out) const {
+  SPOTBID_EXPECT(offset + out.size() <= size_, "FrameAssembler::peek: past buffered bytes");
+  const std::size_t start = (head_ + offset) % ring_.size();
+  const std::size_t first = std::min(out.size(), ring_.size() - start);
+  std::copy_n(ring_.begin() + static_cast<std::ptrdiff_t>(start), first, out.begin());
+  std::copy_n(ring_.begin(), out.size() - first,
+              out.begin() + static_cast<std::ptrdiff_t>(first));
+}
+
+void FrameAssembler::consume(std::size_t count) {
+  head_ = (head_ + count) % ring_.size();
+  size_ -= count;
+}
+
+}  // namespace spotbid::net

@@ -270,15 +270,17 @@ void Server::start() {
 
 void Server::accept_loop() {
   for (;;) {
-    TcpStream accepted = listener_.accept(config_.accept_poll_ms);
+    // Block until a connection arrives or stop() interrupts the listener —
+    // no polling wakeups (the old 50ms accept tick is gone).
+    TcpStream accepted = listener_.accept(-1);
     if (stopped_) break;
     reap_finished();
     if (!accepted.valid()) continue;
     nm().connections.increment();
+    accepted_count_.fetch_add(1, std::memory_order_relaxed);
     auto connection = std::make_unique<Connection>(std::move(accepted), *service_);
     connection->start();
     const std::lock_guard<std::mutex> lock{connections_mutex_};
-    ++accepted_count_;
     connections_.push_back(std::move(connection));
   }
 }
@@ -309,11 +311,6 @@ void Server::stop() {
     connections.swap(connections_);
   }
   for (auto& connection : connections) connection->shutdown_and_join();
-}
-
-std::uint64_t Server::connections_accepted() const {
-  const std::lock_guard<std::mutex> lock{connections_mutex_};
-  return accepted_count_;
 }
 
 }  // namespace spotbid::net

@@ -1,9 +1,11 @@
 #include "spotbid/net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -34,6 +36,12 @@ sockaddr_in make_address(const std::string& host, std::uint16_t port) {
 void disable_nagle(int fd) {
   int one = 1;
   (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void make_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0)
+    fail("fcntl(O_NONBLOCK)");
 }
 
 }  // namespace
@@ -104,6 +112,8 @@ void TcpStream::shutdown() noexcept {
   if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
 }
 
+void TcpStream::set_nonblocking() { make_nonblocking(fd_); }
+
 void TcpStream::close() noexcept {
   if (fd_ >= 0) {
     (void)::close(fd_);
@@ -131,21 +141,33 @@ TcpListener::TcpListener(const std::string& host, std::uint16_t port) {
   // spotbid-lint: allow(S-net-rawwire) sockaddr is the kernel's ABI, not wire data
   if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) fail("getsockname");
   port_ = ntohs(bound.sin_port);
+  // The interrupt wake channel: accept() blocks on {listener, eventfd}, so
+  // interrupt() never relies on a poll timeout (the old 50ms busy-wakeup).
+  event_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (event_fd_ < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    fail("eventfd");
+  }
 }
 
 TcpListener::TcpListener(TcpListener&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
+      event_fd_(std::exchange(other.event_fd_, -1)),
       port_(std::exchange(other.port_, 0)),
       interrupted_(other.interrupted_.load()) {}
 
 TcpListener::~TcpListener() {
   if (fd_ >= 0) (void)::close(fd_);
+  if (event_fd_ >= 0) (void)::close(event_fd_);
 }
 
 TcpStream TcpListener::accept(int timeout_ms) {
   if (interrupted_.load(std::memory_order_acquire)) return TcpStream{};
-  pollfd pfd{fd_, POLLIN, 0};
-  const int ready = ::poll(&pfd, 1, timeout_ms);
+  pollfd pfds[2] = {{fd_, POLLIN, 0}, {event_fd_, POLLIN, 0}};
+  const int ready = ::poll(pfds, 2, timeout_ms);
   if (ready < 0) {
     if (errno == EINTR) return TcpStream{};
     fail("poll");
@@ -160,9 +182,24 @@ TcpStream TcpListener::accept(int timeout_ms) {
   return TcpStream{fd};
 }
 
+TcpStream TcpListener::try_accept() {
+  const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED)
+      return TcpStream{};
+    fail("accept4");
+  }
+  disable_nagle(fd);
+  return TcpStream{fd};
+}
+
 void TcpListener::interrupt() noexcept {
   interrupted_.store(true, std::memory_order_release);
+  if (event_fd_ >= 0) (void)::eventfd_write(event_fd_, 1);
   if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
 }
+
+void TcpListener::set_nonblocking() { make_nonblocking(fd_); }
 
 }  // namespace spotbid::net

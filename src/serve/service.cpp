@@ -87,7 +87,7 @@ std::future<Response> BidService::submit(Request request) {
       promise.set_value(unadmitted_response(request, Status::kOverloaded));
       return future;
     }
-    queue_.push_back(Item{std::move(request), std::move(promise)});
+    queue_.push_back(Item{std::move(request), std::move(promise), {}});
     ++accepted_;
     sm().accepted.increment();
     if (queue_.size() >= config_.high_watermark) {
@@ -98,6 +98,40 @@ std::future<Response> BidService::submit(Request request) {
   }
   if (notify) ready_.notify_one();
   return future;
+}
+
+void BidService::submit(Request request, Completion done) {
+  bool rejected_now = false;
+  Status rejected_status = Status::kShutdown;
+  bool notify = false;
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    if (stopping_) {
+      rejected_now = true;
+      rejected_status = Status::kShutdown;
+    } else if (overloaded_) {
+      ++rejected_;
+      sm().rejected.increment();
+      rejected_now = true;
+      rejected_status = Status::kOverloaded;
+    } else {
+      Item item;
+      item.request = std::move(request);
+      item.done = std::move(done);
+      queue_.push_back(std::move(item));
+      ++accepted_;
+      sm().accepted.increment();
+      if (queue_.size() >= config_.high_watermark) {
+        overloaded_ = true;
+        sm().overload_entries.increment();
+      }
+      notify = true;
+    }
+  }
+  // The rejection completion runs outside the lock: it may re-enter the
+  // service or touch its own synchronization (the epoll shard's inbox).
+  if (rejected_now) done(unadmitted_response(request, rejected_status));
+  if (notify) ready_.notify_one();
 }
 
 Response BidService::ask(Request request) { return submit(std::move(request)).get(); }
@@ -197,8 +231,13 @@ bool BidService::drain_tick() {
     for (std::size_t i = start; i < end; ++i) group.push_back(&batch[order[i]].request);
     responses.assign(group.size(), Response{});
     execute_batch(snapshot.get(), group, responses);
-    for (std::size_t i = start; i < end; ++i)
-      batch[order[i]].promise.set_value(std::move(responses[i - start]));
+    for (std::size_t i = start; i < end; ++i) {
+      Item& item = batch[order[i]];
+      if (item.done)
+        item.done(std::move(responses[i - start]));
+      else
+        item.promise.set_value(std::move(responses[i - start]));
+    }
 
     start = end;
   }

@@ -1,0 +1,29 @@
+// Known-bad fixture for S-net-epoll. Never compiled — lexed only. The
+// file drives an epoll loop (epoll_wait below), so blocking wrappers and
+// sleeps are banned anywhere in it: event callbacks run on the loop
+// thread, where one blocked call stalls every connection the shard owns.
+#include <chrono>
+#include <thread>
+
+namespace spotbid::net {
+
+struct Shard {
+  int epoll_fd = 0;
+};
+
+int wait_for_events(Shard& shard, void* events) {
+  return epoll_wait(shard.epoll_fd, events, 256, -1);
+}
+
+void handle_readable(int fd, unsigned char* buffer, unsigned long size) {
+  // S-net-epoll: a blocking stream wrapper inside the event loop — this
+  // parks the whole shard behind one slow peer.
+  read_exact(fd, buffer, size);
+}
+
+void backoff() {
+  // S-net-epoll: sleeping on the loop thread freezes every connection.
+  std::this_thread::sleep_for(std::chrono::milliseconds{50});
+}
+
+}  // namespace spotbid::net

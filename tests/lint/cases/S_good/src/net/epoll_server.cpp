@@ -1,0 +1,28 @@
+// Known-good fixture for S-net-epoll: an epoll-driving file that only
+// uses nonblocking syscalls on the loop thread, plus one annotated
+// exception for a startup-path poll that runs before any shard exists.
+// Never compiled — lexed only.
+
+namespace spotbid::net {
+
+struct Shard {
+  int epoll_fd = 0;
+};
+
+int wait_for_events(Shard& shard, void* events) {
+  return epoll_wait(shard.epoll_fd, events, 256, -1);
+}
+
+long handle_readable(int fd, void* spans, int count) {
+  // Raw readv on an O_NONBLOCK fd returns EAGAIN instead of blocking, so
+  // it is legal on the loop thread.
+  // spotbid-lint: allow(S-net-rawwire) iovec is the kernel's ABI, not wire data
+  return readv(fd, reinterpret_cast<const struct iovec*>(spans), count);
+}
+
+bool wait_until_listening(int fd, void* pfd) {
+  // spotbid-lint: allow(S-net-epoll, S-net-rawwire) startup readiness check before any shard thread exists; pollfd is kernel ABI
+  return poll(reinterpret_cast<struct pollfd*>(pfd), 1, 1000) == 1;
+}
+
+}  // namespace spotbid::net

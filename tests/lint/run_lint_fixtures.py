@@ -37,8 +37,8 @@ CASES = {
                   "M-schema-orphan"}, 0),
     "M_good": (0, set(), 0),
     "S_bad": (1, {"S-atomicptr", "S-stdatomic", "S-mutex",
-                  "S-net-blocking", "S-net-rawwire"}, 0),
-    "S_good": (0, set(), 2),
+                  "S-net-blocking", "S-net-rawwire", "S-net-epoll"}, 0),
+    "S_good": (0, set(), 4),
 }
 
 _DIAG_RE = re.compile(r"^\S+:\d+: (?:error|note): \[([A-Za-z-]+)\]")

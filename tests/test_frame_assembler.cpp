@@ -1,0 +1,136 @@
+// Tests for FrameAssembler: incremental reassembly must tolerate any chunking
+// of the byte stream — one byte at a time, splits mid-length-prefix and
+// mid-payload, several frames glued into one chunk — must recycle ring space
+// across many frames (wraparound), and must reject an out-of-spec length
+// prefix with WireError exactly like the blocking reader.
+
+#include "spotbid/net/frame_assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "spotbid/net/wire.hpp"
+#include "spotbid/serve/request.hpp"
+
+namespace spotbid::net {
+namespace {
+
+std::vector<std::uint8_t> sample_frame(std::uint64_t seq) {
+  serve::Request q;
+  q.key = "us-east-1/r3.xlarge";
+  q.kind = serve::Kind::kRunLength;
+  q.mode = serve::BidMode::kPersistent;
+  q.bid = Money{0.25};
+  q.job = bidding::JobSpec{Hours{2.0}, Hours::from_seconds(30.0)};
+  q.demand = 0.7;
+  return encode_request(seq, q);
+}
+
+TEST(FrameAssembler, OneByteAtATime) {
+  FrameAssembler assembler;
+  const std::vector<std::uint8_t> frame = sample_frame(7);
+  std::vector<std::uint8_t> payload;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    EXPECT_FALSE(assembler.next_payload(payload)) << "complete before byte " << i;
+    assembler.append(std::span<const std::uint8_t>{&frame[i], 1});
+  }
+  ASSERT_TRUE(assembler.next_payload(payload));
+  EXPECT_EQ(payload,
+            std::vector<std::uint8_t>(frame.begin() + 4, frame.end()));
+  EXPECT_FALSE(assembler.next_payload(payload));
+  EXPECT_EQ(assembler.size(), 0u);
+}
+
+TEST(FrameAssembler, SplitMidHeaderAndMidPayload) {
+  const std::vector<std::uint8_t> frame = sample_frame(9);
+  // Every split point of the frame, including inside the 4-byte prefix.
+  for (std::size_t cut = 1; cut < frame.size(); ++cut) {
+    FrameAssembler assembler;
+    std::vector<std::uint8_t> payload;
+    assembler.append(std::span<const std::uint8_t>{frame.data(), cut});
+    EXPECT_FALSE(assembler.next_payload(payload)) << "cut " << cut;
+    assembler.append(std::span<const std::uint8_t>{frame.data() + cut, frame.size() - cut});
+    ASSERT_TRUE(assembler.next_payload(payload)) << "cut " << cut;
+    EXPECT_EQ(payload, std::vector<std::uint8_t>(frame.begin() + 4, frame.end()));
+  }
+}
+
+TEST(FrameAssembler, GluedFramesComeOutInArrivalOrder) {
+  FrameAssembler assembler;
+  std::vector<std::uint8_t> glued;
+  for (std::uint64_t seq = 0; seq < 8; ++seq) {
+    const std::vector<std::uint8_t> frame = sample_frame(seq);
+    glued.insert(glued.end(), frame.begin(), frame.end());
+  }
+  assembler.append(glued);
+  std::vector<std::uint8_t> payload;
+  for (std::uint64_t seq = 0; seq < 8; ++seq) {
+    ASSERT_TRUE(assembler.next_payload(payload)) << seq;
+    EXPECT_EQ(decode_frame(payload).seq, seq);
+  }
+  EXPECT_FALSE(assembler.next_payload(payload));
+}
+
+TEST(FrameAssembler, RingWrapsAcrossManyFrames) {
+  // Feed far more bytes than the capacity; the head walks around the ring,
+  // exercising both wrapped write spans and wrapped peeks.
+  FrameAssembler assembler{FrameAssembler::kDefaultCapacity};
+  std::vector<std::uint8_t> payload;
+  for (std::uint64_t seq = 0; seq < 2048; ++seq) {
+    const std::vector<std::uint8_t> frame = sample_frame(seq);
+    // Through write_spans/commit (the readv path), split across the spans.
+    std::size_t fed = 0;
+    while (fed < frame.size()) {
+      const auto spans = assembler.write_spans();
+      ASSERT_FALSE(spans[0].empty());
+      const std::size_t chunk = std::min(spans[0].size(), frame.size() - fed);
+      std::copy_n(frame.begin() + static_cast<std::ptrdiff_t>(fed), chunk,
+                  spans[0].begin());
+      assembler.commit(chunk);
+      fed += chunk;
+    }
+    ASSERT_TRUE(assembler.next_payload(payload)) << seq;
+    const Frame decoded = decode_frame(payload);
+    EXPECT_EQ(decoded.seq, seq);
+  }
+  EXPECT_EQ(assembler.size(), 0u);
+}
+
+TEST(FrameAssembler, WriteSpansCoverExactlyTheFreeRegion) {
+  FrameAssembler assembler;
+  const auto spans = assembler.write_spans();
+  EXPECT_EQ(spans[0].size() + spans[1].size(), assembler.free());
+  const std::vector<std::uint8_t> frame = sample_frame(1);
+  assembler.append(frame);
+  const auto after = assembler.write_spans();
+  EXPECT_EQ(after[0].size() + after[1].size(), assembler.free());
+  EXPECT_EQ(assembler.size(), frame.size());
+}
+
+TEST(FrameAssembler, OversizedLengthPrefixThrowsWireError) {
+  FrameAssembler assembler;
+  // Prefix claims a payload beyond kMaxFramePayload: framing is lost.
+  const std::vector<std::uint8_t> junk{0xff, 0xff, 0xff, 0x7f, 0x00};
+  assembler.append(junk);
+  std::vector<std::uint8_t> payload;
+  EXPECT_THROW((void)assembler.next_payload(payload), WireError);
+}
+
+TEST(FrameAssembler, UndersizedLengthPrefixThrowsWireError) {
+  FrameAssembler assembler;
+  // A length below kFrameOverhead cannot hold a frame envelope.
+  const std::vector<std::uint8_t> junk{0x01, 0x00, 0x00, 0x00};
+  assembler.append(junk);
+  std::vector<std::uint8_t> payload;
+  EXPECT_THROW((void)assembler.next_payload(payload), WireError);
+}
+
+TEST(FrameAssembler, CapacityClampsToHoldAMaxFrame) {
+  FrameAssembler tiny{8};
+  EXPECT_GE(tiny.capacity(), 4u + kMaxFramePayload);
+}
+
+}  // namespace
+}  // namespace spotbid::net

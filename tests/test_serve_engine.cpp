@@ -13,6 +13,7 @@
 
 #include "spotbid/bidding/cost.hpp"
 #include "spotbid/bidding/strategies.hpp"
+#include "spotbid/core/metrics.hpp"
 #include "spotbid/ec2/instance_types.hpp"
 #include "spotbid/trace/generator.hpp"
 
@@ -264,6 +265,42 @@ TEST(ServeEngine, BatchIsBitIdenticalToScalar) {
                                     << ") diverged between batch and scalar execution";
     }
   }
+}
+
+TEST(ServeEngine, AdaptiveDispatchSweepsLargeBatchesOnly) {
+  // Below kSweepMinBatch requests execute_batch must take the scalar
+  // fallback (no sorted knot sweep — its O(Q log Q) sort would lose);
+  // at the threshold the sweep must run. Both sides stay bit-identical
+  // to execute_one, spot-checked on a stride through the batch.
+  const auto snapshot = empirical_snapshot();
+  metrics::set_enabled(true);
+  auto& sweeps = metrics::Registry::global().counter("dist.query.batch_sweeps");
+
+  const std::vector<Money> bids = bid_grid(*snapshot);
+  const auto sweeps_for = [&](std::size_t requests) {
+    std::vector<Request> batch;
+    batch.reserve(requests);
+    for (std::size_t i = 0; i < requests; ++i) {
+      Request q = base_request(Kind::kRunLength);
+      q.bid = bids[i % bids.size()];
+      batch.push_back(q);
+    }
+    std::vector<const Request*> pointers;
+    pointers.reserve(batch.size());
+    for (const Request& q : batch) pointers.push_back(&q);
+    std::vector<Response> responses(batch.size());
+    const std::uint64_t before = sweeps.value();
+    execute_batch(snapshot.get(), pointers, responses);
+    for (std::size_t i = 0; i < batch.size(); i += 257)
+      EXPECT_EQ(responses[i], execute_one(snapshot.get(), batch[i]))
+          << "request " << i << " diverged between batch and scalar execution";
+    return sweeps.value() - before;
+  };
+
+  EXPECT_EQ(sweeps_for(kSweepMinBatch - 1), 0u)
+      << "a sub-threshold batch must take the scalar fallback";
+  EXPECT_GE(sweeps_for(kSweepMinBatch), 1u)
+      << "a threshold-size batch must run the sorted knot sweep";
 }
 
 TEST(ServeEngine, BatchAgainstNullSnapshotIsAllNotFound) {

@@ -66,23 +66,29 @@ def _resolve_ref(ref: str, root: dict) -> dict:
 
 
 def validate(value, schema: dict, root: dict, path: str, errors: list[str]) -> None:
+    # Keywords are conjunctive (draft 2019 semantics): a $ref or anyOf does
+    # NOT shadow its siblings, so a schema may both reference a shared $def
+    # and tighten it, or discriminate variants with anyOf while the common
+    # required/properties keep applying.
     if "$ref" in schema:
         validate(value, _resolve_ref(schema["$ref"], root), root, path, errors)
-        return
 
     if "anyOf" in schema:
         candidates = []
+        matched = False
         for option in schema["anyOf"]:
             attempt: list[str] = []
             validate(value, option, root, path, attempt)
             if not attempt:
-                return
+                matched = True
+                break
             candidates.append(attempt)
-        # None matched: report the closest option (fewest violations).
-        closest = min(candidates, key=len)
-        errors.append(f"{path}: matched no anyOf option; closest option failed with:")
-        errors.extend("  " + e for e in closest)
-        return
+        if not matched:
+            # None matched: report the closest option (fewest violations).
+            closest = min(candidates, key=len)
+            errors.append(f"{path}: matched no anyOf option; closest option failed with:")
+            errors.extend("  " + e for e in closest)
+            return
 
     if "const" in schema and value != schema["const"]:
         errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")

@@ -70,6 +70,12 @@ rests on, so this tool does:
                         encode/decode helpers are the ONLY place wire
                         bytes may be produced or consumed (kernel ABI
                         structs like sockaddr are annotated exceptions)
+        S-net-epoll     a blocking wrapper / sleep / readiness poll in a
+                        net-layer file that drives an epoll loop (contains
+                        epoll_wait) — event callbacks run on the loop
+                        thread, where one blocking call stalls every
+                        connection the shard owns; only the nonblocking
+                        raw syscalls on O_NONBLOCK fds are legal there
 
 Suppressions: a deliberate exception is annotated in the source as
 
@@ -119,6 +125,7 @@ RULES = {
     "S-mutex": "lock primitive declared on the serve reader path",
     "S-net-blocking": "blocking call while a lock is held in the net layer",
     "S-net-rawwire": "raw wire-byte manipulation outside net/wire.{hpp,cpp}",
+    "S-net-epoll": "blocking call inside an epoll event-loop file",
     "X-suppression": "malformed spotbid-lint suppression (missing rule or reason)",
 }
 
@@ -699,6 +706,17 @@ NET_BLOCKING_CALLS = {
 
 NET_RAWWIRE_TOKENS = {"memcpy", "memmove", "reinterpret_cast", "bit_cast"}
 
+# Calls banned ANYWHERE in a file that drives an epoll loop (detected by
+# the literal token epoll_wait): blocking stream wrappers, sleeps, and the
+# competing readiness APIs. Event callbacks run on the loop thread — one
+# blocking call stalls every connection the shard owns. The raw syscalls
+# (readv/writev/send/accept4) stay legal: on the loop's O_NONBLOCK fds
+# they return EAGAIN instead of blocking.
+NET_EPOLL_BANNED_CALLS = {
+    "read_exact", "write_all", "receive", "ask",
+    "sleep_for", "sleep_until", "select", "poll", "ppoll",
+}
+
 
 def check_net(scan: FileScan) -> list[Finding]:
     rel = scan.rel
@@ -707,6 +725,8 @@ def check_net(scan: FileScan) -> list[Finding]:
     toks = scan.tokens
     n = len(toks)
     out: list[Finding] = []
+
+    drives_epoll = any(t.kind == "id" and t.text == "epoll_wait" for t in toks)
 
     # A lock_guard/unique_lock/scoped_lock declaration holds its lock until
     # the enclosing block closes; track declaration depths so a blocking
@@ -739,6 +759,13 @@ def check_net(scan: FileScan) -> list[Finding]:
                                f"'{t.text}' outside the wire codec; wire bytes are "
                                "produced/consumed only through wire.{hpp,cpp}'s "
                                "checked encode/decode helpers"))
+        if drives_epoll and t.text in NET_EPOLL_BANNED_CALLS \
+                and nxt is not None and nxt.text == "(":
+            out.append(Finding(rel, t.line, "S-net-epoll",
+                               f"'{t.text}(...)' in an epoll event-loop file; shard "
+                               "callbacks run on the loop thread and must never "
+                               "block (use the nonblocking syscalls + readiness "
+                               "edges instead)"))
     return out
 
 

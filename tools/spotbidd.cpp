@@ -6,6 +6,13 @@
 //            [--host 127.0.0.1] [--port 0] [--port-file PATH]
 //            [--snapshot-dir DIR] [--workers N] [--queue-capacity N]
 //            [--recalibrate-ms MS] [--slots N] [--seed S]
+//            [--server-mode epoll|threaded] [--shards N]
+//
+// Two wire front-ends serve the identical protocol (docs/PROTOCOL.md §8):
+// the default sharded epoll event loop (fixed thread budget, 10k+
+// connections) and the thread-per-connection server (--server-mode
+// threaded), kept as the byte-for-byte oracle — CI diffs spotbidd_probe
+// dumps across both.
 //
 // Startup: if --snapshot-dir holds snapshots, they are warm-started
 // (bit-identical model reload, no calibration on the request path); any
@@ -36,7 +43,10 @@
 #include <thread>
 #include <vector>
 
+#include <sys/resource.h>
+
 #include "spotbid/ec2/instance_types.hpp"
+#include "spotbid/net/epoll_server.hpp"
 #include "spotbid/net/server.hpp"
 #include "spotbid/serve/model_snapshot.hpp"
 #include "spotbid/serve/recalibrator.hpp"
@@ -101,8 +111,22 @@ int usage() {
       "  --queue-capacity N  admission queue bound (default 1024)\n"
       "  --recalibrate-ms MS background recalibration interval (0 = off)\n"
       "  --slots N           cold-start calibration trace length (default 2016)\n"
-      "  --seed S            cold-start calibration seed (default 2015)\n");
+      "  --seed S            cold-start calibration seed (default 2015)\n"
+      "  --server-mode M     'epoll' (sharded event loop, default) or\n"
+      "                      'threaded' (two threads per connection)\n"
+      "  --shards N          epoll I/O shard threads (0 = hardware default)\n");
   return 2;
+}
+
+/// Lift the soft open-file limit to the hard limit: every connection costs
+/// an fd, and default soft limits (1024 on stock distros) would cap the
+/// epoll front-end far below its design point. Best-effort.
+void raise_nofile_limit() {
+  rlimit limit{};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return;
+  if (limit.rlim_cur == limit.rlim_max) return;
+  limit.rlim_cur = limit.rlim_max;
+  (void)::setrlimit(RLIMIT_NOFILE, &limit);
 }
 
 std::vector<std::string> split_keys(const std::string& csv) {
@@ -140,6 +164,12 @@ std::shared_ptr<serve::ModelSnapshot> calibrate(const std::string& key, int slot
 int main(int argc, char** argv) {
   const Args args{argc, argv};
   if (!args.ok() || args.has("help")) return usage();
+  const std::string server_mode = args.get("server-mode", "epoll");
+  if (server_mode != "epoll" && server_mode != "threaded") {
+    std::fprintf(stderr, "spotbidd: unknown --server-mode '%s'\n", server_mode.c_str());
+    return usage();
+  }
+  raise_nofile_limit();
 
   std::vector<std::string> keys = split_keys(args.get("keys"));
   std::sort(keys.begin(), keys.end());
@@ -180,19 +210,40 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.number("queue-capacity", 1024));
   serve::BidService service{store, service_config};
 
-  net::ServerConfig server_config;
-  server_config.host = args.get("host", "127.0.0.1");
-  server_config.port = static_cast<std::uint16_t>(args.number("port", 0));
-  net::Server server{service, server_config};
-  server.start();
-  std::fprintf(stderr, "spotbidd: listening on %s:%u (%zu key(s), %d worker(s))\n",
-               server_config.host.c_str(), unsigned{server.port()}, store.size(),
-               service.workers());
+  const std::string host = args.get("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(args.number("port", 0));
+  std::unique_ptr<net::Server> threaded_server;
+  std::unique_ptr<net::EpollServer> epoll_server;
+  std::uint16_t bound_port = 0;
+  if (server_mode == "threaded") {
+    net::ServerConfig server_config;
+    server_config.host = host;
+    server_config.port = port;
+    threaded_server = std::make_unique<net::Server>(service, server_config);
+    threaded_server->start();
+    bound_port = threaded_server->port();
+    std::fprintf(stderr,
+                 "spotbidd: listening on %s:%u (%zu key(s), %d worker(s), threaded)\n",
+                 host.c_str(), unsigned{bound_port}, store.size(), service.workers());
+  } else {
+    net::EpollServerConfig server_config;
+    server_config.host = host;
+    server_config.port = port;
+    server_config.shards = static_cast<int>(args.number("shards", 0));
+    epoll_server = std::make_unique<net::EpollServer>(service, server_config);
+    epoll_server->start();
+    bound_port = epoll_server->port();
+    std::fprintf(stderr,
+                 "spotbidd: listening on %s:%u (%zu key(s), %d worker(s), "
+                 "%d epoll shard(s))\n",
+                 host.c_str(), unsigned{bound_port}, store.size(), service.workers(),
+                 epoll_server->shards());
+  }
 
   // The port file is the readiness signal: written only once listening.
   if (args.has("port-file")) {
     std::ofstream out{args.get("port-file"), std::ios::trunc};
-    out << server.port() << "\n";
+    out << bound_port << "\n";
     if (!out.flush()) {
       std::fprintf(stderr, "spotbidd: cannot write --port-file %s\n",
                    args.get("port-file").c_str());
@@ -225,7 +276,10 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "spotbidd: signal %d, draining\n", g_signal.load());
 
   recalibrator.stop();
-  server.stop();
+  // Server first (drains wire replies while service workers still run),
+  // then service.
+  if (threaded_server != nullptr) threaded_server->stop();
+  if (epoll_server != nullptr) epoll_server->stop();
   service.stop();
   if (!snapshot_dir.empty()) {
     try {
