@@ -46,6 +46,8 @@
 //   SPOTBID_LOADGEN_KEYS=K[,K...]      keys to query in connect mode;
 //   SPOTBID_LOADGEN_BURST_CONNS=C      connect mode: one multiplexed burst of
 //                                      C connections at the daemon (0 = off).
+//   SPOTBID_LOADGEN_PORTFOLIO_PCT=P    percent of requests issued as v2
+//                                      portfolio_bid queries (default 0).
 //
 // Without SPOTBID_LOADGEN_CONNECT the bench self-hosts: it calibrates a
 // small in-process store, starts the daemon's default sharded-epoll
@@ -146,6 +148,12 @@ std::size_t zipf_pick(const std::vector<double>& cdf, double u) {
       std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
 }
 
+/// SPOTBID_LOADGEN_PORTFOLIO_PCT: percentage of requests issued as
+/// kPortfolioBid deadline-guarantee queries (v2 bodies). Default 0 keeps
+/// the committed BENCH_loadgen.json mix byte-stable; the daemon-smoke CI
+/// burst sets it to exercise the portfolio path under the epoll front-end.
+int g_portfolio_pct = 0;
+
 /// One simulated user's next request. Cheap kinds dominate; the optimizer
 /// query (golden-section search per call) appears once per ~1024 requests.
 serve::Request next_request(SplitMix64& rng, const std::vector<std::string>& keys,
@@ -161,6 +169,13 @@ serve::Request next_request(SplitMix64& rng, const std::vector<std::string>& key
   q.bid = Money{0.01 + 0.99 * rng.uniform()};
   q.job = bidding::JobSpec{Hours{0.5 + 4.0 * rng.uniform()}, Hours::from_seconds(30.0)};
   q.demand = 0.5 + rng.uniform();
+  if (g_portfolio_pct > 0 &&
+      (r >> 13) % 100 < static_cast<std::uint64_t>(g_portfolio_pct)) {
+    q.kind = serve::Kind::kPortfolioBid;
+    q.deadline = Hours{q.job.execution_time.hours() * (1.5 + 2.0 * rng.uniform())};
+    q.epsilon = 0.01 + 0.2 * rng.uniform();
+    q.levels = static_cast<std::uint8_t>(1 + (r >> 40) % 8);
+  }
   return q;
 }
 
@@ -914,6 +929,7 @@ int main(int argc, char** argv) {
     if (value > 0) scale_conns.push_back(value);  // "0" disables the stage
   }
   const int burst_connections = env_int("SPOTBID_LOADGEN_BURST_CONNS", 0);
+  g_portfolio_pct = std::clamp(env_int("SPOTBID_LOADGEN_PORTFOLIO_PCT", 0), 0, 100);
 
   raise_nofile_limit();
   metrics::set_enabled(true);

@@ -50,6 +50,15 @@ void print_response(const serve::Request& q, const serve::Response& r) {
     case serve::Kind::kProviderPrice:
       std::printf("spot price $%.4f\n", r.price.usd());
       break;
+    case serve::Kind::kPortfolioBid:
+      std::printf("cost $%.4f  violation %.4f  %d tranche(s) + %.0f%% on-demand @ $%.4f\n",
+                  r.expected_cost.usd(), r.violation, static_cast<int>(r.level_count),
+                  100.0 * r.on_demand_share, r.price.usd());
+      for (int k = 0; k < static_cast<int>(r.level_count); ++k)
+        std::printf("%46s tranche %d: bid $%.4f for %.0f%% of the work\n", "", k + 1,
+                    r.levels[static_cast<std::size_t>(k)].bid.usd(),
+                    100.0 * r.levels[static_cast<std::size_t>(k)].share);
+      break;
   }
 }
 
@@ -106,6 +115,17 @@ int main(int argc, char** argv) {
     q.demand = 8.0;
     requests.push_back(std::move(q));
   }
+  // A deadline-guarantee portfolio (docs/PORTFOLIO.md): finish within
+  // 3x the execution time with 95% confidence, up to 4 spot tranches.
+  serve::Request folio;
+  folio.key = hot_key;
+  folio.kind = serve::Kind::kPortfolioBid;
+  folio.mode = serve::BidMode::kPersistent;
+  folio.job = job;
+  folio.deadline = Hours{execution_hours * 3.0};
+  folio.epsilon = 0.05;
+  folio.levels = 4;
+  requests.push_back(folio);
   // One cross-market request: the Proposition-4 one-time bid elsewhere.
   serve::Request west;
   west.key = serve::make_key("us-west-2", "m3.xlarge");

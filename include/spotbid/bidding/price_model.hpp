@@ -61,6 +61,14 @@ class SpotPriceModel {
   [[nodiscard]] Money support_hi() const { return Money{support_hi_usd_}; }
   [[nodiscard]] Money on_demand() const { return on_demand_; }
   [[nodiscard]] Hours slot_length() const { return slot_length_; }
+
+  /// Guaranteed-completion price per instance-hour: what the portfolio
+  /// optimizer pays for work routed to the on-demand backstop. Defaults to
+  /// on_demand() at construction; markets with negotiated/reserved capacity
+  /// recalibrate it via set_backstop() (and snapshot_io persists it).
+  [[nodiscard]] Money backstop() const { return backstop_; }
+  /// \pre price is finite and > 0.
+  void set_backstop(Money price);
   [[nodiscard]] const dist::Distribution& distribution() const { return *prices_; }
   [[nodiscard]] dist::DistributionPtr distribution_ptr() const { return prices_; }
 
@@ -79,6 +87,7 @@ class SpotPriceModel {
   dist::DistributionPtr prices_;
   Money on_demand_;
   Hours slot_length_;
+  Money backstop_{};
   // Hot scalars, computed once at construction: every bid decision used to
   // re-derive these (a quantile search + support queries) per call.
   double support_lo_usd_ = 0.0;

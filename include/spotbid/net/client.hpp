@@ -31,7 +31,13 @@ class BidClient {
   /// WireError if the server rejects our protocol version.
   BidClient(const std::string& host, std::uint16_t port);
 
+  /// Protocol version negotiated by the HELLO handshake: the lower of ours
+  /// and the server's. All request frames are encoded at it.
+  [[nodiscard]] std::uint8_t negotiated_version() const { return version_; }
+
   /// Encode and send one request frame; returns its sequence number.
+  /// Throws WireVersionError if the request needs a newer body than the
+  /// negotiated version carries (portfolio_bid against a v1 server).
   std::uint64_t send(const serve::Request& request);
 
   /// Block for the next reply frame. Throws SocketError if the connection
@@ -55,6 +61,7 @@ class BidClient {
 
   TcpStream stream_;
   std::vector<std::uint8_t> payload_;
+  std::uint8_t version_ = kProtocolVersion;  ///< set by the handshake
   std::uint64_t next_seq_ = 1;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;

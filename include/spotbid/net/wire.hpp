@@ -1,7 +1,7 @@
 #pragma once
 
 /// \file wire.hpp
-/// The spotbid wire protocol, version 1 (normative spec: docs/PROTOCOL.md).
+/// The spotbid wire protocol, version 2 (normative spec: docs/PROTOCOL.md).
 ///
 /// Every message on a connection is one frame:
 ///
@@ -14,6 +14,16 @@
 /// One REQUEST maps 1:1 onto one RESPONSE or ERROR carrying the same
 /// sequence number, and replies on a connection are returned in submission
 /// order (docs/PROTOCOL.md §5).
+///
+/// Versioning (docs/PROTOCOL.md §3): every frame carries its own version
+/// byte and bodies are versioned per frame, not per connection — a server
+/// encodes each reply at the version of the request frame it answers, so a
+/// v1 client talking to a v2 server keeps receiving byte-identical v1
+/// frames. Version 2 extends REQUEST/RESPONSE bodies with the portfolio
+/// fields (deadline, epsilon, levels / violation, on-demand share, bid
+/// levels); the `portfolio_bid` request kind therefore needs version >= 2,
+/// and naming it in a v1 frame raises WireVersionError — which servers
+/// report as ErrorCode::kVersionMismatch, distinct from kMalformed.
 ///
 /// These functions are the ONLY place wire bytes are produced or consumed
 /// (spotbid-lint rule S-net-rawwire): everything else moves opaque frames.
@@ -33,7 +43,9 @@
 
 namespace spotbid::net {
 
-inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::uint8_t kProtocolVersion = 2;
+/// Oldest protocol version still spoken (v1: no portfolio fields).
+inline constexpr std::uint8_t kMinProtocolVersion = 1;
 
 /// Hard cap on a frame payload. Requests are bounded by the key (≤ 255
 /// bytes) and a fixed field block; responses and errors are smaller. A
@@ -73,6 +85,16 @@ class WireError : public std::runtime_error {
   explicit WireError(const std::string& message);
 };
 
+/// Thrown when the bytes are well-formed but name a version this build
+/// does not speak, or a body that needs a newer version than the frame
+/// carries (e.g. portfolio_bid inside a v1 frame). Servers report it as
+/// ErrorCode::kVersionMismatch instead of kMalformed; catch it BEFORE
+/// WireError (it is a WireError, so order matters).
+class WireVersionError : public WireError {
+ public:
+  using WireError::WireError;
+};
+
 /// A decoded frame envelope; `body` aliases the caller's payload bytes.
 struct Frame {
   std::uint8_t version = 0;
@@ -90,14 +112,24 @@ struct ErrorReply {
 };
 
 // -- encoding (returns the full frame: length prefix + payload) -------------
+//
+// `version` selects the body layout (and the envelope's version byte);
+// encoding at version 1 reproduces the v1 byte stream exactly. Encoders
+// throw WireVersionError for a version outside
+// [kMinProtocolVersion, kProtocolVersion] or a body the version cannot
+// carry (portfolio_bid at v1).
 
-[[nodiscard]] std::vector<std::uint8_t> encode_hello(std::uint64_t seq);
+[[nodiscard]] std::vector<std::uint8_t> encode_hello(std::uint64_t seq,
+                                                     std::uint8_t version = kProtocolVersion);
 [[nodiscard]] std::vector<std::uint8_t> encode_request(std::uint64_t seq,
-                                                       const serve::Request& request);
+                                                       const serve::Request& request,
+                                                       std::uint8_t version = kProtocolVersion);
 [[nodiscard]] std::vector<std::uint8_t> encode_response(std::uint64_t seq,
-                                                        const serve::Response& response);
+                                                        const serve::Response& response,
+                                                        std::uint8_t version = kProtocolVersion);
 [[nodiscard]] std::vector<std::uint8_t> encode_error(std::uint64_t seq, ErrorCode code,
-                                                     std::string_view message);
+                                                     std::string_view message,
+                                                     std::uint8_t version = kProtocolVersion);
 
 // -- decoding ---------------------------------------------------------------
 
@@ -106,12 +138,15 @@ struct ErrorReply {
 [[nodiscard]] std::uint32_t decode_frame_length(std::span<const std::uint8_t, 4> prefix);
 
 /// Decode the payload envelope (version, type, seq). Rejects unknown frame
-/// types and — except for HELLO, which must stay decodable across versions
-/// to negotiate — unknown versions.
+/// types; versions outside [kMinProtocolVersion, kProtocolVersion] raise
+/// WireVersionError — except for HELLO, which must stay decodable whatever
+/// version the peer speaks so the mismatch can be negotiated/reported.
 [[nodiscard]] Frame decode_frame(std::span<const std::uint8_t> payload);
 
 /// Body decoders; each rejects a frame of the wrong type, a body of the
-/// wrong length, and any out-of-range enum value.
+/// wrong length, and any out-of-range enum value. The frame's version byte
+/// selects the body layout; a body only a newer version carries raises
+/// WireVersionError.
 [[nodiscard]] serve::Request decode_request_body(const Frame& frame);
 [[nodiscard]] serve::Response decode_response_body(const Frame& frame);
 [[nodiscard]] ErrorReply decode_error_body(const Frame& frame);

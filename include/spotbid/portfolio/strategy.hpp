@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file strategy.hpp
+/// Portfolio optimizer: K spot bid levels + an on-demand backstop share
+/// minimizing expected cost subject to P(T_finish > deadline) <= epsilon.
+///
+/// Decision variables are the backstop share w_0 and, per spot tranche,
+/// (bid b_k, share w_k). The optimizer (docs/PORTFOLIO.md) is
+/// separable-greedy inside, numeric outside:
+///
+///  - Inner solve, given w_0 and an epsilon budget split eps_1..eps_K:
+///    spot shares are equal, w_k = (1 - w_0) / K, and each tranche takes
+///    the *cheapest* bid meeting its miss budget — the smallest per-slot
+///    acceptance p_k with P(Bin(N, p_k) < m_k) <= eps_k (monotone in p_k,
+///    solved by bisection), mapped through the quantile, b_k = F^{-1}(p_k).
+///  - Budget splits come from a small tilt family: weights
+///    u_k proportional to lambda^(k-1), eps_k = 1 - (1-eps)^{u_k}, so
+///    prod (1 - eps_k) = 1 - eps exactly and lambda != 1 spreads the K
+///    levels across genuinely distinct bids.
+///  - Outer search: `grid_then_golden` over w_0 in [0, 1], with w_0 = 1
+///    (all on-demand, violation 0) always evaluated as the feasible
+///    fallback.
+///
+/// Degeneration contract (regression-tested): K = 1 with epsilon >= 1
+/// (no deadline constraint) reproduces Prop. 4 / Prop. 5 bit for bit —
+/// the optimizer literally calls one_time_bid / persistent_bid and copies
+/// the decision's numbers.
+
+#include <array>
+#include <cstdint>
+
+#include "spotbid/bidding/job.hpp"
+#include "spotbid/bidding/strategies.hpp"
+#include "spotbid/portfolio/deadline.hpp"
+
+namespace spotbid::portfolio {
+
+/// Which single-bid proposition a K=1, epsilon>=1 query collapses to.
+/// Deliberately portfolio's own vocabulary (not serve::BidMode): the math
+/// layer stays below the serve layer in the dependency diagram.
+enum class DegenerateMode : std::uint8_t { kOneTime, kPersistent };
+
+/// One deadline-guarantee question: finish `job` by `deadline` with
+/// probability at least 1 - epsilon using at most `levels` spot tranches.
+struct PortfolioQuery {
+  bidding::JobSpec job{};
+  Hours deadline{};
+  /// Violation budget. epsilon >= 1 means unconstrained (pure cost
+  /// minimization); 0 forces the all-on-demand plan.
+  double epsilon = 0.0;
+  int levels = 1;  ///< K, in [1, kMaxLevels]
+  DegenerateMode mode = DegenerateMode::kPersistent;
+
+  [[nodiscard]] friend bool operator==(const PortfolioQuery&, const PortfolioQuery&) = default;
+};
+
+/// The optimized plan. Plain scalars only (no strings, no NaN — ever):
+/// serve's determinism contract compares responses with defaulted ==.
+struct PortfolioDecision {
+  std::array<Level, kMaxLevels> levels{};  ///< first level_count entries used
+  int level_count = 0;
+  double on_demand_share = 0.0;  ///< w_0
+  Money expected_cost{};         ///< spot spend + w_0 * W * backstop
+  double violation = 0.0;        ///< claimed P(T_finish > deadline)
+  bool feasible = false;         ///< violation <= epsilon
+  bool degenerate = false;       ///< answered by Prop. 4/5 directly
+  bool use_on_demand = false;    ///< w_0 >= 1: the backstop runs everything
+  Money backstop{};              ///< guaranteed price the plan was built on
+
+  [[nodiscard]] friend bool operator==(const PortfolioDecision&,
+                                       const PortfolioDecision&) = default;
+};
+
+/// Stateless optimizer over one price model. Borrows the model like
+/// DeadlineCalculator does; `path` selects the query plane for both the
+/// optimizer's own evaluations and the decision's reported numbers.
+class PortfolioStrategy {
+ public:
+  explicit PortfolioStrategy(const bidding::SpotPriceModel& model,
+                             QueryPath path = QueryPath::kFast);
+
+  /// Solve one query. Throws ContractError on malformed inputs (callers
+  /// above serve validate first; see serve::Engine's portfolio_valid).
+  [[nodiscard]] PortfolioDecision optimize(const PortfolioQuery& query) const;
+
+  [[nodiscard]] const bidding::SpotPriceModel& model() const { return *model_; }
+  [[nodiscard]] QueryPath path() const { return path_; }
+
+ private:
+  [[nodiscard]] PortfolioDecision degenerate_single_bid(const PortfolioQuery& query) const;
+
+  const bidding::SpotPriceModel* model_;
+  QueryPath path_ = QueryPath::kFast;
+};
+
+}  // namespace spotbid::portfolio

@@ -6,12 +6,17 @@
 /// recalibrating from scratch on the request path (docs/SERVE.md "Running
 /// the daemon").
 ///
-/// Format (version 1, little-endian; full layout in docs/PROTOCOL.md §7):
+/// Format (version 2, little-endian; full layout in docs/PROTOCOL.md §7):
 ///
 ///   header   magic "SPBS" | u32 version | u64 payload length | u64 FNV-1a
 ///   payload  key | provider params (pi_bar, pi_min, beta, theta) |
-///            model params (on-demand price, slot length) | price-law tag +
-///            law state
+///            model params (on-demand price, slot length) |
+///            [v2+] backstop price | price-law tag + law state
+///
+/// Version 1 files (no backstop field) still warm-start: the loader falls
+/// back to backstop = on-demand price, exactly the cold-calibration default
+/// of SpotPriceModel. Versions above kSnapshotVersion are rejected with
+/// kBadVersion — a newer writer's fields cannot be guessed at.
 ///
 /// Two price laws are serializable — exactly the two the snapshot builders
 /// produce:
@@ -78,7 +83,9 @@ class SnapshotIoError : public std::runtime_error {
 };
 
 inline constexpr std::uint32_t kSnapshotMagic = 0x53425053u;  // "SPBS" LE
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion = 2;
+/// Oldest format version the loader still speaks (v1: no backstop field).
+inline constexpr std::uint32_t kMinSnapshotVersion = 1;
 inline constexpr std::string_view kSnapshotExtension = ".spbs";
 
 /// Filename a key persists under: every byte outside [A-Za-z0-9._-] is

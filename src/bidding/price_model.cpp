@@ -10,7 +10,10 @@
 namespace spotbid::bidding {
 
 SpotPriceModel::SpotPriceModel(dist::DistributionPtr prices, Money on_demand, Hours slot_length)
-    : prices_(std::move(prices)), on_demand_(on_demand), slot_length_(slot_length) {
+    : prices_(std::move(prices)),
+      on_demand_(on_demand),
+      slot_length_(slot_length),
+      backstop_(on_demand) {
   SPOTBID_EXPECT(prices_ != nullptr, "SpotPriceModel: null price distribution");
   SPOTBID_REQUIRE_FINITE(on_demand.usd(), "SpotPriceModel: on-demand price");
   SPOTBID_EXPECT(on_demand.usd() > 0.0, "SpotPriceModel: on-demand price must be > 0");
@@ -39,6 +42,12 @@ SpotPriceModel SpotPriceModel::from_trace(const trace::PriceTrace& trace, Money 
 SpotPriceModel SpotPriceModel::from_type(const ec2::InstanceType& type, Hours slot_length) {
   return SpotPriceModel{provider::calibrated_price_distribution(type), type.on_demand,
                         slot_length};
+}
+
+void SpotPriceModel::set_backstop(Money price) {
+  SPOTBID_REQUIRE_FINITE(price.usd(), "SpotPriceModel::set_backstop: price");
+  SPOTBID_EXPECT(price.usd() > 0.0, "SpotPriceModel::set_backstop: price must be > 0");
+  backstop_ = price;
 }
 
 double SpotPriceModel::acceptance(Money p) const {

@@ -1,5 +1,7 @@
 #include "spotbid/net/client.hpp"
 
+#include <algorithm>
+
 namespace spotbid::net {
 
 BidClient::BidClient(const std::string& host, std::uint16_t port)
@@ -14,11 +16,17 @@ BidClient::BidClient(const std::string& host, std::uint16_t port)
   }
   if (frame.type != FrameType::kHello)
     throw WireError{"expected a hello frame, got " + std::string{frame_type_name(frame.type)}};
+  // Adopt the server's echoed version (never above ours): requests to an
+  // older server keep encoding the bodies it speaks.
+  version_ = std::min<std::uint8_t>(frame.version, kProtocolVersion);
+  if (version_ < kMinProtocolVersion)
+    throw WireVersionError{"server negotiated version " + std::to_string(int{version_}) +
+                           ", below our floor " + std::to_string(int{kMinProtocolVersion})};
 }
 
 std::uint64_t BidClient::send(const serve::Request& request) {
   const std::uint64_t seq = next_seq_++;
-  stream_.write_all(encode_request(seq, request));
+  stream_.write_all(encode_request(seq, request, version_));
   ++sent_;
   return seq;
 }

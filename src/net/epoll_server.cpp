@@ -81,6 +81,9 @@ EpollMetrics& em() {
 struct Ready {
   std::uint64_t ticket = 0;  ///< position in the connection's FIFO
   std::uint64_t seq = 0;     ///< echoed into the reply frame
+  /// Request frame's version; the reply is encoded at it (per-frame
+  /// versioning, docs/PROTOCOL.md §3).
+  std::uint8_t version = kProtocolVersion;
   bool ready = false;
   bool is_error = false;
   std::vector<std::uint8_t> frame;
@@ -272,16 +275,18 @@ void EpollServer::process_inbox(Shard& shard) {
     switch (response.status) {
       case serve::Status::kOverloaded:
         slot.frame = encode_error(slot.seq, ErrorCode::kOverloaded,
-                                  "admission control rejected the request");
+                                  "admission control rejected the request", slot.version);
         slot.is_error = true;
         break;
       case serve::Status::kShutdown:
-        slot.frame =
-            encode_error(slot.seq, ErrorCode::kShuttingDown, "service is draining");
+        slot.frame = encode_error(slot.seq, ErrorCode::kShuttingDown,
+                                  "service is draining", slot.version);
         slot.is_error = true;
         break;
       default:
-        slot.frame = encode_response(slot.seq, response);
+        // Encoded at the REQUEST frame's version: a v1 client keeps
+        // receiving byte-identical v1 response bodies.
+        slot.frame = encode_response(slot.seq, response, slot.version);
         break;
     }
     slot.ready = true;
@@ -430,15 +435,21 @@ bool EpollServer::handle_payload(Shard& shard, Conn& conn,
   switch (frame.type) {
     case FrameType::kHello: {
       em().frames_hello.increment();
-      if (frame.version != kProtocolVersion) {
+      // Negotiate downward: a peer speaking a newer version gets our
+      // maximum back and continues at it; only a version below the floor
+      // is a mismatch (docs/PROTOCOL.md §3).
+      if (frame.version < kMinProtocolVersion) {
         push_ready(frame.seq,
                    encode_error(frame.seq, ErrorCode::kVersionMismatch,
-                                "server speaks version " +
+                                "server speaks versions " +
+                                    std::to_string(int{kMinProtocolVersion}) + ".." +
                                     std::to_string(int{kProtocolVersion})),
                    true, true);
         return false;
       }
-      push_ready(frame.seq, encode_hello(frame.seq), false, false);
+      const std::uint8_t negotiated =
+          std::min<std::uint8_t>(frame.version, kProtocolVersion);
+      push_ready(frame.seq, encode_hello(frame.seq, negotiated), false, false);
       return true;
     }
     case FrameType::kRequest: {
@@ -446,6 +457,15 @@ bool EpollServer::handle_payload(Shard& shard, Conn& conn,
       serve::Request request;
       try {
         request = decode_request_body(frame);
+      } catch (const WireVersionError& e) {
+        // Framing is intact — the body just needs a newer version. Report
+        // the typed mismatch and keep the connection alive.
+        em().decode_errors.increment();
+        push_ready(frame.seq,
+                   encode_error(frame.seq, ErrorCode::kVersionMismatch, e.what(),
+                                frame.version),
+                   true, false);
+        return true;
       } catch (const WireError& e) {
         em().decode_errors.increment();
         push_ready(frame.seq, encode_error(frame.seq, ErrorCode::kMalformed, e.what()),
@@ -455,6 +475,7 @@ bool EpollServer::handle_payload(Shard& shard, Conn& conn,
       Ready slot;
       slot.ticket = conn.next_ticket++;
       slot.seq = frame.seq;
+      slot.version = frame.version;
       const std::uint64_t ticket = slot.ticket;
       conn.replies.push_back(std::move(slot));
       ++shard.unresolved;

@@ -1,5 +1,6 @@
 #include "spotbid/net/server.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -51,6 +52,7 @@ struct Server::Connection {
   struct Pending {
     std::uint64_t seq = 0;
     serve::Kind kind = serve::Kind::kOptimalBid;
+    std::uint8_t version = kProtocolVersion;  ///< request frame's version (reply echoes it)
     bool is_frame = false;
     bool is_error = false;  ///< pre-built ERROR (not a HELLO echo); metrics only
     std::vector<std::uint8_t> frame;
@@ -158,15 +160,21 @@ struct Server::Connection {
     switch (frame.type) {
       case FrameType::kHello: {
         nm().frames_hello.increment();
-        if (frame.version != kProtocolVersion) {
+        // Negotiate downward: a peer speaking a newer version gets our
+        // maximum back and continues at it; only a version below the floor
+        // is a mismatch (docs/PROTOCOL.md §3).
+        if (frame.version < kMinProtocolVersion) {
           push_frame(frame.seq,
                      encode_error(frame.seq, ErrorCode::kVersionMismatch,
-                                  "server speaks version " +
+                                  "server speaks versions " +
+                                      std::to_string(int{kMinProtocolVersion}) + ".." +
                                       std::to_string(int{kProtocolVersion})),
                      true, true);
           return false;
         }
-        push_frame(frame.seq, encode_hello(frame.seq), false, false);
+        const std::uint8_t negotiated =
+            std::min<std::uint8_t>(frame.version, kProtocolVersion);
+        push_frame(frame.seq, encode_hello(frame.seq, negotiated), false, false);
         return true;
       }
       case FrameType::kRequest: {
@@ -174,6 +182,15 @@ struct Server::Connection {
         serve::Request request;
         try {
           request = decode_request_body(frame);
+        } catch (const WireVersionError& e) {
+          // Framing is intact — the body just needs a newer version. Report
+          // the typed mismatch and keep the connection alive.
+          nm().decode_errors.increment();
+          push_frame(frame.seq,
+                     encode_error(frame.seq, ErrorCode::kVersionMismatch, e.what(),
+                                  frame.version),
+                     true, false);
+          return true;
         } catch (const WireError& e) {
           nm().decode_errors.increment();
           push_frame(frame.seq, encode_error(frame.seq, ErrorCode::kMalformed, e.what()),
@@ -183,6 +200,7 @@ struct Server::Connection {
         Pending item;
         item.seq = frame.seq;
         item.kind = request.kind;
+        item.version = frame.version;
         item.future = service->submit(std::move(request));
         push(std::move(item));
         return true;
@@ -225,16 +243,18 @@ struct Server::Connection {
           switch (response.status) {
             case serve::Status::kOverloaded:
               frame = encode_error(item.seq, ErrorCode::kOverloaded,
-                                   "admission control rejected the request");
+                                   "admission control rejected the request", item.version);
               is_error = true;
               break;
             case serve::Status::kShutdown:
               frame = encode_error(item.seq, ErrorCode::kShuttingDown,
-                                   "service is draining");
+                                   "service is draining", item.version);
               is_error = true;
               break;
             default:
-              frame = encode_response(item.seq, response);
+              // Encoded at the REQUEST frame's version: a v1 client keeps
+              // receiving byte-identical v1 response bodies.
+              frame = encode_response(item.seq, response, item.version);
               break;
           }
         }

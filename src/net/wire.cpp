@@ -8,6 +8,13 @@ namespace {
 
 [[noreturn]] void fail(const std::string& message) { throw WireError{message}; }
 
+[[noreturn]] void fail_version(const std::string& message) { throw WireVersionError{message}; }
+
+void check_version(std::uint8_t version) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion)
+    fail_version("unsupported protocol version " + std::to_string(version));
+}
+
 /// Little-endian append-only sink for one frame payload.
 struct Writer {
   std::vector<std::uint8_t> bytes;
@@ -68,9 +75,9 @@ std::vector<std::uint8_t> seal(Writer payload) {
   return frame;
 }
 
-Writer envelope(FrameType type, std::uint64_t seq) {
+Writer envelope(FrameType type, std::uint64_t seq, std::uint8_t version) {
   Writer w;
-  w.u8(kProtocolVersion);
+  w.u8(version);
   w.u8(static_cast<std::uint8_t>(type));
   w.u64(seq);
   return w;
@@ -100,13 +107,18 @@ std::string_view error_code_name(ErrorCode code) {
 
 WireError::WireError(const std::string& message) : std::runtime_error{"wire: " + message} {}
 
-std::vector<std::uint8_t> encode_hello(std::uint64_t seq) {
-  return seal(envelope(FrameType::kHello, seq));
+std::vector<std::uint8_t> encode_hello(std::uint64_t seq, std::uint8_t version) {
+  check_version(version);
+  return seal(envelope(FrameType::kHello, seq, version));
 }
 
-std::vector<std::uint8_t> encode_request(std::uint64_t seq, const serve::Request& request) {
+std::vector<std::uint8_t> encode_request(std::uint64_t seq, const serve::Request& request,
+                                         std::uint8_t version) {
+  check_version(version);
   if (request.key.size() > kMaxKeyBytes) fail("request key exceeds kMaxKeyBytes");
-  Writer w = envelope(FrameType::kRequest, seq);
+  if (version < 2 && request.kind == serve::Kind::kPortfolioBid)
+    fail_version("portfolio_bid requires protocol version 2");
+  Writer w = envelope(FrameType::kRequest, seq, version);
   w.u8(static_cast<std::uint8_t>(request.key.size()));
   w.bytes.insert(w.bytes.end(), request.key.begin(), request.key.end());
   w.u8(static_cast<std::uint8_t>(request.kind));
@@ -115,11 +127,20 @@ std::vector<std::uint8_t> encode_request(std::uint64_t seq, const serve::Request
   w.f64(request.job.execution_time.hours());
   w.f64(request.job.recovery_time.hours());
   w.f64(request.demand);
+  if (version >= 2) {
+    w.f64(request.deadline.hours());
+    w.f64(request.epsilon);
+    w.u8(request.levels);
+  }
   return seal(std::move(w));
 }
 
-std::vector<std::uint8_t> encode_response(std::uint64_t seq, const serve::Response& response) {
-  Writer w = envelope(FrameType::kResponse, seq);
+std::vector<std::uint8_t> encode_response(std::uint64_t seq, const serve::Response& response,
+                                          std::uint8_t version) {
+  check_version(version);
+  if (version < 2 && response.kind == serve::Kind::kPortfolioBid)
+    fail_version("portfolio_bid requires protocol version 2");
+  Writer w = envelope(FrameType::kResponse, seq, version);
   w.u8(static_cast<std::uint8_t>(response.status));
   w.u8(static_cast<std::uint8_t>(response.kind));
   w.u64(response.epoch);
@@ -130,15 +151,29 @@ std::vector<std::uint8_t> encode_response(std::uint64_t seq, const serve::Respon
   w.u8(response.feasible ? 1 : 0);
   w.u8(response.use_on_demand ? 1 : 0);
   w.f64(response.price.usd());
+  if (version >= 2) {
+    if (response.level_count > serve::kMaxPortfolioLevels)
+      fail("response level count exceeds kMaxPortfolioLevels");
+    w.f64(response.violation);
+    w.f64(response.on_demand_share);
+    w.u8(response.level_count);
+    // Only the used tranches travel; the fixed-size tail of the struct is
+    // zeros by the determinism contract and re-zeroed by the decoder.
+    for (std::uint8_t k = 0; k < response.level_count; ++k) {
+      w.f64(response.levels[k].bid.usd());
+      w.f64(response.levels[k].share);
+    }
+  }
   return seal(std::move(w));
 }
 
 std::vector<std::uint8_t> encode_error(std::uint64_t seq, ErrorCode code,
-                                       std::string_view message) {
+                                       std::string_view message, std::uint8_t version) {
+  check_version(version);
   // Clamp rather than reject: error paths must always produce a frame.
   const std::size_t room = kMaxFramePayload - kFrameOverhead - 3;
   if (message.size() > room) message = message.substr(0, room);
-  Writer w = envelope(FrameType::kError, seq);
+  Writer w = envelope(FrameType::kError, seq, version);
   w.u8(static_cast<std::uint8_t>(code));
   w.u16(static_cast<std::uint16_t>(message.size()));
   w.bytes.insert(w.bytes.end(), message.begin(), message.end());
@@ -165,8 +200,7 @@ Frame decode_frame(std::span<const std::uint8_t> payload) {
   frame.type = static_cast<FrameType>(type);
   // HELLO must stay decodable whatever version the peer speaks — it is how
   // a mismatch is discovered and reported instead of dropped on the floor.
-  if (frame.version != kProtocolVersion && frame.type != FrameType::kHello)
-    fail("unsupported protocol version " + std::to_string(frame.version));
+  if (frame.type != FrameType::kHello) check_version(frame.version);
   frame.seq = r.u64();
   frame.body = payload.subspan(r.pos);
   return frame;
@@ -183,8 +217,10 @@ serve::Request decode_request_body(const Frame& frame) {
   q.key.assign(reinterpret_cast<const char*>(r.bytes.data() + r.pos), key_len);
   r.pos += key_len;
   const std::uint8_t kind = r.u8();
-  if (kind > static_cast<std::uint8_t>(serve::Kind::kProviderPrice))
+  if (kind > static_cast<std::uint8_t>(serve::Kind::kPortfolioBid))
     fail("unknown request kind " + std::to_string(kind));
+  if (frame.version < 2 && kind == static_cast<std::uint8_t>(serve::Kind::kPortfolioBid))
+    fail_version("portfolio_bid requires protocol version 2");
   q.kind = static_cast<serve::Kind>(kind);
   const std::uint8_t mode = r.u8();
   if (mode > static_cast<std::uint8_t>(serve::BidMode::kPersistent))
@@ -194,6 +230,11 @@ serve::Request decode_request_body(const Frame& frame) {
   q.job.execution_time = Hours{r.f64()};
   q.job.recovery_time = Hours{r.f64()};
   q.demand = r.f64();
+  if (frame.version >= 2) {
+    q.deadline = Hours{r.f64()};
+    q.epsilon = r.f64();
+    q.levels = r.u8();
+  }
   r.done();
   return q;
 }
@@ -209,8 +250,10 @@ serve::Response decode_response_body(const Frame& frame) {
     fail("unknown response status " + std::to_string(status));
   p.status = static_cast<serve::Status>(status);
   const std::uint8_t kind = r.u8();
-  if (kind > static_cast<std::uint8_t>(serve::Kind::kProviderPrice))
+  if (kind > static_cast<std::uint8_t>(serve::Kind::kPortfolioBid))
     fail("unknown response kind " + std::to_string(kind));
+  if (frame.version < 2 && kind == static_cast<std::uint8_t>(serve::Kind::kPortfolioBid))
+    fail_version("portfolio_bid requires protocol version 2");
   p.kind = static_cast<serve::Kind>(kind);
   p.epoch = r.u64();
   p.bid = Money{r.f64()};
@@ -223,6 +266,19 @@ serve::Response decode_response_body(const Frame& frame) {
   p.feasible = feasible == 1;
   p.use_on_demand = on_demand == 1;
   p.price = Money{r.f64()};
+  if (frame.version >= 2) {
+    p.violation = r.f64();
+    p.on_demand_share = r.f64();
+    const std::uint8_t level_count = r.u8();
+    if (level_count > serve::kMaxPortfolioLevels)
+      fail("response level count " + std::to_string(level_count) +
+           " exceeds kMaxPortfolioLevels");
+    p.level_count = level_count;
+    for (std::uint8_t k = 0; k < level_count; ++k) {
+      p.levels[k].bid = Money{r.f64()};
+      p.levels[k].share = r.f64();
+    }
+  }
   r.done();
   return p;
 }

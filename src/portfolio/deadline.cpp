@@ -1,0 +1,178 @@
+#include "spotbid/portfolio/deadline.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "spotbid/core/contracts.hpp"
+#include "spotbid/core/metrics.hpp"
+#include "spotbid/dist/empirical.hpp"
+
+namespace spotbid::portfolio {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Deterministic portfolio telemetry (docs/METRICS.md, `portfolio.*`):
+/// pure functions of the queries asked, inside the determinism contract.
+struct PortfolioCounters {
+  metrics::Counter& law_queries;
+  metrics::Counter& violation_evals;
+};
+
+PortfolioCounters& counters() {
+  static PortfolioCounters c{
+      metrics::Registry::global().counter("portfolio.law_queries"),
+      metrics::Registry::global().counter("portfolio.violation_evals"),
+  };
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// The standing oracle: naive O(K) left-to-right knot scans. The expressions
+// and their evaluation order are copied verbatim from the Empirical
+// constructor / point queries (src/dist/empirical.cpp), which is exactly why
+// the fast prefix-array path reproduces them bit for bit — the prefix arrays
+// were accumulated with these very operations.
+
+double naive_cdf(const dist::Empirical& law, double x) {
+  const std::vector<double>& xs = law.knots();
+  const std::vector<double>& cum = law.knot_cdf();
+  if (x < xs.front()) return 0.0;
+  if (x >= xs.back()) return 1.0;
+  std::size_t i = 0;
+  while (xs[i + 1] <= x) ++i;  // O(K) walk; terminates: x < xs.back()
+  const double t = (x - xs[i]) / (xs[i + 1] - xs[i]);
+  return cum[i] + t * (cum[i + 1] - cum[i]);
+}
+
+double naive_partial_expectation(const dist::Empirical& law, double p) {
+  const std::vector<double>& xs = law.knots();
+  const std::vector<double>& cum = law.knot_cdf();
+  if (p < xs.front()) return 0.0;
+  double total = xs.front() * cum.front();  // atom at the minimum
+  if (p >= xs.back()) {
+    for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+      const double hi = xs[i + 1];
+      const double slope = (cum[i + 1] - cum[i]) / (xs[i + 1] - xs[i]);
+      total += slope * 0.5 * (hi * hi - xs[i] * xs[i]);
+    }
+    return total;
+  }
+  std::size_t i = 0;
+  while (xs[i + 1] <= p) {
+    const double hi = xs[i + 1];
+    const double slope = (cum[i + 1] - cum[i]) / (xs[i + 1] - xs[i]);
+    total += slope * 0.5 * (hi * hi - xs[i] * xs[i]);
+    ++i;
+  }
+  const double slope = (cum[i + 1] - cum[i]) / (xs[i + 1] - xs[i]);
+  return total + slope * 0.5 * (p * p - xs[i] * xs[i]);
+}
+
+}  // namespace
+
+double binomial_miss_tail(int n, double p, int m) {
+  SPOTBID_EXPECT(n >= 0, "binomial_miss_tail: n must be >= 0");
+  SPOTBID_REQUIRE_PROB(p, "binomial_miss_tail: p");
+  if (m <= 0) return 0.0;  // nothing needed: never misses
+  if (m > n) return 1.0;   // needs more slots than exist: always misses
+  if (p <= 0.0) return 1.0;
+  if (p >= 1.0) return 0.0;
+  // sum_{j=0}^{m-1} C(n,j) p^j (1-p)^{n-j}, each term assembled in log
+  // space so (1-p)^n underflow cannot zero the whole tail. log C(n,j) is
+  // built incrementally — no lgamma, whose global sign state is not
+  // thread-clean — and the summation order is fixed (j ascending), so the
+  // result is a pure function of (n, p, m).
+  const double log_p = std::log(p);
+  const double log_q = std::log1p(-p);
+  double log_choose = 0.0;
+  double tail = 0.0;
+  for (int j = 0; j < m; ++j) {
+    tail += std::exp(log_choose + static_cast<double>(j) * log_p +
+                     static_cast<double>(n - j) * log_q);
+    log_choose += std::log(static_cast<double>(n - j) / (static_cast<double>(j) + 1.0));
+  }
+  return tail < 1.0 ? tail : 1.0;
+}
+
+DeadlineCalculator::DeadlineCalculator(const bidding::SpotPriceModel& model, Hours deadline,
+                                       QueryPath path)
+    : model_(&model), deadline_(deadline), path_(path) {
+  SPOTBID_REQUIRE_FINITE(deadline.hours(), "DeadlineCalculator: deadline");
+  SPOTBID_EXPECT(deadline.hours() > 0.0, "DeadlineCalculator: deadline must be > 0");
+  const double slots = std::floor(deadline.hours() / model.slot_length().hours());
+  SPOTBID_EXPECT(slots >= 1.0, "DeadlineCalculator: deadline shorter than one slot");
+  SPOTBID_EXPECT(slots <= static_cast<double>(kMaxHorizonSlots),
+                 "DeadlineCalculator: deadline spans more than kMaxHorizonSlots slots");
+  horizon_ = static_cast<int>(slots);
+  empirical_ = dynamic_cast<const dist::Empirical*>(&model.distribution());
+}
+
+double DeadlineCalculator::acceptance(Money bid) const {
+  SPOTBID_REQUIRE_NOT_NAN(bid.usd(), "DeadlineCalculator::acceptance: bid");
+  counters().law_queries.increment();
+  if (path_ == QueryPath::kOracle && empirical_ != nullptr)
+    return naive_cdf(*empirical_, bid.usd());
+  return model_->acceptance(bid);
+}
+
+double DeadlineCalculator::partial_expectation(Money bid) const {
+  SPOTBID_REQUIRE_NOT_NAN(bid.usd(), "DeadlineCalculator::partial_expectation: bid");
+  counters().law_queries.increment();
+  if (path_ == QueryPath::kOracle && empirical_ != nullptr)
+    return naive_partial_expectation(*empirical_, bid.usd());
+  return model_->partial_expectation(bid);
+}
+
+int DeadlineCalculator::required_slots(double share, Hours execution_time) const {
+  SPOTBID_REQUIRE_PROB(share, "DeadlineCalculator::required_slots: share");
+  SPOTBID_REQUIRE_FINITE(execution_time.hours(),
+                         "DeadlineCalculator::required_slots: execution time");
+  SPOTBID_EXPECT(execution_time.hours() >= 0.0,
+                 "DeadlineCalculator::required_slots: execution time must be >= 0");
+  // ceil with a relative guard so shares that land exactly on a slot
+  // boundary (w = k t_k / W up to roundoff) do not demand a phantom slot.
+  const double slots = share * execution_time.hours() / model_->slot_length().hours();
+  return static_cast<int>(std::ceil(slots - 1e-9));
+}
+
+double DeadlineCalculator::miss_probability(Money bid, int need_slots) const {
+  return binomial_miss_tail(horizon_, acceptance(bid), need_slots);
+}
+
+double DeadlineCalculator::completion_cdf(std::span<const Level> levels, Hours execution_time,
+                                          Hours t) const {
+  SPOTBID_REQUIRE_FINITE(t.hours(), "DeadlineCalculator::completion_cdf: t");
+  counters().violation_evals.increment();
+  const int slots_in_t = static_cast<int>(std::floor(t.hours() / model_->slot_length().hours()));
+  double done = 1.0;
+  for (const Level& level : levels) {
+    const int need = required_slots(level.share, execution_time);
+    if (need <= 0) continue;  // share rounds to zero slots: already done
+    done *= 1.0 - binomial_miss_tail(slots_in_t, acceptance(level.bid), need);
+  }
+  return done;
+}
+
+double DeadlineCalculator::violation_probability(std::span<const Level> levels,
+                                                 Hours execution_time) const {
+  return 1.0 - completion_cdf(levels, execution_time, deadline_);
+}
+
+Money DeadlineCalculator::expected_spot_cost(std::span<const Level> levels,
+                                             Hours execution_time) const {
+  double usd = 0.0;
+  for (const Level& level : levels) {
+    const int need = required_slots(level.share, execution_time);
+    if (need <= 0) continue;
+    const double f = acceptance(level.bid);
+    if (!(f > 0.0)) return Money{kInf};  // a needed level that can never win
+    const double paid_per_hour = partial_expectation(level.bid) / f;  // eq. 9
+    usd += static_cast<double>(need) * model_->slot_length().hours() * paid_per_hour;
+  }
+  return Money{usd};
+}
+
+}  // namespace spotbid::portfolio

@@ -1,0 +1,239 @@
+#include "spotbid/portfolio/strategy.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <span>
+
+#include "spotbid/core/contracts.hpp"
+#include "spotbid/core/metrics.hpp"
+#include "spotbid/numeric/optimize.hpp"
+
+namespace spotbid::portfolio {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Slack on the violation-vs-epsilon comparison: the claimed violation is a
+/// product of binomial tails assembled in floating point; a plan sitting
+/// exactly on its budget must not flap infeasible over one ulp.
+constexpr double kFeasibilitySlack = 1e-12;
+
+/// The tilt family for splitting the epsilon budget across tranches
+/// (strategy.hpp): lambda = 1 is the symmetric split, the others push the
+/// budget toward the first / last tranche so the K bids spread out.
+constexpr std::array<double, 3> kTiltLambdas = {0.25, 1.0, 4.0};
+
+/// Bisection depth for the minimal-acceptance solve. 48 halvings of [0, 1]
+/// put the answer within 2^-48 — far below the quantile grid's resolution.
+constexpr int kAcceptanceBisections = 48;
+
+struct StrategyCounters {
+  metrics::Counter& optimizations;
+  metrics::Counter& degenerate;
+  metrics::Counter& tranche_solves;
+};
+
+StrategyCounters& counters() {
+  static StrategyCounters c{
+      metrics::Registry::global().counter("portfolio.optimizations"),
+      metrics::Registry::global().counter("portfolio.degenerate"),
+      metrics::Registry::global().counter("portfolio.tranche_solves"),
+  };
+  return c;
+}
+
+/// Smallest per-slot acceptance p with P(Bin(n, p) < m) <= budget. The tail
+/// is monotone non-increasing in p, so plain bisection; callers guarantee
+/// m <= n, which makes p = 1 (tail 0) always satisfy the budget.
+double minimal_acceptance(int n, int m, double budget) {
+  counters().tranche_solves.increment();
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int i = 0; i < kAcceptanceBisections; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (binomial_miss_tail(n, mid, m) <= budget) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+/// One candidate plan from the inner solve, before the outer search picks.
+struct Plan {
+  std::array<Level, kMaxLevels> levels{};
+  int level_count = 0;
+  double violation = 0.0;
+  double cost_usd = kInf;  ///< +inf marks an infeasible / unbuildable plan
+};
+
+}  // namespace
+
+PortfolioStrategy::PortfolioStrategy(const bidding::SpotPriceModel& model, QueryPath path)
+    : model_(&model), path_(path) {}
+
+PortfolioDecision PortfolioStrategy::degenerate_single_bid(const PortfolioQuery& query) const {
+  counters().degenerate.increment();
+  const bidding::BidDecision single = query.mode == DegenerateMode::kOneTime
+                                          ? bidding::one_time_bid(*model_, query.job)
+                                          : bidding::persistent_bid(*model_, query.job);
+  PortfolioDecision out;
+  out.degenerate = true;
+  out.backstop = model_->backstop();
+  out.expected_cost = single.expected_cost;
+  out.use_on_demand = single.use_on_demand;
+  if (single.use_on_demand) {
+    out.on_demand_share = 1.0;
+    out.level_count = 0;
+    out.violation = 0.0;  // the backstop never misses
+  } else {
+    out.on_demand_share = 0.0;
+    out.level_count = 1;
+    out.levels[0] = Level{single.bid, 1.0};
+    // Report the tranche model's violation at the chosen bid when the
+    // deadline spans at least one slot; a sub-slot deadline cannot be met
+    // by any spot tranche.
+    const double slots =
+        std::floor(query.deadline.hours() / model_->slot_length().hours());
+    if (slots >= 1.0 && slots <= static_cast<double>(kMaxHorizonSlots)) {
+      const DeadlineCalculator calc{*model_, query.deadline, path_};
+      out.violation =
+          calc.violation_probability(std::span{out.levels.data(), 1}, query.job.execution_time);
+    } else {
+      out.violation = 1.0;
+    }
+  }
+  out.feasible = out.violation <= query.epsilon + kFeasibilitySlack;
+  return out;
+}
+
+PortfolioDecision PortfolioStrategy::optimize(const PortfolioQuery& query) const {
+  SPOTBID_EXPECT(query.levels >= 1 && query.levels <= kMaxLevels,
+                 "PortfolioStrategy: levels must be in [1, kMaxLevels]");
+  SPOTBID_REQUIRE_FINITE(query.job.execution_time.hours(), "PortfolioStrategy: execution time");
+  SPOTBID_EXPECT(query.job.execution_time.hours() > 0.0,
+                 "PortfolioStrategy: execution time must be > 0");
+  SPOTBID_REQUIRE_FINITE(query.deadline.hours(), "PortfolioStrategy: deadline");
+  SPOTBID_EXPECT(query.deadline.hours() >= query.job.execution_time.hours(),
+                 "PortfolioStrategy: deadline must be >= execution time");
+  SPOTBID_REQUIRE_NOT_NAN(query.epsilon, "PortfolioStrategy: epsilon");
+  SPOTBID_EXPECT(query.epsilon >= 0.0, "PortfolioStrategy: epsilon must be >= 0");
+  counters().optimizations.increment();
+
+  // K = 1 without a real deadline constraint IS the paper's single-bid
+  // problem: defer to Prop. 4 / Prop. 5 verbatim (regression-tested
+  // bit-match).
+  if (query.levels == 1 && query.epsilon >= 1.0) return degenerate_single_bid(query);
+
+  const Money backstop = model_->backstop();
+  const Hours execution = query.job.execution_time;
+  const double all_on_demand_usd = backstop.usd() * execution.hours();
+
+  const auto all_on_demand = [&]() {
+    PortfolioDecision out;
+    out.level_count = 0;
+    out.on_demand_share = 1.0;
+    out.expected_cost = Money{all_on_demand_usd};
+    out.violation = 0.0;
+    out.feasible = true;
+    out.use_on_demand = true;
+    out.backstop = backstop;
+    return out;
+  };
+
+  const double slots = std::floor(query.deadline.hours() / model_->slot_length().hours());
+  // epsilon = 0 admits no spot risk at all, and a sub-slot horizon gives
+  // spot tranches nothing to win: the backstop carries the whole job.
+  if (query.epsilon <= 0.0 || slots < 1.0) return all_on_demand();
+  SPOTBID_EXPECT(slots <= static_cast<double>(kMaxHorizonSlots),
+                 "PortfolioStrategy: deadline spans more than kMaxHorizonSlots slots");
+
+  const DeadlineCalculator calc{*model_, query.deadline, path_};
+  const int horizon = calc.horizon_slots();
+  const int k_levels = query.levels;
+  const double eps = query.epsilon;
+  const double log_survive = std::log1p(-std::min(eps, 1.0));  // log(1 - eps), -inf when eps >= 1
+
+  // Inner solve (strategy.hpp): given the backstop share and a tilt, build
+  // the cheapest plan whose per-tranche budgets multiply out to eps.
+  const auto solve_inner = [&](double w_od, double lambda) {
+    Plan plan;
+    const double spot_share = 1.0 - w_od;
+    if (spot_share <= 1e-12) {
+      plan.level_count = 0;
+      plan.violation = 0.0;
+      plan.cost_usd = all_on_demand_usd;
+      return plan;
+    }
+    double tilt_total = 0.0;
+    double tilt = 1.0;
+    for (int k = 0; k < k_levels; ++k, tilt *= lambda) tilt_total += tilt;
+    tilt = 1.0;
+    for (int k = 0; k < k_levels; ++k, tilt *= lambda) {
+      const double share = spot_share / static_cast<double>(k_levels);
+      const int need = calc.required_slots(share, execution);
+      if (need > horizon) return plan;  // tranche cannot fit: +inf stands
+      if (need <= 0) {
+        plan.levels[plan.level_count++] = Level{model_->min_bid(), share};
+        continue;
+      }
+      // eps_k = 1 - (1 - eps)^{u_k} with u_k = tilt / tilt_total, so the
+      // survival probabilities multiply back to exactly 1 - eps.
+      const double budget = -std::expm1((tilt / tilt_total) * log_survive);
+      const double p_star = minimal_acceptance(horizon, need, budget);
+      const Money bid = std::clamp(model_->quantile(std::min(p_star, 1.0)), model_->min_bid(),
+                                   model_->max_bid());
+      plan.levels[plan.level_count++] = Level{bid, share};
+    }
+    const std::span<const Level> built{plan.levels.data(),
+                                       static_cast<std::size_t>(plan.level_count)};
+    // Feasibility is judged on the *achieved* violation: quantile rounding
+    // and the max_bid cap can land off the per-tranche budgets.
+    plan.violation = calc.violation_probability(built, execution);
+    if (plan.violation > eps + kFeasibilitySlack) return plan;  // cost stays +inf
+    const Money spot = calc.expected_spot_cost(built, execution);
+    if (!std::isfinite(spot.usd())) return plan;
+    plan.cost_usd = spot.usd() + w_od * all_on_demand_usd;
+    return plan;
+  };
+
+  // Outer search: a coarse grid-plus-golden sweep over the backstop share
+  // for each tilt, with w_0 = 1 always in the running as the feasible
+  // fallback. Loose tolerances on purpose — the objective is piecewise
+  // from the ceil() in required_slots, and serve latency matters more than
+  // the last fraction of a cent.
+  const numeric::MinimizeOptions options{.x_tolerance = 1e-3, .max_iterations = 32};
+  double best_w_od = 1.0;
+  double best_lambda = kTiltLambdas.front();
+  double best_cost = all_on_demand_usd;
+  for (const double lambda : kTiltLambdas) {
+    const auto objective = [&](double w_od) { return solve_inner(w_od, lambda).cost_usd; };
+    const numeric::MinimizeResult found =
+        numeric::grid_then_golden(objective, 0.0, 1.0, /*n_grid=*/8, options);
+    if (found.f < best_cost) {
+      best_cost = found.f;
+      best_w_od = found.x;
+      best_lambda = lambda;
+    }
+  }
+
+  if (!(best_cost < all_on_demand_usd)) return all_on_demand();
+
+  const Plan best = solve_inner(best_w_od, best_lambda);
+  PortfolioDecision out;
+  out.levels = best.levels;
+  out.level_count = best.level_count;
+  out.on_demand_share = best_w_od;
+  out.expected_cost = Money{best.cost_usd};
+  out.violation = best.violation;
+  out.feasible = best.violation <= eps + kFeasibilitySlack;
+  out.use_on_demand = false;
+  out.backstop = backstop;
+  return out;
+}
+
+}  // namespace spotbid::portfolio

@@ -13,6 +13,7 @@
 #include "spotbid/core/contracts.hpp"
 #include "spotbid/core/metrics.hpp"
 #include "spotbid/dist/empirical.hpp"
+#include "spotbid/portfolio/strategy.hpp"
 
 namespace spotbid::serve {
 
@@ -20,7 +21,7 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-constexpr std::size_t kKindCount = 5;
+constexpr std::size_t kKindCount = 6;
 constexpr std::size_t kStatusCount = 6;
 
 /// Deterministic per-kind / per-status tallies: counts depend only on the
@@ -96,6 +97,22 @@ bool optimal_bid_valid(const Request& q) {
 
 bool provider_price_valid(const Request& q) {
   return std::isfinite(q.demand) && q.demand > 0.0;
+}
+
+bool portfolio_valid(const Request& q) {
+  if (!(std::isfinite(q.job.execution_time.hours()) && q.job.execution_time.hours() > 0.0))
+    return false;
+  if (!(std::isfinite(q.job.recovery_time.hours()) && q.job.recovery_time.hours() >= 0.0))
+    return false;
+  if (!(std::isfinite(q.deadline.hours()) && q.deadline >= q.job.execution_time)) return false;
+  if (std::isnan(q.epsilon) || q.epsilon < 0.0) return false;
+  if (q.levels < 1 || q.levels > kMaxPortfolioLevels) return false;
+  // The K=1, epsilon>=1 degeneration answers with Prop. 4/5, so it inherits
+  // their preconditions (persistent_bid needs t_s > t_r).
+  if (q.levels == 1 && q.epsilon >= 1.0 && q.mode == BidMode::kPersistent &&
+      !(q.job.execution_time > q.job.recovery_time))
+    return false;
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -186,6 +203,67 @@ Response answer_provider_price(const ModelSnapshot& snapshot, const Request& q) 
   return r;
 }
 
+/// serve.portfolio.* telemetry (docs/METRICS.md): pure functions of the
+/// executed request set — inside the determinism contract like every other
+/// serve.* metric.
+struct PortfolioServeMetrics {
+  metrics::Histogram& levels;
+  metrics::Counter& on_demand_fallback;
+  metrics::Counter& degenerate;
+};
+
+PortfolioServeMetrics& portfolio_metrics() {
+  static constexpr std::array<double, 5> kLevelBounds = {1.5, 2.5, 4.5, 8.5, 16.5};
+  static PortfolioServeMetrics m{
+      metrics::Registry::global().histogram("serve.portfolio.levels", kLevelBounds),
+      metrics::Registry::global().counter("serve.portfolio.on_demand_fallback"),
+      metrics::Registry::global().counter("serve.portfolio.degenerate"),
+  };
+  return m;
+}
+
+Response answer_portfolio(const ModelSnapshot& snapshot, const Request& q) {
+  // Horizon cap: checkable only with the snapshot's slot length in hand,
+  // hence here rather than in portfolio_valid.
+  const double slots =
+      std::floor(q.deadline.hours() / snapshot.model().slot_length().hours());
+  if (slots > static_cast<double>(portfolio::kMaxHorizonSlots))
+    return invalid_response(snapshot, q);
+
+  portfolio::PortfolioQuery query;
+  query.job = q.job;
+  query.deadline = q.deadline;
+  query.epsilon = q.epsilon;
+  query.levels = q.levels;
+  query.mode = q.mode == BidMode::kOneTime ? portfolio::DegenerateMode::kOneTime
+                                           : portfolio::DegenerateMode::kPersistent;
+  const portfolio::PortfolioStrategy strategy{snapshot.model()};
+  const portfolio::PortfolioDecision d = strategy.optimize(query);
+
+  PortfolioServeMetrics& m = portfolio_metrics();
+  m.levels.observe(static_cast<double>(q.levels));
+  if (d.use_on_demand) m.on_demand_fallback.increment();
+  if (d.degenerate) m.degenerate.increment();
+
+  Response r = base_response(snapshot, q);
+  r.level_count = static_cast<std::uint8_t>(d.level_count);
+  for (int k = 0; k < d.level_count; ++k)
+    r.levels[static_cast<std::size_t>(k)] =
+        PortfolioLevel{d.levels[static_cast<std::size_t>(k)].bid,
+                       d.levels[static_cast<std::size_t>(k)].share};
+  r.on_demand_share = d.on_demand_share;
+  r.violation = d.violation;
+  r.expected_cost = d.expected_cost;
+  r.expected_hours = q.deadline;
+  r.bid = d.level_count > 0 ? d.levels[0].bid : d.backstop;
+  r.acceptance = d.level_count > 0 ? snapshot.model().acceptance(d.levels[0].bid) : 1.0;
+  r.feasible = d.feasible;
+  r.use_on_demand = d.use_on_demand;
+  r.price = d.backstop;
+  r.status = Status::kOk;
+  return r;
+}
+
 /// Scalar dispatch without metrics (the public entry points tally).
 Response run_scalar(const ModelSnapshot& snapshot, const Request& q) {
   try {
@@ -206,6 +284,11 @@ Response run_scalar(const ModelSnapshot& snapshot, const Request& q) {
       case Kind::kProviderPrice:
         if (!provider_price_valid(q)) return invalid_response(snapshot, q);
         return answer_provider_price(snapshot, q);
+      case Kind::kPortfolioBid:
+        // Optimizer kind: scalar path only (batchable() excludes it), so
+        // the 1-vs-N-worker bit-identity holds by construction.
+        if (!portfolio_valid(q)) return invalid_response(snapshot, q);
+        return answer_portfolio(snapshot, q);
     }
     return invalid_response(snapshot, q);  // unknown kind byte
   } catch (const std::exception&) {

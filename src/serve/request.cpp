@@ -14,6 +14,8 @@ std::string_view kind_name(Kind kind) {
       return "persistent_feasibility";
     case Kind::kProviderPrice:
       return "provider_price";
+    case Kind::kPortfolioBid:
+      return "portfolio_bid";
   }
   return "unknown";
 }

@@ -242,6 +242,7 @@ std::vector<std::uint8_t> serialize_snapshot(const ModelSnapshot& snapshot) {
   const bidding::SpotPriceModel& model = snapshot.model();
   payload.f64(model.on_demand().usd());
   payload.f64(model.slot_length().hours());
+  payload.f64(model.backstop().usd());  // v2 field
 
   if (const dist::Empirical* empirical = snapshot.empirical()) {
     payload.u8(static_cast<std::uint8_t>(LawTag::kEmpirical));
@@ -280,10 +281,11 @@ std::shared_ptr<ModelSnapshot> parse_snapshot(std::span<const std::uint8_t> byte
   if (bytes.size() < 24) fail(SnapshotIoCode::kTruncated, "file shorter than the header");
   if (header.u32() != kSnapshotMagic)
     fail(SnapshotIoCode::kBadMagic, "not a spotbid snapshot file");
-  if (const std::uint32_t version = header.u32(); version != kSnapshotVersion)
+  const std::uint32_t version = header.u32();
+  if (version < kMinSnapshotVersion || version > kSnapshotVersion)
     fail(SnapshotIoCode::kBadVersion,
          "format version " + std::to_string(version) + ", this build speaks " +
-             std::to_string(kSnapshotVersion));
+             std::to_string(kMinSnapshotVersion) + ".." + std::to_string(kSnapshotVersion));
   const std::uint64_t payload_len = header.u64();
   const std::uint64_t checksum = header.u64();
   if (bytes.size() - header.pos != payload_len)
@@ -304,6 +306,9 @@ std::shared_ptr<ModelSnapshot> parse_snapshot(std::span<const std::uint8_t> byte
   const double theta = r.f64();
   const double on_demand = r.f64();
   const double slot_length = r.f64();
+  // v1 files predate the portfolio backstop: fall back to the on-demand
+  // price, which is exactly SpotPriceModel's cold-calibration default.
+  const double backstop = version >= 2 ? r.f64() : on_demand;
   const auto tag = r.u8();
 
   // Model constructors enforce their own invariants via contracts; surface
@@ -333,8 +338,10 @@ std::shared_ptr<ModelSnapshot> parse_snapshot(std::span<const std::uint8_t> byte
     if (!r.done())
       fail(SnapshotIoCode::kMalformed,
            std::to_string(r.bytes.size() - r.pos) + " trailing payload byte(s)");
+    bidding::SpotPriceModel model{std::move(law), Money{on_demand}, Hours{slot_length}};
+    model.set_backstop(Money{backstop});
     return std::make_shared<ModelSnapshot>(
-        key, bidding::SpotPriceModel{std::move(law), Money{on_demand}, Hours{slot_length}},
+        key, std::move(model),
         provider::ProviderModel{Money{pi_bar}, Money{pi_min}, beta, theta});
   } catch (const SnapshotIoError&) {
     throw;

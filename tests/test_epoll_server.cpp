@@ -140,6 +140,63 @@ TEST(EpollServer, ReplyBytesMatchThreadedServerBitForBit) {
   threaded_service.stop();
 }
 
+TEST(EpollServer, PortfolioBidIsBitIdenticalToTheEngine) {
+  EpollDaemon daemon;
+  BidClient client{"127.0.0.1", daemon.server.port()};
+  EXPECT_EQ(client.negotiated_version(), kProtocolVersion);
+  const auto snapshot = test_store().find("us-east-1/r3.xlarge");
+  ASSERT_NE(snapshot, nullptr);
+  for (const int levels : {1, 4, 8}) {
+    serve::Request q = base_request(serve::Kind::kPortfolioBid);
+    q.deadline = Hours{8.0};
+    q.epsilon = 0.05;
+    q.levels = static_cast<std::uint8_t>(levels);
+    const serve::Response over_wire = client.ask(q);
+    const serve::Response direct = serve::execute_one(snapshot.get(), q);
+    EXPECT_EQ(over_wire, direct) << "K=" << levels;
+    EXPECT_EQ(over_wire.status, serve::Status::kOk);
+  }
+}
+
+TEST(EpollServer, CrossVersionScriptMatchesThreadedServerBitForBit) {
+  // The negotiation and version-mismatch paths must also be byte-identical
+  // across front-ends: v1 HELLO (negotiates down), a v1 request (v1 reply
+  // bytes), portfolio_bid smuggled into a v1 frame (typed kVersionMismatch,
+  // connection survives), a v2 portfolio request, then a version-0 HELLO
+  // (below the floor: error + close, the script's natural EOF).
+  EpollDaemon epoll_daemon;
+  serve::BidService threaded_service{test_store(), {}};
+  Server threaded_server{threaded_service};
+  threaded_server.start();
+
+  std::vector<std::uint8_t> script;
+  const auto append = [&script](const std::vector<std::uint8_t>& bytes) {
+    script.insert(script.end(), bytes.begin(), bytes.end());
+  };
+  append(encode_hello(1, 1));
+  append(encode_request(2, base_request(serve::Kind::kRunLength), 1));
+  std::vector<std::uint8_t> smuggled =
+      encode_request(3, base_request(serve::Kind::kRunLength), 1);
+  smuggled[4 + 10 + 20] = static_cast<std::uint8_t>(serve::Kind::kPortfolioBid);
+  append(smuggled);
+  serve::Request portfolio = base_request(serve::Kind::kPortfolioBid);
+  portfolio.deadline = Hours{8.0};
+  portfolio.epsilon = 0.05;
+  portfolio.levels = 4;
+  append(encode_request(4, portfolio));
+  append({10, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0});  // version-0 HELLO
+
+  const std::vector<std::uint8_t> from_epoll =
+      reply_bytes(epoll_daemon.server.port(), script);
+  const std::vector<std::uint8_t> from_threaded =
+      reply_bytes(threaded_server.port(), script);
+  EXPECT_EQ(from_epoll, from_threaded);
+  EXPECT_FALSE(from_epoll.empty());
+
+  threaded_server.stop();
+  threaded_service.stop();
+}
+
 TEST(EpollServer, FramesDribbledOneByteAtATime) {
   EpollDaemon daemon;
   TcpStream raw = TcpStream::connect("127.0.0.1", daemon.server.port());

@@ -243,6 +243,120 @@ TEST(NetServer, ManyConnectionsServeConcurrently) {
   EXPECT_EQ(daemon.server.connections_accepted(), static_cast<std::uint64_t>(kClients));
 }
 
+serve::Request portfolio_request() {
+  serve::Request q = base_request(serve::Kind::kPortfolioBid);
+  q.deadline = Hours{8.0};
+  q.epsilon = 0.05;
+  q.levels = 4;
+  return q;
+}
+
+/// Read one whole frame (length prefix + payload) off a raw stream.
+/// Callers must keep the returned vector alive while using the Frame a
+/// decode of it yields — Frame::body aliases these bytes.
+std::vector<std::uint8_t> read_frame(TcpStream& stream) {
+  std::uint8_t prefix[4];
+  EXPECT_TRUE(stream.read_exact(prefix));
+  std::vector<std::uint8_t> payload(
+      decode_frame_length(std::span<const std::uint8_t, 4>{prefix}));
+  EXPECT_TRUE(stream.read_exact(payload));
+  return payload;
+}
+
+TEST(NetServer, PortfolioBidIsBitIdenticalToTheEngine) {
+  LiveDaemon daemon;
+  BidClient client{"127.0.0.1", daemon.server.port()};
+  EXPECT_EQ(client.negotiated_version(), kProtocolVersion);
+  const auto snapshot = test_store().find("us-east-1/r3.xlarge");
+  ASSERT_NE(snapshot, nullptr);
+  for (const int levels : {1, 4, 8}) {
+    serve::Request q = portfolio_request();
+    q.levels = static_cast<std::uint8_t>(levels);
+    const serve::Response over_wire = client.ask(q);
+    const serve::Response direct = serve::execute_one(snapshot.get(), q);
+    EXPECT_EQ(over_wire, direct) << "K=" << levels;
+    EXPECT_EQ(over_wire.status, serve::Status::kOk);
+  }
+}
+
+TEST(NetServer, V1ClientKeepsReceivingByteIdenticalV1Frames) {
+  // A v1 peer: HELLO at version 1 negotiates down, and every later reply
+  // arrives encoded at version 1 — byte-for-byte what the v1 server sent.
+  LiveDaemon daemon;
+  TcpStream raw = TcpStream::connect("127.0.0.1", daemon.server.port());
+  raw.write_all(encode_hello(0, 1));
+  const std::vector<std::uint8_t> hello_payload = read_frame(raw);
+  const Frame hello = decode_frame(hello_payload);
+  ASSERT_EQ(hello.type, FrameType::kHello);
+  EXPECT_EQ(hello.version, 1);  // min(client 1, server 2)
+
+  serve::Request q = base_request(serve::Kind::kRunLength);
+  raw.write_all(encode_request(7, q, 1));
+  const std::vector<std::uint8_t> payload = read_frame(raw);
+  const Frame reply = decode_frame(payload);
+  ASSERT_EQ(reply.type, FrameType::kResponse);
+  EXPECT_EQ(reply.version, 1);  // reply encoded at the request frame's version
+  const auto snapshot = test_store().find("us-east-1/r3.xlarge");
+  const serve::Response direct = serve::execute_one(snapshot.get(), q);
+  std::vector<std::uint8_t> expected = encode_response(7, direct, 1);
+  expected.erase(expected.begin(), expected.begin() + 4);  // drop length prefix
+  EXPECT_EQ(payload, expected);
+}
+
+TEST(NetServer, PortfolioInV1FrameIsVersionMismatchWithoutClose) {
+  LiveDaemon daemon;
+  TcpStream raw = TcpStream::connect("127.0.0.1", daemon.server.port());
+  // A well-formed v1 request whose kind byte names portfolio_bid: the
+  // vocabulary needs v2, so the server answers kVersionMismatch — and the
+  // connection survives (unlike kMalformed).
+  std::vector<std::uint8_t> bytes = encode_request(9, base_request(serve::Kind::kRunLength), 1);
+  bytes[4 + 10 + 1 + base_request(serve::Kind::kRunLength).key.size()] =
+      static_cast<std::uint8_t>(serve::Kind::kPortfolioBid);
+  raw.write_all(bytes);
+  const std::vector<std::uint8_t> reply_payload = read_frame(raw);
+  const Frame reply = decode_frame(reply_payload);
+  ASSERT_EQ(reply.type, FrameType::kError);
+  EXPECT_EQ(reply.seq, 9u);
+  EXPECT_EQ(decode_error_body(reply).code, ErrorCode::kVersionMismatch);
+  // The same connection still answers a valid request.
+  raw.write_all(encode_request(10, base_request(serve::Kind::kRunLength), 1));
+  const std::vector<std::uint8_t> next_payload = read_frame(raw);
+  const Frame next = decode_frame(next_payload);
+  EXPECT_EQ(next.type, FrameType::kResponse);
+  EXPECT_EQ(next.seq, 10u);
+}
+
+TEST(NetServer, AncientHelloIsRejectedAndClosed) {
+  LiveDaemon daemon;
+  TcpStream raw = TcpStream::connect("127.0.0.1", daemon.server.port());
+  // Version 0 HELLO (hand-built: encode_hello refuses to make one): below
+  // the floor, nothing can be negotiated.
+  const std::vector<std::uint8_t> hello{10, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0};
+  raw.write_all(hello);
+  const std::vector<std::uint8_t> reply_payload = read_frame(raw);
+  const Frame reply = decode_frame(reply_payload);
+  ASSERT_EQ(reply.type, FrameType::kError);
+  EXPECT_EQ(decode_error_body(reply).code, ErrorCode::kVersionMismatch);
+  std::uint8_t byte[1];
+  EXPECT_FALSE(raw.read_exact(byte));  // connection closed
+}
+
+TEST(NetServer, FutureHelloNegotiatesDownToCurrent) {
+  LiveDaemon daemon;
+  TcpStream raw = TcpStream::connect("127.0.0.1", daemon.server.port());
+  // Version 3 HELLO from the future: the server offers its own version.
+  const std::vector<std::uint8_t> hello{10, 0, 0, 0, 3, 1, 0, 0, 0, 0, 0, 0, 0, 0};
+  raw.write_all(hello);
+  const std::vector<std::uint8_t> reply_payload = read_frame(raw);
+  const Frame reply = decode_frame(reply_payload);
+  ASSERT_EQ(reply.type, FrameType::kHello);
+  EXPECT_EQ(reply.version, kProtocolVersion);
+  // The connection goes on working at the negotiated version.
+  raw.write_all(encode_request(4, portfolio_request()));
+  const std::vector<std::uint8_t> next_payload = read_frame(raw);
+  EXPECT_EQ(decode_frame(next_payload).type, FrameType::kResponse);
+}
+
 TEST(NetServer, StopFlushesAndClientSeesEof) {
   auto daemon = std::make_unique<LiveDaemon>();
   BidClient client{"127.0.0.1", daemon->server.port()};

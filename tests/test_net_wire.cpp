@@ -1,13 +1,17 @@
 // Tests for the wire codec: golden byte images pinning the exact frames
 // documented in docs/PROTOCOL.md's worked examples (so doc and code cannot
-// drift), encode/decode round-trips over every kind/mode/status, and
-// rejection of truncated, oversized, and out-of-range frames — decoders
-// must throw WireError, never crash or return partial messages.
+// drift) at BOTH protocol versions — encoding at version 1 must reproduce
+// the pre-portfolio byte stream exactly — encode/decode round-trips over
+// every kind/mode/status, the WireVersionError taxonomy (version outside
+// the spoken range, portfolio_bid in a v1 frame), and rejection of
+// truncated, oversized, and out-of-range frames — decoders must throw
+// WireError, never crash or return partial messages.
 
 #include "spotbid/net/wire.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -103,6 +107,83 @@ constexpr char kExampleHelloHex[] =
     "01 01"                     // version 1, HELLO
     "00 00 00 00 00 00 00 00";  // seq 0
 
+constexpr char kExampleHelloV2Hex[] =
+    "0a 00 00 00"               // length = 10
+    "02 01"                     // version 2, HELLO
+    "00 00 00 00 00 00 00 00";  // seq 0
+
+/// The §6.4 worked portfolio request: seq 11, K=4 portfolio for a 2h job
+/// with a 6h deadline at epsilon = 0.1.
+serve::Request example_portfolio_request() {
+  serve::Request q;
+  q.key = "us-east-1/r3.xlarge";
+  q.kind = serve::Kind::kPortfolioBid;
+  q.mode = serve::BidMode::kPersistent;
+  q.job = bidding::JobSpec{Hours{2.0}, Hours{0.5}};
+  q.deadline = Hours{6.0};
+  q.epsilon = 0.1;
+  q.levels = 4;
+  return q;
+}
+
+constexpr char kExamplePortfolioRequestHex[] =
+    "51 00 00 00"                 // length = 81
+    "02 02"                       // version 2, REQUEST
+    "0b 00 00 00 00 00 00 00"     // seq 11
+    "13"                          // key length 19
+    "75 73 2d 65 61 73 74 2d 31"  // "us-east-1"
+    "2f 72 33 2e 78 6c 61 72 67 65"  // "/r3.xlarge"
+    "05 01"                       // kind=portfolio_bid, mode=persistent
+    "00 00 00 00 00 00 00 00"     // bid 0.0 (unused)
+    "00 00 00 00 00 00 00 40"     // t_s 2.0
+    "00 00 00 00 00 00 e0 3f"     // t_r 0.5
+    "00 00 00 00 00 00 00 00"     // demand 0.0
+    "00 00 00 00 00 00 18 40"     // deadline 6.0
+    "9a 99 99 99 99 99 b9 3f"     // epsilon 0.1
+    "04";                         // levels 4
+
+/// The §6.5 worked portfolio response: two spot tranches plus a 25%
+/// on-demand backstop at the $0.25 on-demand price.
+serve::Response example_portfolio_response() {
+  serve::Response p;
+  p.status = serve::Status::kOk;
+  p.kind = serve::Kind::kPortfolioBid;
+  p.epoch = 3;
+  p.bid = Money{0.08};
+  p.expected_cost = Money{0.75};
+  p.expected_hours = Hours{6.0};
+  p.acceptance = 0.875;
+  p.feasible = true;
+  p.use_on_demand = false;
+  p.price = Money{0.25};
+  p.violation = 0.05;
+  p.on_demand_share = 0.25;
+  p.level_count = 2;
+  p.levels[0] = serve::PortfolioLevel{Money{0.08}, 0.375};
+  p.levels[1] = serve::PortfolioLevel{Money{0.12}, 0.375};
+  return p;
+}
+
+constexpr char kExamplePortfolioResponseHex[] =
+    "6f 00 00 00"              // length = 111
+    "02 03"                    // version 2, RESPONSE
+    "0b 00 00 00 00 00 00 00"  // seq 11
+    "00 05"                    // status=ok, kind=portfolio_bid
+    "03 00 00 00 00 00 00 00"  // epoch 3
+    "7b 14 ae 47 e1 7a b4 3f"  // bid 0.08 (first tranche's)
+    "00 00 00 00 00 00 e8 3f"  // expected_cost 0.75
+    "00 00 00 00 00 00 18 40"  // expected_hours 6.0 (echoed deadline)
+    "00 00 00 00 00 00 ec 3f"  // acceptance 0.875
+    "01 00"                    // feasible=1, use_on_demand=0
+    "00 00 00 00 00 00 d0 3f"  // price 0.25 (backstop)
+    "9a 99 99 99 99 99 a9 3f"  // violation 0.05
+    "00 00 00 00 00 00 d0 3f"  // on_demand_share 0.25
+    "02"                       // level_count 2
+    "7b 14 ae 47 e1 7a b4 3f"  // levels[0].bid 0.08
+    "00 00 00 00 00 00 d8 3f"  // levels[0].share 0.375
+    "b8 1e 85 eb 51 b8 be 3f"  // levels[1].bid 0.12
+    "00 00 00 00 00 00 d8 3f";  // levels[1].share 0.375
+
 /// Split a full frame image into (length, payload) through the real prefix
 /// decoder.
 std::span<const std::uint8_t> payload_of(const std::vector<std::uint8_t>& frame) {
@@ -112,27 +193,55 @@ std::span<const std::uint8_t> payload_of(const std::vector<std::uint8_t>& frame)
   return std::span<const std::uint8_t>{frame}.subspan(4);
 }
 
-TEST(NetWire, GoldenRequestFrame) {
-  EXPECT_EQ(encode_request(7, example_request()), from_hex(kExampleRequestHex));
+// Encoding at an explicit version 1 must reproduce the pre-portfolio byte
+// stream EXACTLY — these images are what a v1 peer keeps receiving from a
+// v2 server (per-frame versioning, docs/PROTOCOL.md §3).
+TEST(NetWire, GoldenRequestFrameV1) {
+  EXPECT_EQ(encode_request(7, example_request(), 1), from_hex(kExampleRequestHex));
 }
 
-TEST(NetWire, GoldenResponseFrame) {
-  EXPECT_EQ(encode_response(7, example_response()), from_hex(kExampleResponseHex));
+TEST(NetWire, GoldenResponseFrameV1) {
+  EXPECT_EQ(encode_response(7, example_response(), 1), from_hex(kExampleResponseHex));
 }
 
-TEST(NetWire, GoldenErrorFrame) {
-  EXPECT_EQ(encode_error(9, ErrorCode::kOverloaded, "queue full"),
+TEST(NetWire, GoldenErrorFrameV1) {
+  EXPECT_EQ(encode_error(9, ErrorCode::kOverloaded, "queue full", 1),
             from_hex(kExampleErrorHex));
 }
 
-TEST(NetWire, GoldenHelloFrame) {
-  EXPECT_EQ(encode_hello(0), from_hex(kExampleHelloHex));
+TEST(NetWire, GoldenHelloFrameV1) {
+  EXPECT_EQ(encode_hello(0, 1), from_hex(kExampleHelloHex));
+}
+
+TEST(NetWire, GoldenHelloFrameV2) {
+  EXPECT_EQ(encode_hello(0), from_hex(kExampleHelloV2Hex));
+}
+
+TEST(NetWire, GoldenPortfolioRequestFrameV2) {
+  EXPECT_EQ(encode_request(11, example_portfolio_request()),
+            from_hex(kExamplePortfolioRequestHex));
+}
+
+TEST(NetWire, GoldenPortfolioResponseFrameV2) {
+  EXPECT_EQ(encode_response(11, example_portfolio_response()),
+            from_hex(kExamplePortfolioResponseHex));
+}
+
+// A v2 frame is its v1 image with the portfolio fields appended — nothing
+// in the shared prefix moved.
+TEST(NetWire, Version2ExtendsVersion1Bodies) {
+  const auto v1 = encode_request(7, example_request(), 1);
+  const auto v2 = encode_request(7, example_request(), 2);
+  ASSERT_EQ(v2.size(), v1.size() + 17);  // deadline f64, epsilon f64, levels u8
+  // Past the length prefix and version byte, the v1 body is a prefix of v2.
+  EXPECT_TRUE(std::equal(v1.begin() + 5, v1.end(), v2.begin() + 5));
 }
 
 TEST(NetWire, RequestRoundTripsEveryKindAndMode) {
   for (const serve::Kind kind :
        {serve::Kind::kOptimalBid, serve::Kind::kExpectedCost, serve::Kind::kRunLength,
-        serve::Kind::kPersistentFeasibility, serve::Kind::kProviderPrice}) {
+        serve::Kind::kPersistentFeasibility, serve::Kind::kProviderPrice,
+        serve::Kind::kPortfolioBid}) {
     for (const serve::BidMode mode : {serve::BidMode::kOneTime, serve::BidMode::kPersistent}) {
       serve::Request q = example_request();
       q.kind = kind;
@@ -163,6 +272,72 @@ TEST(NetWire, ResponseRoundTripsBitIdentically) {
     const Frame decoded = decode_frame(payload_of(frame));
     EXPECT_EQ(decode_response_body(decoded), p);
   }
+}
+
+TEST(NetWire, PortfolioRequestRoundTripsBitIdentically) {
+  serve::Request q = example_portfolio_request();
+  q.epsilon = 1.0 / 3.0;  // not exactly representable in fewer bits
+  q.deadline = Hours{7.0000000001};
+  q.levels = serve::kMaxPortfolioLevels;
+  const auto frame = encode_request(13, q);
+  EXPECT_EQ(decode_request_body(decode_frame(payload_of(frame))), q);
+}
+
+TEST(NetWire, PortfolioResponseRoundTripsBitIdentically) {
+  serve::Response p = example_portfolio_response();
+  p.level_count = serve::kMaxPortfolioLevels;
+  for (int i = 0; i < serve::kMaxPortfolioLevels; ++i) {
+    p.levels[static_cast<std::size_t>(i)] =
+        serve::PortfolioLevel{Money{0.01 * (i + 1)}, 1.0 / (i + 2.0)};
+  }
+  const auto frame = encode_response(14, p);
+  EXPECT_EQ(decode_response_body(decode_frame(payload_of(frame))), p);
+}
+
+TEST(NetWire, Version1RoundTripStillWorks) {
+  // A v2 build must keep speaking v1 end-to-end: encode at 1, decode the
+  // frame (version byte 1 selects the v1 body layout), and the portfolio
+  // fields come back at their defaults.
+  serve::Request q = example_request();
+  const auto frame = encode_request(21, q, 1);
+  const Frame decoded = decode_frame(payload_of(frame));
+  EXPECT_EQ(decoded.version, 1);
+  EXPECT_EQ(decode_request_body(decoded), q);
+  serve::Response p = example_response();
+  const auto reply = encode_response(21, p, 1);
+  EXPECT_EQ(decode_response_body(decode_frame(payload_of(reply))), p);
+}
+
+TEST(NetWire, VersionRangeIsEnforcedByEncoders) {
+  for (const std::uint8_t bad : {std::uint8_t{0}, std::uint8_t{3}}) {
+    EXPECT_THROW((void)encode_hello(0, bad), WireVersionError);
+    EXPECT_THROW((void)encode_request(1, example_request(), bad), WireVersionError);
+    EXPECT_THROW((void)encode_response(1, example_response(), bad), WireVersionError);
+    EXPECT_THROW((void)encode_error(1, ErrorCode::kMalformed, "x", bad), WireVersionError);
+  }
+}
+
+TEST(NetWire, PortfolioNeedsVersion2) {
+  // Encoding a portfolio_bid request into a v1 frame is a version error,
+  // not a malformed frame.
+  EXPECT_THROW((void)encode_request(1, example_portfolio_request(), 1), WireVersionError);
+  // So is decoding a v1 frame whose kind byte names portfolio_bid: the
+  // bytes are well-formed, the vocabulary is just newer than the frame.
+  auto bytes = encode_request(1, example_request(), 1);
+  bytes[4 + 10 + 20] = 5;  // kind byte := portfolio_bid
+  const Frame frame = decode_frame(std::span<const std::uint8_t>{bytes}.subspan(4));
+  EXPECT_THROW((void)decode_request_body(frame), WireVersionError);
+}
+
+TEST(NetWire, OversizedLevelCountIsRejected) {
+  serve::Response p = example_portfolio_response();
+  p.level_count = serve::kMaxPortfolioLevels + 1;
+  EXPECT_THROW((void)encode_response(1, p), WireError);
+  auto bytes = from_hex(kExamplePortfolioResponseHex);
+  bytes[4 + 10 + 2 + 8 + 4 * 8 + 2 + 8 + 8 + 8] = 17;  // level_count byte
+  EXPECT_THROW((void)decode_response_body(
+                   decode_frame(std::span<const std::uint8_t>{bytes}.subspan(4))),
+               WireError);
 }
 
 TEST(NetWire, NonFiniteDoublesRoundTrip) {
@@ -237,17 +412,21 @@ TEST(NetWire, UnknownEnumValuesAreRejected) {
   hello[5] = 9;
   EXPECT_THROW((void)decode_frame(std::span<const std::uint8_t>{hello}.subspan(4)),
                WireError);
-  // Unknown version on a non-hello frame.
+  // Unknown version on a non-hello frame — the typed WireVersionError, so
+  // servers can answer kVersionMismatch instead of closing as malformed.
   auto request = from_hex(kExampleRequestHex);
-  request[4] = 2;
+  request[4] = 3;
   EXPECT_THROW((void)decode_frame(std::span<const std::uint8_t>{request}.subspan(4)),
-               WireError);
+               WireVersionError);
+  request[4] = 0;
+  EXPECT_THROW((void)decode_frame(std::span<const std::uint8_t>{request}.subspan(4)),
+               WireVersionError);
   // Unknown version on a HELLO decodes (negotiation must see it)...
   auto future_hello = from_hex(kExampleHelloHex);
-  future_hello[4] = 2;
+  future_hello[4] = 3;
   const Frame decoded =
       decode_frame(std::span<const std::uint8_t>{future_hello}.subspan(4));
-  EXPECT_EQ(decoded.version, 2);
+  EXPECT_EQ(decoded.version, 3);
   // Unknown request kind.
   auto bad_kind = from_hex(kExampleRequestHex);
   bad_kind[4 + 10 + 20] = 17;  // kind byte: after envelope, key len, key

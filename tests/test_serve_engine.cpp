@@ -15,6 +15,7 @@
 #include "spotbid/bidding/strategies.hpp"
 #include "spotbid/core/metrics.hpp"
 #include "spotbid/ec2/instance_types.hpp"
+#include "spotbid/portfolio/strategy.hpp"
 #include "spotbid/trace/generator.hpp"
 
 namespace spotbid::serve {
@@ -168,6 +169,139 @@ TEST(ServeEngine, ProviderPriceMatchesEq3) {
   }
 }
 
+Request portfolio_request(double epsilon, std::uint8_t levels) {
+  Request q = base_request(Kind::kPortfolioBid);
+  q.deadline = Hours{8.0};
+  q.epsilon = epsilon;
+  q.levels = levels;
+  return q;
+}
+
+TEST(ServeEngine, PortfolioBidMatchesTheOptimizerBitForBit) {
+  const auto snapshot = empirical_snapshot();
+  for (const double epsilon : {0.5, 0.05}) {
+    for (const std::uint8_t levels : {std::uint8_t{1}, std::uint8_t{4}, std::uint8_t{8}}) {
+      const Request q = portfolio_request(epsilon, levels);
+      const Response r = execute_one(snapshot.get(), q);
+      ASSERT_EQ(r.status, Status::kOk);
+      EXPECT_EQ(r.kind, Kind::kPortfolioBid);
+
+      portfolio::PortfolioQuery query;
+      query.job = q.job;
+      query.deadline = q.deadline;
+      query.epsilon = q.epsilon;
+      query.levels = q.levels;
+      query.mode = portfolio::DegenerateMode::kPersistent;
+      const portfolio::PortfolioStrategy strategy{snapshot->model()};
+      const portfolio::PortfolioDecision d = strategy.optimize(query);
+
+      EXPECT_EQ(static_cast<int>(r.level_count), d.level_count);
+      for (int k = 0; k < d.level_count; ++k) {
+        EXPECT_EQ(r.levels[static_cast<std::size_t>(k)].bid.usd(),
+                  d.levels[static_cast<std::size_t>(k)].bid.usd());
+        EXPECT_EQ(r.levels[static_cast<std::size_t>(k)].share,
+                  d.levels[static_cast<std::size_t>(k)].share);
+      }
+      EXPECT_EQ(r.on_demand_share, d.on_demand_share);
+      EXPECT_EQ(r.violation, d.violation);
+      EXPECT_EQ(r.expected_cost.usd(), d.expected_cost.usd());
+      EXPECT_EQ(r.feasible, d.feasible);
+      EXPECT_EQ(r.use_on_demand, d.use_on_demand);
+      EXPECT_EQ(r.price.usd(), d.backstop.usd());
+      EXPECT_EQ(r.expected_hours.hours(), q.deadline.hours());
+      // Shares must cover the whole job.
+      double share = r.on_demand_share;
+      for (int k = 0; k < r.level_count; ++k)
+        share += r.levels[static_cast<std::size_t>(k)].share;
+      EXPECT_NEAR(share, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(ServeEngine, PortfolioDegenerationMatchesOptimalBid) {
+  // K = 1 with no violation budget IS the Prop. 4/5 problem: the portfolio
+  // answer must carry the same expected cost as kOptimalBid for both modes.
+  const auto snapshot = empirical_snapshot();
+  for (const BidMode mode : {BidMode::kOneTime, BidMode::kPersistent}) {
+    Request q = portfolio_request(/*epsilon=*/1.0, /*levels=*/1);
+    q.mode = mode;
+    const Response portfolio = execute_one(snapshot.get(), q);
+    ASSERT_EQ(portfolio.status, Status::kOk);
+
+    Request single = base_request(Kind::kOptimalBid);
+    single.mode = mode;
+    const Response optimal = execute_one(snapshot.get(), single);
+    ASSERT_EQ(optimal.status, Status::kOk);
+    EXPECT_EQ(portfolio.expected_cost.usd(), optimal.expected_cost.usd());
+    if (!optimal.use_on_demand) {
+      ASSERT_EQ(portfolio.level_count, 1);
+      EXPECT_EQ(portfolio.levels[0].bid.usd(), optimal.bid.usd());
+    }
+  }
+}
+
+TEST(ServeEngine, PortfolioEpsilonZeroFallsBackToOnDemand) {
+  metrics::set_enabled(true);
+  auto& fallback = metrics::Registry::global().counter("serve.portfolio.on_demand_fallback");
+  const std::uint64_t before = fallback.value();
+  const auto snapshot = empirical_snapshot();
+  const Response r = execute_one(snapshot.get(), portfolio_request(/*epsilon=*/0.0, 4));
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_TRUE(r.use_on_demand);
+  EXPECT_EQ(r.on_demand_share, 1.0);
+  EXPECT_EQ(r.level_count, 0);
+  EXPECT_EQ(r.violation, 0.0);
+  EXPECT_EQ(r.bid.usd(), snapshot->model().backstop().usd());
+  EXPECT_EQ(r.acceptance, 1.0);
+  EXPECT_EQ(fallback.value(), before + 1);
+}
+
+TEST(ServeEngine, MalformedPortfolioRequestsAreInvalidNotThrown) {
+  const auto snapshot = empirical_snapshot();
+  const auto expect_invalid = [&](Request q) {
+    Response r;
+    ASSERT_NO_THROW(r = execute_one(snapshot.get(), q));
+    EXPECT_EQ(r.status, Status::kInvalid);
+    EXPECT_EQ(r.kind, Kind::kPortfolioBid);
+  };
+
+  Request q = portfolio_request(0.05, 4);
+  q.deadline = Hours{1.0};  // shorter than the 2h execution time
+  expect_invalid(q);
+
+  q = portfolio_request(0.05, 0);  // K below range
+  expect_invalid(q);
+  q = portfolio_request(0.05, static_cast<std::uint8_t>(kMaxPortfolioLevels + 1));
+  expect_invalid(q);
+
+  q = portfolio_request(kNaN, 4);
+  expect_invalid(q);
+  q = portfolio_request(-0.1, 4);
+  expect_invalid(q);
+
+  q = portfolio_request(0.05, 4);
+  q.job.execution_time = Hours{0.0};
+  expect_invalid(q);
+
+  q = portfolio_request(0.05, 4);
+  q.deadline = Hours{kNaN};
+  expect_invalid(q);
+
+  // Horizon cap: a deadline spanning more slots than kMaxHorizonSlots is
+  // rejected with the snapshot's slot length in hand.
+  q = portfolio_request(0.05, 4);
+  q.deadline = Hours{(static_cast<double>(portfolio::kMaxHorizonSlots) + 2.0) *
+                     snapshot->model().slot_length().hours()};
+  expect_invalid(q);
+
+  // Degenerate K=1 persistent inherits Prop. 5's t_s > t_r precondition.
+  q = portfolio_request(1.0, 1);
+  q.mode = BidMode::kPersistent;
+  q.job = bidding::JobSpec{Hours{2.0}, Hours{2.0}};
+  q.deadline = Hours{8.0};
+  expect_invalid(q);
+}
+
 TEST(ServeEngine, MalformedRequestsAreInvalidNotThrown) {
   const auto snapshot = empirical_snapshot();
   const auto expect_invalid = [&](Request q) {
@@ -243,6 +377,10 @@ std::vector<Request> mixed_batch(const ModelSnapshot& snapshot) {
   q = base_request(Kind::kRunLength);
   q.bid = Money{kNaN};
   batch.push_back(q);  // invalid inside a batch
+  batch.push_back(portfolio_request(0.05, 4));
+  batch.push_back(portfolio_request(1.0, 1));  // degenerate path
+  q = portfolio_request(0.05, 0);
+  batch.push_back(q);  // invalid portfolio inside a batch
   return batch;
 }
 

@@ -80,6 +80,20 @@ std::vector<Request> probe_requests(const ModelSnapshot& snapshot) {
     q.job = bidding::JobSpec{Hours{2.0}, Hours::from_seconds(30.0)};
     probes.push_back(q);
   }
+  // Portfolio queries exercise the backstop field (v2) and the deadline
+  // math; a couple of (epsilon, K) points keep the probe set fast.
+  for (const double epsilon : {0.5, 0.05}) {
+    for (const std::uint8_t levels : {std::uint8_t{1}, std::uint8_t{4}}) {
+      Request q;
+      q.key = snapshot.key();
+      q.kind = Kind::kPortfolioBid;
+      q.job = bidding::JobSpec{Hours{2.0}, Hours::from_seconds(30.0)};
+      q.deadline = Hours{8.0};
+      q.epsilon = epsilon;
+      q.levels = levels;
+      probes.push_back(q);
+    }
+  }
   return probes;
 }
 
@@ -150,6 +164,63 @@ TEST(SnapshotIo, AnalyticRoundTripIsBitIdentical) {
   EXPECT_EQ(rebuilt->key(), original->key());
   EXPECT_EQ(rebuilt->empirical(), nullptr);
   expect_bit_identical(*original, *rebuilt);
+}
+
+/// Recompute the header's FNV-1a checksum over the (possibly edited)
+/// payload — the same hash ForgedChecksumStillRejectsBadPayload uses.
+void reseal(std::vector<std::uint8_t>& image) {
+  constexpr std::size_t kPayloadStart = 24;
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = kPayloadStart; i < image.size(); ++i) {
+    h ^= image[i];
+    h *= 0x100000001b3ull;
+  }
+  for (int i = 0; i < 8; ++i) image[16 + i] = static_cast<std::uint8_t>(h >> (8 * i));
+  const std::uint64_t payload_len = image.size() - kPayloadStart;
+  for (int i = 0; i < 8; ++i)
+    image[8 + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(payload_len >> (8 * i));
+}
+
+TEST(SnapshotIo, BackstopRoundTripsAtVersion2) {
+  // A recalibrated backstop (below the on-demand price: negotiated
+  // capacity) must survive persistence — it changes every portfolio answer.
+  const auto original = empirical_snapshot();
+  bidding::SpotPriceModel model = original->model();
+  model.set_backstop(Money{0.19});
+  const auto snapshot =
+      std::make_shared<ModelSnapshot>(original->key(), std::move(model), original->provider());
+  const auto rebuilt = parse_snapshot(serialize_snapshot(*snapshot));
+  ASSERT_NE(rebuilt, nullptr);
+  EXPECT_EQ(rebuilt->model().backstop().usd(), 0.19);
+  expect_bit_identical(*snapshot, *rebuilt);
+}
+
+TEST(SnapshotIo, VersionOneImageWarmStartsWithOnDemandBackstop) {
+  // Surgery on a v2 image produces the byte-exact v1 layout (no backstop
+  // field): the loader must fall back to backstop = on-demand, the cold
+  // calibration default — old snapshot directories keep warm-starting.
+  const auto original = analytic_snapshot();
+  auto image = serialize_snapshot(*original);
+  image[4] = 1;  // version u32 LE: 2 -> 1
+  const std::size_t key_len = original->key().size();
+  const std::size_t backstop_at = 24 + 4 + key_len + 4 * 8 + 8 + 8;
+  image.erase(image.begin() + static_cast<std::ptrdiff_t>(backstop_at),
+              image.begin() + static_cast<std::ptrdiff_t>(backstop_at + 8));
+  reseal(image);
+
+  const auto rebuilt = parse_snapshot(image);
+  ASSERT_NE(rebuilt, nullptr);
+  EXPECT_EQ(rebuilt->model().backstop().usd(), rebuilt->model().on_demand().usd());
+  // The original was built with the same default, so answers still match.
+  expect_bit_identical(*original, *rebuilt);
+}
+
+TEST(SnapshotIo, FutureVersionIsRejected) {
+  auto image = serialize_snapshot(*analytic_snapshot());
+  image[4] = static_cast<std::uint8_t>(kSnapshotVersion + 1);
+  EXPECT_EQ(parse_error(image), SnapshotIoCode::kBadVersion);
+  image[4] = 0;  // below the floor
+  EXPECT_EQ(parse_error(image), SnapshotIoCode::kBadVersion);
 }
 
 TEST(SnapshotIo, SerializationIsDeterministic) {

@@ -137,7 +137,7 @@ NOTE_RULES = {"C-uncovered"}
 
 DETERMINISTIC_LAYERS = (
     "dist", "numeric", "bidding", "provider", "market",
-    "client", "collective", "mapreduce", "workflow",
+    "client", "collective", "mapreduce", "workflow", "portfolio",
 )
 
 # The serve layer splits: request execution against an immutable snapshot is
@@ -159,7 +159,7 @@ GETENV_ALLOWLIST = {
 }
 REDUCE_ALLOWLIST = {"include/spotbid/core/parallel.hpp", "src/core/parallel.cpp"}
 
-CONTRACT_MODULES = ("dist", "provider", "bidding", "market", "numeric")
+CONTRACT_MODULES = ("dist", "provider", "bidding", "market", "numeric", "portfolio")
 
 SERVE_READER_PATH_FILES = {
     "src/serve/snapshot_store.cpp",

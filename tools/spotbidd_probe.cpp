@@ -114,6 +114,28 @@ std::vector<serve::Request> probe_set(const std::string& key) {
     q.job = bidding::JobSpec{Hours{2.0}, Hours::from_seconds(30.0)};
     probes.push_back(q);
   }
+  // Portfolio deadline-guarantee queries (v2 bodies): a degenerate K=1
+  // (eps >= 1 falls through to Prop. 4/5), a mid-size and a deep portfolio.
+  struct PortfolioProbe {
+    double deadline;
+    double epsilon;
+    std::uint8_t levels;
+  };
+  static constexpr PortfolioProbe kPortfolios[] = {
+      {4.0, 1.0, 1}, {6.0, 0.1, 4}, {8.0, 0.01, 8}};
+  for (const serve::BidMode mode : {serve::BidMode::kOneTime, serve::BidMode::kPersistent}) {
+    for (const PortfolioProbe& p : kPortfolios) {
+      serve::Request q;
+      q.key = key;
+      q.kind = serve::Kind::kPortfolioBid;
+      q.mode = mode;
+      q.job = bidding::JobSpec{Hours{2.0}, Hours::from_seconds(30.0)};
+      q.deadline = Hours{p.deadline};
+      q.epsilon = p.epsilon;
+      q.levels = p.levels;
+      probes.push_back(q);
+    }
+  }
   return probes;
 }
 
@@ -156,7 +178,7 @@ int main(int argc, char** argv) {
   try {
     net::BidClient client{args.get("host", "127.0.0.1"), port};
     std::uint64_t probe_seq = 0;
-    out << "spotbidd_probe dump v1 (epochs zeroed)\n";
+    out << "spotbidd_probe dump v2 (epochs zeroed)\n";
     for (const std::string& key : keys) {
       for (const serve::Request& q : probe_set(key)) {
         serve::Response response = client.ask(q);
@@ -168,8 +190,11 @@ int main(int argc, char** argv) {
         }
         response.epoch = 0;
         out << "# " << key << " " << serve::kind_name(q.kind) << " mode "
-            << static_cast<int>(q.mode) << " bid " << q.bid.usd() << "\n"
-            << net::hex_dump(net::encode_response(++probe_seq, response));
+            << static_cast<int>(q.mode) << " bid " << q.bid.usd();
+        if (q.kind == serve::Kind::kPortfolioBid)
+          out << " deadline " << q.deadline.hours() << " eps " << q.epsilon << " levels "
+              << int{q.levels};
+        out << "\n" << net::hex_dump(net::encode_response(++probe_seq, response));
       }
     }
     out.flush();
